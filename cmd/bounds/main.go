@@ -1,0 +1,120 @@
+// Command bounds prints the closed-form competitive-ratio bounds of
+// Kupavskii–Welzl (PODC 2018) for ranges of parameters:
+//
+//	bounds -m 2 -kmax 8            Theorem 1 table A(k, f)
+//	bounds -m 4 -kmax 8            Theorem 6 table A(4, k, f)
+//	bounds -eta 1.25,1.5,2,3       fractional C(eta) values (Eq. 11)
+//	bounds -m 2 -kmax 8 -prec 128  add certified high-precision digits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		m    = flag.Int("m", 2, "number of rays (2 = the line)")
+		kmax = flag.Int("kmax", 8, "largest robot count to tabulate")
+		etas = flag.String("eta", "", "comma-separated eta values for the fractional bound")
+		prec = flag.Uint("prec", 0, "if > 0, also print certified enclosures at this many bits")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *m, *kmax, *etas, *prec); err != nil {
+		fmt.Fprintln(os.Stderr, "bounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, m, kmax int, etas string, prec uint) error {
+	if etas != "" {
+		return printEtas(w, etas)
+	}
+	if m < 2 || kmax < 1 {
+		return fmt.Errorf("need m >= 2 and kmax >= 1, got m=%d kmax=%d", m, kmax)
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("A(m=%d, k, f): optimal competitive ratio (Theorems 1 and 6)", m),
+		"k", "f", "q", "rho", "regime", "lambda", "alpha*",
+	)
+	for k := 1; k <= kmax; k++ {
+		for f := 0; f < k; f++ {
+			regime, err := bounds.Classify(m, k, f)
+			if err != nil {
+				return err
+			}
+			lambda, lerr := bounds.AMKF(m, k, f)
+			if lerr != nil && regime != bounds.RegimeUnsolvable {
+				return lerr
+			}
+			rho, err := bounds.Rho(m, k, f)
+			if err != nil {
+				return err
+			}
+			alphaCell := "-"
+			if regime == bounds.RegimeSearch {
+				alpha, err := bounds.OptimalAlpha(m*(f+1), k)
+				if err != nil {
+					return err
+				}
+				alphaCell = report.Fmt(alpha, 6)
+			}
+			tb.AddRow(
+				strconv.Itoa(k), strconv.Itoa(f), strconv.Itoa(m*(f+1)),
+				report.Fmt(rho, 4), regime.String(), report.Fmt(lambda, 9), alphaCell,
+			)
+		}
+	}
+	fmt.Fprint(w, tb.Markdown())
+
+	if prec > 0 {
+		hp := report.NewTable(
+			fmt.Sprintf("Certified enclosures at %d bits (search regime only)", prec),
+			"k", "f", "lambda0 (certified midpoint)", "enclosure width",
+		)
+		for k := 1; k <= kmax; k++ {
+			for f := 0; f < k; f++ {
+				regime, err := bounds.Classify(m, k, f)
+				if err != nil || regime != bounds.RegimeSearch {
+					continue
+				}
+				enc, err := bounds.HighPrecisionBound(m*(f+1), k, prec)
+				if err != nil {
+					return err
+				}
+				widthF, _ := enc.Lambda0.Width().Float64()
+				hp.AddRow(
+					strconv.Itoa(k), strconv.Itoa(f),
+					enc.Lambda0.Lo.Text('g', 30), report.Fmt(widthF, 3),
+				)
+			}
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, hp.Markdown())
+	}
+	return nil
+}
+
+func printEtas(w io.Writer, spec string) error {
+	tb := report.NewTable("Fractional one-ray retrieval C(eta) (Eq. 11)", "eta", "C(eta)")
+	for _, tok := range strings.Split(spec, ",") {
+		eta, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("parse eta %q: %w", tok, err)
+		}
+		v, err := bounds.CEta(eta)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(report.Fmt(eta, 6), report.Fmt(v, 9))
+	}
+	fmt.Fprint(w, tb.Markdown())
+	return nil
+}

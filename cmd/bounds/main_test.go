@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTheoremTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 4, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"A(m=2, k, f)", "| 1 | 0 |", "trivial", "search", "9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithPrecision(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 3, "", 96); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Certified enclosures at 96 bits") {
+		t.Errorf("missing certified table:\n%s", out)
+	}
+	if !strings.Contains(out, "5.23306947191519859") {
+		t.Errorf("missing certified B(3,1) digits:\n%s", out)
+	}
+}
+
+func TestRunEtas(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 4, "1.5, 2", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "C(eta)") || !strings.Contains(out, "| 2 ") {
+		t.Errorf("eta table malformed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 1, 4, "", 0); err == nil {
+		t.Error("m < 2 should fail")
+	}
+	if err := run(&sb, 2, 0, "", 0); err == nil {
+		t.Error("kmax < 1 should fail")
+	}
+	if err := run(&sb, 2, 2, "abc", 0); err == nil {
+		t.Error("unparsable eta should fail")
+	}
+	if err := run(&sb, 2, 2, "0.5", 0); err == nil {
+		t.Error("eta <= 1 should fail")
+	}
+}

@@ -1,0 +1,453 @@
+// Command experiments regenerates every experiment (E1–E12) of the
+// reproduction of Kupavskii–Welzl (PODC 2018), printing one Markdown
+// table or series per experiment. See DESIGN.md for the experiment index
+// and EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+//	experiments          run everything
+//	experiments -only 4  run a single experiment id
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"repro/internal/adversary"
+	"repro/internal/bounds"
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/fractional"
+	"repro/internal/potential"
+	"repro/internal/report"
+	"repro/internal/strategy"
+)
+
+func main() {
+	only := flag.Int("only", 0, "run a single experiment id (1..12); 0 = all")
+	flag.Parse()
+	if err := run(os.Stdout, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	id   int
+	name string
+	fn   func(io.Writer) error
+}
+
+func run(w io.Writer, only int) error {
+	experiments := []experiment{
+		{1, "E1: Theorem 1 — A(k,f) closed form vs. measured strategy ratio", e01},
+		{2, "E2: Byzantine transfer — B(3,1) >= 5.2333 (prior 3.93)", e02},
+		{3, "E3: Theorem 3 — potential growth below the bound", e03},
+		{4, "E4: Theorem 6 — A(m,k,f) closed form vs. measured", e04},
+		{5, "E5: Eq. 10 — ORC covering: bounded at lambda0, refuted below", e05},
+		{6, "E6: Eq. 11 — fractional C(eta) curve and rational reduction", e06},
+		{7, "E7: Appendix — alpha sweep, minimum at alpha*", e07},
+		{8, "E8: f = 0 — parallel m-ray search (classical question)", e08},
+		{9, "E9: Lemmas 4 and 5 — kernel maximization and delta threshold", e09},
+		{10, "E10: Trivial regimes", e10},
+		{11, "E11: The bound as a curve in rho", e11},
+		{12, "E12: Applications — contract schedules and hybrid algorithms", e12},
+	}
+	for _, ex := range experiments {
+		if only != 0 && ex.id != only {
+			continue
+		}
+		fmt.Fprintf(w, "## %s\n\n", ex.name)
+		if err := ex.fn(w); err != nil {
+			return fmt.Errorf("E%d: %w", ex.id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func e01(w io.Writer) error {
+	tb := report.NewTable("", "k", "f", "s", "A(k,f) closed form", "measured sup ratio", "rel. gap")
+	for k := 1; k <= 6; k++ {
+		for f := 0; f < k; f++ {
+			regime, err := bounds.Classify(2, k, f)
+			if err != nil {
+				return err
+			}
+			if regime != bounds.RegimeSearch {
+				continue
+			}
+			closed, err := bounds.AKF(k, f)
+			if err != nil {
+				return err
+			}
+			p := core.Problem{M: 2, K: k, F: f}
+			ev, err := p.VerifyUpper(2e5)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(
+				strconv.Itoa(k), strconv.Itoa(f), strconv.Itoa(bounds.SlackS(k, f)),
+				report.Fmt(closed, 9), report.Fmt(ev.WorstRatio, 9),
+				report.Fmt(math.Abs(ev.WorstRatio-closed)/closed, 2),
+			)
+		}
+	}
+	_, err := io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func e02(w io.Writer) error {
+	improved := bounds.B31Improved()
+	hp, err := bounds.HighPrecisionBound(4, 3, 160)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("", "quantity", "value")
+	tb.AddRow("prior bound B(3,1) (ISAAC'16)", report.Fmt(bounds.B31Prior, 6))
+	tb.AddRow("paper's transfer bound (8/3)*4^(1/3)+1", report.Fmt(improved, 12))
+	tb.AddRow("certified to 30 digits", hp.Lambda0.Lo.Text('g', 30))
+	tb.AddRow("improvement factor", report.Fmt(improved/bounds.B31Prior, 6))
+	_, err = io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func e03(w io.Writer) error {
+	tb := report.NewTable("", "lambda/lambda0", "verdict", "delta", "min step ratio", "max survivable steps", "observed steps")
+	p := core.Problem{M: 2, K: 3, F: 1}
+	lambda0, err := p.LowerBound()
+	if err != nil {
+		return err
+	}
+	s, err := p.OptimalStrategy()
+	if err != nil {
+		return err
+	}
+	var turns [][]float64
+	for r := 0; r < 3; r++ {
+		seq, err := s.LineTurns(r, 4000)
+		if err != nil {
+			return err
+		}
+		turns = append(turns, seq)
+	}
+	for _, factor := range []float64{1.0001, 0.99, 0.95, 0.9} {
+		cert, err := potential.RefuteSymmetricStrategy(turns, bounds.SlackS(3, 1), lambda0*factor, 400)
+		if err != nil {
+			return err
+		}
+		minRatio := report.Fmt(cert.MinStepRatio, 6)
+		if math.IsInf(cert.MinStepRatio, 1) {
+			minRatio = "-"
+		}
+		tb.AddRow(
+			report.Fmt(factor, 6), cert.Verdict.String(), report.Fmt(cert.Delta, 6),
+			minRatio, strconv.Itoa(cert.MaxSteps), strconv.Itoa(cert.Steps),
+		)
+	}
+	_, err = io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func e04(w io.Writer) error {
+	tb := report.NewTable("", "m", "k", "f", "q", "A(m,k,f) closed form", "measured sup ratio", "rel. gap")
+	cases := []struct{ m, k, f int }{
+		{2, 1, 0}, {2, 3, 1}, {3, 2, 0}, {3, 4, 1}, {4, 3, 0}, {4, 5, 1}, {5, 4, 0}, {6, 5, 0},
+	}
+	for _, c := range cases {
+		closed, err := bounds.AMKF(c.m, c.k, c.f)
+		if err != nil {
+			return err
+		}
+		p := core.Problem{M: c.m, K: c.k, F: c.f}
+		ev, err := p.VerifyUpper(2e5)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			strconv.Itoa(c.m), strconv.Itoa(c.k), strconv.Itoa(c.f), strconv.Itoa(c.m*(c.f+1)),
+			report.Fmt(closed, 9), report.Fmt(ev.WorstRatio, 9),
+			report.Fmt(math.Abs(ev.WorstRatio-closed)/closed, 2),
+		)
+	}
+	_, err := io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func e05(w io.Writer) error {
+	tb := report.NewTable("", "m", "k", "q", "lambda/lambda0", "verdict", "detail")
+	cases := []struct{ m, k int }{{3, 2}, {2, 1}}
+	for _, c := range cases {
+		p := core.Problem{M: c.m, K: c.k, F: 0}
+		for _, factor := range []float64{1.001, 0.95} {
+			var (
+				cert potential.Certificate
+				err  error
+			)
+			if factor >= 1 {
+				s, serr := p.OptimalStrategy()
+				if serr != nil {
+					return serr
+				}
+				lambda0, lerr := p.LowerBound()
+				if lerr != nil {
+					return lerr
+				}
+				turns, terr := orcTurnsOf(s, 2000)
+				if terr != nil {
+					return terr
+				}
+				cert, err = p.RefuteStrategy(turns, lambda0*factor, 250)
+			} else {
+				cert, err = p.RefuteBelow(factor, 250)
+			}
+			if err != nil {
+				return err
+			}
+			detail := cert.GapDetail
+			if detail == "" {
+				detail = fmt.Sprintf("logF %.4g of cap %.4g", cert.LogFEnd, cert.LogFBound)
+			}
+			tb.AddRow(
+				strconv.Itoa(c.m), strconv.Itoa(c.k), strconv.Itoa(c.m),
+				report.Fmt(factor, 5), cert.Verdict.String(), detail,
+			)
+		}
+	}
+	_, err := io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func orcTurnsOf(s strategy.Strategy, horizon float64) ([][]float64, error) {
+	out := make([][]float64, s.K())
+	for r := 0; r < s.K(); r++ {
+		rounds, err := s.Rounds(r, horizon)
+		if err != nil {
+			return nil, err
+		}
+		seq := make([]float64, len(rounds))
+		for i, rd := range rounds {
+			seq[i] = rd.Turn
+		}
+		out[r] = seq
+	}
+	return out, nil
+}
+
+func e06(w io.Writer) error {
+	tb := report.NewTable("", "eta", "C(eta) closed form", "best q/k (k<=12)", "C(k,q)", "measured reduction ratio")
+	for _, eta := range []float64{1.25, 1.5, 2, 2.5, 3, 4} {
+		ceta, err := bounds.CEta(eta)
+		if err != nil {
+			return err
+		}
+		robots, q, k, err := fractional.ReductionRobots(eta, 12, 5e4)
+		if err != nil {
+			return err
+		}
+		ckq, err := bounds.CKQ(k, q)
+		if err != nil {
+			return err
+		}
+		measured, err := fractional.MeasuredRatio(robots, eta, 1e4)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			report.Fmt(eta, 4), report.Fmt(ceta, 9),
+			fmt.Sprintf("%d/%d", q, k), report.Fmt(ckq, 9), report.Fmt(measured, 9),
+		)
+	}
+	_, err := io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func e07(w io.Writer) error {
+	m, k, f := 2, 3, 1
+	q := m * (f + 1)
+	star, err := bounds.OptimalAlpha(q, k)
+	if err != nil {
+		return err
+	}
+	series := report.Series{
+		Name:   fmt.Sprintf("measured ratio vs alpha (m=%d k=%d f=%d; alpha* = %.6g)", m, k, f, star),
+		XLabel: "alpha",
+		YLabel: "measured sup ratio",
+	}
+	for i := -4; i <= 4; i++ {
+		alpha := star * math.Pow(1.12, float64(i))
+		if alpha <= 1 {
+			continue
+		}
+		s, err := strategy.NewCyclicExponentialAlpha(m, k, f, alpha)
+		if err != nil {
+			return err
+		}
+		ev, err := adversary.ExactRatio(s, f, 5e4)
+		if err != nil {
+			return err
+		}
+		series.Add(alpha, ev.WorstRatio)
+	}
+	if _, err := io.WriteString(w, series.Markdown()); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\nminimum of the sweep at alpha = %.6g (alpha* = %.6g)\n",
+		series.ArgMin(), star)
+	return err
+}
+
+func e08(w io.Writer) error {
+	tb := report.NewTable("", "m", "k", "A(m,k,0)", "measured", "ray-split baseline", "classical k=1 check")
+	cases := []struct{ m, k int }{{2, 1}, {3, 1}, {3, 2}, {4, 2}, {4, 3}, {5, 2}}
+	for _, c := range cases {
+		closed, err := bounds.AMKF(c.m, c.k, 0)
+		if err != nil {
+			return err
+		}
+		p := core.Problem{M: c.m, K: c.k, F: 0}
+		ev, err := p.VerifyUpper(1e5)
+		if err != nil {
+			return err
+		}
+		baseCell := "-"
+		if c.k < c.m {
+			base, err := strategy.NewRaySplit(c.m, c.k)
+			if err != nil {
+				return err
+			}
+			evBase, err := adversary.ExactRatio(base, 0, 1e5)
+			if err != nil {
+				return err
+			}
+			baseCell = report.Fmt(evBase.WorstRatio, 6)
+		}
+		classic := "-"
+		if c.k == 1 {
+			v, err := bounds.SingleRobotMRays(c.m)
+			if err != nil {
+				return err
+			}
+			classic = report.Fmt(v, 9)
+		}
+		tb.AddRow(
+			strconv.Itoa(c.m), strconv.Itoa(c.k),
+			report.Fmt(closed, 9), report.Fmt(ev.WorstRatio, 9), baseCell, classic,
+		)
+	}
+	_, err := io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func e09(w io.Writer) error {
+	tb := report.NewTable("", "s", "k", "mu_crit = mu(k+s,k)", "delta at 0.99*mu_crit", "delta at mu_crit", "delta at 1.01*mu_crit")
+	for _, c := range []struct{ s, k int }{{1, 1}, {1, 3}, {2, 3}, {3, 5}} {
+		muCrit, err := bounds.MuQK(float64(c.k+c.s), float64(c.k))
+		if err != nil {
+			return err
+		}
+		row := []string{strconv.Itoa(c.s), strconv.Itoa(c.k), report.Fmt(muCrit, 9)}
+		for _, scale := range []float64{0.99, 1, 1.01} {
+			d, err := bounds.Lemma5Delta(muCrit*scale, float64(c.s), float64(c.k))
+			if err != nil {
+				return err
+			}
+			row = append(row, report.Fmt(d, 6))
+		}
+		tb.AddRow(row...)
+	}
+	_, err := io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func e10(w io.Writer) error {
+	tb := report.NewTable("", "m", "k", "f", "regime", "ratio")
+	cases := []struct{ m, k, f int }{
+		{2, 4, 1}, {2, 2, 0}, {3, 6, 1}, {2, 2, 2}, {3, 1, 1}, {2, 3, 1},
+	}
+	for _, c := range cases {
+		regime, err := bounds.Classify(c.m, c.k, c.f)
+		if err != nil {
+			return err
+		}
+		v, _ := bounds.AMKF(c.m, c.k, c.f)
+		tb.AddRow(
+			strconv.Itoa(c.m), strconv.Itoa(c.k), strconv.Itoa(c.f),
+			regime.String(), report.Fmt(v, 9),
+		)
+	}
+	_, err := io.WriteString(w, tb.Markdown())
+	return err
+}
+
+func e11(w io.Writer) error {
+	series := report.Series{
+		Name:   "lambda = 2*rho^rho/(rho-1)^(rho-1) + 1 over rho in (1, 2]",
+		XLabel: "rho",
+		YLabel: "lambda",
+	}
+	for i := 1; i <= 20; i++ {
+		rho := 1 + float64(i)/20
+		v, err := bounds.RhoForm(rho)
+		if err != nil {
+			return err
+		}
+		series.Add(rho, v)
+	}
+	_, err := io.WriteString(w, series.Markdown())
+	return err
+}
+
+func e12(w io.Writer) error {
+	tb := report.NewTable("Contract schedules: AR* = mu(m+k, k)",
+		"m", "k", "AR* closed form", "measured AR", "alpha*")
+	for _, c := range []struct{ m, k int }{{2, 1}, {3, 1}, {4, 1}, {3, 2}} {
+		star, err := contract.ARStar(c.m, c.k)
+		if err != nil {
+			return err
+		}
+		base, err := contract.OptimalContractBase(c.m, c.k)
+		if err != nil {
+			return err
+		}
+		sched, err := contract.NewCyclicSchedule(c.m, c.k, base, 1e5)
+		if err != nil {
+			return err
+		}
+		ar, err := sched.AccelerationRatio()
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			strconv.Itoa(c.m), strconv.Itoa(c.k),
+			report.Fmt(star, 9), report.Fmt(ar, 9), report.Fmt(base, 6),
+		)
+	}
+	if _, err := io.WriteString(w, tb.Markdown()); err != nil {
+		return err
+	}
+
+	hy := report.NewTable("Hybrid algorithms: serialized k-robot search",
+		"m", "k", "measured slowdown", "closed form (coprime)")
+	for _, c := range []struct{ m, k int }{{2, 1}, {3, 2}, {4, 3}} {
+		res, err := contract.HybridSlowdown(c.m, c.k, 5e4)
+		if err != nil {
+			return err
+		}
+		alpha, err := bounds.OptimalAlpha(c.m, c.k)
+		if err != nil {
+			return err
+		}
+		closed, err := contract.ExpHybridSlowdown(c.m, c.k, alpha)
+		closedCell := "-"
+		if err == nil {
+			closedCell = report.Fmt(closed, 9)
+		}
+		hy.AddRow(strconv.Itoa(c.m), strconv.Itoa(c.k), report.Fmt(res.Slowdown, 9), closedCell)
+	}
+	fmt.Fprintln(w)
+	_, err := io.WriteString(w, hy.Markdown())
+	return err
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// The cheap experiments run quickly enough to test individually; the
+	// expensive ones (E1, E4 with large horizons) are covered by the
+	// benchmark harness and by running the binary.
+	for _, id := range []int{2, 9, 10, 11} {
+		var sb strings.Builder
+		if err := run(&sb, id); err != nil {
+			t.Fatalf("experiment %d: %v", id, err)
+		}
+		if !strings.Contains(sb.String(), "## E") {
+			t.Errorf("experiment %d produced no heading:\n%s", id, sb.String())
+		}
+	}
+}
+
+func TestRunE10Content(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"trivial", "unsolvable", "search"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E10 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunE2Certified(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "5.23306947191519859933788170473") {
+		t.Errorf("E2 missing certified digits:\n%s", sb.String())
+	}
+}
+
+func TestRunUnknownIdIsNoop(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 99); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("unknown id should produce no output, got:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasicSimulation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 3, 1, 1, 5, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"lambda0", "timeline:", "detect", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithSweepAndAlpha(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 1, 0, 1, 3, 2.5, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "exact worst-case") {
+		t.Errorf("sweep output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha=2.5") {
+		t.Errorf("custom alpha not reflected in the strategy name:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 4, 1, 1, 5, 0, false); err == nil {
+		t.Error("trivial regime should be rejected by the strategy constructor")
+	}
+	if err := run(&sb, 2, 3, 1, 9, 5, 0, false); err == nil {
+		t.Error("bad ray should fail")
+	}
+	if err := run(&sb, 2, 3, 1, 1, 0.5, 0, false); err == nil {
+		t.Error("target below distance 1 should fail")
+	}
+}

@@ -1,0 +1,133 @@
+// Command verifybound checks an externally supplied collective ORC
+// strategy against the Eq. (10) lower bound: it either validates the
+// claimed q-fold lambda-covering or emits a machine-checked refutation
+// certificate (a coverage gap or a potential-function contradiction).
+//
+// The strategy file has one robot per line, excursion distances separated
+// by spaces; '#' starts a comment:
+//
+//	# two robots
+//	1 2 4 8 16 32
+//	1.5 3 6 12 24
+//
+// Usage:
+//
+//	verifybound -q 2 -lambda 8.5 -upto 100 strategy.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/potential"
+)
+
+func main() {
+	var (
+		q      = flag.Int("q", 2, "required covering multiplicity")
+		lambda = flag.Float64("lambda", 9, "claimed competitive ratio")
+		upTo   = flag.Float64("upto", 100, "verify covering of (1, upto]")
+		caseC  = flag.Float64("casec", 1e9, "Case-1/Case-2 split constant of the Eq. (10) proof")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: verifybound [flags] strategy.txt")
+		os.Exit(2)
+	}
+	file, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifybound:", err)
+		os.Exit(1)
+	}
+	defer file.Close()
+	if err := run(os.Stdout, file, *q, *lambda, *upTo, *caseC); err != nil {
+		fmt.Fprintln(os.Stderr, "verifybound:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, r io.Reader, q int, lambda, upTo, caseC float64) error {
+	turns, err := parseStrategy(r)
+	if err != nil {
+		return err
+	}
+	k := len(turns)
+	fmt.Fprintf(w, "robots: %d, multiplicity q: %d, lambda: %g, range: (1, %g]\n", k, q, lambda, upTo)
+	if q > k {
+		l0, err := bounds.CKQ(k, q)
+		if err == nil {
+			fmt.Fprintf(w, "Eq. (10) bound for (k=%d, q=%d): lambda >= %.9g\n", k, q, l0)
+		}
+	}
+	cert, err := potential.RefuteORCStrategy(turns, q, lambda, upTo, caseC)
+	if err != nil {
+		return err
+	}
+	printCertificate(w, cert, 0)
+	return nil
+}
+
+func printCertificate(w io.Writer, cert potential.Certificate, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%sverdict: %s\n", ind, cert.Verdict)
+	if cert.GapDetail != "" {
+		fmt.Fprintf(w, "%s  coverage gap: %s\n", ind, cert.GapDetail)
+		return
+	}
+	fmt.Fprintf(w, "%s  mu=%.6g (critical %.6g), delta=%.9g\n", ind, cert.Mu, cert.MuCrit, cert.Delta)
+	fmt.Fprintf(w, "%s  steps=%d (warmup %d), log f: %.6g -> %.6g (cap %.6g)\n",
+		ind, cert.Steps, cert.WarmupSteps, cert.LogFStart, cert.LogFEnd, cert.LogFBound)
+	switch cert.Verdict {
+	case potential.VerdictExhausted:
+		fmt.Fprintf(w, "%s  below the bound: any valid cover stalls within %d steps (observed %d); %d more would contradict\n",
+			ind, cert.MaxSteps, cert.Steps, cert.StepsNeeded)
+	case potential.VerdictContradiction:
+		fmt.Fprintf(w, "%s  contradiction at post-warmup step %d\n", ind, cert.ContradictionStep)
+	case potential.VerdictBounded:
+		fmt.Fprintf(w, "%s  potential stayed below its cap: the covering is consistent with lambda\n", ind)
+	}
+	if cert.Sub != nil {
+		fmt.Fprintf(w, "%s  case-2 recursion (k-1 robots, q-1 fold):\n", ind)
+		printCertificate(w, *cert.Sub, depth+1)
+	}
+}
+
+func parseStrategy(r io.Reader) ([][]float64, error) {
+	var out [][]float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		turns := make([]float64, 0, len(fields))
+		for _, tok := range fields {
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: parse %q: %w", lineNo, tok, err)
+			}
+			turns = append(turns, v)
+		}
+		out = append(out, turns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no robots in input")
+	}
+	return out, nil
+}

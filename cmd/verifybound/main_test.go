@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStrategy(t *testing.T) {
+	input := `# comment-only line
+1 2 4 8   # doubling
+1.5 3 6
+`
+	turns, err := parseStrategy(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) != 2 {
+		t.Fatalf("parsed %d robots, want 2", len(turns))
+	}
+	if len(turns[0]) != 4 || turns[0][2] != 4 {
+		t.Errorf("robot 0 = %v", turns[0])
+	}
+	if len(turns[1]) != 3 || turns[1][0] != 1.5 {
+		t.Errorf("robot 1 = %v", turns[1])
+	}
+}
+
+func TestParseStrategyErrors(t *testing.T) {
+	if _, err := parseStrategy(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := parseStrategy(strings.NewReader("1 2 three")); err == nil {
+		t.Error("unparsable token should fail")
+	}
+}
+
+func TestRunValidCover(t *testing.T) {
+	// Doubling at lambda above 9 is a valid single cover.
+	input := "0.125 0.25 0.5 1 2 4 8 16 32 64 128 256\n"
+	var sb strings.Builder
+	if err := run(&sb, strings.NewReader(input), 1, 9.2, 100, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "verdict: bounded") {
+		t.Errorf("expected bounded verdict:\n%s", out)
+	}
+}
+
+func TestRunRefutesBelowBound(t *testing.T) {
+	// Single-robot 1-fold ORC doubling covers exactly when mu >= 2
+	// (lambda >= 5); at lambda = 4.5 it must gap.
+	input := "0.125 0.25 0.5 1 2 4 8 16 32 64 128 256\n"
+	var sb strings.Builder
+	if err := run(&sb, strings.NewReader(input), 1, 4.5, 100, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "verdict: contradiction") {
+		t.Errorf("expected a contradiction verdict:\n%s", out)
+	}
+}
+
+func TestRunPrintsEqTenBound(t *testing.T) {
+	input := "1 2 4\n2 4 8\n"
+	var sb strings.Builder
+	if err := run(&sb, strings.NewReader(input), 3, 12, 5, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Eq. (10) bound") {
+		t.Errorf("expected the Eq. (10) banner:\n%s", sb.String())
+	}
+}

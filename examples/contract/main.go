@@ -1,0 +1,82 @@
+// contract: the contract-algorithm connection of Section 3.
+//
+// A planning system must keep anytime results ready for m different
+// queries while running on k processors; computations are contracts (a run
+// of committed length produces a result only at its end). An interruption
+// at time t asking query i is answered by the longest finished contract on
+// i; the acceleration ratio measures how much slower this is than knowing
+// (t, i) in advance. Interpreting "contract of length d on problem i" as
+// "advance to distance d on ray i" maps the problem onto ray search, and
+// the same Lemma 4/5 algebra gives the optimal cyclic schedule:
+// AR*(m,k) = mu(m+k, k), the classical (m+1)^(m+1)/m^m for one processor.
+//
+//	go run ./examples/contract
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/contract"
+)
+
+func main() {
+	// One processor, three planning problems.
+	m, k := 3, 1
+	star, err := contract.ARStar(m, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := contract.OptimalContractBase(m, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("m=%d problems on k=%d processor(s)\n", m, k)
+	fmt.Printf("optimal acceleration ratio AR* = mu(m+k,k) = %.9g (classical (m+1)^(m+1)/m^m)\n", star)
+	fmt.Printf("optimal contract growth base alpha* = %.9g\n\n", base)
+
+	sched, err := contract.NewCyclicSchedule(m, k, base, 1e5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := sched.AccelerationRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured AR of the cyclic exponential schedule: %.9g\n", measured)
+
+	// A detuned schedule is worse.
+	detuned, err := contract.NewCyclicSchedule(m, k, base*1.25, 1e5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worse, err := detuned.AccelerationRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured AR with a 25%% larger base:           %.9g\n\n", worse)
+
+	// Two processors: parallelism helps exactly as mu(m+k,k) predicts.
+	for _, kk := range []int{1, 2, 3} {
+		ar, err := contract.ARStar(m, kk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("AR*(m=%d, k=%d) = %.6g\n", m, kk, ar)
+	}
+
+	// Show a prefix of the schedule.
+	fmt.Println("\nfirst contracts of the optimal 1-processor schedule (warmup omitted):")
+	contracts := sched.ProcessorContracts(0)
+	shown := 0
+	for _, c := range contracts {
+		if c.Length < 1 {
+			continue
+		}
+		fmt.Printf("  problem %d: length %.4f\n", c.Problem+1, c.Length)
+		shown++
+		if shown == 9 {
+			break
+		}
+	}
+}

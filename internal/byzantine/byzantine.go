@@ -1,0 +1,303 @@
+// Package byzantine models the Byzantine fault setting of Czyzowitz et al.
+// (ISAAC 2016, reference [13] of Kupavskii–Welzl): a faulty robot may stay
+// silent when it passes the target, or claim a target where there is none.
+//
+// Kupavskii–Welzl use only the transfer principle B(k,f) >= A(k,f): every
+// Byzantine-tolerant strategy also tolerates crash faults (silence is a
+// legal Byzantine behavior), so crash lower bounds carry over — improving,
+// e.g., B(3,1) from 3.93 to (8/3)*4^(1/3)+1 ~ 5.23. This package makes the
+// semantics concrete with an explicit observation log and a consistency-
+// based inference rule:
+//
+//	A candidate location y is CONSISTENT with the log at time t when at
+//	most f robots' behavior contradicts "the target is at y" — where a
+//	robot contradicts y by claiming a different location, or by having
+//	visited y without claiming it.
+//
+//	The observer is CERTAIN of the target at time t when exactly one
+//	candidate is consistent.
+//
+// The rule is sound by construction: the true location is always
+// consistent (only the <= f faulty robots can contradict it), so no lie
+// script can make the observer certain of a wrong location — the property
+// tests drive random adversarial scripts against exactly this invariant.
+package byzantine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trajectory"
+)
+
+// Errors returned by the Byzantine model.
+var (
+	// ErrBadScenario is returned for structurally invalid scenarios.
+	ErrBadScenario = errors.New("byzantine: invalid scenario")
+	// ErrLieOffTrajectory is returned when a scripted claim is not at the
+	// claiming robot's position at the claim time.
+	ErrLieOffTrajectory = errors.New("byzantine: scripted claim not on the robot's trajectory")
+)
+
+// Behavior is a robot's fault type.
+type Behavior int
+
+const (
+	// Honest robots claim the target at their first visit and never lie.
+	Honest Behavior = iota + 1
+	// Silent robots never claim anything (the crash-type fault embedded
+	// in the Byzantine model — the basis of the transfer bound).
+	Silent
+	// Liar robots follow a scripted set of false claims and never report
+	// the true target.
+	Liar
+)
+
+// String names the behavior.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case Silent:
+		return "silent"
+	case Liar:
+		return "liar"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// Claim is a scripted assertion "the target is at Loc", made at Time.
+type Claim struct {
+	Time float64
+	Loc  trajectory.Point
+}
+
+// Robot couples a trajectory with a behavior and (for liars) a script.
+type Robot struct {
+	Traj     *trajectory.Star
+	Behavior Behavior
+	// Lies is the claim script for Liar robots; ignored otherwise.
+	Lies []Claim
+}
+
+// Observation is one logged claim: robot Robot asserted the target is at
+// Loc at time Time.
+type Observation struct {
+	Robot int
+	Time  float64
+	Loc   trajectory.Point
+}
+
+// Scenario is a full Byzantine search instance.
+type Scenario struct {
+	robots  []Robot
+	target  trajectory.Point
+	faults  int
+	obs     []Observation // all claims, sorted by time
+	visited [][]float64   // visited[r] = sorted visit times of the target... per candidate computed on demand
+}
+
+// NewScenario validates and assembles a scenario. faults bounds the number
+// of non-honest robots the observer must tolerate; the actual number of
+// Silent/Liar robots must not exceed it (otherwise certainty would be
+// unsound by assumption violation, which we reject up front). Lie claims
+// must lie on the claiming robot's trajectory: a robot can only shout
+// "found it!" where it stands.
+func NewScenario(robots []Robot, target trajectory.Point, faults int) (*Scenario, error) {
+	if len(robots) == 0 {
+		return nil, fmt.Errorf("%w: no robots", ErrBadScenario)
+	}
+	if faults < 0 || faults >= len(robots) {
+		return nil, fmt.Errorf("%w: %d faults with %d robots", ErrBadScenario, faults, len(robots))
+	}
+	if !(target.Dist >= 1) {
+		return nil, fmt.Errorf("%w: target distance %g < 1", ErrBadScenario, target.Dist)
+	}
+	actualFaulty := 0
+	var obs []Observation
+	for i, r := range robots {
+		if r.Traj == nil {
+			return nil, fmt.Errorf("%w: robot %d has no trajectory", ErrBadScenario, i)
+		}
+		switch r.Behavior {
+		case Honest:
+			if t := r.Traj.FirstVisit(target); !math.IsInf(t, 1) {
+				obs = append(obs, Observation{Robot: i, Time: t, Loc: target})
+			}
+		case Silent:
+			actualFaulty++
+		case Liar:
+			actualFaulty++
+			for _, lie := range r.Lies {
+				pos := r.Traj.Position(lie.Time)
+				if math.IsNaN(pos.Dist) ||
+					!samePoint(pos, lie.Loc) {
+					return nil, fmt.Errorf("%w: robot %d claims %v at t=%g but is at %v",
+						ErrLieOffTrajectory, i, lie.Loc, lie.Time, pos)
+				}
+				obs = append(obs, Observation{Robot: i, Time: lie.Time, Loc: lie.Loc})
+			}
+		default:
+			return nil, fmt.Errorf("%w: robot %d has behavior %v", ErrBadScenario, i, r.Behavior)
+		}
+	}
+	if actualFaulty > faults {
+		return nil, fmt.Errorf("%w: %d faulty robots exceed the budget %d", ErrBadScenario, actualFaulty, faults)
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].Time < obs[j].Time })
+	return &Scenario{robots: robots, target: target, faults: faults, obs: obs}, nil
+}
+
+// samePoint compares star points with a small tolerance (origin matches
+// any ray).
+func samePoint(a, b trajectory.Point) bool {
+	const tol = 1e-9
+	if a.Dist < tol && b.Dist < tol {
+		return true
+	}
+	return a.Ray == b.Ray && math.Abs(a.Dist-b.Dist) <= tol*math.Max(1, a.Dist)
+}
+
+// Target returns the scenario's true target location.
+func (sc *Scenario) Target() trajectory.Point { return sc.target }
+
+// Observations returns the claims logged up to and including time t.
+func (sc *Scenario) Observations(t float64) []Observation {
+	idx := sort.Search(len(sc.obs), func(i int) bool { return sc.obs[i].Time > t })
+	out := make([]Observation, idx)
+	copy(out, sc.obs[:idx])
+	return out
+}
+
+// Contradictors returns how many robots' behavior up to time t contradicts
+// the hypothesis "the target is at y".
+func (sc *Scenario) Contradictors(y trajectory.Point, t float64) int {
+	count := 0
+	for i, r := range sc.robots {
+		if sc.contradicts(i, r, y, t) {
+			count++
+		}
+	}
+	return count
+}
+
+func (sc *Scenario) contradicts(idx int, r Robot, y trajectory.Point, t float64) bool {
+	// Claimed somewhere else?
+	for _, o := range sc.obs {
+		if o.Time > t {
+			break
+		}
+		if o.Robot == idx && !samePoint(o.Loc, y) {
+			return true
+		}
+	}
+	// Visited y without claiming it at that moment?
+	v := r.Traj.FirstVisit(y)
+	if v <= t {
+		claimedAtY := false
+		for _, o := range sc.obs {
+			if o.Robot == idx && samePoint(o.Loc, y) && o.Time <= t {
+				claimedAtY = true
+				break
+			}
+		}
+		if !claimedAtY {
+			return true
+		}
+	}
+	return false
+}
+
+// Consistent reports whether candidate y survives the fault budget at time
+// t: at most `faults` robots contradict it.
+func (sc *Scenario) Consistent(y trajectory.Point, t float64) bool {
+	return sc.Contradictors(y, t) <= sc.faults
+}
+
+// CertainAt returns the unique consistent candidate at time t, if exactly
+// one of the supplied candidates is consistent.
+func (sc *Scenario) CertainAt(candidates []trajectory.Point, t float64) (trajectory.Point, bool) {
+	var (
+		found trajectory.Point
+		n     int
+	)
+	for _, c := range candidates {
+		if sc.Consistent(c, t) {
+			found = c
+			n++
+			if n > 1 {
+				return trajectory.Point{}, false
+			}
+		}
+	}
+	if n == 1 {
+		return found, true
+	}
+	return trajectory.Point{}, false
+}
+
+// DetectionTime returns the earliest time at which the observer is certain
+// of the target among the candidates, scanning the event times (claims and
+// candidate visits) up to the horizon. The boolean reports success.
+func (sc *Scenario) DetectionTime(candidates []trajectory.Point, horizon float64) (float64, bool) {
+	// Candidate event times: every claim and every first visit of every
+	// candidate by every robot (certainty can only change at such times).
+	timesSet := make(map[float64]struct{})
+	for _, o := range sc.obs {
+		if o.Time <= horizon {
+			timesSet[o.Time] = struct{}{}
+		}
+	}
+	for _, c := range candidates {
+		for _, r := range sc.robots {
+			if v := r.Traj.FirstVisit(c); v <= horizon {
+				timesSet[v] = struct{}{}
+			}
+		}
+	}
+	times := make([]float64, 0, len(timesSet))
+	for t := range timesSet {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	for _, t := range times {
+		if got, ok := sc.CertainAt(candidates, t); ok && samePoint(got, sc.target) {
+			return t, true
+		}
+	}
+	return math.Inf(1), false
+}
+
+// SoundnessViolation scans event times for a moment at which the observer
+// would be certain of a WRONG location. It returns the time and location
+// of the first violation, or ok=false if the inference stays sound (which
+// the model guarantees by construction — this is the property under test).
+func (sc *Scenario) SoundnessViolation(candidates []trajectory.Point, horizon float64) (float64, trajectory.Point, bool) {
+	timesSet := make(map[float64]struct{})
+	for _, o := range sc.obs {
+		if o.Time <= horizon {
+			timesSet[o.Time] = struct{}{}
+		}
+	}
+	for _, c := range candidates {
+		for _, r := range sc.robots {
+			if v := r.Traj.FirstVisit(c); v <= horizon {
+				timesSet[v] = struct{}{}
+			}
+		}
+	}
+	times := make([]float64, 0, len(timesSet))
+	for t := range timesSet {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	for _, t := range times {
+		if got, ok := sc.CertainAt(candidates, t); ok && !samePoint(got, sc.target) {
+			return t, got, true
+		}
+	}
+	return 0, trajectory.Point{}, false
+}

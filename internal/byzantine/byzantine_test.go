@@ -1,0 +1,288 @@
+package byzantine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/strategy"
+	"repro/internal/trajectory"
+)
+
+// lineTrajs materializes the k-robot optimal line strategy out to horizon.
+func lineTrajs(t testing.TB, k, f int, horizon float64) []*trajectory.Star {
+	t.Helper()
+	s, err := strategy.NewCyclicExponential(2, k, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs, err := strategy.Trajectories(s, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trajs
+}
+
+func TestBehaviorString(t *testing.T) {
+	if Honest.String() != "honest" || Silent.String() != "silent" || Liar.String() != "liar" {
+		t.Error("Behavior.String misbehaves")
+	}
+	if Behavior(7).String() == "" {
+		t.Error("unknown behavior should render")
+	}
+}
+
+func TestNewScenarioValidation(t *testing.T) {
+	trajs := lineTrajs(t, 3, 1, 100)
+	target := trajectory.Point{Ray: 1, Dist: 5}
+
+	if _, err := NewScenario(nil, target, 0); !errors.Is(err, ErrBadScenario) {
+		t.Error("no robots should fail")
+	}
+	robots := []Robot{
+		{Traj: trajs[0], Behavior: Honest},
+		{Traj: trajs[1], Behavior: Silent},
+		{Traj: trajs[2], Behavior: Silent},
+	}
+	if _, err := NewScenario(robots, target, 1); !errors.Is(err, ErrBadScenario) {
+		t.Error("2 faulty robots with budget 1 should fail")
+	}
+	if _, err := NewScenario(robots[:1], target, 1); !errors.Is(err, ErrBadScenario) {
+		t.Error("faults >= robots should fail")
+	}
+	if _, err := NewScenario(robots[:2], trajectory.Point{Ray: 1, Dist: 0.2}, 1); !errors.Is(err, ErrBadScenario) {
+		t.Error("target below distance 1 should fail")
+	}
+	bad := []Robot{
+		{Traj: trajs[0], Behavior: Honest},
+		{Traj: trajs[1], Behavior: Behavior(9)},
+	}
+	if _, err := NewScenario(bad, target, 1); !errors.Is(err, ErrBadScenario) {
+		t.Error("unknown behavior should fail")
+	}
+}
+
+func TestNewScenarioLieMustBeOnTrajectory(t *testing.T) {
+	trajs := lineTrajs(t, 2, 1, 100)
+	target := trajectory.Point{Ray: 1, Dist: 5}
+	liar := Robot{
+		Traj:     trajs[1],
+		Behavior: Liar,
+		Lies:     []Claim{{Time: 1, Loc: trajectory.Point{Ray: 2, Dist: 50}}},
+	}
+	robots := []Robot{{Traj: trajs[0], Behavior: Honest}, liar}
+	if _, err := NewScenario(robots, target, 1); !errors.Is(err, ErrLieOffTrajectory) {
+		t.Errorf("off-trajectory lie should fail, got %v", err)
+	}
+}
+
+func TestHonestOnlyScenarioDetects(t *testing.T) {
+	trajs := lineTrajs(t, 3, 1, 400)
+	target := trajectory.Point{Ray: 1, Dist: 5}
+	robots := []Robot{
+		{Traj: trajs[0], Behavior: Honest},
+		{Traj: trajs[1], Behavior: Honest},
+		{Traj: trajs[2], Behavior: Honest},
+	}
+	sc, err := NewScenario(robots, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []trajectory.Point{
+		target,
+		{Ray: 1, Dist: 3},
+		{Ray: 2, Dist: 5},
+		{Ray: 2, Dist: 8},
+	}
+	dt, ok := sc.DetectionTime(candidates, 1000)
+	if !ok {
+		t.Fatal("honest-only scenario should reach certainty")
+	}
+	if math.IsInf(dt, 1) || dt <= 0 {
+		t.Errorf("detection time %g unreasonable", dt)
+	}
+}
+
+func TestSilentFaultDelaysCertainty(t *testing.T) {
+	// The crash-embedding: a silent robot forces later certainty than the
+	// all-honest run (or at least never earlier).
+	trajs := lineTrajs(t, 3, 1, 400)
+	target := trajectory.Point{Ray: 2, Dist: 4}
+	candidates := []trajectory.Point{target, {Ray: 1, Dist: 4}, {Ray: 2, Dist: 2}}
+
+	honest := []Robot{
+		{Traj: trajs[0], Behavior: Honest},
+		{Traj: trajs[1], Behavior: Honest},
+		{Traj: trajs[2], Behavior: Honest},
+	}
+	scH, err := NewScenario(honest, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tH, okH := scH.DetectionTime(candidates, 2000)
+
+	// Silence the robot that would have claimed first.
+	obs := scH.Observations(math.Inf(1))
+	if len(obs) == 0 {
+		t.Fatal("no observations in honest scenario")
+	}
+	first := obs[0].Robot
+	withSilent := make([]Robot, len(honest))
+	copy(withSilent, honest)
+	withSilent[first].Behavior = Silent
+	scS, err := NewScenario(withSilent, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tS, okS := scS.DetectionTime(candidates, 2000)
+
+	if !okH || !okS {
+		t.Fatalf("both scenarios should detect (honest %v, silent %v)", okH, okS)
+	}
+	if tS < tH-1e-9 {
+		t.Errorf("silencing the first claimant made certainty EARLIER: %g < %g", tS, tH)
+	}
+}
+
+func TestLiarCannotFoolObserver(t *testing.T) {
+	// A liar claims a wrong location early; the observer must never
+	// become certain of it.
+	trajs := lineTrajs(t, 3, 1, 400)
+	target := trajectory.Point{Ray: 1, Dist: 6}
+	wrong := trajectory.Point{Ray: 2, Dist: 2}
+	// Find a time when robot 2 stands at `wrong` so the lie is legal.
+	lieTime := trajs[2].FirstVisit(wrong)
+	if math.IsInf(lieTime, 1) {
+		t.Fatal("test setup: robot 2 never reaches the lie location")
+	}
+	robots := []Robot{
+		{Traj: trajs[0], Behavior: Honest},
+		{Traj: trajs[1], Behavior: Honest},
+		{Traj: trajs[2], Behavior: Liar, Lies: []Claim{{Time: lieTime, Loc: wrong}}},
+	}
+	sc, err := NewScenario(robots, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []trajectory.Point{target, wrong, {Ray: 1, Dist: 2}}
+	if at, loc, bad := sc.SoundnessViolation(candidates, 3000); bad {
+		t.Fatalf("observer certain of wrong location %v at t=%g", loc, at)
+	}
+	// And eventually the truth comes out despite the lie.
+	if _, ok := sc.DetectionTime(candidates, 3000); !ok {
+		t.Error("truth should still be identifiable despite one liar")
+	}
+}
+
+func TestConsistencyCounting(t *testing.T) {
+	trajs := lineTrajs(t, 2, 1, 200)
+	target := trajectory.Point{Ray: 1, Dist: 3}
+	robots := []Robot{
+		{Traj: trajs[0], Behavior: Honest},
+		{Traj: trajs[1], Behavior: Honest},
+	}
+	sc, err := NewScenario(robots, target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before anyone reaches distance 3, everything within reach is still
+	// consistent (nobody has visited anything conclusive).
+	if !sc.Consistent(target, 0.001) {
+		t.Error("target must always be consistent")
+	}
+	// After a robot visits r1:3 and claims, a different location that the
+	// same robot has visited silently is contradicted by it.
+	visit := trajs[0].FirstVisit(target)
+	if math.IsInf(visit, 1) {
+		t.Fatal("robot 0 never visits the target in the horizon")
+	}
+	earlier := trajectory.Point{Ray: 1, Dist: 1.5}
+	if got := sc.Contradictors(earlier, visit); got < 1 {
+		t.Errorf("a visited-but-unclaimed location should have contradictors, got %d", got)
+	}
+}
+
+func TestObservationsPrefix(t *testing.T) {
+	trajs := lineTrajs(t, 2, 1, 200)
+	target := trajectory.Point{Ray: 1, Dist: 3}
+	sc, err := NewScenario([]Robot{
+		{Traj: trajs[0], Behavior: Honest},
+		{Traj: trajs[1], Behavior: Honest},
+	}, target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sc.Observations(math.Inf(1))
+	if len(all) == 0 {
+		t.Fatal("expected honest claims")
+	}
+	none := sc.Observations(all[0].Time / 2)
+	if len(none) != 0 {
+		t.Error("no claims expected before the first visit")
+	}
+}
+
+func TestQuickSoundnessUnderRandomLies(t *testing.T) {
+	// The headline property: NO lie script can make the observer certain
+	// of a wrong location, because the true target always stays
+	// consistent under a fault budget that covers the liars.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trajs := lineTrajs(t, 3, 1, 300)
+		target := trajectory.Point{Ray: 1 + rng.Intn(2), Dist: 1 + rng.Float64()*15}
+
+		// Pick one liar with a random legal lie script.
+		liarIdx := rng.Intn(3)
+		robots := make([]Robot, 3)
+		for i := range robots {
+			robots[i] = Robot{Traj: trajs[i], Behavior: Honest}
+		}
+		var lies []Claim
+		for n := rng.Intn(3) + 1; n > 0; n-- {
+			// Claim wherever the liar happens to be at a random time.
+			at := rng.Float64() * trajs[liarIdx].Horizon() * 0.5
+			pos := trajs[liarIdx].Position(at)
+			if math.IsNaN(pos.Dist) || pos.Dist < 1e-6 {
+				continue
+			}
+			lies = append(lies, Claim{Time: at, Loc: pos})
+		}
+		robots[liarIdx] = Robot{Traj: trajs[liarIdx], Behavior: Liar, Lies: lies}
+
+		sc, err := NewScenario(robots, target, 1)
+		if err != nil {
+			return false
+		}
+		candidates := []trajectory.Point{target}
+		for _, lie := range lies {
+			candidates = append(candidates, lie.Loc)
+		}
+		for i := 0; i < 3; i++ {
+			candidates = append(candidates, trajectory.Point{
+				Ray: 1 + rng.Intn(2), Dist: 1 + rng.Float64()*15,
+			})
+		}
+		_, _, violated := sc.SoundnessViolation(candidates, 2000)
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTargetAccessor(t *testing.T) {
+	trajs := lineTrajs(t, 2, 1, 50)
+	target := trajectory.Point{Ray: 1, Dist: 2}
+	sc, err := NewScenario([]Robot{
+		{Traj: trajs[0], Behavior: Honest},
+		{Traj: trajs[1], Behavior: Honest},
+	}, target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Target() != target {
+		t.Error("Target accessor wrong")
+	}
+}

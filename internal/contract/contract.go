@@ -1,0 +1,179 @@
+// Package contract implements the two application domains that Section 3
+// of Kupavskii–Welzl (PODC 2018) connects to m-ray search:
+//
+//   - Contract algorithms (Bernstein–Finkelstein–Zilberstein, IJCAI 2003):
+//     k processors run contracts (restartable computations of committed
+//     length) on m problems; an interruption at time t with query problem
+//     i must be answered with the longest contract on i completed by t.
+//     The acceleration ratio is sup_{t,i} t / bestLength_i(t). Mapping a
+//     contract of length d on problem i to "advance to distance d on ray
+//     i" makes cyclic exponential schedules optimal, with
+//
+//     AR*(m,k) = min_alpha alpha^(m+k)/(alpha^k - 1) = mu(m+k, k)
+//
+//     via exactly the Lemma 4/5 algebra of the paper (the classical
+//     (m+1)^(m+1)/m^m for one processor is the k = 1 case).
+//
+//   - Hybrid algorithms (Kao–Ma–Sipser–Yin): one computer with k memory
+//     areas runs m basic algorithms, switching among them; progress not
+//     held in a memory area restarts from scratch. Serializing the paper's
+//     k-robot search strategy (one excursion at a time, each memory area
+//     tracking one robot's latest algorithm) yields a hybrid whose
+//     slowdown — serialized solve time over intrinsic solve depth — is
+//     measured exactly here and matches alpha^m/(alpha-1) + 1 for the
+//     exponential family.
+//
+// Both evaluators use the same right-limit breakpoint analysis as
+// internal/adversary: worst cases sit just before completions.
+package contract
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bounds"
+)
+
+// Errors returned by the schedulers.
+var (
+	// ErrBadParams is returned for invalid parameters.
+	ErrBadParams = errors.New("contract: invalid parameters")
+	// ErrNoCompletion is returned when some problem never completes a
+	// contract within the generated schedule.
+	ErrNoCompletion = errors.New("contract: a problem never completes a contract")
+)
+
+// Contract is one committed computation: run problem Problem for exactly
+// Length time units (no intermediate results).
+type Contract struct {
+	Problem int
+	Length  float64
+}
+
+// Schedule assigns contract sequences to processors.
+type Schedule struct {
+	m, k    int
+	perProc [][]Contract
+}
+
+// M returns the number of problems.
+func (s *Schedule) M() int { return s.m }
+
+// K returns the number of processors.
+func (s *Schedule) K() int { return s.k }
+
+// ProcessorContracts returns processor p's contract sequence (copy).
+func (s *Schedule) ProcessorContracts(p int) []Contract {
+	return append([]Contract(nil), s.perProc[p]...)
+}
+
+// NewCyclicSchedule builds the interleaved exponential schedule: the
+// global n-th contract (n from a small negative start for warmup) has
+// length alpha^n, problem n mod m, and runs on processor n mod k.
+// Contracts are generated until lengths exceed horizon * alpha^(m+k).
+func NewCyclicSchedule(m, k int, alpha, horizon float64) (*Schedule, error) {
+	if m < 2 || k < 1 {
+		return nil, fmt.Errorf("%w: m=%d k=%d", ErrBadParams, m, k)
+	}
+	if !(alpha > 1) || math.IsInf(alpha, 0) || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("%w: alpha=%g", ErrBadParams, alpha)
+	}
+	if !(horizon > 1) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return nil, fmt.Errorf("%w: horizon=%g", ErrBadParams, horizon)
+	}
+	s := &Schedule{m: m, k: k, perProc: make([][]Contract, k)}
+	stop := math.Log(horizon)/math.Log(alpha) + float64(m+k)
+	start := -2 * (m + k) // warmup: every problem completes tiny contracts early
+	for n := start; float64(n) <= stop; n++ {
+		problem := ((n % m) + m) % m
+		proc := ((n % k) + k) % k
+		s.perProc[proc] = append(s.perProc[proc], Contract{
+			Problem: problem,
+			Length:  math.Pow(alpha, float64(n)),
+		})
+	}
+	return s, nil
+}
+
+// completion is a finished contract with its wall-clock completion time.
+type completion struct {
+	time    float64
+	problem int
+	length  float64
+}
+
+// completions lists all contract completions in global time order.
+func (s *Schedule) completions() []completion {
+	var all []completion
+	for _, contracts := range s.perProc {
+		t := 0.0
+		for _, c := range contracts {
+			t += c.Length
+			all = append(all, completion{time: t, problem: c.Problem, length: c.Length})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].time < all[j].time })
+	return all
+}
+
+// AccelerationRatio returns the exact acceleration ratio of the schedule
+// within its generated window: the supremum over interruption times t and
+// query problems i of t / bestLength_i(t), approached just before each
+// completion. Early events before every problem has completed once are
+// warmup and excluded (the standard convention); the final window edge is
+// likewise excluded as a horizon artifact.
+func (s *Schedule) AccelerationRatio() (float64, error) {
+	events := s.completions()
+	best := make([]float64, s.m)
+	completedAll := 0
+	worst := -1.0
+	for _, ev := range events {
+		if best[ev.problem] > 0 && completedAll == s.m {
+			if ratio := ev.time / best[ev.problem]; ratio > worst {
+				worst = ratio
+			}
+		}
+		if best[ev.problem] == 0 {
+			completedAll++
+		}
+		if ev.length > best[ev.problem] {
+			best[ev.problem] = ev.length
+		}
+	}
+	if completedAll < s.m {
+		return 0, fmt.Errorf("%w: %d of %d problems completed", ErrNoCompletion, completedAll, s.m)
+	}
+	return worst, nil
+}
+
+// ARStar returns the optimal acceleration ratio mu(m+k, k) for m problems
+// on k processors (cyclic schedules): the k = 1 case is the classical
+// (m+1)^(m+1)/m^m.
+func ARStar(m, k int) (float64, error) {
+	if m < 2 || k < 1 {
+		return 0, fmt.Errorf("%w: m=%d k=%d", ErrBadParams, m, k)
+	}
+	return bounds.MuQK(float64(m+k), float64(k))
+}
+
+// OptimalContractBase returns alpha* = ((m+k)/m)^(1/k), the minimizer of
+// alpha^(m+k)/(alpha^k-1).
+func OptimalContractBase(m, k int) (float64, error) {
+	if m < 2 || k < 1 {
+		return 0, fmt.Errorf("%w: m=%d k=%d", ErrBadParams, m, k)
+	}
+	return math.Pow(float64(m+k)/float64(m), 1/float64(k)), nil
+}
+
+// ExpScheduleAR returns the closed-form acceleration ratio
+// alpha^(m+k)/(alpha^k-1) of the cyclic exponential schedule with base
+// alpha (the quantity AccelerationRatio converges to from below as the
+// window grows).
+func ExpScheduleAR(m, k int, alpha float64) (float64, error) {
+	if m < 2 || k < 1 || !(alpha > 1) {
+		return 0, fmt.Errorf("%w: m=%d k=%d alpha=%g", ErrBadParams, m, k, alpha)
+	}
+	return math.Pow(alpha, float64(m+k)) / (math.Pow(alpha, float64(k)) - 1), nil
+}

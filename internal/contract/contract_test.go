@@ -1,0 +1,279 @@
+package contract
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bounds"
+	"repro/internal/numeric"
+)
+
+func TestNewCyclicScheduleValidation(t *testing.T) {
+	if _, err := NewCyclicSchedule(1, 1, 2, 100); !errors.Is(err, ErrBadParams) {
+		t.Error("m < 2 should fail")
+	}
+	if _, err := NewCyclicSchedule(3, 0, 2, 100); !errors.Is(err, ErrBadParams) {
+		t.Error("k < 1 should fail")
+	}
+	if _, err := NewCyclicSchedule(3, 1, 1, 100); !errors.Is(err, ErrBadParams) {
+		t.Error("alpha <= 1 should fail")
+	}
+	if _, err := NewCyclicSchedule(3, 1, 2, 0.5); !errors.Is(err, ErrBadParams) {
+		t.Error("horizon <= 1 should fail")
+	}
+}
+
+func TestScheduleAccessors(t *testing.T) {
+	s, err := NewCyclicSchedule(3, 2, 1.4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 3 || s.K() != 2 {
+		t.Error("M/K accessors wrong")
+	}
+	c0 := s.ProcessorContracts(0)
+	if len(c0) == 0 {
+		t.Fatal("processor 0 has no contracts")
+	}
+	c0[0].Length = -1
+	if s.ProcessorContracts(0)[0].Length == -1 {
+		t.Error("ProcessorContracts must return a copy")
+	}
+}
+
+func TestARStarClassicSingleProcessor(t *testing.T) {
+	// The classical contract-algorithm constant: (m+1)^(m+1)/m^m.
+	for m := 2; m <= 6; m++ {
+		got, err := ARStar(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(float64(m+1), float64(m+1)) / math.Pow(float64(m), float64(m))
+		if !numeric.EqualWithin(got, want, 1e-12) {
+			t.Errorf("ARStar(%d,1) = %.12g, want %.12g", m, got, want)
+		}
+	}
+	if _, err := ARStar(1, 1); !errors.Is(err, ErrBadParams) {
+		t.Error("m < 2 should fail")
+	}
+}
+
+func TestOptimalContractBaseMinimizes(t *testing.T) {
+	for _, c := range []struct{ m, k int }{{2, 1}, {4, 1}, {3, 2}, {5, 3}} {
+		star, err := OptimalContractBase(c.m, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atStar, err := ExpScheduleAR(c.m, c.k, star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The closed form at the optimal base equals ARStar.
+		want, err := ARStar(c.m, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.EqualWithin(atStar, want, 1e-12) {
+			t.Errorf("m=%d k=%d: AR at alpha* = %.12g, ARStar = %.12g", c.m, c.k, atStar, want)
+		}
+		// And nearby bases are worse.
+		for _, d := range []float64{0.95, 1.05} {
+			alpha := 1 + (star-1)*d
+			v, err := ExpScheduleAR(c.m, c.k, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < atStar-1e-12 {
+				t.Errorf("m=%d k=%d: base %g beats alpha*", c.m, c.k, alpha)
+			}
+		}
+	}
+	if _, err := OptimalContractBase(1, 1); !errors.Is(err, ErrBadParams) {
+		t.Error("m < 2 should fail")
+	}
+}
+
+func TestMeasuredARMatchesClosedForm(t *testing.T) {
+	cases := []struct {
+		m, k  int
+		alpha float64
+	}{
+		{2, 1, 1.5}, {3, 1, 1.3}, {3, 2, 1.25}, {4, 2, 1.2},
+	}
+	for _, c := range cases {
+		s, err := NewCyclicSchedule(c.m, c.k, c.alpha, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.AccelerationRatio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ExpScheduleAR(c.m, c.k, c.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.EqualWithin(got, want, 1e-3) {
+			t.Errorf("m=%d k=%d alpha=%g: measured AR %.9g, closed form %.9g",
+				c.m, c.k, c.alpha, got, want)
+		}
+		if got > want*(1+1e-9) {
+			t.Errorf("m=%d k=%d: measured AR exceeds the asymptotic value", c.m, c.k)
+		}
+	}
+}
+
+func TestMeasuredAROptimalBaseBeatsDetuned(t *testing.T) {
+	m, k := 3, 1
+	star, err := OptimalContractBase(m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewCyclicSchedule(m, k, star, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arOpt, err := opt.AccelerationRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewCyclicSchedule(m, k, star*1.3, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arDet, err := det.AccelerationRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arOpt >= arDet {
+		t.Errorf("optimal base AR %.6g should beat detuned %.6g", arOpt, arDet)
+	}
+}
+
+func TestARStarIsMuOfMPlusK(t *testing.T) {
+	// The bridge to the paper's kernel: AR*(m,k) = mu(m+k, k).
+	for _, c := range []struct{ m, k int }{{2, 1}, {5, 2}, {7, 3}} {
+		ar, err := ARStar(c.m, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, err := bounds.MuQK(float64(c.m+c.k), float64(c.k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.EqualWithin(ar, mu, 1e-12) {
+			t.Errorf("ARStar(%d,%d)=%.12g != mu(%d,%d)=%.12g", c.m, c.k, ar, c.m+c.k, c.k, mu)
+		}
+	}
+}
+
+func TestHybridSlowdownMatchesClosedForm(t *testing.T) {
+	// Coprime (m, k) only: the closed form holds exactly there.
+	cases := []struct{ m, k int }{{2, 1}, {3, 1}, {3, 2}, {4, 3}, {5, 2}}
+	for _, c := range cases {
+		res, err := HybridSlowdown(c.m, c.k, 1e5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, err := bounds.OptimalAlpha(c.m, c.k) // the search strategy's base (f = 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ExpHybridSlowdown(c.m, c.k, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.EqualWithin(res.Slowdown, want, 1e-3) {
+			t.Errorf("m=%d k=%d: measured slowdown %.9g, closed form %.9g",
+				c.m, c.k, res.Slowdown, want)
+		}
+		if res.Slowdown > want*(1+1e-9) {
+			t.Errorf("m=%d k=%d: measured slowdown exceeds asymptote", c.m, c.k)
+		}
+		if res.Slices == 0 {
+			t.Error("no slices examined")
+		}
+	}
+}
+
+func TestHybridSlowdownAlphaValidation(t *testing.T) {
+	if _, err := HybridSlowdownAlpha(3, 1, 1.0, 100); err == nil {
+		t.Error("alpha <= 1 should fail")
+	}
+	if _, err := HybridSlowdown(3, 1, 0.5); err == nil {
+		t.Error("horizon <= 1 should fail")
+	}
+	if _, err := HybridSlowdown(2, 5, 100); err == nil {
+		t.Error("k >= m should fail (trivial regime)")
+	}
+}
+
+func TestExpHybridSlowdownDomain(t *testing.T) {
+	if _, err := ExpHybridSlowdown(4, 2, 1.3); !errors.Is(err, ErrBadParams) {
+		t.Error("non-coprime (m,k) should be rejected (no simple closed form)")
+	}
+	if _, err := ExpHybridSlowdown(1, 1, 2); !errors.Is(err, ErrBadParams) {
+		t.Error("m < 2 should fail")
+	}
+	got, err := ExpHybridSlowdown(3, 2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1.5, 3)/0.5 + 1
+	if !numeric.EqualWithin(got, want, 1e-12) {
+		t.Errorf("ExpHybridSlowdown(3,2,1.5) = %.12g, want %.12g", got, want)
+	}
+}
+
+func TestHybridSlowdownNonCoprimeStable(t *testing.T) {
+	// m=4, k=2 (gcd 2): no closed form, but the measured slowdown must be
+	// finite, above the coprime-style value (repeated exponent classes
+	// only add serialized work), and stable across growing horizons.
+	a, err := HybridSlowdown(4, 2, 5e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HybridSlowdown(4, 2, 5e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.EqualWithin(a.Slowdown, b.Slowdown, 1e-3) {
+		t.Errorf("slowdown did not stabilize: %.9g vs %.9g", a.Slowdown, b.Slowdown)
+	}
+	alpha, err := bounds.OptimalAlpha(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coprimeStyle := math.Pow(alpha, 4)/(alpha-1) + 1
+	if b.Slowdown < coprimeStyle {
+		t.Errorf("non-coprime slowdown %.9g below the coprime-style value %.9g", b.Slowdown, coprimeStyle)
+	}
+}
+
+func TestQuickMeasuredARNeverExceedsClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(2)
+		alpha := 1.1 + rng.Float64()
+		s, err := NewCyclicSchedule(m, k, alpha, 1e4)
+		if err != nil {
+			return false
+		}
+		got, err := s.AccelerationRatio()
+		if err != nil {
+			return false
+		}
+		want, err := ExpScheduleAR(m, k, alpha)
+		if err != nil {
+			return false
+		}
+		return got <= want*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

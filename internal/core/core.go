@@ -1,0 +1,236 @@
+// Package core is the public facade of the faultysearch library: it ties
+// the closed-form bounds, strategy constructors, simulators, exact
+// adversarial evaluation, and potential-function refutation machinery of
+// Kupavskii–Welzl (PODC 2018) into one Problem type.
+//
+// A Problem is "search m rays with k robots, f of them faulty". For crash
+// faults the optimal competitive ratio is known exactly (Theorems 1/6):
+// LowerBound and UpperBound coincide at lambda0 = 2*mu(m(f+1), k) + 1. For
+// Byzantine faults only the transfer lower bound B(k,f) >= A(k,f) is
+// available from the paper; UpperBound reports ErrNoUpperBound.
+//
+// Typical usage:
+//
+//	p := core.Problem{M: 2, K: 3, F: 1}
+//	lb, _ := p.LowerBound()          // 5.2333...
+//	s, _ := p.OptimalStrategy()      // the cyclic exponential strategy
+//	ev, _ := p.VerifyUpper(1e6)      // measured sup ratio == lb
+//	cert, _ := p.RefuteBelow(0.97, 300) // machine-checked impossibility
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/bounds"
+	"repro/internal/potential"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/trajectory"
+)
+
+// Errors returned by the facade.
+var (
+	// ErrNoUpperBound is returned when no matching upper bound is known
+	// for the fault model (Byzantine).
+	ErrNoUpperBound = errors.New("core: no matching upper bound known for this fault model")
+	// ErrNotSearchRegime is returned when an operation needs the
+	// nontrivial regime f < k < m(f+1).
+	ErrNotSearchRegime = errors.New("core: operation requires the search regime f < k < m(f+1)")
+)
+
+// FaultModel selects the fault semantics.
+type FaultModel int
+
+const (
+	// Crash robots move but stay silent at the target (Theorems 1/6).
+	Crash FaultModel = iota + 1
+	// Byzantine robots may stay silent or lie (reference [13]; this
+	// library carries the paper's transfer lower bound).
+	Byzantine
+)
+
+// String names the fault model.
+func (fm FaultModel) String() string {
+	switch fm {
+	case Crash:
+		return "crash"
+	case Byzantine:
+		return "byzantine"
+	default:
+		return fmt.Sprintf("FaultModel(%d)", int(fm))
+	}
+}
+
+// Problem is a faulty-robot search instance. The zero value of Fault means
+// Crash.
+type Problem struct {
+	// M is the number of rays (2 = the line).
+	M int
+	// K is the number of robots.
+	K int
+	// F is the number of faulty robots.
+	F int
+	// Fault selects the fault semantics (default Crash).
+	Fault FaultModel
+}
+
+// faultModel returns the effective fault model (zero value = Crash).
+func (p Problem) faultModel() FaultModel {
+	if p.Fault == 0 {
+		return Crash
+	}
+	return p.Fault
+}
+
+// Validate checks the parameters.
+func (p Problem) Validate() error {
+	if _, err := bounds.Classify(p.M, p.K, p.F); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	switch p.faultModel() {
+	case Crash, Byzantine:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown fault model %v", p.Fault)
+	}
+}
+
+// Regime classifies the instance (unsolvable / trivial / search).
+func (p Problem) Regime() (bounds.Regime, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return bounds.Classify(p.M, p.K, p.F)
+}
+
+// Q returns q = m(f+1), the covering multiplicity of Theorem 6.
+func (p Problem) Q() int { return p.M * (p.F + 1) }
+
+// Rho returns rho = q/k, the single parameter the bound depends on.
+func (p Problem) Rho() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return bounds.Rho(p.M, p.K, p.F)
+}
+
+// LowerBound returns the paper's lower bound on the competitive ratio: the
+// exact A(m,k,f) for crash faults, and the transfer value (same formula)
+// for Byzantine faults.
+func (p Problem) LowerBound() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return bounds.AMKF(p.M, p.K, p.F)
+}
+
+// UpperBound returns the best known upper bound: equal to LowerBound for
+// crash faults (the bound is tight), ErrNoUpperBound for Byzantine.
+func (p Problem) UpperBound() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if p.faultModel() == Byzantine {
+		return 0, ErrNoUpperBound
+	}
+	return bounds.AMKF(p.M, p.K, p.F)
+}
+
+// HighPrecision returns certified enclosures of mu and lambda0 at prec
+// bits (search regime only).
+func (p Problem) HighPrecision(prec uint) (bounds.HighPrecision, error) {
+	regime, err := p.Regime()
+	if err != nil {
+		return bounds.HighPrecision{}, err
+	}
+	if regime != bounds.RegimeSearch {
+		return bounds.HighPrecision{}, fmt.Errorf("%w: regime is %v", ErrNotSearchRegime, regime)
+	}
+	return bounds.HighPrecisionBound(p.Q(), p.K, prec)
+}
+
+// OptimalStrategy returns the ratio-optimal cyclic exponential strategy
+// for the crash model (search regime only).
+func (p Problem) OptimalStrategy() (*strategy.CyclicExponential, error) {
+	regime, err := p.Regime()
+	if err != nil {
+		return nil, err
+	}
+	if regime != bounds.RegimeSearch {
+		return nil, fmt.Errorf("%w: regime is %v", ErrNotSearchRegime, regime)
+	}
+	return strategy.NewCyclicExponential(p.M, p.K, p.F)
+}
+
+// VerifyUpper measures the exact worst-case ratio of the optimal strategy
+// over [1, horizon) — the executable form of the Theorem 6 upper bound.
+func (p Problem) VerifyUpper(horizon float64) (adversary.Evaluation, error) {
+	s, err := p.OptimalStrategy()
+	if err != nil {
+		return adversary.Evaluation{}, err
+	}
+	return adversary.ExactRatio(s, p.F, horizon)
+}
+
+// RefuteBelow runs the Eq. (10) refutation pipeline against the optimal
+// strategy itself at lambda = factor * lambda0 (factor < 1): the ORC
+// covering either gaps outright or the potential argument applies. This is
+// the executable form of the Theorem 6 lower bound — by the theorem, NO
+// strategy can do better, and this method demonstrates the machinery on
+// the strongest available candidate.
+func (p Problem) RefuteBelow(factor, upTo float64) (potential.Certificate, error) {
+	if !(factor > 0 && factor < 1) {
+		return potential.Certificate{}, fmt.Errorf("core: factor %g must be in (0,1)", factor)
+	}
+	s, err := p.OptimalStrategy()
+	if err != nil {
+		return potential.Certificate{}, err
+	}
+	lambda0, err := p.LowerBound()
+	if err != nil {
+		return potential.Certificate{}, err
+	}
+	turns, err := orcTurns(s, upTo*8)
+	if err != nil {
+		return potential.Certificate{}, err
+	}
+	return potential.RefuteORCStrategy(turns, p.Q(), lambda0*factor, upTo, 1e9)
+}
+
+// RefuteStrategy runs the refutation pipeline against an arbitrary
+// collective ORC strategy (per-robot excursion distances) at ratio lambda.
+func (p Problem) RefuteStrategy(turnsPerRobot [][]float64, lambda, upTo float64) (potential.Certificate, error) {
+	if err := p.Validate(); err != nil {
+		return potential.Certificate{}, err
+	}
+	return potential.RefuteORCStrategy(turnsPerRobot, p.Q(), lambda, upTo, 1e9)
+}
+
+// Solve simulates the optimal strategy against a target under the
+// adversarial crash-fault assignment.
+func (p Problem) Solve(target trajectory.Point) (sim.Result, error) {
+	s, err := p.OptimalStrategy()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(sim.Config{Strategy: s, Faults: p.F, Target: target})
+}
+
+// orcTurns extracts every robot's excursion distances (labels dropped).
+func orcTurns(s strategy.Strategy, horizon float64) ([][]float64, error) {
+	out := make([][]float64, s.K())
+	for r := 0; r < s.K(); r++ {
+		rounds, err := s.Rounds(r, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		turns := make([]float64, len(rounds))
+		for i, rd := range rounds {
+			turns[i] = rd.Turn
+		}
+		out[r] = turns
+	}
+	return out, nil
+}

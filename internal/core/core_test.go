@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/numeric"
+	"repro/internal/potential"
+	"repro/internal/trajectory"
+)
+
+func TestFaultModelString(t *testing.T) {
+	if Crash.String() != "crash" || Byzantine.String() != "byzantine" {
+		t.Error("FaultModel.String misbehaves")
+	}
+	if FaultModel(9).String() == "" {
+		t.Error("unknown model should render")
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	if err := (Problem{M: 2, K: 3, F: 1}).Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	if err := (Problem{M: 0, K: 1, F: 0}).Validate(); err == nil {
+		t.Error("m = 0 should fail")
+	}
+	if err := (Problem{M: 2, K: 1, F: 0, Fault: FaultModel(9)}).Validate(); err == nil {
+		t.Error("unknown fault model should fail")
+	}
+}
+
+func TestProblemRegimes(t *testing.T) {
+	tests := []struct {
+		p    Problem
+		want bounds.Regime
+	}{
+		{Problem{M: 2, K: 1, F: 0}, bounds.RegimeSearch},
+		{Problem{M: 2, K: 4, F: 1}, bounds.RegimeTrivial},
+		{Problem{M: 2, K: 2, F: 2}, bounds.RegimeUnsolvable},
+	}
+	for _, tt := range tests {
+		got, err := tt.p.Regime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Regime(%+v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestProblemBoundsCrash(t *testing.T) {
+	p := Problem{M: 2, K: 3, F: 1}
+	lb, err := p.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := p.UpperBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != ub {
+		t.Errorf("crash bounds must coincide: lb %g, ub %g", lb, ub)
+	}
+	want, err := bounds.AKF(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != want {
+		t.Errorf("LowerBound = %g, want %g", lb, want)
+	}
+}
+
+func TestProblemBoundsByzantine(t *testing.T) {
+	p := Problem{M: 2, K: 3, F: 1, Fault: Byzantine}
+	lb, err := p.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, err := bounds.AKF(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != crash {
+		t.Errorf("Byzantine transfer lower bound = %g, want the crash value %g", lb, crash)
+	}
+	if _, err := p.UpperBound(); !errors.Is(err, ErrNoUpperBound) {
+		t.Error("Byzantine upper bound should be unknown")
+	}
+}
+
+func TestProblemQRho(t *testing.T) {
+	p := Problem{M: 3, K: 4, F: 1}
+	if p.Q() != 6 {
+		t.Errorf("Q = %d, want 6", p.Q())
+	}
+	rho, err := p.Rho()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.EqualWithin(rho, 1.5, 1e-15) {
+		t.Errorf("Rho = %g, want 1.5", rho)
+	}
+}
+
+func TestProblemHighPrecision(t *testing.T) {
+	p := Problem{M: 2, K: 3, F: 1}
+	hp, err := p.HighPrecision(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := p.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.EqualWithin(hp.Lambda0.Float64(), lb, 1e-12) {
+		t.Errorf("certified %.17g vs float %.17g", hp.Lambda0.Float64(), lb)
+	}
+	trivial := Problem{M: 2, K: 4, F: 1}
+	if _, err := trivial.HighPrecision(64); !errors.Is(err, ErrNotSearchRegime) {
+		t.Error("high precision outside search regime should fail")
+	}
+}
+
+func TestProblemOptimalStrategyAndVerify(t *testing.T) {
+	p := Problem{M: 3, K: 2, F: 0}
+	s, err := p.OptimalStrategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 3 || s.K() != 2 {
+		t.Error("strategy parameters wrong")
+	}
+	ev, err := p.VerifyUpper(1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := p.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.EqualWithin(ev.WorstRatio, lb, 1e-3) {
+		t.Errorf("measured %.9g, lambda0 %.9g", ev.WorstRatio, lb)
+	}
+	if ev.WorstRatio > lb*(1+1e-9) {
+		t.Error("measured ratio must not exceed lambda0")
+	}
+
+	trivial := Problem{M: 2, K: 4, F: 1}
+	if _, err := trivial.OptimalStrategy(); !errors.Is(err, ErrNotSearchRegime) {
+		t.Error("optimal strategy outside search regime should fail")
+	}
+}
+
+func TestProblemRefuteBelow(t *testing.T) {
+	p := Problem{M: 2, K: 1, F: 0}
+	cert, err := p.RefuteBelow(0.95, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Verdict == potential.VerdictBounded {
+		t.Errorf("verdict below the bound = %v, expected a refutation", cert.Verdict)
+	}
+	if _, err := p.RefuteBelow(1.5, 200); err == nil {
+		t.Error("factor >= 1 should fail")
+	}
+}
+
+func TestProblemRefuteStrategy(t *testing.T) {
+	p := Problem{M: 2, K: 1, F: 0}
+	// A linear (non-exponential) strategy is far from covering at any
+	// constant ratio: refute it well below lambda0.
+	turns := [][]float64{{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 20, 24, 30}}
+	cert, err := p.RefuteStrategy(turns, 7, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Verdict == potential.VerdictBounded {
+		t.Errorf("linear strategy at lambda=7 should be refuted, got %v", cert.Verdict)
+	}
+}
+
+func TestProblemSolve(t *testing.T) {
+	p := Problem{M: 2, K: 3, F: 1}
+	res, err := p.Solve(trajectory.Point{Ray: 1, Dist: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := p.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio > lb*(1+1e-9) {
+		t.Errorf("solve ratio %.9g exceeds lambda0 %.9g", res.Ratio, lb)
+	}
+	if len(res.FaultySet) != 1 {
+		t.Error("one robot should be crashed")
+	}
+}
+
+func TestEndToEndGrid(t *testing.T) {
+	// For a grid of search-regime instances: bounds coincide, the
+	// strategy verifies at lambda0, and a below-bound refutation exists.
+	cases := []Problem{
+		{M: 2, K: 1, F: 0},
+		{M: 2, K: 3, F: 1},
+		{M: 3, K: 2, F: 0},
+		{M: 3, K: 4, F: 1},
+		{M: 4, K: 3, F: 0},
+	}
+	for _, p := range cases {
+		lb, err := p.LowerBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := p.UpperBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb != ub {
+			t.Errorf("%+v: bounds differ", p)
+		}
+		ev, err := p.VerifyUpper(2e4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.WorstRatio > lb*(1+1e-9) {
+			t.Errorf("%+v: measured %.9g above lambda0 %.9g", p, ev.WorstRatio, lb)
+		}
+		if ev.WorstRatio < lb*(1-5e-3) {
+			t.Errorf("%+v: measured %.9g suspiciously below lambda0 %.9g", p, ev.WorstRatio, lb)
+		}
+		cert, err := p.RefuteBelow(0.9, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Verdict == potential.VerdictBounded {
+			t.Errorf("%+v: refutation below the bound failed", p)
+		}
+	}
+}

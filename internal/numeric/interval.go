@@ -1,0 +1,160 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed float64 interval [Lo, Hi] used as a cheap certified
+// enclosure: every arithmetic operation widens its result outward by one ulp
+// on each side, so the true real-arithmetic result is always contained,
+// regardless of the rounding of the underlying float64 operation. It is not
+// a full IEEE directed-rounding implementation, but one-ulp outward widening
+// dominates the single rounding error of each float64 operation, which is
+// the property the enclosure proofs need.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// NewInterval returns the degenerate interval [x, x].
+func NewInterval(x float64) Interval { return Interval{Lo: x, Hi: x} }
+
+// IntervalOf returns the interval [lo, hi], swapping if given out of order.
+func IntervalOf(lo, hi float64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// widen expands the interval outward by one ulp on each side.
+func (iv Interval) widen() Interval {
+	return Interval{Lo: NextDown(iv.Lo), Hi: NextUp(iv.Hi)}
+}
+
+// Contains reports whether x lies in [Lo, Hi].
+func (iv Interval) Contains(x float64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// ContainsInterval reports whether other is a subset of iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Mid returns the midpoint of the interval.
+func (iv Interval) Mid() float64 { return iv.Lo + (iv.Hi-iv.Lo)/2 }
+
+// Add returns the outward-widened sum iv + other.
+func (iv Interval) Add(other Interval) Interval {
+	return Interval{Lo: iv.Lo + other.Lo, Hi: iv.Hi + other.Hi}.widen()
+}
+
+// Sub returns the outward-widened difference iv - other.
+func (iv Interval) Sub(other Interval) Interval {
+	return Interval{Lo: iv.Lo - other.Hi, Hi: iv.Hi - other.Lo}.widen()
+}
+
+// Mul returns the outward-widened product iv * other.
+func (iv Interval) Mul(other Interval) Interval {
+	candidates := [4]float64{
+		iv.Lo * other.Lo,
+		iv.Lo * other.Hi,
+		iv.Hi * other.Lo,
+		iv.Hi * other.Hi,
+	}
+	lo, hi := candidates[0], candidates[0]
+	for _, c := range candidates[1:] {
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return Interval{Lo: lo, Hi: hi}.widen()
+}
+
+// Div returns the outward-widened quotient iv / other. It returns an error
+// if the divisor interval contains zero.
+func (iv Interval) Div(other Interval) (Interval, error) {
+	if other.Contains(0) {
+		return Interval{}, fmt.Errorf("%w: interval division by interval containing zero", ErrInvalidDomain)
+	}
+	inv := Interval{Lo: 1 / other.Hi, Hi: 1 / other.Lo}.widen()
+	return iv.Mul(inv), nil
+}
+
+// Scale returns the outward-widened product of iv with the scalar c.
+func (iv Interval) Scale(c float64) Interval {
+	return iv.Mul(NewInterval(c))
+}
+
+// Exp returns an outward enclosure of exp over the interval (exp is
+// monotone, so the endpoint images bound the range; widening absorbs the
+// at-most-one-ulp libm error on each endpoint, doubled for safety).
+func (iv Interval) Exp() Interval {
+	return Interval{Lo: math.Exp(iv.Lo), Hi: math.Exp(iv.Hi)}.widen().widen()
+}
+
+// Log returns an outward enclosure of the natural log over the interval.
+// It returns an error unless Lo > 0.
+func (iv Interval) Log() (Interval, error) {
+	if iv.Lo <= 0 {
+		return Interval{}, fmt.Errorf("%w: interval log of non-positive interval", ErrInvalidDomain)
+	}
+	return Interval{Lo: math.Log(iv.Lo), Hi: math.Log(iv.Hi)}.widen().widen(), nil
+}
+
+// XLogX returns an outward enclosure of x*ln(x) over the interval, which
+// must satisfy Lo >= 0. The function is not monotone (minimum at 1/e), so
+// the enclosure splits at the stationary point when it is interior.
+func (iv Interval) XLogX() (Interval, error) {
+	if iv.Lo < 0 {
+		return Interval{}, fmt.Errorf("%w: interval x*log(x) of negative interval", ErrInvalidDomain)
+	}
+	const invE = 1 / math.E
+	vals := []float64{XLogX(iv.Lo), XLogX(iv.Hi)}
+	if iv.Contains(invE) {
+		vals = append(vals, XLogX(invE))
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return Interval{Lo: lo, Hi: hi}.widen().widen(), nil
+}
+
+// MuInterval returns an outward float64 enclosure of
+// mu(q,k) = (q^q/((q-k)^(q-k) k^k))^(1/k) for real 0 < k < q, computed in
+// log space with interval arithmetic throughout. For integer arguments,
+// BigMu gives much tighter certified enclosures; this version also covers
+// the fractional (real-valued) case of Eq. 11.
+func MuInterval(q, k float64) (Interval, error) {
+	if !(k > 0 && q > k) {
+		return Interval{}, fmt.Errorf("%w: MuInterval requires 0 < k < q, got q=%g k=%g", ErrInvalidDomain, q, k)
+	}
+	var (
+		qi = NewInterval(q)
+		// q-k was already rounded once; widen outward but clamp at 0 so the
+		// x*log(x) domain check holds for very small differences.
+		si = Interval{Lo: math.Max(0, NextDown(q-k)), Hi: NextUp(q - k)}
+		ki = NewInterval(k)
+	)
+	qlq, err := qi.XLogX()
+	if err != nil {
+		return Interval{}, err
+	}
+	sls, err := si.XLogX()
+	if err != nil {
+		return Interval{}, err
+	}
+	klk, err := ki.XLogX()
+	if err != nil {
+		return Interval{}, err
+	}
+	num := qlq.Sub(sls).Sub(klk)
+	expo, err := num.Div(ki)
+	if err != nil {
+		return Interval{}, err
+	}
+	return expo.Exp(), nil
+}

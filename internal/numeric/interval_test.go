@@ -1,0 +1,170 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := IntervalOf(3, 1)
+	if iv.Lo != 1 || iv.Hi != 3 {
+		t.Errorf("IntervalOf should sort endpoints, got [%g, %g]", iv.Lo, iv.Hi)
+	}
+	if !iv.Contains(2) || iv.Contains(4) {
+		t.Error("Contains misbehaves")
+	}
+	if iv.Width() != 2 {
+		t.Errorf("Width = %g, want 2", iv.Width())
+	}
+	if iv.Mid() != 2 {
+		t.Errorf("Mid = %g, want 2", iv.Mid())
+	}
+	if !iv.ContainsInterval(IntervalOf(1.5, 2.5)) {
+		t.Error("ContainsInterval should hold for a subset")
+	}
+	if iv.ContainsInterval(IntervalOf(0, 2)) {
+		t.Error("ContainsInterval should fail for a non-subset")
+	}
+}
+
+func TestIntervalArithmeticContainsTrueValue(t *testing.T) {
+	a := NewInterval(0.1)
+	b := NewInterval(0.2)
+	sum := a.Add(b)
+	if !sum.Contains(0.1 + 0.2) {
+		t.Error("sum interval should contain the float64 sum")
+	}
+	// The true real value 0.3 is not exactly a float64; the widened
+	// interval must still contain the nearest floats on both sides.
+	if !(sum.Lo <= 0.3 && 0.3 <= sum.Hi) {
+		t.Error("sum interval should contain the real 0.3")
+	}
+	prod := a.Mul(b)
+	if !prod.Contains(0.02) {
+		t.Error("product interval should contain the real 0.02")
+	}
+	diff := b.Sub(a)
+	if !diff.Contains(0.1) {
+		t.Error("difference interval should contain the real 0.1")
+	}
+}
+
+func TestIntervalDivByZero(t *testing.T) {
+	if _, err := NewInterval(1).Div(IntervalOf(-1, 1)); err == nil {
+		t.Error("division by interval containing zero should fail")
+	}
+}
+
+func TestIntervalDiv(t *testing.T) {
+	q, err := NewInterval(1).Div(NewInterval(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Contains(1.0 / 3.0) {
+		t.Error("1/3 should be inside its enclosure")
+	}
+}
+
+func TestIntervalExpLog(t *testing.T) {
+	iv := IntervalOf(1, 2)
+	e := iv.Exp()
+	if !(e.Contains(math.E) && e.Contains(math.Exp(2))) {
+		t.Error("Exp enclosure should contain endpoint images")
+	}
+	l, err := iv.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(l.Contains(0) && l.Contains(math.Ln2)) {
+		t.Error("Log enclosure should contain endpoint images")
+	}
+	if _, err := IntervalOf(-1, 1).Log(); err == nil {
+		t.Error("Log of interval touching non-positive reals should fail")
+	}
+}
+
+func TestIntervalXLogXStationaryPoint(t *testing.T) {
+	// x*ln x has its minimum -1/e at x = 1/e; an interval straddling it
+	// must include that minimum.
+	iv := IntervalOf(0.1, 1)
+	enc, err := iv.XLogX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc.Contains(-1 / math.E) {
+		t.Errorf("XLogX enclosure [%g, %g] misses the minimum -1/e", enc.Lo, enc.Hi)
+	}
+}
+
+func TestIntervalXLogXDomain(t *testing.T) {
+	if _, err := IntervalOf(-1, 1).XLogX(); err == nil {
+		t.Error("XLogX of negative interval should fail")
+	}
+}
+
+func TestMuIntervalContainsBigMu(t *testing.T) {
+	cases := []struct{ q, k int }{{2, 1}, {4, 2}, {4, 3}, {6, 5}, {9, 4}}
+	for _, c := range cases {
+		iv, err := MuInterval(float64(c.q), float64(c.k))
+		if err != nil {
+			t.Fatalf("MuInterval(%d,%d): %v", c.q, c.k, err)
+		}
+		enc, err := BigMu(c.q, c.k, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := enc.Float64()
+		if !iv.Contains(truth) {
+			t.Errorf("MuInterval(%d,%d) = [%.17g, %.17g] misses certified %.17g",
+				c.q, c.k, iv.Lo, iv.Hi, truth)
+		}
+		if iv.Width() > 1e-10*truth {
+			t.Errorf("MuInterval(%d,%d) width %g too loose", c.q, c.k, iv.Width())
+		}
+	}
+}
+
+func TestMuIntervalDomain(t *testing.T) {
+	if _, err := MuInterval(2, 2); err == nil {
+		t.Error("MuInterval(2,2) should fail (needs k < q)")
+	}
+	if _, err := MuInterval(2, 0); err == nil {
+		t.Error("MuInterval(2,0) should fail")
+	}
+}
+
+func TestQuickIntervalAddContains(t *testing.T) {
+	// Property: the interval sum of degenerate intervals contains the
+	// exact real sum (verified via the exact big-style pairing trick:
+	// a+b is contained because the widened interval covers one ulp).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.NormFloat64() * 1e6
+		b := rng.NormFloat64() * 1e6
+		sum := NewInterval(a).Add(NewInterval(b))
+		return sum.Contains(a + b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntervalMulMonotone(t *testing.T) {
+	// Property: enclosures are inflationary under composition — the
+	// product of enclosures contains the product of any members.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.NormFloat64() * 100
+		b := rng.NormFloat64() * 100
+		ia := IntervalOf(a, a+math.Abs(rng.NormFloat64()))
+		ib := IntervalOf(b, b+math.Abs(rng.NormFloat64()))
+		pa := ia.Lo + rng.Float64()*ia.Width()
+		pb := ib.Lo + rng.Float64()*ib.Width()
+		return ia.Mul(ib).Contains(pa * pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

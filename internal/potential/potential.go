@@ -1,0 +1,441 @@
+// Package potential implements the potential-function machinery of the
+// lower-bound proofs in Kupavskii–Welzl (PODC 2018) as executable,
+// certificate-producing engines.
+//
+// The proofs of Theorem 3 (line, s-fold ±-covering) and Eq. (10) (ORC,
+// q-fold covering) share one skeleton. Accumulate all robots' assigned
+// intervals sorted by left endpoint; walk prefixes P, maintaining each
+// robot's load L_r (sum of its processed turning points) and the frontier
+// multiset A(P); and track a product potential f(P):
+//
+//	symmetric (Eq. 7):  f(P) = prod_r [ L_r^s / prod_{y in A} y ]
+//	ORC       (Eq. 15): f(P) = prod_r [ L_r^(q-k) * b_r^k / prod_{y in A} y ]
+//
+// where b_r is the left endpoint of robot r's next unprocessed interval.
+// Adding one interval multiplies f by mu*^s / (x^s (mu*-x)^k) (with
+// s = q-k in the ORC form), which by Lemmas 4 and 5 is at least
+//
+//	delta = (k+s)^(k+s) / (s^s k^k mu^k)
+//
+// for every step — and delta > 1 exactly when mu = (lambda-1)/2 is below
+// the critical mu(k+s, k). Since f(P) is also bounded (Eq. 8 / Case 1),
+// a strategy claiming a competitive ratio below the bound runs into a
+// contradiction after finitely many intervals. The engines replay this
+// argument on concrete assignments and report the step where the
+// contradiction materializes, yielding a machine-checkable refutation.
+package potential
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/cover"
+)
+
+// Errors returned by the engines.
+var (
+	// ErrBadParams is returned for invalid engine parameters.
+	ErrBadParams = errors.New("potential: invalid parameters")
+	// ErrInvalidStep is returned when an assigned interval violates the
+	// covering inequalities (Eq. 5) or the frontier invariant — evidence
+	// that the claimed covering is not actually valid.
+	ErrInvalidStep = errors.New("potential: assigned interval violates covering constraints")
+	// ErrPrefixTooShort is returned when an engine cannot start because
+	// some robot contributes no intervals.
+	ErrPrefixTooShort = errors.New("potential: some robot has no assigned intervals in the prefix")
+)
+
+// Verdict classifies the outcome of running an engine over an assignment.
+type Verdict int
+
+const (
+	// VerdictContradiction: f(P) exceeded its a-priori bound, refuting the
+	// claimed competitive ratio (the paper's lower-bound conclusion).
+	VerdictContradiction Verdict = iota + 1
+	// VerdictExhausted: lambda is below the bound (delta > 1) and f(P)
+	// grew monotonically, but the finite prefix ended before crossing the
+	// bound; the certificate reports how many more steps are needed.
+	VerdictExhausted
+	// VerdictBounded: lambda is at or above the bound (delta <= 1); f(P)
+	// stayed below its cap, as the theory predicts for valid ratios.
+	VerdictBounded
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictContradiction:
+		return "contradiction"
+	case VerdictExhausted:
+		return "exhausted"
+	case VerdictBounded:
+		return "bounded"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Step records one engine transition (one assigned interval).
+type Step struct {
+	// Index is the 0-based position in the processed sequence.
+	Index int
+	// Robot is the interval's robot.
+	Robot int
+	// A is the frontier value (min of A(P)) when the step was taken.
+	A float64
+	// B is the interval's right endpoint (the robot's new turning point).
+	B float64
+	// MuStar is the effective ratio (L_r + B)/reference <= mu.
+	MuStar float64
+	// X is the normalized load L_r/reference in (0, mu*).
+	X float64
+	// LogRatio is ln(f(P+)/f(P)).
+	LogRatio float64
+	// LogF is ln f(P+) after the step (NaN during warmup).
+	LogF float64
+}
+
+// Certificate summarizes an engine run: the paper's lower-bound argument
+// instantiated on one concrete covering attempt.
+type Certificate struct {
+	// Setting is "symmetric" or "orc".
+	Setting string
+	// K is the robot count; Fold is s (symmetric) or q (ORC).
+	K, Fold int
+	// Lambda is the claimed competitive ratio; Mu = (Lambda-1)/2.
+	Lambda, Mu float64
+	// MuCrit is the critical mu(k+s,k) (symmetric) or mu(q,k) (ORC).
+	MuCrit float64
+	// Delta is Lemma 5's guaranteed per-step growth factor.
+	Delta float64
+	// LogFBound is the a-priori cap on ln f(P).
+	LogFBound float64
+	// Steps is the number of intervals processed after warmup.
+	Steps int
+	// WarmupSteps is the number of intervals consumed before every robot
+	// had positive load.
+	WarmupSteps int
+	// LogFStart and LogFEnd bracket the observed potential growth.
+	LogFStart, LogFEnd float64
+	// MinStepRatio is the minimum observed per-step growth factor after
+	// warmup (>= Delta up to float tolerance, by Lemma 5).
+	MinStepRatio float64
+	// ContradictionStep is the post-warmup step index at which ln f(P)
+	// first exceeded LogFBound, or -1.
+	ContradictionStep int
+	// Verdict classifies the run.
+	Verdict Verdict
+	// StepsNeeded estimates, for VerdictExhausted, how many further steps
+	// would reach the contradiction at the guaranteed growth rate.
+	StepsNeeded int
+	// MaxSteps is the theorem's quantitative content when Delta > 1: no
+	// valid covering can extend past this many post-warmup assigned
+	// intervals, because f(P) grows by at least Delta per step while
+	// capped at LogFBound. 0 when Delta <= 1 or the run never warmed up.
+	MaxSteps int
+	// GapDetail is non-empty when the refutation came from an outright
+	// coverage gap (a point not covered in time), the most direct form of
+	// contradiction.
+	GapDetail string
+	// Sub holds the certificate of the recursive (k-1, q-1) argument when
+	// the ORC engine hit Case 2 of the proof.
+	Sub *Certificate
+}
+
+// frontier is a min-heap multiset of frontier values with an incrementally
+// maintained sum of logarithms.
+type frontier struct {
+	heap   floatMinHeap
+	logSum float64
+}
+
+func newFrontier(n int) *frontier {
+	f := &frontier{heap: make(floatMinHeap, n)}
+	for i := range f.heap {
+		f.heap[i] = 1
+	}
+	// log(1) = 0 for every initial element.
+	return f
+}
+
+func (f *frontier) min() float64 { return f.heap[0] }
+
+// replaceMin pops the minimum and inserts v, updating the log sum.
+func (f *frontier) replaceMin(v float64) {
+	f.logSum -= math.Log(f.heap[0])
+	f.heap[0] = v
+	f.logSum += math.Log(v)
+	heap.Fix(&f.heap, 0)
+}
+
+type floatMinHeap []float64
+
+func (h floatMinHeap) Len() int            { return len(h) }
+func (h floatMinHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h floatMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatMinHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *floatMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// SymmetricEngine replays the Theorem 3 potential argument: k robots,
+// s-fold ±-covering at ratio lambda.
+type SymmetricEngine struct {
+	k, s    int
+	mu      float64
+	loads   []float64
+	logLoad []float64
+	zeroCnt int
+	front   *frontier
+	steps   int
+}
+
+// NewSymmetricEngine validates parameters and returns a fresh engine.
+// Requires 1 <= s <= k (the meaningful range of Theorem 3) and lambda > 1.
+func NewSymmetricEngine(k, s int, lambda float64) (*SymmetricEngine, error) {
+	if k < 1 || s < 1 || s > k {
+		return nil, fmt.Errorf("%w: k=%d s=%d (need 1 <= s <= k)", ErrBadParams, k, s)
+	}
+	if !(lambda > 1) || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("%w: lambda=%g", ErrBadParams, lambda)
+	}
+	return &SymmetricEngine{
+		k:       k,
+		s:       s,
+		mu:      (lambda - 1) / 2,
+		loads:   make([]float64, k),
+		logLoad: make([]float64, k),
+		zeroCnt: k,
+		front:   newFrontier(s),
+	}, nil
+}
+
+// Bound returns the a-priori cap ln f(P) <= k*s*ln(mu) of Eq. (8).
+func (e *SymmetricEngine) Bound() float64 {
+	return float64(e.k*e.s) * math.Log(e.mu)
+}
+
+// LogF returns ln f(P) and whether it is defined (all loads positive).
+func (e *SymmetricEngine) LogF() (float64, bool) {
+	if e.zeroCnt > 0 {
+		return math.NaN(), false
+	}
+	sumLoads := 0.0
+	for _, l := range e.logLoad {
+		sumLoads += l
+	}
+	return float64(e.s)*sumLoads - float64(e.k)*e.front.logSum, true
+}
+
+// Step processes one assigned interval. It checks the frontier invariant
+// (the interval must begin at the current a(P)) and the covering inequality
+// (Eq. 5), then updates loads and the frontier.
+func (e *SymmetricEngine) Step(a cover.Assigned) (Step, error) {
+	if a.Robot < 0 || a.Robot >= e.k {
+		return Step{}, fmt.Errorf("%w: robot %d of %d", ErrBadParams, a.Robot, e.k)
+	}
+	front := e.front.min()
+	const tol = 1e-9
+	if math.Abs(a.TPrime-front) > tol*math.Max(1, front) {
+		return Step{}, fmt.Errorf("%w: interval starts at %.12g but the frontier is %.12g",
+			ErrInvalidStep, a.TPrime, front)
+	}
+	load := e.loads[a.Robot]
+	// Eq. (5): b <= mu*a - L. Violation means the robot cannot actually
+	// lambda-cover up to b in time.
+	if a.Turn > e.mu*a.TPrime-load+tol*math.Max(1, e.mu*a.TPrime) {
+		return Step{}, fmt.Errorf("%w: turn %.12g exceeds mu*t' - load = %.12g (robot %d)",
+			ErrInvalidStep, a.Turn, e.mu*a.TPrime-load, a.Robot)
+	}
+
+	var (
+		muStar   = (load + a.Turn) / a.TPrime
+		x        = load / a.TPrime
+		logRatio = math.Inf(1)
+	)
+	if load > 0 {
+		logRatio = float64(e.s)*math.Log(muStar) -
+			float64(e.s)*math.Log(x) -
+			float64(e.k)*math.Log(muStar-x)
+	}
+
+	// Apply the update.
+	if e.loads[a.Robot] == 0 {
+		e.zeroCnt--
+	}
+	e.loads[a.Robot] += a.Turn
+	e.logLoad[a.Robot] = math.Log(e.loads[a.Robot])
+	e.front.replaceMin(a.Turn)
+	e.steps++
+
+	logF, _ := e.LogF()
+	return Step{
+		Index:    e.steps - 1,
+		Robot:    a.Robot,
+		A:        a.TPrime,
+		B:        a.Turn,
+		MuStar:   muStar,
+		X:        x,
+		LogRatio: logRatio,
+		LogF:     logF,
+	}, nil
+}
+
+// RunSymmetric replays the whole assignment through a symmetric engine and
+// assembles the certificate. The assignment must be ordered by TPrime (as
+// produced by cover.ExactAssignment with q = s).
+func RunSymmetric(assigned []cover.Assigned, k, s int, lambda float64) (Certificate, error) {
+	e, err := NewSymmetricEngine(k, s, lambda)
+	if err != nil {
+		return Certificate{}, err
+	}
+	muCrit, err := bounds.MuQK(float64(k+s), float64(k))
+	if err != nil {
+		return Certificate{}, fmt.Errorf("potential: %w", err)
+	}
+	delta, err := bounds.Lemma5Delta(e.mu, float64(s), float64(k))
+	if err != nil {
+		return Certificate{}, fmt.Errorf("potential: %w", err)
+	}
+	cert := Certificate{
+		Setting:           "symmetric",
+		K:                 k,
+		Fold:              s,
+		Lambda:            lambda,
+		Mu:                e.mu,
+		MuCrit:            muCrit,
+		Delta:             delta,
+		LogFBound:         e.Bound(),
+		ContradictionStep: -1,
+		MinStepRatio:      math.Inf(1),
+	}
+	seen := make(map[int]bool, k)
+	for _, a := range assigned {
+		st, err := e.Step(a)
+		if err != nil {
+			return cert, err
+		}
+		seen[a.Robot] = true
+		logF, defined := e.LogF()
+		if !defined {
+			cert.WarmupSteps++
+			continue
+		}
+		if cert.Steps == 0 {
+			cert.LogFStart = logF
+		}
+		cert.Steps++
+		cert.LogFEnd = logF
+		if !math.IsInf(st.LogRatio, 1) {
+			ratio := math.Exp(st.LogRatio)
+			if ratio < cert.MinStepRatio {
+				cert.MinStepRatio = ratio
+			}
+		}
+		if cert.ContradictionStep < 0 && logF > cert.LogFBound {
+			cert.ContradictionStep = cert.Steps - 1
+		}
+	}
+	if len(seen) < k {
+		return cert, fmt.Errorf("%w: %d of %d robots appeared", ErrPrefixTooShort, len(seen), k)
+	}
+	finalizeCertificate(&cert)
+	return cert, nil
+}
+
+// finalizeCertificate derives the verdict and the step-budget estimates.
+func finalizeCertificate(cert *Certificate) {
+	if cert.Delta > 1 && cert.Steps > 0 {
+		budget := cert.LogFBound - cert.LogFStart
+		cert.MaxSteps = int(math.Ceil(budget / math.Log(cert.Delta)))
+		if cert.MaxSteps < 0 {
+			cert.MaxSteps = 0
+		}
+	}
+	switch {
+	case cert.ContradictionStep >= 0:
+		cert.Verdict = VerdictContradiction
+	case cert.Delta > 1:
+		cert.Verdict = VerdictExhausted
+		if cert.Steps > 0 {
+			gap := cert.LogFBound - cert.LogFEnd
+			cert.StepsNeeded = int(math.Ceil(gap/math.Log(cert.Delta))) + 1
+			if cert.StepsNeeded < 0 {
+				cert.StepsNeeded = 0
+			}
+		}
+	default:
+		cert.Verdict = VerdictBounded
+	}
+}
+
+// RefuteSymmetricStrategy runs the whole Theorem 3 pipeline against a
+// concrete collective line strategy: extract the lambda-covering intervals
+// of each robot's turning sequence, build the exact-s assignment over
+// (1, upTo], and replay the potential argument. A VerdictContradiction
+// certificate is a machine-checked proof that THIS strategy does not s-fold
+// ±-cover at ratio lambda; an ErrCoverageGap from the assignment phase is
+// an even more direct refutation (a point is simply not covered in time),
+// which is reported as a contradiction certificate with Steps = 0.
+func RefuteSymmetricStrategy(turnsPerRobot [][]float64, s int, lambda, upTo float64) (Certificate, error) {
+	k := len(turnsPerRobot)
+	if k == 0 {
+		return Certificate{}, fmt.Errorf("%w: no robots", ErrBadParams)
+	}
+	var all []cover.Interval
+	for r, turns := range turnsPerRobot {
+		ivs, err := cover.SymmetricCovIntervals(r, turns, lambda)
+		if err != nil {
+			return Certificate{}, fmt.Errorf("potential: robot %d: %w", r, err)
+		}
+		all = append(all, ivs...)
+	}
+	assigned, err := cover.ExactAssignment(all, s, upTo)
+	if err != nil {
+		if errors.Is(err, cover.ErrCoverageGap) {
+			return gapCertificate("symmetric", k, s, lambda, err), nil
+		}
+		return Certificate{}, err
+	}
+	return RunSymmetric(assigned, k, s, lambda)
+}
+
+// gapCertificate builds the trivial refutation certificate for a strategy
+// whose covering has an outright gap: a point is simply not covered often
+// enough in time, so no potential argument is even needed.
+func gapCertificate(setting string, k, fold int, lambda float64, cause error) Certificate {
+	mu := (lambda - 1) / 2
+	var muCrit float64
+	if setting == "symmetric" {
+		muCrit, _ = bounds.MuQK(float64(k+fold), float64(k))
+	} else {
+		muCrit, _ = bounds.MuQK(float64(fold), float64(k))
+	}
+	s := fold
+	if setting == "orc" {
+		s = fold - k
+	}
+	delta, derr := bounds.Lemma5Delta(mu, float64(s), float64(k))
+	if derr != nil {
+		delta = math.NaN()
+	}
+	return Certificate{
+		Setting:           setting,
+		K:                 k,
+		Fold:              fold,
+		Lambda:            lambda,
+		Mu:                mu,
+		MuCrit:            muCrit,
+		Delta:             delta,
+		Verdict:           VerdictContradiction,
+		ContradictionStep: 0,
+		GapDetail:         cause.Error(),
+	}
+}

@@ -1,0 +1,101 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the strategy standardization used at the start of the
+// Theorem 3 proof. The paper restricts attention to zigzag strategies given
+// by a nondecreasing turning sequence (t1, t2, t3, ...) — out to +t1, back
+// to -t2, out to +t3, ... — and argues that this loses no generality for
+// ±-covering, via two rewrites:
+//
+//  1. Turns in previously visited territory can be dropped: if a turn does
+//     not extend the frontier on its side (t_i <= t_{i-2}), skipping it and
+//     extending the surrounding excursion covers at least as much, at least
+//     as early.
+//
+//  2. If the robot turns at x1 and then at -x2 with x2 < x1, turning at x2
+//     instead of x1 first is at least as good for ±-covering: the pair
+//     (x, -x) for x in (x2, x1] is not complete until the opposite side
+//     reaches x anyway, and every subsequent visit happens earlier.
+//
+// Standardize applies both rewrites to a fixpoint, producing a
+// nondecreasing sequence that pair-visits every point no later than the
+// original did. The property tests verify exactly this domination.
+
+// Standardize rewrites an alternating zigzag turning sequence (odd turns on
+// the positive side) into the paper's standard form: a nondecreasing
+// sequence that ±-covers at least as much, at least as early. The input is
+// not modified. An error is returned only for invalid inputs (non-positive
+// or non-finite turns).
+func Standardize(turns []float64) ([]float64, error) {
+	for i, t := range turns {
+		if !(t > 0) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("%w: turn %d is %g (want positive finite)", ErrBadParams, i+1, t)
+		}
+	}
+	seq := append([]float64(nil), turns...)
+	for {
+		changed := false
+		// Rewrite 1 first, to a fixpoint: drop turns that do not extend
+		// their side's frontier (t_i <= t_{i-2}). Removing t_i merges its
+		// neighbours t_{i-1}, t_{i+1} (same side as each other) into their
+		// max. This must take priority over rewrite 2 — otherwise a
+		// dominated tiny turn drags every earlier turn down before being
+		// removed, which is not the paper's transformation and genuinely
+		// delays pair-visits.
+		for {
+			removed := false
+			for i := 2; i < len(seq); i++ {
+				if seq[i] <= seq[i-2] {
+					merged := seq[i-1]
+					if i+1 < len(seq) && seq[i+1] > merged {
+						merged = seq[i+1]
+					}
+					next := make([]float64, 0, len(seq)-2)
+					next = append(next, seq[:i-1]...)
+					next = append(next, merged)
+					if i+2 <= len(seq) {
+						next = append(next, seq[i+2:]...)
+					}
+					seq = next
+					removed = true
+					changed = true
+					break
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+		// Rewrite 2: lower t_i to t_{i+1} when the next turn is smaller
+		// (turn at x2 instead of x1 when x2 < x1). Right-to-left so one
+		// pass propagates; newly created dominations are cleaned up by the
+		// next iteration of rewrite 1.
+		for i := len(seq) - 2; i >= 0; i-- {
+			if seq[i] > seq[i+1] {
+				seq[i] = seq[i+1]
+				changed = true
+			}
+		}
+		if !changed {
+			return seq, nil
+		}
+	}
+}
+
+// IsStandardForm reports whether the turning sequence is in the standard
+// form of the Theorem 3 proof: positive, finite, and nondecreasing.
+func IsStandardForm(turns []float64) bool {
+	for i, t := range turns {
+		if !(t > 0) || math.IsInf(t, 0) {
+			return false
+		}
+		if i > 0 && t < turns[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,331 @@
+// Package strategy constructs the search strategies of Kupavskii–Welzl
+// (PODC 2018) and the transformations on strategies used in its proofs.
+//
+// The central constructor is the cyclic exponential strategy of the paper's
+// appendix: k robots visit the m rays in cyclic order, the turning points
+// forming a geometric progression with base alpha. Robot r's l-th excursion
+// (l runs over the integers starting at 1-2m, matching the paper's j = -2
+// start) goes out to alpha^(k*l + m*r) on ray ((l-1) mod m) + 1. With
+// alpha = (q/(q-k))^(1/k), q = m(f+1), the strategy achieves the optimal
+// competitive ratio lambda0(q,k) = 2*alpha^q/(alpha^k-1) + 1 of Theorem 6.
+//
+// For m = 2 the cyclic strategy alternates between the two half-lines and is
+// exactly the optimal line strategy (PODC'16); with k = 1, f = 0 it
+// degenerates to the classical cow-path doubling.
+//
+// The package also implements the strategy standardization of the Theorem 3
+// proof: rewriting an arbitrary zigzag turning sequence into the
+// nondecreasing alternating standard form without reducing what the robot
+// +-covers.
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/trajectory"
+)
+
+// Errors returned by strategy constructors.
+var (
+	// ErrBadParams is returned for invalid strategy parameters.
+	ErrBadParams = errors.New("strategy: invalid parameters")
+	// ErrTooManyRounds is returned when a horizon would require more
+	// excursions than the configured safety cap.
+	ErrTooManyRounds = errors.New("strategy: horizon requires too many rounds")
+)
+
+// maxRounds caps the number of excursions generated for a single robot, as
+// a guard against pathological horizons (alpha near 1 with huge horizon).
+const maxRounds = 1 << 20
+
+// Strategy describes a collective search plan for k robots on the star S_m.
+// Implementations are deterministic and stateless: Rounds may be called for
+// any robot and horizon in any order.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// M returns the number of rays.
+	M() int
+	// K returns the number of robots.
+	K() int
+	// Rounds returns robot r's excursions (r in 0..K-1), including every
+	// round needed so that the collective coverage of all targets at
+	// distance <= horizon is complete within the returned prefix.
+	Rounds(r int, horizon float64) ([]trajectory.Round, error)
+}
+
+// Trajectories materializes all k robots' trajectories up to the horizon.
+func Trajectories(s Strategy, horizon float64) ([]*trajectory.Star, error) {
+	out := make([]*trajectory.Star, s.K())
+	for r := 0; r < s.K(); r++ {
+		rounds, err := s.Rounds(r, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("strategy %q robot %d: %w", s.Name(), r, err)
+		}
+		st, err := trajectory.NewStar(s.M(), rounds)
+		if err != nil {
+			return nil, fmt.Errorf("strategy %q robot %d: %w", s.Name(), r, err)
+		}
+		out[r] = st
+	}
+	return out, nil
+}
+
+// CyclicExponential is the appendix's optimal strategy. The zero value is
+// not usable; construct with NewCyclicExponential or NewCyclicExponentialAlpha.
+type CyclicExponential struct {
+	m, k, f int
+	alpha   float64
+}
+
+// NewCyclicExponential returns the cyclic exponential strategy for m rays,
+// k robots and f crash faults, using the optimal base
+// alpha* = (q/(q-k))^(1/k) with q = m(f+1). The parameters must lie in the
+// search regime f < k < m(f+1).
+func NewCyclicExponential(m, k, f int) (*CyclicExponential, error) {
+	regime, err := bounds.Classify(m, k, f)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: %w", err)
+	}
+	if regime != bounds.RegimeSearch {
+		return nil, fmt.Errorf("%w: cyclic exponential needs the search regime f < k < m(f+1), got m=%d k=%d f=%d (%v)",
+			ErrBadParams, m, k, f, regime)
+	}
+	alpha, err := bounds.OptimalAlpha(m*(f+1), k)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: %w", err)
+	}
+	return &CyclicExponential{m: m, k: k, f: f, alpha: alpha}, nil
+}
+
+// NewCyclicExponentialAlpha is NewCyclicExponential with an explicit base
+// alpha > 1 (used by the alpha-sweep ablation, E7).
+func NewCyclicExponentialAlpha(m, k, f int, alpha float64) (*CyclicExponential, error) {
+	s, err := NewCyclicExponential(m, k, f)
+	if err != nil {
+		return nil, err
+	}
+	if !(alpha > 1) || math.IsInf(alpha, 0) || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("%w: alpha must be a finite value > 1, got %g", ErrBadParams, alpha)
+	}
+	s.alpha = alpha
+	return s, nil
+}
+
+// Name implements Strategy.
+func (s *CyclicExponential) Name() string {
+	return fmt.Sprintf("cyclic-exponential(m=%d,k=%d,f=%d,alpha=%.6g)", s.m, s.k, s.f, s.alpha)
+}
+
+// M implements Strategy.
+func (s *CyclicExponential) M() int { return s.m }
+
+// K implements Strategy.
+func (s *CyclicExponential) K() int { return s.k }
+
+// Alpha returns the geometric base in use.
+func (s *CyclicExponential) Alpha() float64 { return s.alpha }
+
+// F returns the number of tolerated crash faults.
+func (s *CyclicExponential) F() int { return s.f }
+
+// Q returns q = m(f+1), the covering multiplicity of Theorem 6.
+func (s *CyclicExponential) Q() int { return s.m * (s.f + 1) }
+
+// Rounds implements Strategy. Robot r's l-th excursion (l starting at
+// 1-2m) turns at alpha^(k*l + m*(r+1)) on ray ((l-1) mod m) + 1. Rounds are
+// generated until the turning point exceeds horizon * alpha^(q + k*m),
+// which guarantees that every point at distance <= horizon has received all
+// f+1 of its assigned visits within the returned prefix.
+func (s *CyclicExponential) Rounds(r int, horizon float64) ([]trajectory.Round, error) {
+	if r < 0 || r >= s.k {
+		return nil, fmt.Errorf("%w: robot %d of %d", ErrBadParams, r, s.k)
+	}
+	if !(horizon > 0) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return nil, fmt.Errorf("%w: horizon %g", ErrBadParams, horizon)
+	}
+	var (
+		q        = s.Q()
+		logA     = math.Log(s.alpha)
+		stopExpo = math.Log(horizon)/logA + float64(q+s.k*s.m)
+		rounds   []trajectory.Round
+	)
+	for l := 1 - 2*s.m; ; l++ {
+		e := float64(s.k*l + s.m*(r+1))
+		if e > stopExpo {
+			break
+		}
+		if len(rounds) >= maxRounds {
+			return nil, fmt.Errorf("%w: %d rounds at horizon %g", ErrTooManyRounds, maxRounds, horizon)
+		}
+		ray := ((l-1)%s.m + s.m) % s.m // Go's % can be negative; normalize.
+		rounds = append(rounds, trajectory.Round{
+			Ray:  ray + 1,
+			Turn: math.Pow(s.alpha, e),
+		})
+	}
+	return rounds, nil
+}
+
+// LineTurns returns, for m = 2 only, robot r's zigzag turning sequence in
+// the alternating standard form of Section 2 (odd turns on the positive
+// half-line). The cyclic order starts each robot on ray 1, so the excursion
+// turns map verbatim to the line form.
+func (s *CyclicExponential) LineTurns(r int, horizon float64) ([]float64, error) {
+	if s.m != 2 {
+		return nil, fmt.Errorf("%w: LineTurns requires m = 2, got %d", ErrBadParams, s.m)
+	}
+	rounds, err := s.Rounds(r, horizon)
+	if err != nil {
+		return nil, err
+	}
+	turns := make([]float64, len(rounds))
+	for i, rd := range rounds {
+		turns[i] = rd.Turn
+	}
+	return turns, nil
+}
+
+// Doubling returns the classical cow-path strategy (one robot, two rays,
+// turning points doubling), which is the f = 0, k = 1, m = 2 instance of
+// the cyclic exponential family with alpha* = 2 and competitive ratio 9.
+func Doubling() *CyclicExponential {
+	s, err := NewCyclicExponential(2, 1, 0)
+	if err != nil {
+		// The parameters are in-regime by construction; a failure here is
+		// a programming error, not an input error.
+		panic(fmt.Sprintf("strategy: Doubling construction failed: %v", err))
+	}
+	return s
+}
+
+// FixedRounds is a strategy given by explicit per-robot excursion lists. It
+// is the bridge for externally described strategies (cmd/verifybound) and
+// for adversarial tests.
+type FixedRounds struct {
+	name   string
+	m      int
+	robots [][]trajectory.Round
+}
+
+// NewFixedRounds wraps explicit excursion lists as a Strategy. Each robot's
+// list must be valid for trajectory.NewStar on m rays.
+func NewFixedRounds(name string, m int, robots [][]trajectory.Round) (*FixedRounds, error) {
+	if len(robots) == 0 {
+		return nil, fmt.Errorf("%w: no robots", ErrBadParams)
+	}
+	for r, rounds := range robots {
+		if _, err := trajectory.NewStar(m, rounds); err != nil {
+			return nil, fmt.Errorf("strategy: robot %d: %w", r, err)
+		}
+	}
+	cp := make([][]trajectory.Round, len(robots))
+	for i, rounds := range robots {
+		cp[i] = append([]trajectory.Round(nil), rounds...)
+	}
+	return &FixedRounds{name: name, m: m, robots: cp}, nil
+}
+
+// Name implements Strategy.
+func (s *FixedRounds) Name() string { return s.name }
+
+// M implements Strategy.
+func (s *FixedRounds) M() int { return s.m }
+
+// K implements Strategy.
+func (s *FixedRounds) K() int { return len(s.robots) }
+
+// Rounds implements Strategy. The horizon is ignored: the caller supplied
+// a finite list, and truncation is the caller's responsibility.
+func (s *FixedRounds) Rounds(r int, _ float64) ([]trajectory.Round, error) {
+	if r < 0 || r >= len(s.robots) {
+		return nil, fmt.Errorf("%w: robot %d of %d", ErrBadParams, r, len(s.robots))
+	}
+	return append([]trajectory.Round(nil), s.robots[r]...), nil
+}
+
+// RaySplit is the naive fault-free baseline: the rays are partitioned among
+// the robots round-robin, and each robot runs a single-robot exponential
+// search over its private set of rays, ignoring the others. Its competitive
+// ratio is 1 + 2*M^M/(M-1)^(M-1) for M = ceil(m/k) private rays (when the
+// split is even), strictly worse than the cooperative optimum whenever the
+// cyclic strategy can interleave (k does not divide m*... the comparison is
+// the point of the E8 baseline column).
+type RaySplit struct {
+	m, k int
+}
+
+// NewRaySplit returns the ray-partition baseline for m rays and k robots,
+// f = 0. Requires 1 <= k < m (with k >= m the problem is trivial).
+func NewRaySplit(m, k int) (*RaySplit, error) {
+	if m < 2 || k < 1 || k >= m {
+		return nil, fmt.Errorf("%w: RaySplit requires 2 <= m and 1 <= k < m, got m=%d k=%d", ErrBadParams, m, k)
+	}
+	return &RaySplit{m: m, k: k}, nil
+}
+
+// Name implements Strategy.
+func (s *RaySplit) Name() string { return fmt.Sprintf("ray-split(m=%d,k=%d)", s.m, s.k) }
+
+// M implements Strategy.
+func (s *RaySplit) M() int { return s.m }
+
+// K implements Strategy.
+func (s *RaySplit) K() int { return s.k }
+
+// privateRays returns the rays assigned to robot r (round-robin).
+func (s *RaySplit) privateRays(r int) []int {
+	var rays []int
+	for ray := r + 1; ray <= s.m; ray += s.k {
+		rays = append(rays, ray)
+	}
+	return rays
+}
+
+// Rounds implements Strategy: robot r cycles its private rays with the
+// single-searcher optimal base beta* = M/(M-1) per visit (M private rays),
+// i.e. the k = 1, f = 0 cyclic exponential restricted to its own star.
+func (s *RaySplit) Rounds(r int, horizon float64) ([]trajectory.Round, error) {
+	if r < 0 || r >= s.k {
+		return nil, fmt.Errorf("%w: robot %d of %d", ErrBadParams, r, s.k)
+	}
+	if !(horizon > 0) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return nil, fmt.Errorf("%w: horizon %g", ErrBadParams, horizon)
+	}
+	rays := s.privateRays(r)
+	mm := len(rays)
+	if mm == 1 {
+		// A single private ray needs one pass; go straight out.
+		return []trajectory.Round{{Ray: rays[0], Turn: horizon * 2}}, nil
+	}
+	beta := float64(mm) / float64(mm-1)
+	var (
+		logB     = math.Log(beta)
+		stopExpo = math.Log(horizon)/logB + float64(mm+1)
+		rounds   []trajectory.Round
+	)
+	for l := 1 - 2*mm; ; l++ {
+		e := float64(l)
+		if e > stopExpo {
+			break
+		}
+		if len(rounds) >= maxRounds {
+			return nil, fmt.Errorf("%w: %d rounds at horizon %g", ErrTooManyRounds, maxRounds, horizon)
+		}
+		idx := ((l-1)%mm + mm) % mm
+		rounds = append(rounds, trajectory.Round{
+			Ray:  rays[idx],
+			Turn: math.Pow(beta, e),
+		})
+	}
+	return rounds, nil
+}
+
+var (
+	_ Strategy = (*CyclicExponential)(nil)
+	_ Strategy = (*FixedRounds)(nil)
+	_ Strategy = (*RaySplit)(nil)
+)

@@ -1,0 +1,380 @@
+// Package trajectory models the motion of unit-speed robots in the two
+// geometries of Kupavskii–Welzl (PODC 2018):
+//
+//   - Line: a robot zigzags on the real line R, described by a turning
+//     sequence (t1, t2, t3, ...): out to +t1, back through 0 to -t2, out to
+//     +t3, and so on (the standard form established in the proof of
+//     Theorem 3). The robot never pauses; it passes through 0 without
+//     stopping.
+//
+//   - Star: a robot moves on the star S_m of m rays glued at the origin in
+//     rounds (the ORC setting of Section 3): each round goes from 0 out to a
+//     turning point on one ray and returns to 0.
+//
+// Both kinds expose Position(t) and the visit times of arbitrary points, and
+// both are consistent with the closed forms the paper relies on: on the
+// line, a robot with turning points t1 <= t2 <= ... has visited both +x and
+// -x (for t_{i-1} < x <= t_i) by time exactly 2(t1 + ... + t_i) + x; in a
+// star round i, point x <= t_i on the round's ray is reached at time
+// 2(t1 + ... + t_{i-1}) + x.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+)
+
+// Errors returned by trajectory constructors and queries.
+var (
+	// ErrBadSequence is returned for turning sequences that are not
+	// positive or violate required monotonicity.
+	ErrBadSequence = errors.New("trajectory: invalid turning sequence")
+	// ErrBadRay is returned for ray indices outside 1..m.
+	ErrBadRay = errors.New("trajectory: ray index out of range")
+)
+
+// Point is a location on the star S_m: a ray index (1-based) and a distance
+// from the origin. On the line (m = 2), ray 1 is the positive half-line and
+// ray 2 the negative half-line. The origin is represented with Dist = 0 (any
+// ray index).
+type Point struct {
+	Ray  int
+	Dist float64
+}
+
+// Origin is the common endpoint of all rays.
+var Origin = Point{Ray: 1, Dist: 0}
+
+// String formats the point as r<ray>:<dist>.
+func (p Point) String() string { return fmt.Sprintf("r%d:%g", p.Ray, p.Dist) }
+
+// LineCoord converts a point on S_2 to a signed line coordinate
+// (ray 1 -> +Dist, ray 2 -> -Dist).
+func (p Point) LineCoord() (float64, error) {
+	switch p.Ray {
+	case 1:
+		return p.Dist, nil
+	case 2:
+		return -p.Dist, nil
+	default:
+		return 0, fmt.Errorf("%w: LineCoord of ray %d", ErrBadRay, p.Ray)
+	}
+}
+
+// PointFromLine converts a signed line coordinate to a Point on S_2.
+func PointFromLine(x float64) Point {
+	if x >= 0 {
+		return Point{Ray: 1, Dist: x}
+	}
+	return Point{Ray: 2, Dist: -x}
+}
+
+// Line is a zigzag trajectory on the real line in the standard form of the
+// Theorem 3 proof: the robot starts at 0 moving in the positive direction,
+// turns at +t1, then at -t2, then at +t3, alternating sides. Odd-indexed
+// turning points (t1, t3, ...) are on the positive side, even-indexed on the
+// negative side. The turning distances must be positive; the proof's
+// standardization additionally makes same-side turning points increasing,
+// which the constructor can enforce on request.
+type Line struct {
+	turns []float64 // turning distances, all > 0
+	// prefix[i] = t1 + ... + t_i, compensated.
+	prefix []float64
+}
+
+// NewLine builds a Line trajectory from the turning distances. With
+// requireMonotone, it rejects sequences whose same-side turning points do
+// not strictly increase (the standard form); without it, any positive
+// distances are allowed (useful for testing the normalization transforms,
+// which repair such sequences).
+func NewLine(turns []float64, requireMonotone bool) (*Line, error) {
+	prefix := make([]float64, len(turns))
+	var acc numeric.Kahan
+	for i, t := range turns {
+		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("%w: turn %d is %g (want positive finite)", ErrBadSequence, i+1, t)
+		}
+		if requireMonotone && i >= 2 && turns[i] <= turns[i-2] {
+			return nil, fmt.Errorf("%w: same-side turns must increase, turn %d = %g <= turn %d = %g",
+				ErrBadSequence, i+1, turns[i], i-1, turns[i-2])
+		}
+		acc.Add(t)
+		prefix[i] = acc.Value()
+	}
+	cp := make([]float64, len(turns))
+	copy(cp, turns)
+	return &Line{turns: cp, prefix: prefix}, nil
+}
+
+// Turns returns a copy of the turning distances.
+func (l *Line) Turns() []float64 {
+	cp := make([]float64, len(l.turns))
+	copy(cp, l.turns)
+	return cp
+}
+
+// NumTurns returns the number of turning points.
+func (l *Line) NumTurns() int { return len(l.turns) }
+
+// PrefixSum returns t1 + ... + t_i (i is 1-based; PrefixSum(0) = 0).
+func (l *Line) PrefixSum(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i > len(l.prefix) {
+		i = len(l.prefix)
+	}
+	return l.prefix[i-1]
+}
+
+// turnTime returns the time at which the robot reaches its i-th turning
+// point (1-based): it has traveled t1, then t1+t2, ... — each leg between
+// turn i-1 and turn i has length t_{i-1} + t_i (through the origin), so the
+// total is 2*PrefixSum(i) - t_i... computed directly from leg geometry.
+func (l *Line) turnTime(i int) float64 {
+	// Leg 0: 0 -> +t1 takes t1. Leg j (j >= 1): from turn j at distance
+	// t_j on one side to turn j+1 at distance t_{j+1} on the other side
+	// takes t_j + t_{j+1}. Total time to reach turn i:
+	// t1 + sum_{j=2..i} (t_{j-1} + t_j) = 2*(t1+...+t_{i-1}) + t_i.
+	return 2*l.PrefixSum(i-1) + l.turns[i-1]
+}
+
+// Horizon returns the time at which the robot reaches its final turning
+// point. Beyond the horizon the trajectory is undefined (queries return
+// NaN / +Inf as documented).
+func (l *Line) Horizon() float64 {
+	n := len(l.turns)
+	if n == 0 {
+		return 0
+	}
+	return l.turnTime(n)
+}
+
+// Position returns the signed line coordinate of the robot at time
+// 0 <= t <= Horizon(). For t beyond the horizon it returns NaN.
+func (l *Line) Position(t float64) float64 {
+	if t < 0 || t > l.Horizon() || math.IsNaN(t) {
+		return math.NaN()
+	}
+	if len(l.turns) == 0 {
+		return 0
+	}
+	// Find the leg containing t: leg i runs from turnTime(i) to
+	// turnTime(i+1) (with turnTime(0) = 0 at the origin start).
+	// Binary search over turn times.
+	n := len(l.turns)
+	i := sort.Search(n, func(j int) bool { return l.turnTime(j+1) >= t })
+	if i == n {
+		i = n - 1
+	}
+	sign := 1.0 // side of turn i+1 (1-based i+1 odd -> positive)
+	if (i+1)%2 == 0 {
+		sign = -1
+	}
+	if i == 0 {
+		return sign * t // first leg: straight out to +t1
+	}
+	// On leg i: started at turn i (distance turns[i-1] on side -sign) at
+	// time turnTime(i), moving toward side sign.
+	elapsed := t - l.turnTime(i)
+	return -sign*l.turns[i-1] + sign*elapsed
+}
+
+// FirstVisit returns the earliest time the robot reaches the signed
+// coordinate x (|x| > 0), or +Inf if it never does within the trajectory.
+// The origin (x = 0) is first visited at t = 0.
+func (l *Line) FirstVisit(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	pos := x > 0
+	ax := math.Abs(x)
+	for i := 1; i <= len(l.turns); i++ {
+		// Turn i is on the positive side iff i is odd.
+		turnPositive := i%2 == 1
+		if turnPositive != pos {
+			continue
+		}
+		if l.turns[i-1] >= ax {
+			// Reached during leg i-1 ... the leg ending at turn i starts at
+			// the previous turn (or origin) and passes |x| on its way out at
+			// time turnTime(i) - (t_i - |x|).
+			return l.turnTime(i) - (l.turns[i-1] - ax)
+		}
+	}
+	return math.Inf(1)
+}
+
+// PairVisit returns the earliest time by which the robot has visited both
+// +x and -x (x > 0), or +Inf if it never does. For t_{i-1} < x <= t_i
+// (using the convention t_0 = 0 on each side), this equals
+// 2(t1 + ... + t_i) + x when turn i+1 is the first opposite-side turn with
+// distance >= x — which in the standard monotone form simplifies to the
+// paper's 2(t1+...+t_i)+x formula of Section 2.
+func (l *Line) PairVisit(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	a := l.FirstVisit(x)
+	b := l.FirstVisit(-x)
+	return math.Max(a, b)
+}
+
+// Star is an ORC trajectory on the star S_m: a sequence of rounds, each
+// going from the origin out to a turning point on one ray and back to the
+// origin. Rounds are executed in order with no idling.
+type Star struct {
+	m      int
+	rounds []Round
+	prefix []float64 // prefix[i] = sum of turn distances of rounds 0..i
+}
+
+// Round is one out-and-back excursion: out to distance Turn on ray Ray.
+type Round struct {
+	Ray  int
+	Turn float64
+}
+
+// NewStar builds a Star trajectory on m rays from the given rounds.
+func NewStar(m int, rounds []Round) (*Star, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w: m = %d rays", ErrBadRay, m)
+	}
+	prefix := make([]float64, len(rounds))
+	var acc numeric.Kahan
+	for i, r := range rounds {
+		if r.Ray < 1 || r.Ray > m {
+			return nil, fmt.Errorf("%w: round %d on ray %d of %d", ErrBadRay, i+1, r.Ray, m)
+		}
+		if r.Turn <= 0 || math.IsNaN(r.Turn) || math.IsInf(r.Turn, 0) {
+			return nil, fmt.Errorf("%w: round %d turn %g (want positive finite)", ErrBadSequence, i+1, r.Turn)
+		}
+		acc.Add(r.Turn)
+		prefix[i] = acc.Value()
+	}
+	cp := make([]Round, len(rounds))
+	copy(cp, rounds)
+	return &Star{m: m, rounds: cp, prefix: prefix}, nil
+}
+
+// M returns the number of rays.
+func (s *Star) M() int { return s.m }
+
+// NumRounds returns the number of rounds.
+func (s *Star) NumRounds() int { return len(s.rounds) }
+
+// RoundAt returns the i-th round (0-based).
+func (s *Star) RoundAt(i int) Round { return s.rounds[i] }
+
+// PrefixSum returns the sum of the first i round distances (i is 1-based;
+// PrefixSum(0) = 0). Round i starts at time 2*PrefixSum(i-1).
+func (s *Star) PrefixSum(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i > len(s.prefix) {
+		i = len(s.prefix)
+	}
+	return s.prefix[i-1]
+}
+
+// Horizon returns the total duration 2 * sum of all round distances.
+func (s *Star) Horizon() float64 { return 2 * s.PrefixSum(len(s.rounds)) }
+
+// Position returns the robot's location at time 0 <= t <= Horizon().
+// Beyond the horizon it returns the origin with Dist = NaN.
+func (s *Star) Position(t float64) Point {
+	if t < 0 || t > s.Horizon() || math.IsNaN(t) {
+		return Point{Ray: 1, Dist: math.NaN()}
+	}
+	// Round i (0-based) occupies [2*PrefixSum(i), 2*PrefixSum(i+1)].
+	i := sort.Search(len(s.rounds), func(j int) bool { return 2*s.PrefixSum(j+1) >= t })
+	if i == len(s.rounds) {
+		return Point{Ray: 1, Dist: 0}
+	}
+	local := t - 2*s.PrefixSum(i)
+	r := s.rounds[i]
+	if local <= r.Turn {
+		return Point{Ray: r.Ray, Dist: local}
+	}
+	return Point{Ray: r.Ray, Dist: 2*r.Turn - local}
+}
+
+// FirstVisit returns the earliest time the robot reaches point p, or +Inf.
+func (s *Star) FirstVisit(p Point) float64 {
+	if p.Dist == 0 {
+		return 0
+	}
+	for i, r := range s.rounds {
+		if r.Ray == p.Ray && r.Turn >= p.Dist {
+			return 2*s.PrefixSum(i) + p.Dist
+		}
+	}
+	return math.Inf(1)
+}
+
+// VisitTimes returns every time the robot passes through p within the
+// trajectory, in increasing order. Each round that reaches p contributes an
+// outbound and (for interior points) an inbound crossing.
+func (s *Star) VisitTimes(p Point) []float64 {
+	if p.Dist == 0 {
+		return []float64{0}
+	}
+	var times []float64
+	for i, r := range s.rounds {
+		if r.Ray != p.Ray || r.Turn < p.Dist {
+			continue
+		}
+		start := 2 * s.PrefixSum(i)
+		times = append(times, start+p.Dist)
+		if r.Turn > p.Dist {
+			times = append(times, start+2*r.Turn-p.Dist)
+		}
+	}
+	return times
+}
+
+// RoundVisits returns, for each round that reaches p, the time of the
+// outbound crossing in that round. In the ORC setting these are the visits
+// that count as distinct coverings (the robot returns to 0 between rounds).
+func (s *Star) RoundVisits(p Point) []float64 {
+	if p.Dist == 0 {
+		return []float64{0}
+	}
+	var times []float64
+	for i, r := range s.rounds {
+		if r.Ray == p.Ray && r.Turn >= p.Dist {
+			times = append(times, 2*s.PrefixSum(i)+p.Dist)
+		}
+	}
+	return times
+}
+
+// LineFromStar converts an S_2 star trajectory into the equivalent line
+// trajectory visiting the same turning points in the same order. A star
+// round on ray 1 with turn t is the line excursion +t; on ray 2 it is -t.
+// The line trajectory passes through 0 between rounds exactly as the star
+// does, so visit times coincide.
+func LineFromStar(s *Star) (*Line, error) {
+	if s.m != 2 {
+		return nil, fmt.Errorf("%w: LineFromStar needs m = 2, got %d", ErrBadRay, s.m)
+	}
+	// A line trajectory alternates sides by construction; an ORC sequence
+	// may have consecutive rounds on the same ray. Emitting the star's
+	// turning points verbatim as a Line would change side parity, so this
+	// conversion is only exact when rounds alternate rays starting at 1.
+	turns := make([]float64, 0, len(s.rounds))
+	for i, r := range s.rounds {
+		wantRay := 1 + i%2
+		if r.Ray != wantRay {
+			return nil, fmt.Errorf("%w: LineFromStar requires alternating rays (round %d on ray %d, want %d)",
+				ErrBadSequence, i+1, r.Ray, wantRay)
+		}
+		turns = append(turns, r.Turn)
+	}
+	return NewLine(turns, false)
+}

@@ -1,0 +1,466 @@
+package trajectory
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func mustLine(t *testing.T, turns ...float64) *Line {
+	t.Helper()
+	l, err := NewLine(turns, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mustStar(t *testing.T, m int, rounds ...Round) *Star {
+	t.Helper()
+	s, err := NewStar(m, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPointLineCoord(t *testing.T) {
+	if c, err := (Point{Ray: 1, Dist: 3}).LineCoord(); err != nil || c != 3 {
+		t.Errorf("ray1 dist3 -> %g, %v; want 3", c, err)
+	}
+	if c, err := (Point{Ray: 2, Dist: 3}).LineCoord(); err != nil || c != -3 {
+		t.Errorf("ray2 dist3 -> %g, %v; want -3", c, err)
+	}
+	if _, err := (Point{Ray: 3, Dist: 1}).LineCoord(); !errors.Is(err, ErrBadRay) {
+		t.Error("ray 3 should fail LineCoord")
+	}
+}
+
+func TestPointFromLineRoundTrip(t *testing.T) {
+	for _, x := range []float64{-5, -0.5, 0, 0.25, 7} {
+		p := PointFromLine(x)
+		c, err := p.LineCoord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != x {
+			t.Errorf("round trip of %g gave %g", x, c)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{Ray: 2, Dist: 1.5}).String(); got != "r2:1.5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewLineValidation(t *testing.T) {
+	if _, err := NewLine([]float64{1, -2}, false); !errors.Is(err, ErrBadSequence) {
+		t.Error("negative turn should fail")
+	}
+	if _, err := NewLine([]float64{0}, false); !errors.Is(err, ErrBadSequence) {
+		t.Error("zero turn should fail")
+	}
+	if _, err := NewLine([]float64{1, 2, math.NaN()}, false); !errors.Is(err, ErrBadSequence) {
+		t.Error("NaN turn should fail")
+	}
+	// Monotone enforcement: 1, 2, 0.5 has t3 < t1 on the same side.
+	if _, err := NewLine([]float64{1, 2, 0.5}, true); !errors.Is(err, ErrBadSequence) {
+		t.Error("non-monotone same-side turns should fail in standard form")
+	}
+	if _, err := NewLine([]float64{1, 2, 0.5}, false); err != nil {
+		t.Error("non-monotone turns allowed outside standard form")
+	}
+}
+
+func TestLineTurnsCopied(t *testing.T) {
+	l := mustLine(t, 1, 2, 4)
+	got := l.Turns()
+	got[0] = 99
+	if l.Turns()[0] != 1 {
+		t.Error("Turns must return a defensive copy")
+	}
+	if l.NumTurns() != 3 {
+		t.Errorf("NumTurns = %d, want 3", l.NumTurns())
+	}
+}
+
+func TestLinePrefixSum(t *testing.T) {
+	l := mustLine(t, 1, 2, 4)
+	for i, want := range []float64{0, 1, 3, 7} {
+		if got := l.PrefixSum(i); got != want {
+			t.Errorf("PrefixSum(%d) = %g, want %g", i, got, want)
+		}
+	}
+	if got := l.PrefixSum(10); got != 7 {
+		t.Errorf("PrefixSum beyond end = %g, want 7", got)
+	}
+}
+
+func TestLinePositionDoubling(t *testing.T) {
+	// Classic doubling: +1, -2, +4. Spot-check the full timeline.
+	l := mustLine(t, 1, 2, 4)
+	tests := []struct{ time, want float64 }{
+		{0, 0},
+		{0.5, 0.5},
+		{1, 1},  // at +t1
+		{2, 0},  // back through origin
+		{4, -2}, // at -t2
+		{6, 0},  // origin again
+		{10, 4}, // at +t3 (horizon)
+	}
+	for _, tt := range tests {
+		if got := l.Position(tt.time); !numeric.EqualWithin(got, tt.want, 1e-12) {
+			t.Errorf("Position(%g) = %g, want %g", tt.time, got, tt.want)
+		}
+	}
+	if !math.IsNaN(l.Position(10.5)) {
+		t.Error("Position beyond horizon should be NaN")
+	}
+	if !math.IsNaN(l.Position(-1)) {
+		t.Error("Position at negative time should be NaN")
+	}
+}
+
+func TestLineHorizon(t *testing.T) {
+	l := mustLine(t, 1, 2, 4)
+	// 1 + (1+2) + (2+4) = 10.
+	if got := l.Horizon(); got != 10 {
+		t.Errorf("Horizon = %g, want 10", got)
+	}
+	empty, err := NewLine(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Horizon() != 0 {
+		t.Error("empty trajectory horizon should be 0")
+	}
+	if empty.Position(0) != 0 {
+		t.Error("empty trajectory sits at the origin")
+	}
+}
+
+func TestLineFirstVisit(t *testing.T) {
+	l := mustLine(t, 1, 2, 4)
+	tests := []struct{ x, want float64 }{
+		{0.5, 0.5},        // outbound on leg 1
+		{1, 1},            // the first turn itself
+		{-1, 3},           // reached on leg to -2 at time 2 (origin) + 1
+		{-2, 4},           // the second turn
+		{3, 9},            // on leg to +4: turnTime(3)=10, 10-(4-3)=9
+		{-3, math.Inf(1)}, // never reached
+		{5, math.Inf(1)},  // never reached
+	}
+	for _, tt := range tests {
+		if got := l.FirstVisit(tt.x); !numeric.EqualWithin(got, tt.want, 1e-12) {
+			t.Errorf("FirstVisit(%g) = %g, want %g", tt.x, got, tt.want)
+		}
+	}
+	if l.FirstVisit(0) != 0 {
+		t.Error("origin visited at time 0")
+	}
+}
+
+func TestLinePairVisitClosedForm(t *testing.T) {
+	// The paper's formula: for t_{i-1} < x <= t_i (standard monotone form),
+	// both +x and -x are visited by exactly 2(t1+...+t_i) + x.
+	l := mustLine(t, 1, 2, 4, 8, 16)
+	tests := []struct {
+		x float64
+		i int
+	}{
+		{0.5, 1}, {1, 1}, {1.5, 2}, {2, 2}, {3, 3}, {4, 3},
+	}
+	for _, tt := range tests {
+		want := 2*l.PrefixSum(tt.i) + tt.x
+		if got := l.PairVisit(tt.x); !numeric.EqualWithin(got, want, 1e-12) {
+			t.Errorf("PairVisit(%g) = %g, want 2*S_%d + x = %g", tt.x, got, tt.i, want)
+		}
+	}
+	if !math.IsInf(l.PairVisit(20), 1) {
+		t.Error("PairVisit beyond coverage should be +Inf")
+	}
+	if !math.IsNaN(l.PairVisit(-1)) {
+		t.Error("PairVisit of non-positive x should be NaN")
+	}
+}
+
+func TestQuickLineUnitSpeed(t *testing.T) {
+	// Property: |Position(t2) - Position(t1)| <= |t2 - t1| (unit speed,
+	// continuity) for random trajectories and times.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		turns := make([]float64, n)
+		for i := range turns {
+			turns[i] = 0.1 + rng.Float64()*10
+		}
+		l, err := NewLine(turns, false)
+		if err != nil {
+			return false
+		}
+		h := l.Horizon()
+		t1 := rng.Float64() * h
+		t2 := rng.Float64() * h
+		p1, p2 := l.Position(t1), l.Position(t2)
+		return math.Abs(p2-p1) <= math.Abs(t2-t1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLineFirstVisitConsistent(t *testing.T) {
+	// Property: Position(FirstVisit(x)) == x whenever the visit is finite.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		turns := make([]float64, n)
+		for i := range turns {
+			turns[i] = 0.5 + rng.Float64()*10
+		}
+		l, err := NewLine(turns, false)
+		if err != nil {
+			return false
+		}
+		x := (rng.Float64()*2 - 1) * 12
+		if x == 0 {
+			return true
+		}
+		ft := l.FirstVisit(x)
+		if math.IsInf(ft, 1) {
+			return true
+		}
+		return numeric.EqualWithin(l.Position(ft), x, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewStarValidation(t *testing.T) {
+	if _, err := NewStar(0, nil); !errors.Is(err, ErrBadRay) {
+		t.Error("m = 0 should fail")
+	}
+	if _, err := NewStar(2, []Round{{Ray: 3, Turn: 1}}); !errors.Is(err, ErrBadRay) {
+		t.Error("ray out of range should fail")
+	}
+	if _, err := NewStar(2, []Round{{Ray: 1, Turn: 0}}); !errors.Is(err, ErrBadSequence) {
+		t.Error("zero turn should fail")
+	}
+	if _, err := NewStar(2, []Round{{Ray: 1, Turn: math.Inf(1)}}); !errors.Is(err, ErrBadSequence) {
+		t.Error("infinite turn should fail")
+	}
+}
+
+func TestStarAccessors(t *testing.T) {
+	s := mustStar(t, 3, Round{Ray: 1, Turn: 1}, Round{Ray: 2, Turn: 2}, Round{Ray: 3, Turn: 4})
+	if s.M() != 3 || s.NumRounds() != 3 {
+		t.Error("M/NumRounds misbehave")
+	}
+	if s.RoundAt(1) != (Round{Ray: 2, Turn: 2}) {
+		t.Error("RoundAt misbehaves")
+	}
+	if s.PrefixSum(2) != 3 {
+		t.Errorf("PrefixSum(2) = %g, want 3", s.PrefixSum(2))
+	}
+	if s.Horizon() != 14 {
+		t.Errorf("Horizon = %g, want 14", s.Horizon())
+	}
+}
+
+func TestStarPosition(t *testing.T) {
+	s := mustStar(t, 3, Round{Ray: 1, Turn: 1}, Round{Ray: 2, Turn: 2})
+	tests := []struct {
+		time float64
+		want Point
+	}{
+		{0, Point{Ray: 1, Dist: 0}},
+		{0.5, Point{Ray: 1, Dist: 0.5}},
+		{1, Point{Ray: 1, Dist: 1}},
+		{1.5, Point{Ray: 1, Dist: 0.5}},
+		{2, Point{Ray: 1, Dist: 0}},
+		{3, Point{Ray: 2, Dist: 1}},
+		{4, Point{Ray: 2, Dist: 2}},
+		{6, Point{Ray: 2, Dist: 0}},
+	}
+	for _, tt := range tests {
+		got := s.Position(tt.time)
+		if got.Dist == 0 {
+			// Origin: ray identity immaterial.
+			if tt.want.Dist != 0 {
+				t.Errorf("Position(%g) = %v, want %v", tt.time, got, tt.want)
+			}
+			continue
+		}
+		if got.Ray != tt.want.Ray || !numeric.EqualWithin(got.Dist, tt.want.Dist, 1e-12) {
+			t.Errorf("Position(%g) = %v, want %v", tt.time, got, tt.want)
+		}
+	}
+	if !math.IsNaN(s.Position(100).Dist) {
+		t.Error("Position beyond horizon should be NaN")
+	}
+}
+
+func TestStarFirstVisitClosedForm(t *testing.T) {
+	// Round i reaches x <= t_i on its ray at time 2(t1+...+t_{i-1}) + x.
+	s := mustStar(t, 2,
+		Round{Ray: 1, Turn: 1},
+		Round{Ray: 2, Turn: 2},
+		Round{Ray: 1, Turn: 4},
+	)
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{Ray: 1, Dist: 0.5}, 0.5},
+		{Point{Ray: 2, Dist: 1.5}, 2*1 + 1.5},
+		{Point{Ray: 1, Dist: 3}, 2*3 + 3},
+		{Point{Ray: 2, Dist: 3}, math.Inf(1)},
+	}
+	for _, tt := range tests {
+		if got := s.FirstVisit(tt.p); !numeric.EqualWithin(got, tt.want, 1e-12) {
+			t.Errorf("FirstVisit(%v) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if s.FirstVisit(Point{Ray: 1, Dist: 0}) != 0 {
+		t.Error("origin visited at 0")
+	}
+}
+
+func TestStarVisitTimes(t *testing.T) {
+	s := mustStar(t, 2, Round{Ray: 1, Turn: 2}, Round{Ray: 1, Turn: 3})
+	// Point r1:1 is crossed outbound at 1, inbound at 3; then in round 2
+	// (starting at time 4) outbound at 5, inbound at 9.
+	want := []float64{1, 3, 5, 9}
+	got := s.VisitTimes(Point{Ray: 1, Dist: 1})
+	if len(got) != len(want) {
+		t.Fatalf("VisitTimes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !numeric.EqualWithin(got[i], want[i], 1e-12) {
+			t.Errorf("VisitTimes[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// The turning point itself is crossed once per round.
+	turn := s.VisitTimes(Point{Ray: 1, Dist: 2})
+	if len(turn) != 3 { // round1 touches exactly at the turn; round2 out+in
+		t.Errorf("VisitTimes at turning point = %v, want 3 crossings", turn)
+	}
+}
+
+func TestStarRoundVisits(t *testing.T) {
+	s := mustStar(t, 2, Round{Ray: 1, Turn: 2}, Round{Ray: 1, Turn: 3}, Round{Ray: 2, Turn: 1})
+	got := s.RoundVisits(Point{Ray: 1, Dist: 1})
+	want := []float64{1, 5}
+	if len(got) != len(want) {
+		t.Fatalf("RoundVisits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !numeric.EqualWithin(got[i], want[i], 1e-12) {
+			t.Errorf("RoundVisits[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickStarUnitSpeed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(8)
+		rounds := make([]Round, n)
+		for i := range rounds {
+			rounds[i] = Round{Ray: 1 + rng.Intn(m), Turn: 0.1 + rng.Float64()*10}
+		}
+		s, err := NewStar(m, rounds)
+		if err != nil {
+			return false
+		}
+		h := s.Horizon()
+		t1 := rng.Float64() * h
+		t2 := rng.Float64() * h
+		p1, p2 := s.Position(t1), s.Position(t2)
+		// Distance on the star: same ray -> |d1-d2|; different rays ->
+		// through the origin d1+d2.
+		var dist float64
+		if p1.Ray == p2.Ray || p1.Dist == 0 || p2.Dist == 0 {
+			dist = math.Abs(p1.Dist - p2.Dist)
+		} else {
+			dist = p1.Dist + p2.Dist
+		}
+		return dist <= math.Abs(t2-t1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStarFirstVisitMatchesVisitTimes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(6)
+		rounds := make([]Round, n)
+		for i := range rounds {
+			rounds[i] = Round{Ray: 1 + rng.Intn(m), Turn: 0.5 + rng.Float64()*8}
+		}
+		s, err := NewStar(m, rounds)
+		if err != nil {
+			return false
+		}
+		p := Point{Ray: 1 + rng.Intn(m), Dist: rng.Float64() * 9}
+		if p.Dist == 0 {
+			return true
+		}
+		first := s.FirstVisit(p)
+		all := s.VisitTimes(p)
+		if math.IsInf(first, 1) {
+			return len(all) == 0
+		}
+		return len(all) > 0 && numeric.EqualWithin(all[0], first, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineFromStar(t *testing.T) {
+	s := mustStar(t, 2,
+		Round{Ray: 1, Turn: 1},
+		Round{Ray: 2, Turn: 2},
+		Round{Ray: 1, Turn: 4},
+	)
+	l, err := LineFromStar(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTurns() != 3 {
+		t.Fatalf("NumTurns = %d, want 3", l.NumTurns())
+	}
+	// Visit times on the line are never later than on the star (the line
+	// robot does not have to return to 0 before switching sides, but in
+	// this alternating form it passes 0 anyway, so they are equal).
+	for _, x := range []float64{0.5, 1, -1.5, 3} {
+		sv := s.FirstVisit(PointFromLine(x))
+		lv := l.FirstVisit(x)
+		if !numeric.EqualWithin(sv, lv, 1e-12) {
+			t.Errorf("visit of %g: star %g, line %g", x, sv, lv)
+		}
+	}
+}
+
+func TestLineFromStarErrors(t *testing.T) {
+	s3 := mustStar(t, 3, Round{Ray: 1, Turn: 1})
+	if _, err := LineFromStar(s3); !errors.Is(err, ErrBadRay) {
+		t.Error("LineFromStar on m=3 should fail")
+	}
+	same := mustStar(t, 2, Round{Ray: 1, Turn: 1}, Round{Ray: 1, Turn: 2})
+	if _, err := LineFromStar(same); !errors.Is(err, ErrBadSequence) {
+		t.Error("LineFromStar on non-alternating rounds should fail")
+	}
+}

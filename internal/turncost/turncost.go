@@ -1,0 +1,172 @@
+// Package turncost extends the line-search model with a per-turn cost,
+// the variant of Demaine–Fekete–Gal ("Online searching with turn cost",
+// TCS 2006 — reference [15] of Kupavskii–Welzl). Each reversal of
+// direction costs an extra c time units, so a zigzag that turns often is
+// penalized: the detection time of a target at x reached on excursion j is
+//
+//	2*(t_1 + ... + t_{j-1}) + x + c*(j-1).
+//
+// As x grows the turn count only grows logarithmically, so the asymptotic
+// competitive ratio of a geometric strategy is unchanged (9 at base 2);
+// the turn cost bites at small distances, pushing the optimal strategy
+// toward larger bases and a larger first excursion. The package provides
+// the exact windowed supremum of the ratio for single-robot geometric
+// strategies and a numeric optimizer over (base, first excursion).
+package turncost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Errors returned by the turn-cost evaluators.
+var (
+	// ErrBadParams is returned for invalid parameters.
+	ErrBadParams = errors.New("turncost: invalid parameters")
+	// ErrHorizonTooSmall is returned when the window cannot contain a
+	// full evaluation (first excursion beyond the horizon).
+	ErrHorizonTooSmall = errors.New("turncost: horizon too small for the strategy")
+)
+
+// Strategy is a single-robot geometric zigzag with per-turn cost: turning
+// points First*Base^i for i = 0, 1, 2, ..., alternating sides starting
+// positive, each direction reversal costing Cost extra time.
+type Strategy struct {
+	Base  float64
+	First float64
+	Cost  float64
+}
+
+// Validate checks the strategy parameters.
+func (s Strategy) Validate() error {
+	if !(s.Base > 1) || math.IsInf(s.Base, 0) || math.IsNaN(s.Base) {
+		return fmt.Errorf("%w: base %g (want > 1)", ErrBadParams, s.Base)
+	}
+	if !(s.First > 0) || math.IsInf(s.First, 0) {
+		return fmt.Errorf("%w: first excursion %g (want > 0)", ErrBadParams, s.First)
+	}
+	if s.Cost < 0 || math.IsInf(s.Cost, 0) || math.IsNaN(s.Cost) {
+		return fmt.Errorf("%w: cost %g (want >= 0)", ErrBadParams, s.Cost)
+	}
+	return nil
+}
+
+// turn returns t_i = First * Base^i.
+func (s Strategy) turn(i int) float64 { return s.First * math.Pow(s.Base, float64(i)) }
+
+// prefix returns t_0 + ... + t_{i-1} (geometric sum; prefix(0) = 0).
+func (s Strategy) prefix(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return s.First * (math.Pow(s.Base, float64(i)) - 1) / (s.Base - 1)
+}
+
+// visitTime returns the detection time of a target at distance x on the
+// given side (+1 = the side of excursion 0), counting turn costs. The
+// target is reached on the first matching-parity excursion with turning
+// point >= x (strict > when strict is set, for right-limit evaluation).
+func (s Strategy) visitTime(x float64, positive bool, strict bool) (float64, error) {
+	if !(x > 0) {
+		return 0, fmt.Errorf("%w: x = %g", ErrBadParams, x)
+	}
+	// Excursion parity: excursion i explores the positive side iff i is
+	// even (excursion 0 goes positive).
+	for i := 0; ; i++ {
+		if (i%2 == 0) != positive {
+			continue
+		}
+		t := s.turn(i)
+		if (strict && t > x) || (!strict && t >= x) {
+			return 2*s.prefix(i) + x + s.Cost*float64(i), nil
+		}
+		if i > 4096 {
+			return 0, fmt.Errorf("%w: no excursion reaches %g", ErrHorizonTooSmall, x)
+		}
+	}
+}
+
+// Ratio returns the exact supremum over x in [1, horizon) and both sides
+// of detectionTime(x)/x. As in internal/adversary, the supremum sits at
+// x = 1 (attained) and at the right-limits of the turning points.
+func (s Strategy) Ratio(horizon float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if !(horizon > 1) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return 0, fmt.Errorf("%w: horizon %g", ErrBadParams, horizon)
+	}
+	worst := -1.0
+	consider := func(x float64, positive, strict bool) error {
+		t, err := s.visitTime(x, positive, strict)
+		if err != nil {
+			return err
+		}
+		if r := t / x; r > worst {
+			worst = r
+		}
+		return nil
+	}
+	for _, positive := range []bool{true, false} {
+		if err := consider(1, positive, false); err != nil {
+			return 0, err
+		}
+		for i := 0; ; i++ {
+			t := s.turn(i)
+			if t >= horizon {
+				break
+			}
+			if t < 1 {
+				continue
+			}
+			// Right-limit just past the turning point, on its own side.
+			if err := consider(t, i%2 == 0, true); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Optimize searches for the (base, first) pair minimizing the windowed
+// ratio at the given turn cost, via nested golden-section over base in
+// (1.05, 8] and first in [0.05, 50]. The returned ratio is exactly
+// evaluated (the optimizer is a heuristic; the value is not).
+func Optimize(cost, horizon float64) (Strategy, float64, error) {
+	if cost < 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
+		return Strategy{}, 0, fmt.Errorf("%w: cost %g", ErrBadParams, cost)
+	}
+	bestFirstFor := func(base float64) (float64, float64) {
+		inner := func(first float64) float64 {
+			st := Strategy{Base: base, First: first, Cost: cost}
+			r, err := st.Ratio(horizon)
+			if err != nil {
+				return math.Inf(1)
+			}
+			return r
+		}
+		first, err := numeric.GoldenSection(inner, 0.05, 50, 1e-6, 200)
+		if err != nil {
+			return 1, math.Inf(1)
+		}
+		return first, inner(first)
+	}
+	outer := func(base float64) float64 {
+		_, v := bestFirstFor(base)
+		return v
+	}
+	base, err := numeric.GoldenSection(outer, 1.05, 8, 1e-6, 200)
+	if err != nil {
+		return Strategy{}, 0, fmt.Errorf("turncost: %w", err)
+	}
+	first, ratio := bestFirstFor(base)
+	st := Strategy{Base: base, First: first, Cost: cost}
+	return st, ratio, nil
+}
+
+// ZeroCostOptimum is the classical turn-free optimum (the cow-path 9) that
+// Optimize(0, ...) must recover up to window convergence.
+const ZeroCostOptimum = 9.0
