@@ -7,14 +7,16 @@
 package repro
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/adversary"
 	"repro/internal/bounds"
 	"repro/internal/contract"
-	"repro/internal/core"
 	"repro/internal/cover"
+	"repro/internal/engine"
 	"repro/internal/fractional"
 	"repro/internal/numeric"
 	"repro/internal/potential"
@@ -24,33 +26,43 @@ import (
 )
 
 // BenchmarkE01Theorem1Table regenerates the Theorem 1 table: closed-form
-// A(k,f) against the measured exact ratio of the optimal strategy.
+// A(k,f) against the measured exact ratio of the optimal strategy. The
+// sweep runs once per pool size (workers=1 is the sequential baseline),
+// with a fresh engine per iteration so the result cache cannot amortize
+// the work away across b.N.
 func BenchmarkE01Theorem1Table(b *testing.B) {
-	var worstGap float64
-	for i := 0; i < b.N; i++ {
-		worstGap = 0
-		for k := 1; k <= 5; k++ {
-			for f := 0; f < k; f++ {
-				if regime, err := bounds.Classify(2, k, f); err != nil || regime != bounds.RegimeSearch {
-					continue
-				}
-				closed, err := bounds.AKF(k, f)
+	grid := engine.Grid(2, 5)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var worstGap float64
+			for i := 0; i < b.N; i++ {
+				worstGap = 0
+				cells, err := engine.New(workers).Sweep(grid, 1e4)
 				if err != nil {
 					b.Fatal(err)
 				}
-				p := core.Problem{M: 2, K: k, F: f}
-				ev, err := p.VerifyUpper(1e4)
-				if err != nil {
-					b.Fatal(err)
-				}
-				gap := math.Abs(ev.WorstRatio-closed) / closed
-				if gap > worstGap {
-					worstGap = gap
+				for _, cr := range cells {
+					if !cr.Evaluated {
+						continue
+					}
+					if gap := cr.RelGap(); gap > worstGap {
+						worstGap = gap
+					}
 				}
 			}
-		}
+			b.ReportMetric(worstGap, "worst-rel-gap")
+		})
 	}
-	b.ReportMetric(worstGap, "worst-rel-gap")
+}
+
+// benchWorkerCounts returns the pool sizes the parallel-vs-serial
+// ablations compare: always 1, plus GOMAXPROCS when that differs.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
 }
 
 // BenchmarkE02ByzantineTransfer regenerates the B(3,1) transfer value with
@@ -104,24 +116,21 @@ func BenchmarkE03PotentialDivergence(b *testing.B) {
 	b.ReportMetric(delta, "delta")
 }
 
-// BenchmarkE04MRayTable regenerates the Theorem 6 table.
+// BenchmarkE04MRayTable regenerates the Theorem 6 table through the
+// engine sweep (fresh engine per iteration: no cross-iteration cache).
 func BenchmarkE04MRayTable(b *testing.B) {
-	cases := []struct{ m, k, f int }{{3, 2, 0}, {3, 4, 1}, {4, 3, 0}, {5, 4, 0}}
+	cells := []engine.Cell{
+		{M: 3, K: 2, F: 0}, {M: 3, K: 4, F: 1}, {M: 4, K: 3, F: 0}, {M: 5, K: 4, F: 0},
+	}
 	var worstGap float64
 	for i := 0; i < b.N; i++ {
 		worstGap = 0
-		for _, c := range cases {
-			closed, err := bounds.AMKF(c.m, c.k, c.f)
-			if err != nil {
-				b.Fatal(err)
-			}
-			p := core.Problem{M: c.m, K: c.k, F: c.f}
-			ev, err := p.VerifyUpper(1e4)
-			if err != nil {
-				b.Fatal(err)
-			}
-			gap := math.Abs(ev.WorstRatio-closed) / closed
-			if gap > worstGap {
+		results, err := engine.New(0).Sweep(cells, 1e4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cr := range results {
+			if gap := cr.RelGap(); gap > worstGap {
 				worstGap = gap
 			}
 		}
@@ -229,27 +238,28 @@ func BenchmarkE07AlphaSweep(b *testing.B) {
 }
 
 // BenchmarkE08ParallelSearch regenerates the f = 0 classical table
-// including the ray-split baseline comparison.
+// including the ray-split baseline comparison, batching the two
+// evaluations through the engine.
 func BenchmarkE08ParallelSearch(b *testing.B) {
+	opt, err := strategy.NewCyclicExponential(3, 2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := strategy.NewRaySplit(3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := []engine.Job{
+		engine.ExactRatio{Strategy: opt, Faults: 0, Horizon: 1e4},
+		engine.ExactRatio{Strategy: split, Faults: 0, Horizon: 1e4},
+	}
 	var coop, base float64
 	for i := 0; i < b.N; i++ {
-		opt, err := strategy.NewCyclicExponential(3, 2, 0)
+		results, err := engine.New(0).RunBatch(jobs)
 		if err != nil {
 			b.Fatal(err)
 		}
-		evOpt, err := adversary.ExactRatio(opt, 0, 1e4)
-		if err != nil {
-			b.Fatal(err)
-		}
-		split, err := strategy.NewRaySplit(3, 2)
-		if err != nil {
-			b.Fatal(err)
-		}
-		evBase, err := adversary.ExactRatio(split, 0, 1e4)
-		if err != nil {
-			b.Fatal(err)
-		}
-		coop, base = evOpt.WorstRatio, evBase.WorstRatio
+		coop, base = results[0].Value, results[1].Value
 		if coop >= base {
 			b.Fatal("cooperation must beat the split baseline at m=3, k=2")
 		}
@@ -360,18 +370,18 @@ func BenchmarkAblationGridVsExact(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	jobs := []engine.Job{
+		engine.ExactRatio{Strategy: s, Faults: 1, Horizon: 1e4},
+		engine.GridRatio{Strategy: s, Faults: 1, Horizon: 1e4, N: 500},
+	}
 	var exact, grid float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev, err := adversary.ExactRatio(s, 1, 1e4)
+		results, err := engine.New(0).RunBatch(jobs)
 		if err != nil {
 			b.Fatal(err)
 		}
-		g, err := adversary.GridRatio(s, 1, 1e4, 500)
-		if err != nil {
-			b.Fatal(err)
-		}
-		exact, grid = ev.WorstRatio, g
+		exact, grid = results[0].Value, results[1].Value
 		if grid > exact {
 			b.Fatal("grid must not exceed exact")
 		}
@@ -444,6 +454,36 @@ func BenchmarkE13RandomizedSearch(b *testing.B) {
 	b.ReportMetric(ratio, "expected-ratio")
 }
 
+// BenchmarkE13MonteCarloBatch cross-checks the closed form with seeded
+// Monte-Carlo trials batched through the engine: the trial jobs are
+// deterministic by seed, so the batch is reproducible run to run.
+func BenchmarkE13MonteCarloBatch(b *testing.B) {
+	base, ratio, err := randomized.OptimalBase()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]engine.Job, 4)
+	for i := range jobs {
+		jobs[i] = engine.RandomizedTrials{Base: base, X: 10, Samples: 150, Seed: int64(i + 1)}
+	}
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		results, err := engine.New(0).RunBatch(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = 0
+		for _, r := range results {
+			mean += r.Value
+		}
+		mean /= float64(len(jobs))
+		if math.Abs(mean-ratio)/ratio > 0.1 {
+			b.Fatalf("MC mean %g far from closed form %g", mean, ratio)
+		}
+	}
+	b.ReportMetric(mean, "mc-expected-ratio")
+}
+
 // BenchmarkE14TurnCost (extension; the paper's reference [15]) optimizes
 // the geometric strategy under a per-turn cost and reports the degraded
 // ratio.
@@ -489,6 +529,52 @@ func BenchmarkAblationBigVsFloat(b *testing.B) {
 		}
 	}
 	b.ReportMetric(maxDiff, "max-rel-diff")
+}
+
+// BenchmarkAblationSweepParallelism is the engine's parallel-vs-serial
+// ablation: the same Theorem 1 + Theorem 6 sweep at each pool size, so
+// the per-op times read off directly as the engine's scaling curve.
+// The merged results are compared against the workers=1 baseline every
+// iteration — the speedup must not buy any output drift.
+func BenchmarkAblationSweepParallelism(b *testing.B) {
+	cells := append(engine.Grid(2, 6), engine.Grid(3, 5)...)
+	baseline, err := engine.New(1).Sweep(cells, 1e4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := engine.New(workers).Sweep(cells, 1e4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range results {
+					if results[j].Eval.WorstRatio != baseline[j].Eval.WorstRatio {
+						b.Fatalf("cell %d: parallel sweep diverged from serial baseline", j)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(cells)), "cells")
+		})
+	}
+}
+
+// BenchmarkAblationCacheHit measures the engine's memoization: the
+// second identical sweep on a warm engine must cost only map lookups.
+func BenchmarkAblationCacheHit(b *testing.B) {
+	cells := engine.Grid(2, 6)
+	eng := engine.New(0)
+	if _, err := eng.Sweep(cells, 1e4); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Sweep(cells, 1e4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.CacheSize()), "cached-jobs")
 }
 
 // BenchmarkAblationEDFAssignment measures the exact-q assignment sweep on

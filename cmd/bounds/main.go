@@ -5,6 +5,9 @@
 //	bounds -m 4 -kmax 8            Theorem 6 table A(4, k, f)
 //	bounds -eta 1.25,1.5,2,3       fractional C(eta) values (Eq. 11)
 //	bounds -m 2 -kmax 8 -prec 128  add certified high-precision digits
+//
+// The certified enclosures are computed on the internal/engine worker
+// pool (-workers; the table prints in deterministic order regardless).
 package main
 
 import (
@@ -16,24 +19,26 @@ import (
 	"strings"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		m    = flag.Int("m", 2, "number of rays (2 = the line)")
-		kmax = flag.Int("kmax", 8, "largest robot count to tabulate")
-		etas = flag.String("eta", "", "comma-separated eta values for the fractional bound")
-		prec = flag.Uint("prec", 0, "if > 0, also print certified enclosures at this many bits")
+		m       = flag.Int("m", 2, "number of rays (2 = the line)")
+		kmax    = flag.Int("kmax", 8, "largest robot count to tabulate")
+		etas    = flag.String("eta", "", "comma-separated eta values for the fractional bound")
+		prec    = flag.Uint("prec", 0, "if > 0, also print certified enclosures at this many bits")
+		workers = flag.Int("workers", 0, "worker-pool size for the enclosures (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *m, *kmax, *etas, *prec); err != nil {
+	if err := run(os.Stdout, *m, *kmax, *etas, *prec, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "bounds:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, m, kmax int, etas string, prec uint) error {
+func run(w io.Writer, m, kmax int, etas string, prec uint, workers int) error {
 	if etas != "" {
 		return printEtas(w, etas)
 	}
@@ -79,22 +84,33 @@ func run(w io.Writer, m, kmax int, etas string, prec uint) error {
 			fmt.Sprintf("Certified enclosures at %d bits (search regime only)", prec),
 			"k", "f", "lambda0 (certified midpoint)", "enclosure width",
 		)
+		// Collect the search-regime cells, compute the enclosures on
+		// the pool, and print in cell order.
+		var cells []engine.Cell
 		for k := 1; k <= kmax; k++ {
 			for f := 0; f < k; f++ {
 				regime, err := bounds.Classify(m, k, f)
 				if err != nil || regime != bounds.RegimeSearch {
 					continue
 				}
-				enc, err := bounds.HighPrecisionBound(m*(f+1), k, prec)
-				if err != nil {
-					return err
-				}
-				widthF, _ := enc.Lambda0.Width().Float64()
-				hp.AddRow(
-					strconv.Itoa(k), strconv.Itoa(f),
-					enc.Lambda0.Lo.Text('g', 30), report.Fmt(widthF, 3),
-				)
+				cells = append(cells, engine.Cell{M: m, K: k, F: f})
 			}
+		}
+		encs := make([]bounds.HighPrecision, len(cells))
+		err := engine.New(workers).ForEach(len(cells), func(i int) error {
+			var herr error
+			encs[i], herr = bounds.HighPrecisionBound(cells[i].M*(cells[i].F+1), cells[i].K, prec)
+			return herr
+		})
+		if err != nil {
+			return err
+		}
+		for i, c := range cells {
+			widthF, _ := encs[i].Lambda0.Width().Float64()
+			hp.AddRow(
+				strconv.Itoa(c.K), strconv.Itoa(c.F),
+				encs[i].Lambda0.Lo.Text('g', 30), report.Fmt(widthF, 3),
+			)
 		}
 		fmt.Fprintln(w)
 		fmt.Fprint(w, hp.Markdown())

@@ -7,7 +7,7 @@ import (
 
 func TestRunTheoremTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 4, "", 0); err != nil {
+	if err := run(&sb, 2, 4, "", 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -20,7 +20,7 @@ func TestRunTheoremTable(t *testing.T) {
 
 func TestRunWithPrecision(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 3, "", 96); err != nil {
+	if err := run(&sb, 2, 3, "", 96, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -34,7 +34,7 @@ func TestRunWithPrecision(t *testing.T) {
 
 func TestRunEtas(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 4, "1.5, 2", 0); err != nil {
+	if err := run(&sb, 2, 4, "1.5, 2", 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -45,16 +45,31 @@ func TestRunEtas(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 1, 4, "", 0); err == nil {
+	if err := run(&sb, 1, 4, "", 0, 1); err == nil {
 		t.Error("m < 2 should fail")
 	}
-	if err := run(&sb, 2, 0, "", 0); err == nil {
+	if err := run(&sb, 2, 0, "", 0, 1); err == nil {
 		t.Error("kmax < 1 should fail")
 	}
-	if err := run(&sb, 2, 2, "abc", 0); err == nil {
+	if err := run(&sb, 2, 2, "abc", 0, 1); err == nil {
 		t.Error("unparsable eta should fail")
 	}
-	if err := run(&sb, 2, 2, "0.5", 0); err == nil {
+	if err := run(&sb, 2, 2, "0.5", 0, 1); err == nil {
 		t.Error("eta <= 1 should fail")
+	}
+}
+
+// TestRunPrecisionParallelIdentical pins the deterministic merge of the
+// pooled enclosure computation: output must not depend on workers.
+func TestRunPrecisionParallelIdentical(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run(&serial, 2, 5, "", 96, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&parallel, 2, 5, "", 96, 8); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("workers=8 output differs from workers=1:\n%s\nvs\n%s", serial.String(), parallel.String())
 	}
 }

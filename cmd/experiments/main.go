@@ -3,8 +3,13 @@
 // table or series per experiment. See DESIGN.md for the experiment index
 // and EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 //
-//	experiments          run everything
-//	experiments -only 4  run a single experiment id
+// The expensive adversarial evaluations fan out over the worker pool of
+// internal/engine; results merge in input order, so the output is
+// byte-identical for every -workers setting.
+//
+//	experiments               run everything
+//	experiments -only 4       run a single experiment id
+//	experiments -workers 1    force the sequential evaluation path
 package main
 
 import (
@@ -15,10 +20,10 @@ import (
 	"os"
 	"strconv"
 
-	"repro/internal/adversary"
 	"repro/internal/bounds"
 	"repro/internal/contract"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fractional"
 	"repro/internal/potential"
 	"repro/internal/report"
@@ -27,8 +32,9 @@ import (
 
 func main() {
 	only := flag.Int("only", 0, "run a single experiment id (1..12); 0 = all")
+	workers := flag.Int("workers", 0, "worker-pool size for the evaluations (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
-	if err := run(os.Stdout, *only); err != nil {
+	if err := run(os.Stdout, *only, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -37,10 +43,11 @@ func main() {
 type experiment struct {
 	id   int
 	name string
-	fn   func(io.Writer) error
+	fn   func(io.Writer, *engine.Engine) error
 }
 
-func run(w io.Writer, only int) error {
+func run(w io.Writer, only, workers int) error {
+	eng := engine.New(workers)
 	experiments := []experiment{
 		{1, "E1: Theorem 1 — A(k,f) closed form vs. measured strategy ratio", e01},
 		{2, "E2: Byzantine transfer — B(3,1) >= 5.2333 (prior 3.93)", e02},
@@ -60,7 +67,7 @@ func run(w io.Writer, only int) error {
 			continue
 		}
 		fmt.Fprintf(w, "## %s\n\n", ex.name)
-		if err := ex.fn(w); err != nil {
+		if err := ex.fn(w, eng); err != nil {
 			return fmt.Errorf("E%d: %w", ex.id, err)
 		}
 		fmt.Fprintln(w)
@@ -68,38 +75,28 @@ func run(w io.Writer, only int) error {
 	return nil
 }
 
-func e01(w io.Writer) error {
+func e01(w io.Writer, eng *engine.Engine) error {
 	tb := report.NewTable("", "k", "f", "s", "A(k,f) closed form", "measured sup ratio", "rel. gap")
-	for k := 1; k <= 6; k++ {
-		for f := 0; f < k; f++ {
-			regime, err := bounds.Classify(2, k, f)
-			if err != nil {
-				return err
-			}
-			if regime != bounds.RegimeSearch {
-				continue
-			}
-			closed, err := bounds.AKF(k, f)
-			if err != nil {
-				return err
-			}
-			p := core.Problem{M: 2, K: k, F: f}
-			ev, err := p.VerifyUpper(2e5)
-			if err != nil {
-				return err
-			}
-			tb.AddRow(
-				strconv.Itoa(k), strconv.Itoa(f), strconv.Itoa(bounds.SlackS(k, f)),
-				report.Fmt(closed, 9), report.Fmt(ev.WorstRatio, 9),
-				report.Fmt(math.Abs(ev.WorstRatio-closed)/closed, 2),
-			)
-		}
+	cells, err := eng.Sweep(engine.Grid(2, 6), 2e5)
+	if err != nil {
+		return err
 	}
-	_, err := io.WriteString(w, tb.Markdown())
+	for _, cr := range cells {
+		if !cr.Evaluated {
+			continue
+		}
+		k, f := cr.Cell.K, cr.Cell.F
+		tb.AddRow(
+			strconv.Itoa(k), strconv.Itoa(f), strconv.Itoa(bounds.SlackS(k, f)),
+			report.Fmt(cr.Closed, 9), report.Fmt(cr.Eval.WorstRatio, 9),
+			report.Fmt(cr.RelGap(), 2),
+		)
+	}
+	_, err = io.WriteString(w, tb.Markdown())
 	return err
 }
 
-func e02(w io.Writer) error {
+func e02(w io.Writer, _ *engine.Engine) error {
 	improved := bounds.B31Improved()
 	hp, err := bounds.HighPrecisionBound(4, 3, 160)
 	if err != nil {
@@ -114,7 +111,7 @@ func e02(w io.Writer) error {
 	return err
 }
 
-func e03(w io.Writer) error {
+func e03(w io.Writer, _ *engine.Engine) error {
 	tb := report.NewTable("", "lambda/lambda0", "verdict", "delta", "min step ratio", "max survivable steps", "observed steps")
 	p := core.Problem{M: 2, K: 3, F: 1}
 	lambda0, err := p.LowerBound()
@@ -151,32 +148,29 @@ func e03(w io.Writer) error {
 	return err
 }
 
-func e04(w io.Writer) error {
+func e04(w io.Writer, eng *engine.Engine) error {
 	tb := report.NewTable("", "m", "k", "f", "q", "A(m,k,f) closed form", "measured sup ratio", "rel. gap")
-	cases := []struct{ m, k, f int }{
-		{2, 1, 0}, {2, 3, 1}, {3, 2, 0}, {3, 4, 1}, {4, 3, 0}, {4, 5, 1}, {5, 4, 0}, {6, 5, 0},
+	cells := []engine.Cell{
+		{M: 2, K: 1, F: 0}, {M: 2, K: 3, F: 1}, {M: 3, K: 2, F: 0}, {M: 3, K: 4, F: 1},
+		{M: 4, K: 3, F: 0}, {M: 4, K: 5, F: 1}, {M: 5, K: 4, F: 0}, {M: 6, K: 5, F: 0},
 	}
-	for _, c := range cases {
-		closed, err := bounds.AMKF(c.m, c.k, c.f)
-		if err != nil {
-			return err
-		}
-		p := core.Problem{M: c.m, K: c.k, F: c.f}
-		ev, err := p.VerifyUpper(2e5)
-		if err != nil {
-			return err
-		}
+	results, err := eng.Sweep(cells, 2e5)
+	if err != nil {
+		return err
+	}
+	for _, cr := range results {
+		c := cr.Cell
 		tb.AddRow(
-			strconv.Itoa(c.m), strconv.Itoa(c.k), strconv.Itoa(c.f), strconv.Itoa(c.m*(c.f+1)),
-			report.Fmt(closed, 9), report.Fmt(ev.WorstRatio, 9),
-			report.Fmt(math.Abs(ev.WorstRatio-closed)/closed, 2),
+			strconv.Itoa(c.M), strconv.Itoa(c.K), strconv.Itoa(c.F), strconv.Itoa(c.M*(c.F+1)),
+			report.Fmt(cr.Closed, 9), report.Fmt(cr.Eval.WorstRatio, 9),
+			report.Fmt(cr.RelGap(), 2),
 		)
 	}
-	_, err := io.WriteString(w, tb.Markdown())
+	_, err = io.WriteString(w, tb.Markdown())
 	return err
 }
 
-func e05(w io.Writer) error {
+func e05(w io.Writer, _ *engine.Engine) error {
 	tb := report.NewTable("", "m", "k", "q", "lambda/lambda0", "verdict", "detail")
 	cases := []struct{ m, k int }{{3, 2}, {2, 1}}
 	for _, c := range cases {
@@ -236,7 +230,7 @@ func orcTurnsOf(s strategy.Strategy, horizon float64) ([][]float64, error) {
 	return out, nil
 }
 
-func e06(w io.Writer) error {
+func e06(w io.Writer, _ *engine.Engine) error {
 	tb := report.NewTable("", "eta", "C(eta) closed form", "best q/k (k<=12)", "C(k,q)", "measured reduction ratio")
 	for _, eta := range []float64{1.25, 1.5, 2, 2.5, 3, 4} {
 		ceta, err := bounds.CEta(eta)
@@ -264,7 +258,7 @@ func e06(w io.Writer) error {
 	return err
 }
 
-func e07(w io.Writer) error {
+func e07(w io.Writer, eng *engine.Engine) error {
 	m, k, f := 2, 3, 1
 	q := m * (f + 1)
 	star, err := bounds.OptimalAlpha(q, k)
@@ -276,6 +270,10 @@ func e07(w io.Writer) error {
 		XLabel: "alpha",
 		YLabel: "measured sup ratio",
 	}
+	var (
+		alphas []float64
+		jobs   []engine.Job
+	)
 	for i := -4; i <= 4; i++ {
 		alpha := star * math.Pow(1.12, float64(i))
 		if alpha <= 1 {
@@ -285,11 +283,15 @@ func e07(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ev, err := adversary.ExactRatio(s, f, 5e4)
-		if err != nil {
-			return err
-		}
-		series.Add(alpha, ev.WorstRatio)
+		alphas = append(alphas, alpha)
+		jobs = append(jobs, engine.ExactRatio{Strategy: s, Faults: f, Horizon: 5e4})
+	}
+	results, err := eng.RunBatch(jobs)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		series.Add(alphas[i], res.Eval.WorstRatio)
 	}
 	if _, err := io.WriteString(w, series.Markdown()); err != nil {
 		return err
@@ -299,30 +301,40 @@ func e07(w io.Writer) error {
 	return err
 }
 
-func e08(w io.Writer) error {
+func e08(w io.Writer, eng *engine.Engine) error {
 	tb := report.NewTable("", "m", "k", "A(m,k,0)", "measured", "ray-split baseline", "classical k=1 check")
 	cases := []struct{ m, k int }{{2, 1}, {3, 1}, {3, 2}, {4, 2}, {4, 3}, {5, 2}}
-	for _, c := range cases {
-		closed, err := bounds.AMKF(c.m, c.k, 0)
-		if err != nil {
-			return err
-		}
-		p := core.Problem{M: c.m, K: c.k, F: 0}
-		ev, err := p.VerifyUpper(1e5)
-		if err != nil {
-			return err
-		}
-		baseCell := "-"
+	// Fan out the optimal-strategy evaluations and the ray-split
+	// baselines as one batch; results come back in job order.
+	var jobs []engine.Job
+	optIdx := make([]int, len(cases))
+	baseIdx := make([]int, len(cases)) // index into jobs; -1 = no baseline
+	for i, c := range cases {
+		optIdx[i] = len(jobs)
+		jobs = append(jobs, engine.VerifyUpper{M: c.m, K: c.k, F: 0, Horizon: 1e5})
+		baseIdx[i] = -1
 		if c.k < c.m {
 			base, err := strategy.NewRaySplit(c.m, c.k)
 			if err != nil {
 				return err
 			}
-			evBase, err := adversary.ExactRatio(base, 0, 1e5)
-			if err != nil {
-				return err
-			}
-			baseCell = report.Fmt(evBase.WorstRatio, 6)
+			baseIdx[i] = len(jobs)
+			jobs = append(jobs, engine.ExactRatio{Strategy: base, Faults: 0, Horizon: 1e5})
+		}
+	}
+	results, err := eng.RunBatch(jobs)
+	if err != nil {
+		return err
+	}
+	for i, c := range cases {
+		closed, err := bounds.AMKF(c.m, c.k, 0)
+		if err != nil {
+			return err
+		}
+		ev := results[optIdx[i]].Eval
+		baseCell := "-"
+		if baseIdx[i] >= 0 {
+			baseCell = report.Fmt(results[baseIdx[i]].Eval.WorstRatio, 6)
 		}
 		classic := "-"
 		if c.k == 1 {
@@ -337,11 +349,11 @@ func e08(w io.Writer) error {
 			report.Fmt(closed, 9), report.Fmt(ev.WorstRatio, 9), baseCell, classic,
 		)
 	}
-	_, err := io.WriteString(w, tb.Markdown())
+	_, err = io.WriteString(w, tb.Markdown())
 	return err
 }
 
-func e09(w io.Writer) error {
+func e09(w io.Writer, _ *engine.Engine) error {
 	tb := report.NewTable("", "s", "k", "mu_crit = mu(k+s,k)", "delta at 0.99*mu_crit", "delta at mu_crit", "delta at 1.01*mu_crit")
 	for _, c := range []struct{ s, k int }{{1, 1}, {1, 3}, {2, 3}, {3, 5}} {
 		muCrit, err := bounds.MuQK(float64(c.k+c.s), float64(c.k))
@@ -362,7 +374,7 @@ func e09(w io.Writer) error {
 	return err
 }
 
-func e10(w io.Writer) error {
+func e10(w io.Writer, _ *engine.Engine) error {
 	tb := report.NewTable("", "m", "k", "f", "regime", "ratio")
 	cases := []struct{ m, k, f int }{
 		{2, 4, 1}, {2, 2, 0}, {3, 6, 1}, {2, 2, 2}, {3, 1, 1}, {2, 3, 1},
@@ -382,7 +394,7 @@ func e10(w io.Writer) error {
 	return err
 }
 
-func e11(w io.Writer) error {
+func e11(w io.Writer, _ *engine.Engine) error {
 	series := report.Series{
 		Name:   "lambda = 2*rho^rho/(rho-1)^(rho-1) + 1 over rho in (1, 2]",
 		XLabel: "rho",
@@ -400,7 +412,7 @@ func e11(w io.Writer) error {
 	return err
 }
 
-func e12(w io.Writer) error {
+func e12(w io.Writer, _ *engine.Engine) error {
 	tb := report.NewTable("Contract schedules: AR* = mu(m+k, k)",
 		"m", "k", "AR* closed form", "measured AR", "alpha*")
 	for _, c := range []struct{ m, k int }{{2, 1}, {3, 1}, {4, 1}, {3, 2}} {

@@ -11,7 +11,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	// benchmark harness and by running the binary.
 	for _, id := range []int{2, 9, 10, 11} {
 		var sb strings.Builder
-		if err := run(&sb, id); err != nil {
+		if err := run(&sb, id, 1); err != nil {
 			t.Fatalf("experiment %d: %v", id, err)
 		}
 		if !strings.Contains(sb.String(), "## E") {
@@ -20,9 +20,31 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 }
 
+// TestRunParallelOutputIdentical pins the engine's determinism contract
+// at the CLI layer: the engine-backed experiments must print the same
+// bytes for every -workers setting.
+func TestRunParallelOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversarial sweeps are too slow for -short")
+	}
+	for _, id := range []int{1, 7, 8} {
+		var serial, parallel strings.Builder
+		if err := run(&serial, id, 1); err != nil {
+			t.Fatalf("experiment %d serial: %v", id, err)
+		}
+		if err := run(&parallel, id, 8); err != nil {
+			t.Fatalf("experiment %d parallel: %v", id, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("experiment %d: workers=8 output differs from workers=1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial.String(), parallel.String())
+		}
+	}
+}
+
 func TestRunE10Content(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 10); err != nil {
+	if err := run(&sb, 10, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -35,7 +57,7 @@ func TestRunE10Content(t *testing.T) {
 
 func TestRunE2Certified(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2); err != nil {
+	if err := run(&sb, 2, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "5.23306947191519859933788170473") {
@@ -45,7 +67,7 @@ func TestRunE2Certified(t *testing.T) {
 
 func TestRunUnknownIdIsNoop(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 99); err != nil {
+	if err := run(&sb, 99, 1); err != nil {
 		t.Fatal(err)
 	}
 	if sb.Len() != 0 {

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs main() with os.Stdout redirected and returns what it
+// printed. A failing example calls log.Fatal, which exits the test
+// binary non-zero — loud enough for a smoke test.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	main()
+	_ = w.Close()
+	return <-done
+}
+
+func TestMainSmoke(t *testing.T) {
+	out := captureMain(t)
+	if strings.TrimSpace(out) == "" {
+		t.Fatal("example produced no output")
+	}
+	for _, want := range []string{"corridors", "fault-free comparison", "refutation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/potential"
 	"repro/internal/sim"
 	"repro/internal/strategy"
@@ -166,12 +167,25 @@ func (p Problem) OptimalStrategy() (*strategy.CyclicExponential, error) {
 
 // VerifyUpper measures the exact worst-case ratio of the optimal strategy
 // over [1, horizon) — the executable form of the Theorem 6 upper bound.
+// The evaluation runs through the process-wide engine, so repeated
+// verifications of the same (problem, horizon) are served from its
+// result cache. The cache is append-only; callers sweeping unbounded
+// parameter sets should use VerifyUpperOn with their own engine (or
+// engine.Default().ResetCache()) to bound its memory.
 func (p Problem) VerifyUpper(horizon float64) (adversary.Evaluation, error) {
+	return p.VerifyUpperOn(engine.Default(), horizon)
+}
+
+// VerifyUpperOn is VerifyUpper evaluated through an explicit engine —
+// the hook batch callers (cmd/experiments, the benchmark harness) use
+// to control pool size and cache lifetime.
+func (p Problem) VerifyUpperOn(e *engine.Engine, horizon float64) (adversary.Evaluation, error) {
 	s, err := p.OptimalStrategy()
 	if err != nil {
 		return adversary.Evaluation{}, err
 	}
-	return adversary.ExactRatio(s, p.F, horizon)
+	res, err := e.Run(engine.ExactRatio{Strategy: s, Faults: p.F, Horizon: horizon})
+	return res.Eval, err
 }
 
 // RefuteBelow runs the Eq. (10) refutation pipeline against the optimal

@@ -1,0 +1,174 @@
+// Package engine is the concurrent batch-evaluation substrate of the
+// reproduction: a bounded worker pool, a Job abstraction for the
+// library's expensive evaluations (exact adversarial ratios, grid
+// ratios, upper-bound verification, randomized trials), a result cache
+// keyed on the job fingerprint, and a deterministic Sweep over
+// (m, k, f) parameter grids.
+//
+// Every batch primitive merges results in input order, so output built
+// from a parallel run is byte-identical to the sequential (workers = 1)
+// path. Determinism is the design constraint everything else bends to:
+// the experiment tables of cmd/experiments are reproduction artifacts,
+// and a table that changes with GOMAXPROCS would be useless as one.
+//
+// Typical usage:
+//
+//	eng := engine.New(0) // 0 = runtime.GOMAXPROCS(0) workers
+//	cells, err := eng.Sweep(engine.Grid(2, 6), 2e5)
+//	res, err := eng.Run(engine.ExactRatio{Strategy: s, Faults: 1, Horizon: 1e4})
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrBadParams is returned for invalid engine parameters.
+	ErrBadParams = errors.New("engine: invalid parameters")
+)
+
+// Engine runs Jobs on a bounded worker pool and memoizes their results.
+// The zero value is not usable; construct with New. An Engine is safe
+// for concurrent use.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+// cacheEntry is a singleflight slot: the first Run for a key computes
+// the result, later Runs for the same key wait on done and share it.
+type cacheEntry struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// New returns an engine with the given worker-pool size; workers <= 0
+// selects runtime.GOMAXPROCS(0). workers = 1 is the exact sequential
+// path (batch primitives run on the calling goroutine, no pool).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: make(map[string]*cacheEntry)}
+}
+
+// defaultEngine serves package-level callers (core.Problem.VerifyUpper)
+// that want caching without threading an Engine through their API.
+var defaultEngine = New(0)
+
+// Default returns the shared process-wide engine, sized to
+// runtime.GOMAXPROCS(0) at package initialization.
+func Default() *Engine { return defaultEngine }
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheSize reports the number of memoized job results.
+func (e *Engine) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// ResetCache drops every memoized result (in-flight computations are
+// unaffected: their callers still receive them, but new Runs recompute).
+// Long-lived processes sweeping many distinct parameters use this to
+// bound the memory of Default()'s otherwise append-only cache.
+func (e *Engine) ResetCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[string]*cacheEntry)
+}
+
+// Run evaluates one job through the cache. Identical jobs (equal keys)
+// compute once: concurrent duplicates wait for the first computation
+// and share its result. Jobs with an empty Key are never cached.
+// Errors are memoized too — jobs are deterministic, so a failed job
+// fails the same way every time.
+func (e *Engine) Run(j Job) (Result, error) {
+	key := j.Key()
+	if key == "" {
+		return j.Run()
+	}
+	e.mu.Lock()
+	if en, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		<-en.done
+		return en.res, en.err
+	}
+	en := &cacheEntry{done: make(chan struct{})}
+	e.cache[key] = en
+	e.mu.Unlock()
+	en.res, en.err = j.Run()
+	close(en.done)
+	return en.res, en.err
+}
+
+// RunBatch evaluates jobs on the pool and returns their results in
+// input order. All jobs are attempted even when some fail, and the
+// reported error is the lowest-index one, so the outcome — results,
+// error, everything — is independent of scheduling order.
+func (e *Engine) RunBatch(jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	err := e.ForEach(len(jobs), func(i int) error {
+		var jerr error
+		results[i], jerr = e.Run(jobs[i])
+		return jerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach runs fn(0), ..., fn(n-1) on the pool. Every index is
+// attempted; the error returned is the lowest-index failure (nil if
+// none), so parallel and sequential runs agree. With workers = 1 the
+// calls happen in index order on the calling goroutine.
+func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

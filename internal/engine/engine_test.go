@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/bounds"
+	"repro/internal/strategy"
+)
+
+// countingJob counts its executions through a shared counter, so the
+// tests can observe caching and singleflight behavior.
+type countingJob struct {
+	key   string
+	value float64
+	err   error
+	runs  *atomic.Int64
+}
+
+func (j countingJob) Key() string { return j.key }
+
+func (j countingJob) Run() (Result, error) {
+	j.runs.Add(1)
+	return Result{Value: j.value}, j.err
+}
+
+func TestNewWorkers(t *testing.T) {
+	if got := New(3).Workers(); got != 3 {
+		t.Errorf("New(3).Workers() = %d", got)
+	}
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-1).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-1).Workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestRunCachesByKey(t *testing.T) {
+	eng := New(4)
+	var runs atomic.Int64
+	j := countingJob{key: "same", value: 7, runs: &runs}
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = j
+	}
+	results, err := eng.RunBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Value != 7 {
+			t.Errorf("result %d = %g, want 7", i, r.Value)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("job with one key ran %d times, want 1 (singleflight)", got)
+	}
+	if got := eng.CacheSize(); got != 1 {
+		t.Errorf("CacheSize = %d, want 1", got)
+	}
+}
+
+func TestRunEmptyKeyNotCached(t *testing.T) {
+	eng := New(2)
+	var runs atomic.Int64
+	j := countingJob{key: "", value: 1, runs: &runs}
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Run(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := runs.Load(); got != 3 {
+		t.Errorf("uncacheable job ran %d times, want 3", got)
+	}
+	if got := eng.CacheSize(); got != 0 {
+		t.Errorf("CacheSize = %d, want 0", got)
+	}
+}
+
+func TestRunCachesErrors(t *testing.T) {
+	eng := New(2)
+	var runs atomic.Int64
+	boom := errors.New("boom")
+	j := countingJob{key: "failing", err: boom, runs: &runs}
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Run(j); !errors.Is(err, boom) {
+			t.Fatalf("run %d: err = %v, want boom", i, err)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("failing job ran %d times, want 1 (errors memoized)", got)
+	}
+}
+
+func TestRunBatchInputOrder(t *testing.T) {
+	eng := New(8)
+	var runs atomic.Int64
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = countingJob{key: fmt.Sprintf("j%d", i), value: float64(i), runs: &runs}
+	}
+	results, err := eng.RunBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Value != float64(i) {
+			t.Fatalf("result %d = %g: batch results not in input order", i, r.Value)
+		}
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		eng := New(workers)
+		err := eng.ForEach(20, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 1" {
+			t.Errorf("workers=%d: err = %v, want the lowest-index failure (index 1)", workers, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := New(4).ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("ForEach(0) = %v, want nil", err)
+	}
+}
+
+func TestGridOrder(t *testing.T) {
+	cells := Grid(2, 3)
+	want := []Cell{{2, 1, 0}, {2, 2, 0}, {2, 2, 1}, {2, 3, 0}, {2, 3, 1}, {2, 3, 2}}
+	if len(cells) != len(want) {
+		t.Fatalf("Grid(2,3) has %d cells, want %d", len(cells), len(want))
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Errorf("cell %d = %+v, want %+v", i, cells[i], want[i])
+		}
+	}
+}
+
+// TestSweepParallelMatchesSequential is the determinism contract: a
+// parallel Sweep over the Theorem 1 grid must agree field-for-field
+// with the sequential baseline. Run under -race this also exercises
+// the pool for data races.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	cells := Grid(2, 6)
+	seq, err := New(1).Sweep(cells, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(8).Sweep(cells, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("length mismatch: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Cell != p.Cell || s.Regime != p.Regime || s.Evaluated != p.Evaluated {
+			t.Errorf("cell %d: metadata mismatch: %+v vs %+v", i, s, p)
+		}
+		if !floatsEqual(s.Closed, p.Closed) {
+			t.Errorf("cell %d: Closed %v vs %v", i, s.Closed, p.Closed)
+		}
+		if s.Eval.WorstRatio != p.Eval.WorstRatio {
+			t.Errorf("cell %d: WorstRatio %v vs %v (parallel sweep must be bit-identical)",
+				i, s.Eval.WorstRatio, p.Eval.WorstRatio)
+		}
+	}
+}
+
+// floatsEqual treats two NaNs as equal (unsolvable cells).
+func floatsEqual(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestSweepRegimes(t *testing.T) {
+	// {2,2,2} is unsolvable (f >= k), {2,4,1} is trivial (k >= m(f+1)),
+	// {2,3,1} is the search regime.
+	results, err := New(4).Sweep([]Cell{{2, 2, 2}, {2, 4, 1}, {2, 3, 1}}, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := results[0]; r.Regime != bounds.RegimeUnsolvable || r.Evaluated || !math.IsNaN(r.Closed) {
+		t.Errorf("unsolvable cell: %+v", r)
+	}
+	if r := results[1]; r.Regime != bounds.RegimeTrivial || r.Evaluated || r.Closed != 1 {
+		t.Errorf("trivial cell: %+v", r)
+	}
+	r := results[2]
+	if r.Regime != bounds.RegimeSearch || !r.Evaluated {
+		t.Fatalf("search cell: %+v", r)
+	}
+	if !(r.Eval.WorstRatio > 1) || r.Eval.WorstRatio > r.Closed*(1+1e-9) {
+		t.Errorf("measured ratio %g outside (1, closed=%g]", r.Eval.WorstRatio, r.Closed)
+	}
+	if gap := r.RelGap(); !(gap < 0.05) {
+		t.Errorf("rel gap %g too large at horizon 1e4", gap)
+	}
+}
+
+func TestSweepCacheReuse(t *testing.T) {
+	eng := New(4)
+	cells := Grid(2, 5)
+	first, err := eng.Sweep(cells, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := eng.CacheSize()
+	if size == 0 {
+		t.Fatal("sweep populated no cache entries")
+	}
+	second, err := eng.Sweep(cells, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CacheSize(); got != size {
+		t.Errorf("repeat sweep grew the cache: %d -> %d", size, got)
+	}
+	for i := range first {
+		if first[i].Eval.WorstRatio != second[i].Eval.WorstRatio {
+			t.Errorf("cell %d: cached sweep diverged", i)
+		}
+	}
+}
+
+func TestVerifyUpperJobMatchesDirectEvaluation(t *testing.T) {
+	s, err := strategy.NewCyclicExponential(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := adversary.ExactRatio(s, 1, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(2).Run(VerifyUpper{M: 2, K: 3, F: 1, Horizon: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != direct.WorstRatio || res.Eval.WorstRatio != direct.WorstRatio {
+		t.Errorf("job ratio %g vs direct %g", res.Value, direct.WorstRatio)
+	}
+}
+
+func TestExactAndGridRatioJobs(t *testing.T) {
+	s, err := strategy.NewCyclicExponential(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(4)
+	exact, err := eng.Run(ExactRatio{Strategy: s, Faults: 1, Horizon: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := eng.Run(GridRatio{Strategy: s, Faults: 1, Horizon: 1e4, N: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Value > exact.Value {
+		t.Errorf("grid estimate %g exceeds exact supremum %g", grid.Value, exact.Value)
+	}
+	if eng.CacheSize() != 2 {
+		t.Errorf("CacheSize = %d, want 2 distinct keys", eng.CacheSize())
+	}
+}
+
+func TestRandomizedTrialsDeterministicBySeed(t *testing.T) {
+	j := RandomizedTrials{Base: 3.59, X: 10, Samples: 200, Seed: 42}
+	a, err := New(1).Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(4).Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Errorf("same seed gave %g and %g", a.Value, b.Value)
+	}
+	c, err := New(1).Run(RandomizedTrials{Base: 3.59, X: 10, Samples: 200, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Value == a.Value {
+		t.Errorf("different seeds gave identical estimates %g (suspicious)", a.Value)
+	}
+	// The estimate must sit near the closed form 1 + (1+b)/ln b.
+	want := 1 + (1+3.59)/math.Log(3.59)
+	if math.Abs(a.Value-want)/want > 0.25 {
+		t.Errorf("MC estimate %g far from closed form %g", a.Value, want)
+	}
+}
+
+func TestSweepErrorIsDeterministic(t *testing.T) {
+	// m = 0 is invalid; Classify rejects it. Both pool sizes must
+	// report the same (lowest-index) failing cell.
+	cells := []Cell{{2, 3, 1}, {0, 1, 0}, {0, 2, 0}}
+	_, errSeq := New(1).Sweep(cells, 1e3)
+	_, errPar := New(8).Sweep(cells, 1e3)
+	if errSeq == nil || errPar == nil {
+		t.Fatal("invalid cells must fail the sweep")
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Errorf("sequential error %q vs parallel error %q", errSeq, errPar)
+	}
+}

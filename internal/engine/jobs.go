@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/adversary"
+	"repro/internal/randomized"
+	"repro/internal/strategy"
+)
+
+// fingerprint identifies a strategy for cache keying. Name() encodes
+// the constructor parameters but prints floats at reading precision
+// (%.6g), which could alias two nearby alphas onto one key; for
+// strategies exposing their base, the exact bits are appended.
+func fingerprint(s strategy.Strategy) string {
+	name := s.Name()
+	if a, ok := s.(interface{ Alpha() float64 }); ok {
+		name += "|a=" + strconv.FormatFloat(a.Alpha(), 'x', -1, 64)
+	}
+	return name
+}
+
+// Result is the outcome of one Job: a headline scalar, plus the full
+// adversarial evaluation for ratio-style jobs.
+type Result struct {
+	// Value is the job's headline quantity (a worst-case ratio for the
+	// adversarial jobs, a mean ratio for randomized trials).
+	Value float64
+	// Eval carries the located supremum for jobs that run the exact
+	// adversary; zero otherwise.
+	Eval adversary.Evaluation
+}
+
+// Job is one unit of batch work. Implementations must be deterministic:
+// two jobs with equal keys must produce equal results, because the
+// engine memoizes by key. A job whose Key is "" opts out of caching.
+type Job interface {
+	// Key fingerprints the job for the result cache. Strategy-based
+	// jobs derive the fingerprint from strategy.Strategy.Name() (plus
+	// the exact base bits when exposed), so custom strategies must
+	// encode their parameters in Name (the built-in constructors do).
+	Key() string
+	// Run performs the evaluation.
+	Run() (Result, error)
+}
+
+// ExactRatio evaluates the exact worst-case competitive ratio of a
+// strategy under the crash-fault adversary (adversary.ExactRatio).
+type ExactRatio struct {
+	Strategy strategy.Strategy
+	Faults   int
+	Horizon  float64
+}
+
+// Key implements Job, keyed on (strategy fingerprint, faults, horizon).
+func (j ExactRatio) Key() string {
+	if j.Strategy == nil {
+		return ""
+	}
+	return fmt.Sprintf("exact|%s|f=%d|h=%g", fingerprint(j.Strategy), j.Faults, j.Horizon)
+}
+
+// Run implements Job.
+func (j ExactRatio) Run() (Result, error) {
+	ev, err := adversary.ExactRatio(j.Strategy, j.Faults, j.Horizon)
+	return Result{Value: ev.WorstRatio, Eval: ev}, err
+}
+
+// GridRatio evaluates the log-spaced grid estimate of the worst-case
+// ratio (adversary.GridRatio) — the underestimating cross-check used by
+// the grid-vs-exact ablation.
+type GridRatio struct {
+	Strategy strategy.Strategy
+	Faults   int
+	Horizon  float64
+	N        int
+}
+
+// Key implements Job.
+func (j GridRatio) Key() string {
+	if j.Strategy == nil {
+		return ""
+	}
+	return fmt.Sprintf("grid|%s|f=%d|h=%g|n=%d", fingerprint(j.Strategy), j.Faults, j.Horizon, j.N)
+}
+
+// Run implements Job.
+func (j GridRatio) Run() (Result, error) {
+	v, err := adversary.GridRatio(j.Strategy, j.Faults, j.Horizon, j.N)
+	return Result{Value: v}, err
+}
+
+// VerifyUpper measures the exact worst-case ratio of the optimal cyclic
+// exponential strategy for (M, K, F) — the executable Theorem 6 upper
+// bound, as a cacheable job. It is the unit of work Sweep fans out.
+type VerifyUpper struct {
+	M, K, F int
+	Horizon float64
+}
+
+// Key implements Job.
+func (j VerifyUpper) Key() string {
+	return fmt.Sprintf("verify|m=%d|k=%d|f=%d|h=%g", j.M, j.K, j.F, j.Horizon)
+}
+
+// Run implements Job.
+func (j VerifyUpper) Run() (Result, error) {
+	s, err := strategy.NewCyclicExponential(j.M, j.K, j.F)
+	if err != nil {
+		return Result{}, err
+	}
+	ev, err := adversary.ExactRatio(s, j.F, j.Horizon)
+	return Result{Value: ev.WorstRatio, Eval: ev}, err
+}
+
+// RandomizedTrials runs a Monte-Carlo estimate of the randomized
+// zigzag's expected ratio (randomized.MonteCarloRatio) with an explicit
+// seed, so the job is deterministic and cacheable like the others.
+type RandomizedTrials struct {
+	Base    float64
+	X       float64
+	Samples int
+	Seed    int64
+}
+
+// Key implements Job.
+func (j RandomizedTrials) Key() string {
+	return fmt.Sprintf("mc|b=%g|x=%g|n=%d|seed=%d", j.Base, j.X, j.Samples, j.Seed)
+}
+
+// Run implements Job.
+func (j RandomizedTrials) Run() (Result, error) {
+	rng := rand.New(rand.NewSource(j.Seed))
+	v, err := randomized.MonteCarloRatio(j.Base, j.X, j.Samples, rng)
+	return Result{Value: v}, err
+}
+
+var (
+	_ Job = ExactRatio{}
+	_ Job = GridRatio{}
+	_ Job = VerifyUpper{}
+	_ Job = RandomizedTrials{}
+)

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/bounds"
+)
+
+// Cell is one (m, k, f) parameter point of a sweep grid.
+type Cell struct {
+	M, K, F int
+}
+
+// CellResult pairs a cell with its regime, closed-form bound, and (for
+// search-regime cells) the measured exact worst-case ratio.
+type CellResult struct {
+	Cell Cell
+	// Regime classifies the cell (unsolvable / trivial / search).
+	Regime bounds.Regime
+	// Closed is the closed-form A(m, k, f); NaN for unsolvable cells.
+	Closed float64
+	// Eval is the measured evaluation of the optimal strategy; only
+	// populated when Evaluated.
+	Eval adversary.Evaluation
+	// Evaluated reports whether the cell was measured (search regime).
+	Evaluated bool
+}
+
+// RelGap returns |measured - closed| / closed for evaluated cells and
+// NaN otherwise.
+func (c CellResult) RelGap() float64 {
+	if !c.Evaluated {
+		return math.NaN()
+	}
+	return math.Abs(c.Eval.WorstRatio-c.Closed) / c.Closed
+}
+
+// Grid enumerates the (m, k, f) cells with k in 1..kMax and f in
+// 0..k-1 at fixed m, in row-major (k outer, f inner) order — the
+// Theorem 1 (m = 2) and Theorem 6 table order used by cmd/experiments
+// and cmd/bounds.
+func Grid(m, kMax int) []Cell {
+	var cells []Cell
+	for k := 1; k <= kMax; k++ {
+		for f := 0; f < k; f++ {
+			cells = append(cells, Cell{M: m, K: k, F: f})
+		}
+	}
+	return cells
+}
+
+// Sweep classifies every cell, computes the closed-form bound, and
+// measures the exact worst-case ratio of the optimal strategy for each
+// search-regime cell at the horizon, fanning the evaluations out over
+// the worker pool. Results come back in input order regardless of the
+// pool size, so tables built from a parallel sweep are byte-identical
+// to the sequential (workers = 1) path.
+func (e *Engine) Sweep(cells []Cell, horizon float64) ([]CellResult, error) {
+	out := make([]CellResult, len(cells))
+	err := e.ForEach(len(cells), func(i int) error {
+		c := cells[i]
+		regime, err := bounds.Classify(c.M, c.K, c.F)
+		if err != nil {
+			return fmt.Errorf("engine: cell (%d,%d,%d): %w", c.M, c.K, c.F, err)
+		}
+		out[i] = CellResult{Cell: c, Regime: regime, Closed: math.NaN()}
+		if regime != bounds.RegimeUnsolvable {
+			closed, err := bounds.AMKF(c.M, c.K, c.F)
+			if err != nil {
+				return fmt.Errorf("engine: cell (%d,%d,%d): %w", c.M, c.K, c.F, err)
+			}
+			out[i].Closed = closed
+		}
+		if regime != bounds.RegimeSearch {
+			return nil
+		}
+		res, err := e.Run(VerifyUpper{M: c.M, K: c.K, F: c.F, Horizon: horizon})
+		if err != nil {
+			return fmt.Errorf("engine: cell (%d,%d,%d): %w", c.M, c.K, c.F, err)
+		}
+		out[i].Eval = res.Eval
+		out[i].Evaluated = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
