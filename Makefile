@@ -1,0 +1,24 @@
+# Development shortcuts; CI (.github/workflows/ci.yml) runs the same
+# commands.
+
+.PHONY: test bench bench-baseline serve cover
+
+test:
+	go build ./... && go test -race ./...
+
+bench:
+	go test -run=NONE -bench=. -benchtime=100x -count=5 .
+
+# Refresh the committed benchmark baseline the CI regression gate
+# compares against (run on a quiet machine, commit BENCH_baseline.json).
+bench-baseline:
+	go test -run=NONE -bench=. -benchtime=100x -count=5 . | tee bench_baseline.txt
+	go run ./cmd/benchdiff -write BENCH_baseline.json -in bench_baseline.txt
+	rm -f bench_baseline.txt
+
+cover:
+	go test -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -1
+
+serve:
+	go run ./cmd/boundsd -addr :8080

@@ -3,11 +3,18 @@
 //
 //	bounds -m 2 -kmax 8            Theorem 1 table A(k, f)
 //	bounds -m 4 -kmax 8            Theorem 6 table A(4, k, f)
+//	bounds -model byzantine        transfer lower bounds from the registry
+//	bounds -scenarios              list the registered fault models
 //	bounds -eta 1.25,1.5,2,3       fractional C(eta) values (Eq. 11)
 //	bounds -m 2 -kmax 8 -prec 128  add certified high-precision digits
 //
-// The certified enclosures are computed on the internal/engine worker
-// pool (-workers; the table prints in deterministic order regardless).
+// The fault model resolves through the scenario registry
+// (internal/registry) and the table renders through the same response
+// structs the boundsd HTTP API serves, so `bounds -m 2 -kmax 8` and
+// `curl boundsd/v1/bounds?m=2&kmax=8&format=markdown` are
+// byte-identical. The certified enclosures are computed on the
+// internal/engine worker pool (-workers; the table prints in
+// deterministic order regardless).
 package main
 
 import (
@@ -20,64 +27,59 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/engine"
+	"repro/internal/registry"
 	"repro/internal/report"
+	"repro/internal/server"
 )
 
 func main() {
 	var (
-		m       = flag.Int("m", 2, "number of rays (2 = the line)")
-		kmax    = flag.Int("kmax", 8, "largest robot count to tabulate")
-		etas    = flag.String("eta", "", "comma-separated eta values for the fractional bound")
-		prec    = flag.Uint("prec", 0, "if > 0, also print certified enclosures at this many bits")
-		workers = flag.Int("workers", 0, "worker-pool size for the enclosures (0 = GOMAXPROCS, 1 = serial)")
+		m         = flag.Int("m", 2, "number of rays (2 = the line)")
+		kmax      = flag.Int("kmax", 8, "largest robot count to tabulate")
+		model     = flag.String("model", "crash", "fault model (a registry scenario name)")
+		scenarios = flag.Bool("scenarios", false, "list the registered scenarios and exit")
+		etas      = flag.String("eta", "", "comma-separated eta values for the fractional bound")
+		prec      = flag.Uint("prec", 0, "if > 0, also print certified enclosures at this many bits")
+		workers   = flag.Int("workers", 0, "worker-pool size for the enclosures (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *m, *kmax, *etas, *prec, *workers); err != nil {
+	if *scenarios {
+		if err := printScenarios(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bounds:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(os.Stdout, *m, *kmax, *etas, *prec, *workers, *model); err != nil {
 		fmt.Fprintln(os.Stderr, "bounds:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, m, kmax int, etas string, prec uint, workers int) error {
+// printScenarios renders the registry listing — the CLI view of what
+// boundsd serves as /v1/scenarios.
+func printScenarios(w io.Writer) error {
+	tb := report.NewTable("Registered scenarios", "name", "upper bound", "verifiable", "description")
+	for _, sc := range registry.Default().All() {
+		tb.AddRow(sc.Name, strconv.FormatBool(sc.HasUpperBound), strconv.FormatBool(sc.Verifiable), sc.Description)
+	}
+	_, err := fmt.Fprint(w, tb.Markdown())
+	return err
+}
+
+func run(w io.Writer, m, kmax int, etas string, prec uint, workers int, model string) error {
 	if etas != "" {
 		return printEtas(w, etas)
 	}
-	if m < 2 || kmax < 1 {
-		return fmt.Errorf("need m >= 2 and kmax >= 1, got m=%d kmax=%d", m, kmax)
+	sc, err := registry.Get(model)
+	if err != nil {
+		return err
 	}
-	tb := report.NewTable(
-		fmt.Sprintf("A(m=%d, k, f): optimal competitive ratio (Theorems 1 and 6)", m),
-		"k", "f", "q", "rho", "regime", "lambda", "alpha*",
-	)
-	for k := 1; k <= kmax; k++ {
-		for f := 0; f < k; f++ {
-			regime, err := bounds.Classify(m, k, f)
-			if err != nil {
-				return err
-			}
-			lambda, lerr := bounds.AMKF(m, k, f)
-			if lerr != nil && regime != bounds.RegimeUnsolvable {
-				return lerr
-			}
-			rho, err := bounds.Rho(m, k, f)
-			if err != nil {
-				return err
-			}
-			alphaCell := "-"
-			if regime == bounds.RegimeSearch {
-				alpha, err := bounds.OptimalAlpha(m*(f+1), k)
-				if err != nil {
-					return err
-				}
-				alphaCell = report.Fmt(alpha, 6)
-			}
-			tb.AddRow(
-				strconv.Itoa(k), strconv.Itoa(f), strconv.Itoa(m*(f+1)),
-				report.Fmt(rho, 4), regime.String(), report.Fmt(lambda, 9), alphaCell,
-			)
-		}
+	table, err := server.ComputeBoundsTable(sc, m, kmax)
+	if err != nil {
+		return err
 	}
-	fmt.Fprint(w, tb.Markdown())
+	fmt.Fprint(w, table.Markdown())
 
 	if prec > 0 {
 		hp := report.NewTable(

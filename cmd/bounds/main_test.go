@@ -3,11 +3,14 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/server"
 )
 
 func TestRunTheoremTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 4, "", 0, 1); err != nil {
+	if err := run(&sb, 2, 4, "", 0, 1, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -20,7 +23,7 @@ func TestRunTheoremTable(t *testing.T) {
 
 func TestRunWithPrecision(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 3, "", 96, 2); err != nil {
+	if err := run(&sb, 2, 3, "", 96, 2, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -34,7 +37,7 @@ func TestRunWithPrecision(t *testing.T) {
 
 func TestRunEtas(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 4, "1.5, 2", 0, 1); err != nil {
+	if err := run(&sb, 2, 4, "1.5, 2", 0, 1, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -45,16 +48,16 @@ func TestRunEtas(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 1, 4, "", 0, 1); err == nil {
+	if err := run(&sb, 1, 4, "", 0, 1, "crash"); err == nil {
 		t.Error("m < 2 should fail")
 	}
-	if err := run(&sb, 2, 0, "", 0, 1); err == nil {
+	if err := run(&sb, 2, 0, "", 0, 1, "crash"); err == nil {
 		t.Error("kmax < 1 should fail")
 	}
-	if err := run(&sb, 2, 2, "abc", 0, 1); err == nil {
+	if err := run(&sb, 2, 2, "abc", 0, 1, "crash"); err == nil {
 		t.Error("unparsable eta should fail")
 	}
-	if err := run(&sb, 2, 2, "0.5", 0, 1); err == nil {
+	if err := run(&sb, 2, 2, "0.5", 0, 1, "crash"); err == nil {
 		t.Error("eta <= 1 should fail")
 	}
 }
@@ -63,13 +66,60 @@ func TestRunErrors(t *testing.T) {
 // pooled enclosure computation: output must not depend on workers.
 func TestRunPrecisionParallelIdentical(t *testing.T) {
 	var serial, parallel strings.Builder
-	if err := run(&serial, 2, 5, "", 96, 1); err != nil {
+	if err := run(&serial, 2, 5, "", 96, 1, "crash"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&parallel, 2, 5, "", 96, 8); err != nil {
+	if err := run(&parallel, 2, 5, "", 96, 8, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
 		t.Errorf("workers=8 output differs from workers=1:\n%s\nvs\n%s", serial.String(), parallel.String())
+	}
+}
+
+// TestRunMatchesServerRenderer pins the one-source-of-truth contract:
+// the CLI table is the shared renderer's bytes, i.e. exactly what
+// boundsd serves for /v1/bounds?format=markdown on the same grid.
+func TestRunMatchesServerRenderer(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 3, 5, "", 0, 1, "crash"); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := registry.Get("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := server.ComputeBoundsTable(sc, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != table.Markdown() {
+		t.Errorf("CLI bytes differ from shared renderer:\n--- CLI ---\n%s\n--- renderer ---\n%s", sb.String(), table.Markdown())
+	}
+}
+
+func TestRunByzantineModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 4, "", 0, 1, "byzantine"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `scenario "byzantine"`) {
+		t.Errorf("byzantine table missing scenario title:\n%s", out)
+	}
+	if err := run(&sb, 2, 4, "", 0, 1, "martian"); err == nil {
+		t.Error("unknown model must fail")
+	}
+}
+
+func TestPrintScenarios(t *testing.T) {
+	var sb strings.Builder
+	if err := printScenarios(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"crash", "byzantine", "probabilistic", "Registered scenarios"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("scenario listing missing %q:\n%s", want, sb.String())
+		}
 	}
 }

@@ -1,0 +1,92 @@
+// Command boundsd serves the paper's bounds over HTTP: a JSON API over
+// the scenario registry (crash / byzantine / probabilistic) backed by
+// the shared evaluation engine with a bounded LRU result cache.
+//
+//	boundsd -addr :8080 -workers 0 -cache 4096 -timeout 30s
+//
+//	curl localhost:8080/healthz
+//	curl 'localhost:8080/v1/bounds?m=2&k=3&f=1'
+//	curl 'localhost:8080/v1/bounds?m=2&kmax=8&format=markdown'
+//	curl 'localhost:8080/v1/verify?m=2&k=3&f=1&horizon=200000'
+//	curl 'localhost:8080/v1/sweep?m=2&kmax=6&format=markdown'
+//	curl localhost:8080/v1/scenarios
+//	curl localhost:8080/metrics
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get a drain window before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", server.DefaultCacheCapacity, "engine LRU result-cache capacity (0 = unbounded)")
+		timeout = flag.Duration("timeout", server.DefaultTimeout, "per-request compute budget")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *workers, *cache, *timeout, *drain, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "boundsd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains gracefully. ready, if
+// non-nil, receives the bound address once the listener is up (the
+// test hook for -addr :0).
+func run(ctx context.Context, addr string, workers, cache int, timeout, drain time.Duration, ready func(addr string)) error {
+	handler := server.New(server.Config{
+		Engine:  engine.NewWithCache(workers, cache),
+		Timeout: timeout,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("boundsd: listening on %s (workers=%d cache=%d timeout=%v)",
+		ln.Addr(), handler.Engine().Workers(), handler.Engine().CacheCapacity(), timeout)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("boundsd: shutting down (drain %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("boundsd: stopped")
+	return nil
+}

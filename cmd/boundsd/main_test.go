@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+)
+
+// startDaemon runs the server on an ephemeral port and returns its base
+// URL plus the channel run's error lands on after shutdown.
+func startDaemon(t *testing.T, ctx context.Context) (string, <-chan error) {
+	t.Helper()
+	readyCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, "127.0.0.1:0", 2, 128, 5*time.Second, 5*time.Second,
+			func(addr string) { readyCh <- addr })
+	}()
+	select {
+	case addr := <-readyCh:
+		return "http://" + addr, errCh
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+func fetch(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	base, errCh := startDaemon(t, ctx)
+
+	if code, body := fetch(t, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz = (%d, %q)", code, body)
+	}
+
+	// The markdown grid answer is the shared renderer's bytes — the
+	// same table cmd/bounds prints for -m 2 -kmax 4.
+	code, body := fetch(t, base+"/v1/bounds?m=2&kmax=4&format=markdown")
+	if code != http.StatusOK {
+		t.Fatalf("bounds grid = %d: %s", code, body)
+	}
+	sc, err := registry.Get("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := server.ComputeBoundsTable(sc, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != table.Markdown() {
+		t.Errorf("daemon bytes differ from renderer:\n%s\nvs\n%s", body, table.Markdown())
+	}
+
+	if code, body := fetch(t, base+"/v1/scenarios"); code != http.StatusOK || !strings.Contains(body, "probabilistic") {
+		t.Errorf("scenarios = (%d, %s)", code, body)
+	}
+
+	var ans server.VerifyAnswer
+	code, body = fetch(t, base+"/v1/verify?m=2&k=3&f=1&horizon=10000")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if float64(ans.Value) < 5 || float64(ans.Value) > 5.5 {
+		t.Errorf("verify value = %g, want ~5.233", float64(ans.Value))
+	}
+
+	// Graceful shutdown: cancel the context, run must return nil.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("run returned %v after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// The listener is really gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+func TestDaemonListenErrorSurfaces(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errCh := startDaemon(t, ctx)
+	// Second daemon on the same port must fail fast with a bind error.
+	addr := strings.TrimPrefix(base, "http://")
+	err := run(ctx, addr, 1, 16, time.Second, time.Second, nil)
+	if err == nil {
+		t.Error("second bind on the same address should fail")
+	}
+	cancel()
+	<-errCh
+}

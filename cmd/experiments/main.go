@@ -27,6 +27,7 @@ import (
 	"repro/internal/fractional"
 	"repro/internal/potential"
 	"repro/internal/report"
+	"repro/internal/server"
 	"repro/internal/strategy"
 )
 
@@ -75,24 +76,15 @@ func run(w io.Writer, only, workers int) error {
 	return nil
 }
 
+// e01 renders through the shared server.SweepTable response struct, so
+// this table and a boundsd /v1/sweep?m=2&kmax=6&format=markdown answer
+// are the same bytes.
 func e01(w io.Writer, eng *engine.Engine) error {
-	tb := report.NewTable("", "k", "f", "s", "A(k,f) closed form", "measured sup ratio", "rel. gap")
-	cells, err := eng.Sweep(engine.Grid(2, 6), 2e5)
+	table, err := server.ComputeSweep(eng, engine.Grid(2, 6), 2e5)
 	if err != nil {
 		return err
 	}
-	for _, cr := range cells {
-		if !cr.Evaluated {
-			continue
-		}
-		k, f := cr.Cell.K, cr.Cell.F
-		tb.AddRow(
-			strconv.Itoa(k), strconv.Itoa(f), strconv.Itoa(bounds.SlackS(k, f)),
-			report.Fmt(cr.Closed, 9), report.Fmt(cr.Eval.WorstRatio, 9),
-			report.Fmt(cr.RelGap(), 2),
-		)
-	}
-	_, err = io.WriteString(w, tb.Markdown())
+	_, err = io.WriteString(w, table.MarkdownLine())
 	return err
 }
 
@@ -148,25 +140,18 @@ func e03(w io.Writer, _ *engine.Engine) error {
 	return err
 }
 
+// e04, like e01, prints the shared renderer's bytes (the m-ray table of
+// server.SweepTable).
 func e04(w io.Writer, eng *engine.Engine) error {
-	tb := report.NewTable("", "m", "k", "f", "q", "A(m,k,f) closed form", "measured sup ratio", "rel. gap")
 	cells := []engine.Cell{
 		{M: 2, K: 1, F: 0}, {M: 2, K: 3, F: 1}, {M: 3, K: 2, F: 0}, {M: 3, K: 4, F: 1},
 		{M: 4, K: 3, F: 0}, {M: 4, K: 5, F: 1}, {M: 5, K: 4, F: 0}, {M: 6, K: 5, F: 0},
 	}
-	results, err := eng.Sweep(cells, 2e5)
+	table, err := server.ComputeSweep(eng, cells, 2e5)
 	if err != nil {
 		return err
 	}
-	for _, cr := range results {
-		c := cr.Cell
-		tb.AddRow(
-			strconv.Itoa(c.M), strconv.Itoa(c.K), strconv.Itoa(c.F), strconv.Itoa(c.M*(c.F+1)),
-			report.Fmt(cr.Closed, 9), report.Fmt(cr.Eval.WorstRatio, 9),
-			report.Fmt(cr.RelGap(), 2),
-		)
-	}
-	_, err = io.WriteString(w, tb.Markdown())
+	_, err = io.WriteString(w, table.MarkdownRays())
 	return err
 }
 

@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/server"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -72,5 +75,27 @@ func TestRunUnknownIdIsNoop(t *testing.T) {
 	}
 	if sb.Len() != 0 {
 		t.Errorf("unknown id should produce no output, got:\n%s", sb.String())
+	}
+}
+
+// TestE01MatchesServerRenderer pins the one-source-of-truth contract:
+// experiment E1's table is exactly what boundsd serves for
+// /v1/sweep?m=2&kmax=6&format=markdown at the same horizon.
+func TestE01MatchesServerRenderer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversarial sweep is too slow for -short")
+	}
+	eng := engine.New(0)
+	var sb strings.Builder
+	if err := e01(&sb, eng); err != nil {
+		t.Fatal(err)
+	}
+	// Same engine: the sweep results come straight from the cache.
+	table, err := server.ComputeSweep(eng, engine.Grid(2, 6), 2e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != table.MarkdownLine() {
+		t.Errorf("E1 bytes differ from shared renderer:\n--- E1 ---\n%s\n--- renderer ---\n%s", sb.String(), table.MarkdownLine())
 	}
 }

@@ -3,16 +3,27 @@
 //
 //	searchsim -m 2 -k 3 -f 1 -ray 1 -dist 7.5
 //	searchsim -m 3 -k 2 -f 0 -ray 2 -dist 3 -alpha 1.9
+//	searchsim -model probabilistic -k 1 -f 0 -dist 7.5
+//
+// The fault model resolves through the scenario registry: crash runs
+// the deterministic optimal strategy against the adversarial fault
+// assignment; probabilistic samples the randomized zigzag
+// (Kao–Reif–Tate) and reports the Monte-Carlo expected ratio against
+// the closed form; byzantine has no simulator (only the transfer lower
+// bound is known) and is rejected with a pointer to -model crash.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 
 	"repro/internal/adversary"
 	"repro/internal/bounds"
+	"repro/internal/randomized"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/strategy"
 	"repro/internal/trajectory"
@@ -23,19 +34,62 @@ func main() {
 		m     = flag.Int("m", 2, "number of rays (2 = the line)")
 		k     = flag.Int("k", 3, "number of robots")
 		f     = flag.Int("f", 1, "number of crash-faulty robots")
+		model = flag.String("model", "crash", "fault model (a registry scenario name)")
 		ray   = flag.Int("ray", 1, "target ray")
 		dist  = flag.Float64("dist", 5, "target distance (>= 1)")
 		alpha = flag.Float64("alpha", 0, "override the strategy base (0 = optimal alpha*)")
 		sweep = flag.Bool("sweep", false, "also print the exact worst-case ratio over [1, 1e5)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *m, *k, *f, *ray, *dist, *alpha, *sweep); err != nil {
+	if err := run(os.Stdout, *model, *m, *k, *f, *ray, *dist, *alpha, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "searchsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, m, k, f, ray int, dist, alpha float64, sweep bool) error {
+func run(w io.Writer, model string, m, k, f, ray int, dist, alpha float64, sweep bool) error {
+	sc, err := registry.Get(model)
+	if err != nil {
+		return err
+	}
+	switch sc.Name {
+	case "crash":
+		// Fall through to the deterministic simulation below.
+	case "probabilistic":
+		return runProbabilistic(w, sc, m, k, f, dist)
+	default:
+		return fmt.Errorf("scenario %q has no simulator (only bound transfer is known); use -model crash to simulate the embedded silent behavior", sc.Name)
+	}
+	return runCrash(w, m, k, f, ray, dist, alpha, sweep)
+}
+
+// runProbabilistic samples the randomized zigzag at the target distance
+// and compares the Monte-Carlo mean ratio with the scenario's closed
+// form (which is distance-independent).
+func runProbabilistic(w io.Writer, sc registry.Scenario, m, k, f int, dist float64) error {
+	if err := sc.Validate(m, k, f); err != nil {
+		return err
+	}
+	if dist < 1 {
+		return fmt.Errorf("target distance %g < 1", dist)
+	}
+	base, closed, err := randomized.OptimalBase()
+	if err != nil {
+		return err
+	}
+	const samples = 4000
+	mc, err := randomized.MonteCarloRatio(base, dist, samples, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "strategy: randomized zigzag, base b* = %.6g\n", base)
+	fmt.Fprintf(w, "expected ratio (closed form): %.9g\n", closed)
+	fmt.Fprintf(w, "Monte-Carlo mean ratio at dist %g (%d samples): %.6g\n", dist, samples, mc)
+	fmt.Fprintf(w, "deterministic floor (cow path): %.6g\n", randomized.DeterministicFloor)
+	return nil
+}
+
+func runCrash(w io.Writer, m, k, f, ray int, dist, alpha float64, sweep bool) error {
 	var (
 		s   *strategy.CyclicExponential
 		err error

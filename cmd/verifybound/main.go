@@ -13,6 +13,12 @@
 // Usage:
 //
 //	verifybound -q 2 -lambda 8.5 -upto 100 strategy.txt
+//
+// The -model flag resolves through the scenario registry; the Eq. (10)
+// refutation machinery is the crash model's, so only scenarios whose
+// lower bound is the crash transfer (crash itself, byzantine) are
+// accepted — byzantine soundly, since any Byzantine-tolerant covering
+// is also crash-tolerant.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/potential"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -34,6 +41,7 @@ func main() {
 		lambda = flag.Float64("lambda", 9, "claimed competitive ratio")
 		upTo   = flag.Float64("upto", 100, "verify covering of (1, upto]")
 		caseC  = flag.Float64("casec", 1e9, "Case-1/Case-2 split constant of the Eq. (10) proof")
+		model  = flag.String("model", "crash", "fault model (a registry scenario name)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,13 +54,24 @@ func main() {
 		os.Exit(1)
 	}
 	defer file.Close()
-	if err := run(os.Stdout, file, *q, *lambda, *upTo, *caseC); err != nil {
+	if err := run(os.Stdout, file, *model, *q, *lambda, *upTo, *caseC); err != nil {
 		fmt.Fprintln(os.Stderr, "verifybound:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, r io.Reader, q int, lambda, upTo, caseC float64) error {
+func run(w io.Writer, r io.Reader, model string, q int, lambda, upTo, caseC float64) error {
+	sc, err := registry.Get(model)
+	if err != nil {
+		return err
+	}
+	switch sc.Name {
+	case "crash", "byzantine":
+		// The Eq. (10) ORC machinery applies: byzantine inherits crash
+		// coverings through the transfer principle.
+	default:
+		return fmt.Errorf("scenario %q is not an ORC-covering model; the Eq. (10) checker supports crash and byzantine", sc.Name)
+	}
 	turns, err := parseStrategy(r)
 	if err != nil {
 		return err

@@ -26,6 +26,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/potential"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/strategy"
 	"repro/internal/trajectory"
@@ -34,14 +35,22 @@ import (
 // Errors returned by the facade.
 var (
 	// ErrNoUpperBound is returned when no matching upper bound is known
-	// for the fault model (Byzantine).
-	ErrNoUpperBound = errors.New("core: no matching upper bound known for this fault model")
+	// for the fault model (Byzantine). It is the registry's sentinel,
+	// re-exported so existing errors.Is callers keep working.
+	ErrNoUpperBound = registry.ErrNoUpperBound
 	// ErrNotSearchRegime is returned when an operation needs the
 	// nontrivial regime f < k < m(f+1).
 	ErrNotSearchRegime = errors.New("core: operation requires the search regime f < k < m(f+1)")
+	// ErrNoEvaluation is returned by VerifyUpper(On) when the scenario's
+	// verification produces only a scalar (no adversarial evaluation) —
+	// use VerifyOn for those scenarios.
+	ErrNoEvaluation = errors.New("core: scenario verification produces a scalar, not an adversarial evaluation; use VerifyOn")
 )
 
-// FaultModel selects the fault semantics.
+// FaultModel selects the fault semantics. Each model is backed by a
+// named scenario in internal/registry (registry.Get(fm.String())), so
+// the bound functions and verification jobs of a Problem are resolved
+// through the registry rather than hard-coded switches.
 type FaultModel int
 
 const (
@@ -50,18 +59,40 @@ const (
 	// Byzantine robots may stay silent or lie (reference [13]; this
 	// library carries the paper's transfer lower bound).
 	Byzantine
+	// Probabilistic selects the randomized line-search counterpoint
+	// (Kao–Reif–Tate, reference [21]); currently scoped to m=2, k=1,
+	// f=0, wired to internal/randomized via the registry stub.
+	Probabilistic
 )
 
-// String names the fault model.
+// String names the fault model; the name is the registry key.
 func (fm FaultModel) String() string {
 	switch fm {
 	case Crash:
 		return "crash"
 	case Byzantine:
 		return "byzantine"
+	case Probabilistic:
+		return "probabilistic"
 	default:
 		return fmt.Sprintf("FaultModel(%d)", int(fm))
 	}
+}
+
+// ModelByName maps a registry scenario name onto the FaultModel enum —
+// the hook for library callers that parse a "-model"-style string into
+// Problem.Fault. (The CLIs work with registry.Scenario values directly
+// and resolve names via registry.Get.)
+func ModelByName(name string) (FaultModel, error) {
+	for _, fm := range []FaultModel{Crash, Byzantine, Probabilistic} {
+		if fm.String() == name {
+			if _, err := registry.Get(name); err != nil {
+				return 0, fmt.Errorf("core: %w", err)
+			}
+			return fm, nil
+		}
+	}
+	return 0, fmt.Errorf("core: %w: %q (have %v)", registry.ErrUnknownScenario, name, registry.Names())
 }
 
 // Problem is a faulty-robot search instance. The zero value of Fault means
@@ -85,17 +116,29 @@ func (p Problem) faultModel() FaultModel {
 	return p.Fault
 }
 
-// Validate checks the parameters.
+// Scenario resolves the problem's fault model to its registry entry —
+// the single source of truth for bound functions and verify jobs.
+func (p Problem) Scenario() (registry.Scenario, error) {
+	sc, err := registry.Get(p.faultModel().String())
+	if err != nil {
+		return registry.Scenario{}, fmt.Errorf("core: unknown fault model %v: %w", p.Fault, err)
+	}
+	return sc, nil
+}
+
+// Validate checks the parameters against the fault model's scenario.
 func (p Problem) Validate() error {
 	if _, err := bounds.Classify(p.M, p.K, p.F); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	switch p.faultModel() {
-	case Crash, Byzantine:
-		return nil
-	default:
-		return fmt.Errorf("core: unknown fault model %v", p.Fault)
+	sc, err := p.Scenario()
+	if err != nil {
+		return err
 	}
+	if err := sc.Validate(p.M, p.K, p.F); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }
 
 // Regime classifies the instance (unsolvable / trivial / search).
@@ -117,26 +160,33 @@ func (p Problem) Rho() (float64, error) {
 	return bounds.Rho(p.M, p.K, p.F)
 }
 
-// LowerBound returns the paper's lower bound on the competitive ratio: the
-// exact A(m,k,f) for crash faults, and the transfer value (same formula)
-// for Byzantine faults.
+// LowerBound returns the scenario's lower bound on the competitive
+// ratio, resolved through the registry: the exact A(m,k,f) for crash
+// faults, the transfer value (same formula) for Byzantine faults, the
+// Kao–Reif–Tate constant for the probabilistic stub.
 func (p Problem) LowerBound() (float64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
-	return bounds.AMKF(p.M, p.K, p.F)
+	sc, err := p.Scenario()
+	if err != nil {
+		return 0, err
+	}
+	return sc.LowerBound(p.M, p.K, p.F)
 }
 
-// UpperBound returns the best known upper bound: equal to LowerBound for
-// crash faults (the bound is tight), ErrNoUpperBound for Byzantine.
+// UpperBound returns the scenario's best known upper bound: equal to
+// LowerBound for crash faults (the bound is tight), ErrNoUpperBound for
+// Byzantine.
 func (p Problem) UpperBound() (float64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
-	if p.faultModel() == Byzantine {
-		return 0, ErrNoUpperBound
+	sc, err := p.Scenario()
+	if err != nil {
+		return 0, err
 	}
-	return bounds.AMKF(p.M, p.K, p.F)
+	return sc.UpperBound(p.M, p.K, p.F)
 }
 
 // HighPrecision returns certified enclosures of mu and lambda0 at prec
@@ -177,15 +227,49 @@ func (p Problem) VerifyUpper(horizon float64) (adversary.Evaluation, error) {
 }
 
 // VerifyUpperOn is VerifyUpper evaluated through an explicit engine —
-// the hook batch callers (cmd/experiments, the benchmark harness) use
-// to control pool size and cache lifetime.
+// the hook batch callers (cmd/experiments, the benchmark harness, the
+// boundsd server) use to control pool size and cache lifetime. The job
+// is resolved through the scenario registry, so it shares cache keys
+// with engine.Sweep cells of the same (m, k, f, horizon).
 func (p Problem) VerifyUpperOn(e *engine.Engine, horizon float64) (adversary.Evaluation, error) {
-	s, err := p.OptimalStrategy()
+	res, err := p.VerifyOn(e, horizon)
 	if err != nil {
 		return adversary.Evaluation{}, err
 	}
-	res, err := e.Run(engine.ExactRatio{Strategy: s, Faults: p.F, Horizon: horizon})
-	return res.Eval, err
+	// A real adversarial evaluation always examines breakpoints; a
+	// zero Eval means the scenario's job carries only Result.Value
+	// (probabilistic) and returning it as an Evaluation would read as
+	// "measured sup ratio 0".
+	if res.Eval.Breakpoints == 0 {
+		return adversary.Evaluation{}, fmt.Errorf("%w (scenario %v, value %g)", ErrNoEvaluation, p.faultModel(), res.Value)
+	}
+	return res.Eval, nil
+}
+
+// VerifyOn runs the scenario's verification job (constructed through
+// the registry) on the engine and returns the raw engine result. For
+// crash faults Result.Eval carries the located supremum; scalar-only
+// scenarios (probabilistic) populate just Result.Value. Non-verifiable
+// parameter triples surface as ErrNotSearchRegime when the regime is
+// the reason, the scenario's own error otherwise.
+func (p Problem) VerifyOn(e *engine.Engine, horizon float64) (engine.Result, error) {
+	if err := p.Validate(); err != nil {
+		return engine.Result{}, err
+	}
+	sc, err := p.Scenario()
+	if err != nil {
+		return engine.Result{}, err
+	}
+	job, err := sc.VerifyJob(p.M, p.K, p.F, horizon)
+	if err != nil {
+		if errors.Is(err, registry.ErrNotVerifiable) {
+			if regime, rerr := bounds.Classify(p.M, p.K, p.F); rerr == nil && regime != bounds.RegimeSearch {
+				return engine.Result{}, fmt.Errorf("%w: regime is %v", ErrNotSearchRegime, regime)
+			}
+		}
+		return engine.Result{}, fmt.Errorf("core: %w", err)
+	}
+	return e.Run(job)
 }
 
 // RefuteBelow runs the Eq. (10) refutation pipeline against the optimal

@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/numeric"
 	"repro/internal/potential"
+	"repro/internal/registry"
 	"repro/internal/trajectory"
 )
 
@@ -239,5 +241,86 @@ func TestEndToEndGrid(t *testing.T) {
 		if cert.Verdict == potential.VerdictBounded {
 			t.Errorf("%+v: refutation below the bound failed", p)
 		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for name, want := range map[string]FaultModel{
+		"crash":         Crash,
+		"byzantine":     Byzantine,
+		"probabilistic": Probabilistic,
+	} {
+		got, err := ModelByName(name)
+		if err != nil || got != want {
+			t.Errorf("ModelByName(%q) = (%v, %v), want %v", name, got, err, want)
+		}
+	}
+	if _, err := ModelByName("martian"); err == nil {
+		t.Error("ModelByName must reject unknown scenarios")
+	}
+}
+
+func TestProblemScenarioResolution(t *testing.T) {
+	sc, err := (Problem{M: 2, K: 3, F: 1}).Scenario()
+	if err != nil || sc.Name != "crash" {
+		t.Errorf("zero Fault resolves to %q (%v), want crash", sc.Name, err)
+	}
+	sc, err = (Problem{M: 2, K: 3, F: 1, Fault: Byzantine}).Scenario()
+	if err != nil || sc.Name != "byzantine" {
+		t.Errorf("Byzantine resolves to %q (%v)", sc.Name, err)
+	}
+	if _, err := (Problem{M: 2, K: 1, F: 0, Fault: FaultModel(9)}).Scenario(); err == nil {
+		t.Error("unknown fault model must not resolve")
+	}
+}
+
+func TestProblemProbabilistic(t *testing.T) {
+	p := Problem{M: 2, K: 1, F: 0, Fault: Probabilistic}
+	lb, err := p.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb < 4.59 || lb > 4.60 {
+		t.Errorf("probabilistic bound = %g, want ~4.5911", lb)
+	}
+	ub, err := p.UpperBound()
+	if err != nil || !numeric.EqualWithin(ub, lb, 1e-12) {
+		t.Errorf("probabilistic upper bound = (%g, %v), want tight %g", ub, err, lb)
+	}
+	res, err := p.VerifyOn(engine.New(1), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < lb*0.9 || res.Value > lb*1.1 {
+		t.Errorf("Monte-Carlo verification %g far from closed form %g", res.Value, lb)
+	}
+	// The stub is scoped: other parameter triples must fail validation.
+	if err := (Problem{M: 2, K: 3, F: 1, Fault: Probabilistic}).Validate(); err == nil {
+		t.Error("probabilistic stub must reject k > 1")
+	}
+}
+
+func TestVerifyOnRegimeErrors(t *testing.T) {
+	trivial := Problem{M: 2, K: 4, F: 1}
+	if _, err := trivial.VerifyOn(engine.New(1), 1e3); !errors.Is(err, ErrNotSearchRegime) {
+		t.Errorf("trivial-regime VerifyOn = %v, want ErrNotSearchRegime", err)
+	}
+	byz := Problem{M: 2, K: 3, F: 1, Fault: Byzantine}
+	if _, err := byz.VerifyOn(engine.New(1), 1e3); !errors.Is(err, registry.ErrNotVerifiable) {
+		t.Errorf("byzantine VerifyOn = %v, want ErrNotVerifiable", err)
+	}
+}
+
+func TestVerifyUpperRejectsScalarScenarios(t *testing.T) {
+	// Probabilistic verification is a Monte-Carlo scalar; surfacing it
+	// as an adversarial Evaluation would read as "sup ratio 0".
+	p := Problem{M: 2, K: 1, F: 0, Fault: Probabilistic}
+	if _, err := p.VerifyUpperOn(engine.New(1), 2000); !errors.Is(err, ErrNoEvaluation) {
+		t.Errorf("probabilistic VerifyUpperOn = %v, want ErrNoEvaluation", err)
+	}
+	// VerifyOn remains the supported path.
+	res, err := p.VerifyOn(engine.New(1), 2000)
+	if err != nil || res.Value <= 0 {
+		t.Errorf("VerifyOn = (%+v, %v)", res, err)
 	}
 }

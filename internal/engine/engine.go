@@ -19,7 +19,9 @@
 package engine
 
 import (
+	"container/list"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,34 +31,66 @@ import (
 var (
 	// ErrBadParams is returned for invalid engine parameters.
 	ErrBadParams = errors.New("engine: invalid parameters")
+	// ErrJobPanic wraps a panic recovered from a Job's Run. The panic is
+	// converted to a (memoized) error so a buggy job can neither poison
+	// its singleflight entry — leaving waiters blocked on a never-closed
+	// done channel — nor crash a long-lived server.
+	ErrJobPanic = errors.New("engine: job panicked")
 )
 
 // Engine runs Jobs on a bounded worker pool and memoizes their results.
-// The zero value is not usable; construct with New. An Engine is safe
-// for concurrent use.
+// The zero value is not usable; construct with New or NewWithCache. An
+// Engine is safe for concurrent use.
 type Engine struct {
-	workers int
+	workers  int
+	capacity int // max cached entries; 0 = unbounded
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+	lru   *list.List // front = most recently used *cacheEntry
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // cacheEntry is a singleflight slot: the first Run for a key computes
 // the result, later Runs for the same key wait on done and share it.
 type cacheEntry struct {
+	key  string
+	elem *list.Element
 	done chan struct{}
 	res  Result
 	err  error
 }
 
-// New returns an engine with the given worker-pool size; workers <= 0
-// selects runtime.GOMAXPROCS(0). workers = 1 is the exact sequential
-// path (batch primitives run on the calling goroutine, no pool).
+// New returns an engine with the given worker-pool size and an
+// unbounded result cache; workers <= 0 selects runtime.GOMAXPROCS(0).
+// workers = 1 is the exact sequential path (batch primitives run on the
+// calling goroutine, no pool).
 func New(workers int) *Engine {
+	return NewWithCache(workers, 0)
+}
+
+// NewWithCache returns an engine whose result cache holds at most
+// capacity entries, evicting the least recently used one on overflow
+// (capacity <= 0 = unbounded). Long-lived servers use this to bound the
+// memory of a cache fed by arbitrary request streams; evicting an
+// in-flight entry is safe (its waiters keep their reference, only new
+// Runs recompute).
+func NewWithCache(workers, capacity int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, cache: make(map[string]*cacheEntry)}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Engine{
+		workers:  workers,
+		capacity: capacity,
+		cache:    make(map[string]*cacheEntry),
+		lru:      list.New(),
+	}
 }
 
 // defaultEngine serves package-level callers (core.Problem.VerifyUpper)
@@ -70,6 +104,9 @@ func Default() *Engine { return defaultEngine }
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// CacheCapacity reports the cache bound (0 = unbounded).
+func (e *Engine) CacheCapacity() int { return e.capacity }
+
 // CacheSize reports the number of memoized job results.
 func (e *Engine) CacheSize() int {
 	e.mu.Lock()
@@ -77,14 +114,46 @@ func (e *Engine) CacheSize() int {
 	return len(e.cache)
 }
 
+// Stats is a snapshot of the engine's cache accounting. Hits + Misses
+// counts every Run of a keyed job; uncacheable jobs (empty Key) are not
+// counted.
+type Stats struct {
+	// Hits counts Runs served from the cache (including waits on an
+	// in-flight computation of the same key).
+	Hits int64
+	// Misses counts Runs that had to compute.
+	Misses int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Size is the current number of cached entries.
+	Size int
+	// Capacity is the cache bound (0 = unbounded).
+	Capacity int
+}
+
+// Stats returns a snapshot of the cache counters. The counters are
+// cumulative for the engine's lifetime; ResetCache drops entries but
+// not the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Evictions: e.evictions.Load(),
+		Size:      e.CacheSize(),
+		Capacity:  e.capacity,
+	}
+}
+
 // ResetCache drops every memoized result (in-flight computations are
 // unaffected: their callers still receive them, but new Runs recompute).
 // Long-lived processes sweeping many distinct parameters use this to
-// bound the memory of Default()'s otherwise append-only cache.
+// bound the memory of Default()'s otherwise append-only cache. The
+// hit/miss/eviction counters are not reset.
 func (e *Engine) ResetCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cache = make(map[string]*cacheEntry)
+	e.lru = list.New()
 }
 
 // Run evaluates one job through the cache. Identical jobs (equal keys)
@@ -95,20 +164,55 @@ func (e *Engine) ResetCache() {
 func (e *Engine) Run(j Job) (Result, error) {
 	key := j.Key()
 	if key == "" {
-		return j.Run()
+		return safeRun(j)
 	}
 	e.mu.Lock()
 	if en, ok := e.cache[key]; ok {
+		if en.elem != nil {
+			e.lru.MoveToFront(en.elem)
+		}
 		e.mu.Unlock()
+		e.hits.Add(1)
 		<-en.done
 		return en.res, en.err
 	}
-	en := &cacheEntry{done: make(chan struct{})}
+	en := &cacheEntry{key: key, done: make(chan struct{})}
 	e.cache[key] = en
+	en.elem = e.lru.PushFront(en)
+	e.evictLocked()
 	e.mu.Unlock()
-	en.res, en.err = j.Run()
+	e.misses.Add(1)
+	en.res, en.err = safeRun(j)
 	close(en.done)
 	return en.res, en.err
+}
+
+// safeRun executes the job, converting a panic into an ordinary error
+// (wrapping ErrJobPanic). safeRun never panics, so Run's close(done)
+// after it always executes and singleflight waiters never hang.
+func safeRun(j Job) (res Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = Result{}, fmt.Errorf("%w: %v", ErrJobPanic, rec)
+		}
+	}()
+	return j.Run()
+}
+
+// evictLocked enforces the LRU bound; the caller holds e.mu. Entries
+// removed here may still be in flight — their waiters hold the entry
+// pointer and are unaffected; only future Runs of the key recompute.
+func (e *Engine) evictLocked() {
+	for e.capacity > 0 && len(e.cache) > e.capacity {
+		back := e.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := e.lru.Remove(back).(*cacheEntry)
+		victim.elem = nil
+		delete(e.cache, victim.key)
+		e.evictions.Add(1)
+	}
 }
 
 // RunBatch evaluates jobs on the pool and returns their results in

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/bounds"
@@ -315,5 +317,203 @@ func TestSweepErrorIsDeterministic(t *testing.T) {
 	}
 	if errSeq.Error() != errPar.Error() {
 		t.Errorf("sequential error %q vs parallel error %q", errSeq, errPar)
+	}
+}
+
+func TestStatsHitMissAccounting(t *testing.T) {
+	eng := New(4)
+	var runs atomic.Int64
+	// 3 distinct keys, 5 Runs each: 3 misses, 12 hits.
+	for round := 0; round < 5; round++ {
+		for _, key := range []string{"a", "b", "c"} {
+			if _, err := eng.Run(countingJob{key: key, value: 1, runs: &runs}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.Misses != 3 || st.Hits != 12 {
+		t.Errorf("Stats = %+v, want 3 misses / 12 hits", st)
+	}
+	if st.Size != 3 || st.Evictions != 0 {
+		t.Errorf("Stats = %+v, want size 3, no evictions", st)
+	}
+	// Uncacheable jobs must not move the counters.
+	if _, err := eng.Run(countingJob{key: "", value: 1, runs: &runs}); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := eng.Stats(); st2.Hits != st.Hits || st2.Misses != st.Misses {
+		t.Errorf("empty-key Run changed counters: %+v -> %+v", st, st2)
+	}
+}
+
+func TestStatsConcurrentAccounting(t *testing.T) {
+	// Hammer one engine from many goroutines over a small key space:
+	// every Run is either a hit or a miss, and every miss corresponds
+	// to exactly one job execution (no eviction, so runs == misses).
+	eng := New(8)
+	var runs atomic.Int64
+	const goroutines, perG, keys = 16, 50, 7
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%keys)
+				if _, err := eng.Run(countingJob{key: key, value: 1, runs: &runs}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := eng.Stats()
+	if total := st.Hits + st.Misses; total != goroutines*perG {
+		t.Errorf("hits %d + misses %d = %d, want %d", st.Hits, st.Misses, total, goroutines*perG)
+	}
+	if st.Misses != runs.Load() {
+		t.Errorf("misses %d != job executions %d", st.Misses, runs.Load())
+	}
+	if st.Misses < keys {
+		t.Errorf("misses %d < distinct keys %d", st.Misses, keys)
+	}
+}
+
+func TestResetCacheUnderConcurrentCallers(t *testing.T) {
+	// Runs and ResetCache race freely; afterward the cache must still be
+	// internally consistent: every key resolvable, sizes within bounds,
+	// and a final Run returning the right value.
+	eng := NewWithCache(8, 16)
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines, perG = 12, 60
+	wg.Add(goroutines + 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			eng.ResetCache()
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				res, err := eng.Run(countingJob{key: key, value: float64(i % 10), runs: &runs})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Value != float64(i%10) {
+					t.Errorf("Run(%s) = %g, want %g", key, res.Value, float64(i%10))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if size := eng.CacheSize(); size > 16 {
+		t.Errorf("cache size %d exceeds capacity 16 after reset storm", size)
+	}
+	res, err := eng.Run(countingJob{key: "k3", value: 3, runs: &runs})
+	if err != nil || res.Value != 3 {
+		t.Errorf("post-storm Run = (%v, %v), want 3", res.Value, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	eng := NewWithCache(2, 2)
+	var runs atomic.Int64
+	for _, key := range []string{"a", "b", "c"} {
+		if _, err := eng.Run(countingJob{key: key, value: 1, runs: &runs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Size != 2 || st.Evictions != 1 {
+		t.Fatalf("Stats = %+v, want size 2 and 1 eviction ('a' dropped)", st)
+	}
+	// "b" survives (hit); "a" was evicted (miss, evicting "c").
+	eng.Run(countingJob{key: "b", value: 1, runs: &runs})
+	eng.Run(countingJob{key: "a", value: 1, runs: &runs})
+	st = eng.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Evictions != 2 {
+		t.Errorf("Stats = %+v, want 1 hit, 4 misses, 2 evictions", st)
+	}
+	// After touching "a" and "b" most recently, "c" is the victim: a
+	// re-Run of "b" must still hit.
+	eng.Run(countingJob{key: "b", value: 1, runs: &runs})
+	if st = eng.Stats(); st.Hits != 2 {
+		t.Errorf("touch order not preserved: %+v", st)
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	eng := NewWithCache(1, 2)
+	var runs atomic.Int64
+	eng.Run(countingJob{key: "a", value: 1, runs: &runs})
+	eng.Run(countingJob{key: "b", value: 1, runs: &runs})
+	eng.Run(countingJob{key: "a", value: 1, runs: &runs}) // touch "a"
+	eng.Run(countingJob{key: "c", value: 1, runs: &runs}) // evicts "b"
+	eng.Run(countingJob{key: "a", value: 1, runs: &runs}) // must still hit
+	st := eng.Stats()
+	if st.Hits != 2 || st.Misses != 3 || st.Evictions != 1 {
+		t.Errorf("Stats = %+v, want 2 hits / 3 misses / 1 eviction", st)
+	}
+}
+
+func TestSweepReturnsCellError(t *testing.T) {
+	cells := []Cell{{2, 3, 1}, {0, 1, 0}}
+	_, err := New(1).Sweep(cells, 1e3)
+	if err == nil {
+		t.Fatal("invalid cell must fail the sweep")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Sweep error %v is not a *CellError", err)
+	}
+	if ce.Cell != (Cell{0, 1, 0}) {
+		t.Errorf("CellError.Cell = %v, want {0 1 0}", ce.Cell)
+	}
+	if !errors.Is(err, bounds.ErrInvalidParams) {
+		t.Errorf("CellError must unwrap to the underlying bounds error, got %v", err)
+	}
+}
+
+// panickingJob simulates a buggy plugin job.
+type panickingJob struct{ key string }
+
+func (j panickingJob) Key() string { return j.key }
+func (j panickingJob) Run() (Result, error) {
+	panic("job bug")
+}
+
+func TestRunRecoversJobPanic(t *testing.T) {
+	eng := New(2)
+	_, err := eng.Run(panickingJob{key: "boom"})
+	if !errors.Is(err, ErrJobPanic) {
+		t.Fatalf("panicking job returned %v, want ErrJobPanic", err)
+	}
+	// The singleflight entry must be completed (done closed), not
+	// poisoned: a retry returns the memoized error instantly instead of
+	// blocking forever.
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(panickingJob{key: "boom"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrJobPanic) {
+			t.Errorf("retry returned %v, want memoized ErrJobPanic", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("retry of a panicked key blocked: done channel never closed")
+	}
+	// Uncached jobs are protected too.
+	if _, err := eng.Run(panickingJob{key: ""}); !errors.Is(err, ErrJobPanic) {
+		t.Errorf("uncached panicking job returned %v", err)
 	}
 }

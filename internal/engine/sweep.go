@@ -13,6 +13,25 @@ type Cell struct {
 	M, K, F int
 }
 
+// CellError reports which sweep cell failed, wrapping the underlying
+// job error. Callers use errors.As to recover the failing (m, k, f)
+// programmatically:
+//
+//	var ce *engine.CellError
+//	if errors.As(err, &ce) { retry(ce.Cell) }
+type CellError struct {
+	Cell Cell
+	Err  error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("engine: cell (%d,%d,%d): %v", e.Cell.M, e.Cell.K, e.Cell.F, e.Err)
+}
+
+// Unwrap exposes the underlying job error to errors.Is / errors.As.
+func (e *CellError) Unwrap() error { return e.Err }
+
 // CellResult pairs a cell with its regime, closed-form bound, and (for
 // search-regime cells) the measured exact worst-case ratio.
 type CellResult struct {
@@ -56,20 +75,21 @@ func Grid(m, kMax int) []Cell {
 // search-regime cell at the horizon, fanning the evaluations out over
 // the worker pool. Results come back in input order regardless of the
 // pool size, so tables built from a parallel sweep are byte-identical
-// to the sequential (workers = 1) path.
+// to the sequential (workers = 1) path. A failure surfaces as a
+// *CellError identifying the failing (m, k, f).
 func (e *Engine) Sweep(cells []Cell, horizon float64) ([]CellResult, error) {
 	out := make([]CellResult, len(cells))
 	err := e.ForEach(len(cells), func(i int) error {
 		c := cells[i]
 		regime, err := bounds.Classify(c.M, c.K, c.F)
 		if err != nil {
-			return fmt.Errorf("engine: cell (%d,%d,%d): %w", c.M, c.K, c.F, err)
+			return &CellError{Cell: c, Err: err}
 		}
 		out[i] = CellResult{Cell: c, Regime: regime, Closed: math.NaN()}
 		if regime != bounds.RegimeUnsolvable {
 			closed, err := bounds.AMKF(c.M, c.K, c.F)
 			if err != nil {
-				return fmt.Errorf("engine: cell (%d,%d,%d): %w", c.M, c.K, c.F, err)
+				return &CellError{Cell: c, Err: err}
 			}
 			out[i].Closed = closed
 		}
@@ -78,7 +98,7 @@ func (e *Engine) Sweep(cells []Cell, horizon float64) ([]CellResult, error) {
 		}
 		res, err := e.Run(VerifyUpper{M: c.M, K: c.K, F: c.F, Horizon: horizon})
 		if err != nil {
-			return fmt.Errorf("engine: cell (%d,%d,%d): %w", c.M, c.K, c.F, err)
+			return &CellError{Cell: c, Err: err}
 		}
 		out[i].Eval = res.Eval
 		out[i].Evaluated = true

@@ -1,0 +1,157 @@
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/randomized"
+)
+
+// registerBuiltins installs the paper's fault models into r.
+func registerBuiltins(r *Registry) {
+	r.MustRegister(crashScenario())
+	r.MustRegister(byzantineScenario())
+	r.MustRegister(probabilisticScenario())
+}
+
+// baseParams is the (m, k, f) schema shared by the ray-search models.
+func baseParams() []Param {
+	return []Param{
+		{Name: "m", Kind: KindInt, Doc: "number of rays (2 = the line)"},
+		{Name: "k", Kind: KindInt, Doc: "number of robots"},
+		{Name: "f", Kind: KindInt, Doc: "number of faulty robots"},
+	}
+}
+
+// crashScenario is Theorems 1/6 of Kupavskii–Welzl: crash-faulty robots
+// stay silent at the target; the bound A(m,k,f) = 2*mu(m(f+1),k)+1 is
+// tight, and the upper bound is executable (exact adversarial
+// evaluation of the optimal cyclic exponential strategy).
+func crashScenario() Scenario {
+	return Scenario{
+		Name:          "crash",
+		Description:   "crash-faulty robots stay silent at the target; tight bound A(m,k,f) = 2*mu(m(f+1),k)+1 (Kupavskii–Welzl, Theorems 1/6)",
+		Params:        baseParams(),
+		HasUpperBound: true,
+		Verifiable:    true,
+		Validate: func(m, k, f int) error {
+			_, err := bounds.Classify(m, k, f)
+			return err
+		},
+		LowerBound: bounds.AMKF,
+		UpperBound: bounds.AMKF,
+		VerifyJob: func(m, k, f int, horizon float64) (engine.Job, error) {
+			regime, err := bounds.Classify(m, k, f)
+			if err != nil {
+				return nil, err
+			}
+			if regime != bounds.RegimeSearch {
+				return nil, fmt.Errorf("%w: crash verification needs the search regime f < k < m(f+1), got %v", ErrNotVerifiable, regime)
+			}
+			return engine.VerifyUpper{M: m, K: k, F: f, Horizon: horizon}, nil
+		},
+	}
+}
+
+// byzantineScenario is the transfer setting of reference [13]
+// (Czyzowicz et al., ISAAC 2016): faulty robots may stay silent or lie.
+// Silence is legal Byzantine behavior, so every crash lower bound
+// transfers: B(k,f) >= A(k,f). No matching upper bound is known.
+func byzantineScenario() Scenario {
+	return Scenario{
+		Name:          "byzantine",
+		Description:   "Byzantine robots may stay silent or lie; transfer lower bound B(k,f) >= A(k,f) (Czyzowicz et al., ISAAC 2016; improved to 5.23 for B(3,1) by the paper)",
+		Params:        baseParams(),
+		HasUpperBound: false,
+		Verifiable:    false,
+		Validate: func(m, k, f int) error {
+			_, err := bounds.Classify(m, k, f)
+			return err
+		},
+		LowerBound: bounds.AMKF,
+		UpperBound: func(m, k, f int) (float64, error) {
+			return 0, ErrNoUpperBound
+		},
+		VerifyJob: func(m, k, f int, horizon float64) (engine.Job, error) {
+			return nil, fmt.Errorf("%w: only the transfer lower bound is known for Byzantine faults", ErrNotVerifiable)
+		},
+	}
+}
+
+// probabilisticSamples derives the Monte-Carlo sample count from the
+// caller's horizon, clamped so the job stays cheap and deterministic.
+func probabilisticSamples(horizon float64) int {
+	n := int(horizon)
+	if n < 16 {
+		n = 16
+	}
+	if n > 20000 {
+		n = 20000
+	}
+	return n
+}
+
+// probabilisticProbeX is the fixed target distance of the verification
+// job. The randomized zigzag's expected ratio is distance-independent
+// (randomization flattens the worst case), so any probe works; the
+// value is pinned for cache-key stability.
+const probabilisticProbeX = 7.5
+
+// probabilisticScenario is the randomized line-search counterpoint
+// (Kao–Reif–Tate, reference [21]): one fault-free robot with a random
+// geometric zigzag achieves expected ratio ~4.5911, below every
+// deterministic bound. Currently a stub scoped to (m=2, k=1, f=0),
+// wired to internal/randomized; the p-Faulty half-line search of
+// Bonato et al. is the natural extension slot.
+func probabilisticScenario() Scenario {
+	return Scenario{
+		Name:          "probabilistic",
+		Description:   "randomized zigzag line search, expected ratio 1+(1+b*)/ln b* ~ 4.5911 (Kao–Reif–Tate); stub scoped to m=2, k=1, f=0",
+		Params:        baseParams(),
+		HasUpperBound: true,
+		Verifiable:    true,
+		Validate:      validateProbabilistic,
+		LowerBound: func(m, k, f int) (float64, error) {
+			if err := validateProbabilistic(m, k, f); err != nil {
+				return 0, err
+			}
+			_, ratio, err := randomized.OptimalBase()
+			return ratio, err
+		},
+		UpperBound: func(m, k, f int) (float64, error) {
+			if err := validateProbabilistic(m, k, f); err != nil {
+				return 0, err
+			}
+			// The optimal zigzag achieves the constant, so the bound is
+			// tight in expectation.
+			_, ratio, err := randomized.OptimalBase()
+			return ratio, err
+		},
+		VerifyJob: func(m, k, f int, horizon float64) (engine.Job, error) {
+			if err := validateProbabilistic(m, k, f); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrNotVerifiable, err)
+			}
+			base, _, err := randomized.OptimalBase()
+			if err != nil {
+				return nil, err
+			}
+			return engine.RandomizedTrials{
+				Base:    base,
+				X:       probabilisticProbeX,
+				Samples: probabilisticSamples(horizon),
+				Seed:    1,
+			}, nil
+		},
+	}
+}
+
+func validateProbabilistic(m, k, f int) error {
+	if _, err := bounds.Classify(m, k, f); err != nil {
+		return err
+	}
+	if m != 2 || k != 1 || f != 0 {
+		return fmt.Errorf("registry: probabilistic scenario is currently scoped to m=2, k=1, f=0 (got m=%d k=%d f=%d)", m, k, f)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package registry makes fault models first-class citizens of the
+// reproduction: instead of hard-coded enum switches scattered through
+// internal/core and the CLIs, every fault semantics is a named,
+// self-describing Scenario — a parameter schema, bound functions, and a
+// verify-job constructor for internal/engine. New variants (Byzantine
+// line search of Czyzowicz et al., p-Faulty half-line search of Bonato
+// et al., ...) register an entry and immediately become addressable by
+// every consumer: the core.Problem facade, the CLIs' -model flags, and
+// the boundsd HTTP API, which serves the registry listing verbatim as
+// /v1/scenarios.
+//
+// The package-level Default registry carries the built-in scenarios
+// ("crash", "byzantine", "probabilistic"); isolated registries can be
+// constructed for tests or embedding.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Errors returned by registry operations and scenario functions.
+var (
+	// ErrUnknownScenario is returned when a name resolves to nothing.
+	ErrUnknownScenario = errors.New("registry: unknown scenario")
+	// ErrDuplicate is returned when registering an already-taken name.
+	ErrDuplicate = errors.New("registry: scenario already registered")
+	// ErrInvalidScenario is returned when registering an entry missing
+	// required fields.
+	ErrInvalidScenario = errors.New("registry: invalid scenario definition")
+	// ErrNoUpperBound is returned by UpperBound when the scenario has no
+	// matching upper bound (e.g. Byzantine: only the transfer lower
+	// bound is known).
+	ErrNoUpperBound = errors.New("registry: no matching upper bound known for this scenario")
+	// ErrNotVerifiable is returned by VerifyJob when the scenario (or
+	// the particular parameter triple) has no executable verification.
+	ErrNotVerifiable = errors.New("registry: scenario is not verifiable at these parameters")
+)
+
+// ParamKind is the type of a scenario parameter.
+type ParamKind string
+
+// Parameter kinds.
+const (
+	KindInt   ParamKind = "int"
+	KindFloat ParamKind = "float"
+)
+
+// Param describes one scenario parameter for the self-describing
+// listing (/v1/scenarios, cmd/bounds -scenarios). Validation itself is
+// programmatic, via Scenario.Validate.
+type Param struct {
+	Name string    `json:"name"`
+	Kind ParamKind `json:"kind"`
+	Doc  string    `json:"doc"`
+}
+
+// Scenario is one named fault model: its parameter schema, its bound
+// functions, and the constructor for the engine job that measures its
+// verifiable quantity. All functions must be safe for concurrent use.
+type Scenario struct {
+	// Name is the registry key ("crash", "byzantine", ...).
+	Name string `json:"name"`
+	// Description is a one-line human summary with the source reference.
+	Description string `json:"description"`
+	// Params is the declarative parameter schema.
+	Params []Param `json:"params"`
+	// HasUpperBound reports whether UpperBound can ever succeed.
+	HasUpperBound bool `json:"has_upper_bound"`
+	// Verifiable reports whether VerifyJob can ever succeed.
+	Verifiable bool `json:"verifiable"`
+
+	// Validate checks an (m, k, f) triple under this fault model.
+	Validate func(m, k, f int) error `json:"-"`
+	// LowerBound returns the scenario's lower bound on the competitive
+	// ratio (the paper's A(m,k,f) for crash, the transfer bound for
+	// Byzantine, the Kao–Reif–Tate constant for probabilistic).
+	LowerBound func(m, k, f int) (float64, error) `json:"-"`
+	// UpperBound returns the best known matching upper bound, or an
+	// error wrapping ErrNoUpperBound.
+	UpperBound func(m, k, f int) (float64, error) `json:"-"`
+	// VerifyJob constructs the deterministic engine job measuring the
+	// scenario's verifiable headline quantity at the horizon, or an
+	// error wrapping ErrNotVerifiable.
+	VerifyJob func(m, k, f int, horizon float64) (engine.Job, error) `json:"-"`
+}
+
+// Registry is a concurrency-safe name -> Scenario table.
+type Registry struct {
+	mu        sync.RWMutex
+	scenarios map[string]Scenario
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scenarios: make(map[string]Scenario)}
+}
+
+// Register adds a scenario. The name must be unique and the four
+// function fields non-nil (a scenario without an upper bound or a
+// verifier still supplies a func returning the sentinel error, so
+// every entry is uniformly callable).
+func (r *Registry) Register(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("%w: empty name", ErrInvalidScenario)
+	}
+	if s.Validate == nil || s.LowerBound == nil || s.UpperBound == nil || s.VerifyJob == nil {
+		return fmt.Errorf("%w: scenario %q must define Validate, LowerBound, UpperBound and VerifyJob", ErrInvalidScenario, s.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.scenarios[s.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, s.Name)
+	}
+	r.scenarios[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register, panicking on error (init-time use).
+func (r *Registry) MustRegister(s Scenario) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get resolves a scenario by name.
+func (r *Registry) Get(name string) (Scenario, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownScenario, name, r.namesLocked())
+	}
+	return s, nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	names := make([]string, 0, len(r.scenarios))
+	for name := range r.scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every scenario in name order.
+func (r *Registry) All() []Scenario {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Scenario, 0, len(r.scenarios))
+	for _, name := range r.namesLocked() {
+		out = append(out, r.scenarios[name])
+	}
+	return out
+}
+
+// defaultRegistry carries the built-in scenarios.
+var defaultRegistry = func() *Registry {
+	r := NewRegistry()
+	registerBuiltins(r)
+	return r
+}()
+
+// Default returns the process-wide registry with the built-in
+// scenarios registered.
+func Default() *Registry { return defaultRegistry }
+
+// Get resolves a name in the default registry.
+func Get(name string) (Scenario, error) { return defaultRegistry.Get(name) }
+
+// Names lists the default registry.
+func Names() []string { return defaultRegistry.Names() }

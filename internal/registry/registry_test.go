@@ -1,0 +1,176 @@
+package registry
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+)
+
+func TestDefaultHasBuiltins(t *testing.T) {
+	want := []string{"byzantine", "crash", "probabilistic"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, s := range Default().All() {
+		if s.Description == "" || len(s.Params) == 0 {
+			t.Errorf("scenario %q is not self-describing: %+v", s.Name, s)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("martian"); !errors.Is(err, ErrUnknownScenario) {
+		t.Errorf("Get(martian) = %v, want ErrUnknownScenario", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Scenario{}); !errors.Is(err, ErrInvalidScenario) {
+		t.Errorf("empty scenario registered: %v", err)
+	}
+	ok := Scenario{
+		Name:       "x",
+		Validate:   func(m, k, f int) error { return nil },
+		LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
+		UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
+		VerifyJob:  func(m, k, f int, h float64) (engine.Job, error) { return nil, ErrNotVerifiable },
+	}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(ok); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate registration: %v", err)
+	}
+	if err := r.Register(Scenario{Name: "y", Validate: ok.Validate}); !errors.Is(err, ErrInvalidScenario) {
+		t.Errorf("partial scenario registered: %v", err)
+	}
+}
+
+func TestCrashScenarioMatchesBounds(t *testing.T) {
+	sc, err := Get("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := sc.LowerBound(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := bounds.AMKF(2, 3, 1)
+	if lb != want {
+		t.Errorf("crash lower bound = %g, want %g", lb, want)
+	}
+	ub, err := sc.UpperBound(2, 3, 1)
+	if err != nil || ub != want {
+		t.Errorf("crash upper bound = (%g, %v), want tight %g", ub, err, want)
+	}
+	job, err := sc.VerifyJob(2, 3, 1, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.New(1).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Value-want) / want; rel > 1e-3 {
+		t.Errorf("verify job measured %g vs closed form %g (rel %g)", res.Value, want, rel)
+	}
+	// Outside the search regime verification is refused.
+	if _, err := sc.VerifyJob(2, 4, 1, 1e4); !errors.Is(err, ErrNotVerifiable) {
+		t.Errorf("trivial-regime verify = %v, want ErrNotVerifiable", err)
+	}
+}
+
+func TestByzantineScenario(t *testing.T) {
+	sc, err := Get("byzantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := sc.LowerBound(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, _ := bounds.AMKF(2, 3, 1)
+	if lb != crash {
+		t.Errorf("byzantine transfer bound = %g, want crash value %g", lb, crash)
+	}
+	if _, err := sc.UpperBound(2, 3, 1); !errors.Is(err, ErrNoUpperBound) {
+		t.Errorf("byzantine upper bound = %v, want ErrNoUpperBound", err)
+	}
+	if _, err := sc.VerifyJob(2, 3, 1, 1e4); !errors.Is(err, ErrNotVerifiable) {
+		t.Errorf("byzantine verify = %v, want ErrNotVerifiable", err)
+	}
+	if sc.HasUpperBound || sc.Verifiable {
+		t.Errorf("byzantine capability flags wrong: %+v", sc)
+	}
+}
+
+func TestProbabilisticScenario(t *testing.T) {
+	sc, err := Get("probabilistic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := sc.LowerBound(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb-4.5911) > 1e-3 {
+		t.Errorf("probabilistic bound = %g, want ~4.5911", lb)
+	}
+	if _, err := sc.LowerBound(2, 3, 1); err == nil {
+		t.Error("probabilistic stub must reject k > 1")
+	}
+	job, err := sc.VerifyJob(2, 1, 0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.New(1).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-lb)/lb > 0.05 {
+		t.Errorf("Monte-Carlo estimate %g far from closed form %g", res.Value, lb)
+	}
+	// Same horizon => same job key (deterministic, cacheable).
+	j2, _ := sc.VerifyJob(2, 1, 0, 4000)
+	if job.Key() == "" || job.Key() != j2.Key() {
+		t.Errorf("probabilistic verify jobs not cache-stable: %q vs %q", job.Key(), j2.Key())
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Register(Scenario{
+					Name:       string(rune('a' + g)),
+					Validate:   func(m, k, f int) error { return nil },
+					LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
+					UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
+					VerifyJob:  func(m, k, f int, h float64) (engine.Job, error) { return nil, ErrNotVerifiable },
+				})
+				r.Names()
+				r.Get(string(rune('a' + g)))
+				r.All()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(r.Names()); n != 8 {
+		t.Errorf("expected 8 scenarios after concurrent registration, got %d", n)
+	}
+}

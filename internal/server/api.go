@@ -1,0 +1,259 @@
+// api.go holds the response structs and Markdown renderers shared by
+// the HTTP endpoints and the CLIs. cmd/bounds and cmd/experiments build
+// their tables through ComputeBoundsTable / ComputeSweep and print the
+// renderers' output, so a /v1/bounds or /v1/sweep answer in markdown
+// format is byte-identical to the corresponding CLI table — one source
+// of truth for every rendering of the paper's numbers.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/registry"
+	"repro/internal/report"
+)
+
+// Float is a float64 that marshals NaN and ±Inf as JSON null (plain
+// encoding/json rejects them). The regime/evaluated fields of the
+// carrying struct tell the two apart where it matters.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler (null -> NaN).
+func (f *Float) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = Float(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// BoundsRow is one (k, f) line of a bounds table.
+type BoundsRow struct {
+	K         int     `json:"k"`
+	F         int     `json:"f"`
+	Q         int     `json:"q"`
+	Rho       float64 `json:"rho"`
+	Regime    string  `json:"regime"`
+	Lambda    Float   `json:"lambda"`
+	AlphaStar Float   `json:"alpha_star"` // NaN (null) outside the search regime
+}
+
+// BoundsTable is the closed-form bound grid for one scenario — the
+// payload of /v1/bounds in grid mode and the table cmd/bounds prints.
+type BoundsTable struct {
+	Scenario string      `json:"scenario"`
+	M        int         `json:"m"`
+	KMax     int         `json:"kmax"`
+	Rows     []BoundsRow `json:"rows"`
+}
+
+// cellBound is the per-cell evaluation shared by the grid table and
+// the single-cell /v1/bounds answer — the one place that encodes
+// "tolerate the lower-bound error only when unsolvable" and "alpha*
+// exists only in the search regime".
+type cellBound struct {
+	Regime    bounds.Regime
+	Lambda    float64 // scenario lower bound; +Inf when unsolvable
+	Rho       float64
+	AlphaStar float64 // NaN outside the search regime
+}
+
+// computeCellBound evaluates one (m, k, f) cell through the scenario.
+func computeCellBound(sc registry.Scenario, m, k, f int) (cellBound, error) {
+	if err := sc.Validate(m, k, f); err != nil {
+		return cellBound{}, err
+	}
+	regime, err := bounds.Classify(m, k, f)
+	if err != nil {
+		return cellBound{}, err
+	}
+	lambda, lerr := sc.LowerBound(m, k, f)
+	if lerr != nil && regime != bounds.RegimeUnsolvable {
+		return cellBound{}, lerr
+	}
+	rho, err := bounds.Rho(m, k, f)
+	if err != nil {
+		return cellBound{}, err
+	}
+	cb := cellBound{Regime: regime, Lambda: lambda, Rho: rho, AlphaStar: math.NaN()}
+	if regime == bounds.RegimeSearch {
+		cb.AlphaStar, err = bounds.OptimalAlpha(m*(f+1), k)
+		if err != nil {
+			return cellBound{}, err
+		}
+	}
+	return cb, nil
+}
+
+// ComputeBoundsTable evaluates the scenario's lower bound over the
+// (k, f) grid k in 1..kmax, f in 0..k-1. Cells the scenario's Validate
+// rejects (e.g. the probabilistic stub outside its scope) are skipped.
+func ComputeBoundsTable(sc registry.Scenario, m, kmax int) (*BoundsTable, error) {
+	if m < 2 || kmax < 1 {
+		return nil, fmt.Errorf("need m >= 2 and kmax >= 1, got m=%d kmax=%d", m, kmax)
+	}
+	t := &BoundsTable{Scenario: sc.Name, M: m, KMax: kmax}
+	for k := 1; k <= kmax; k++ {
+		for f := 0; f < k; f++ {
+			if err := sc.Validate(m, k, f); err != nil {
+				continue
+			}
+			cb, err := computeCellBound(sc, m, k, f)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, BoundsRow{
+				K: k, F: f, Q: m * (f + 1), Rho: cb.Rho,
+				Regime: cb.Regime.String(), Lambda: Float(cb.Lambda), AlphaStar: Float(cb.AlphaStar),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Markdown renders the table; for the crash scenario the bytes are
+// identical to the historical cmd/bounds output.
+func (t *BoundsTable) Markdown() string {
+	title := fmt.Sprintf("A(m=%d, k, f): optimal competitive ratio (Theorems 1 and 6)", t.M)
+	if t.Scenario != "crash" {
+		title = fmt.Sprintf("A(m=%d, k, f) lower bound — scenario %q", t.M, t.Scenario)
+	}
+	tb := report.NewTable(title, "k", "f", "q", "rho", "regime", "lambda", "alpha*")
+	for _, row := range t.Rows {
+		alphaCell := "-"
+		if !math.IsNaN(float64(row.AlphaStar)) {
+			alphaCell = report.Fmt(float64(row.AlphaStar), 6)
+		}
+		tb.AddRow(
+			strconv.Itoa(row.K), strconv.Itoa(row.F), strconv.Itoa(row.Q),
+			report.Fmt(row.Rho, 4), row.Regime, report.Fmt(float64(row.Lambda), 9), alphaCell,
+		)
+	}
+	return tb.Markdown()
+}
+
+// SweepCell is one measured (m, k, f) point of a sweep.
+type SweepCell struct {
+	M         int    `json:"m"`
+	K         int    `json:"k"`
+	F         int    `json:"f"`
+	Q         int    `json:"q"`
+	Regime    string `json:"regime"`
+	Closed    Float  `json:"closed"`
+	Evaluated bool   `json:"evaluated"`
+	Measured  Float  `json:"measured"`
+	RelGap    Float  `json:"rel_gap"`
+	WorstRay  int    `json:"worst_ray,omitempty"`
+	WorstX    Float  `json:"worst_x,omitempty"`
+}
+
+// SweepTable is the payload of /v1/sweep and the source of the E1/E4
+// tables of cmd/experiments.
+type SweepTable struct {
+	Horizon float64     `json:"horizon"`
+	Cells   []SweepCell `json:"cells"`
+}
+
+// ComputeSweep runs the engine sweep and shapes the results for
+// rendering and JSON. Errors carry the failing cell (engine.CellError).
+func ComputeSweep(eng *engine.Engine, cells []engine.Cell, horizon float64) (*SweepTable, error) {
+	results, err := eng.Sweep(cells, horizon)
+	if err != nil {
+		return nil, err
+	}
+	t := &SweepTable{Horizon: horizon}
+	for _, cr := range results {
+		cell := SweepCell{
+			M: cr.Cell.M, K: cr.Cell.K, F: cr.Cell.F, Q: cr.Cell.M * (cr.Cell.F + 1),
+			Regime: cr.Regime.String(), Closed: Float(cr.Closed),
+			Evaluated: cr.Evaluated,
+			Measured:  Float(cr.Eval.WorstRatio), RelGap: Float(cr.RelGap()),
+		}
+		if cr.Evaluated {
+			cell.WorstRay = cr.Eval.WorstRay
+			cell.WorstX = Float(cr.Eval.WorstX)
+		}
+		t.Cells = append(t.Cells, cell)
+	}
+	return t, nil
+}
+
+// MarkdownLine renders the evaluated cells as the Theorem 1 line table
+// (byte-identical to experiment E1 of cmd/experiments).
+func (t *SweepTable) MarkdownLine() string {
+	tb := report.NewTable("", "k", "f", "s", "A(k,f) closed form", "measured sup ratio", "rel. gap")
+	for _, c := range t.Cells {
+		if !c.Evaluated {
+			continue
+		}
+		tb.AddRow(
+			strconv.Itoa(c.K), strconv.Itoa(c.F), strconv.Itoa(bounds.SlackS(c.K, c.F)),
+			report.Fmt(float64(c.Closed), 9), report.Fmt(float64(c.Measured), 9),
+			report.Fmt(float64(c.RelGap), 2),
+		)
+	}
+	return tb.Markdown()
+}
+
+// MarkdownRays renders every cell as the Theorem 6 m-ray table
+// (byte-identical to experiment E4 of cmd/experiments).
+func (t *SweepTable) MarkdownRays() string {
+	tb := report.NewTable("", "m", "k", "f", "q", "A(m,k,f) closed form", "measured sup ratio", "rel. gap")
+	for _, c := range t.Cells {
+		tb.AddRow(
+			strconv.Itoa(c.M), strconv.Itoa(c.K), strconv.Itoa(c.F), strconv.Itoa(c.Q),
+			report.Fmt(float64(c.Closed), 9), report.Fmt(float64(c.Measured), 9),
+			report.Fmt(float64(c.RelGap), 2),
+		)
+	}
+	return tb.Markdown()
+}
+
+// BoundsAnswer is the single-cell payload of /v1/bounds.
+type BoundsAnswer struct {
+	Scenario  string  `json:"scenario"`
+	M         int     `json:"m"`
+	K         int     `json:"k"`
+	F         int     `json:"f"`
+	Q         int     `json:"q"`
+	Rho       float64 `json:"rho"`
+	Regime    string  `json:"regime"`
+	Lower     Float   `json:"lower"`
+	Upper     Float   `json:"upper"` // null when no matching upper bound is known
+	HasUpper  bool    `json:"has_upper"`
+	AlphaStar Float   `json:"alpha_star"`
+}
+
+// VerifyAnswer is the payload of /v1/verify.
+type VerifyAnswer struct {
+	Scenario  string  `json:"scenario"`
+	M         int     `json:"m"`
+	K         int     `json:"k"`
+	F         int     `json:"f"`
+	Horizon   float64 `json:"horizon"`
+	Value     Float   `json:"value"`
+	Lower     Float   `json:"lower"`
+	RelGap    Float   `json:"rel_gap"`
+	Evaluated bool    `json:"evaluated"`
+	WorstRay  int     `json:"worst_ray,omitempty"`
+	WorstX    Float   `json:"worst_x,omitempty"`
+}

@@ -1,0 +1,562 @@
+// Package server is the HTTP layer of boundsd: a JSON API over the
+// scenario registry and the evaluation engine. Endpoints:
+//
+//	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus-style text: request counters + engine cache stats
+//	GET  /v1/scenarios   the registry listing (self-describing fault models)
+//	*    /v1/bounds      closed-form bounds: single cell (k, f) or grid (kmax)
+//	*    /v1/verify      run the scenario's verification job through the engine
+//	*    /v1/sweep       measured (m, k, f) grid sweep (engine.Sweep)
+//
+// The grid endpoints (/v1/bounds in kmax mode and /v1/sweep) accept
+// ?format=markdown to render through the same tables cmd/bounds and
+// cmd/experiments print (byte-identical). Compute requests run under a
+// per-request timeout (?timeout_ms, capped by the server
+// configuration), execute on a shared engine.Engine whose bounded LRU
+// cache makes repeated queries cheap, and are limited to MaxInflight
+// concurrent computations (abandoned timed-out work counts against the
+// limit until it finishes). Invalid input is a 400 with a JSON error
+// body; an exceeded budget is a 504; a saturated server is a 503.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultTimeout bounds one request's compute budget.
+	DefaultTimeout = 30 * time.Second
+	// DefaultCacheCapacity bounds the engine result cache of a server
+	// constructed without an explicit engine.
+	DefaultCacheCapacity = 4096
+	// DefaultMaxKMax caps grid requests (cells grow quadratically).
+	DefaultMaxKMax = 16
+	// DefaultMaxInflight caps concurrent compute goroutines, counting
+	// abandoned (timed-out) computations until they finish — the bound
+	// that keeps a stream of instantly-timing-out heavy requests from
+	// accumulating unbounded background work.
+	DefaultMaxInflight = 32
+	// DefaultHorizon is the sweep/verify horizon when unspecified —
+	// the value the recorded experiment tables use.
+	DefaultHorizon = 2e5
+	// maxHorizon caps client-supplied horizons.
+	maxHorizon = 1e8
+)
+
+// errTimeout marks an exceeded per-request compute budget.
+var errTimeout = errors.New("server: request timed out")
+
+// errBusy marks a request that could not get a compute slot within its
+// budget (the server is saturated with in-flight work).
+var errBusy = errors.New("server: too many in-flight computations")
+
+// errClientGone marks a request whose client disconnected before the
+// computation finished.
+var errClientGone = errors.New("server: client closed the request")
+
+// errBadParam marks request-parameter failures detected inside the
+// compute path, so computeStatus can map them to 400.
+var errBadParam = errors.New("server: bad request parameter")
+
+// Config configures a Server; zero values select the defaults above.
+type Config struct {
+	// Engine executes the verification jobs and sweeps. Defaults to a
+	// GOMAXPROCS pool with a DefaultCacheCapacity-bounded LRU cache.
+	Engine *engine.Engine
+	// Registry resolves scenario names. Defaults to registry.Default().
+	Registry *registry.Registry
+	// Timeout is the per-request compute budget; requests may lower it
+	// via ?timeout_ms but never exceed it.
+	Timeout time.Duration
+	// MaxKMax caps the kmax of grid requests.
+	MaxKMax int
+	// MaxInflight caps concurrent compute goroutines (including
+	// abandoned timed-out ones until they finish).
+	MaxInflight int
+}
+
+// Server is the boundsd HTTP handler. Construct with New.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+	sem   chan struct{} // compute slots (MaxInflight)
+
+	// Per-route counters, fully populated at construction (the route
+	// set is static, "other" catches the rest), so the request path
+	// reads them lock-free.
+	reqs map[string]*atomic.Int64
+	errs map[string]*atomic.Int64
+}
+
+// routes is the static route set; unknown paths count under "other".
+var routes = []string{"/healthz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "other"}
+
+// New returns a ready-to-serve handler.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		cfg.Engine = engine.NewWithCache(0, DefaultCacheCapacity)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = registry.Default()
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.MaxKMax <= 0 {
+		cfg.MaxKMax = DefaultMaxKMax
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		reqs:  make(map[string]*atomic.Int64, len(routes)),
+		errs:  make(map[string]*atomic.Int64, len(routes)),
+	}
+	for _, route := range routes {
+		s.reqs[route] = &atomic.Int64{}
+		s.errs[route] = &atomic.Int64{}
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("/v1/bounds", s.handleBounds)
+	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	return s
+}
+
+// Engine exposes the server's engine (stats, cache control).
+func (s *Server) Engine() *engine.Engine { return s.cfg.Engine }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route := r.URL.Path
+	if _, ok := s.reqs[route]; !ok {
+		route = "other"
+	}
+	s.reqs[route].Add(1)
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	if rec.code >= 400 {
+		s.errs[route].Add(1)
+	}
+}
+
+// statusRecorder captures the response code for the error counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "boundsd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	sorted := append([]string(nil), routes...)
+	sort.Strings(sorted)
+	for _, route := range sorted {
+		fmt.Fprintf(w, "boundsd_requests_total{path=%q} %d\n", route, s.reqs[route].Load())
+		fmt.Fprintf(w, "boundsd_request_errors_total{path=%q} %d\n", route, s.errs[route].Load())
+	}
+	st := s.cfg.Engine.Stats()
+	fmt.Fprintf(w, "boundsd_engine_workers %d\n", s.cfg.Engine.Workers())
+	fmt.Fprintf(w, "boundsd_engine_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "boundsd_engine_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "boundsd_engine_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "boundsd_engine_cache_size %d\n", st.Size)
+	fmt.Fprintf(w, "boundsd_engine_cache_capacity %d\n", st.Capacity)
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": s.cfg.Registry.All()})
+}
+
+// params reads request parameters from the query string and, for
+// POSTs with a JSON body, from the top-level object fields (body wins).
+func params(r *http.Request) (map[string]string, error) {
+	out := make(map[string]string)
+	for key, vals := range r.URL.Query() {
+		if len(vals) > 0 {
+			out[key] = vals[0]
+		}
+	}
+	if r.Method == http.MethodPost && r.Body != nil {
+		var body map[string]any
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		if err := dec.Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("bad JSON body: %w", err)
+		}
+		for key, val := range body {
+			switch v := val.(type) {
+			case string:
+				out[key] = v
+			case float64:
+				out[key] = strconv.FormatFloat(v, 'g', -1, 64)
+			case bool:
+				out[key] = strconv.FormatBool(v)
+			default:
+				return nil, fmt.Errorf("bad JSON body: field %q has unsupported type", key)
+			}
+		}
+	}
+	return out, nil
+}
+
+func intParam(p map[string]string, key string, def int) (int, error) {
+	raw, ok := p[key]
+	if !ok || raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %w", key, err)
+	}
+	return v, nil
+}
+
+func floatParam(p map[string]string, key string, def float64) (float64, error) {
+	raw, ok := p[key]
+	if !ok || raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %w", key, err)
+	}
+	return v, nil
+}
+
+// scenarioParam resolves the "model" parameter (default crash).
+func (s *Server) scenarioParam(p map[string]string) (registry.Scenario, error) {
+	name := p["model"]
+	if name == "" {
+		name = "crash"
+	}
+	return s.cfg.Registry.Get(name)
+}
+
+// compute runs fn under the request's compute budget and the server's
+// MaxInflight cap. The computation itself is not interruptible
+// (CPU-bound engine jobs); on timeout the goroutine is abandoned — it
+// keeps its compute slot until it finishes, and its result still lands
+// in the engine cache, so an identical retry is instant once it
+// completes. A panic inside fn is recovered into a 500, not a process
+// crash (scenario callbacks are a plugin point).
+func (s *Server) compute(r *http.Request, p map[string]string, fn func() (any, error)) (any, error) {
+	budget := s.cfg.Timeout
+	if raw, ok := p["timeout_ms"]; ok && raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			return nil, fmt.Errorf("%w: %q must be a positive integer", errBadParam, "timeout_ms")
+		}
+		if d := time.Duration(ms) * time.Millisecond; d < budget {
+			budget = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return nil, fmt.Errorf("%w while waiting for a compute slot", errClientGone)
+		}
+		return nil, fmt.Errorf("%w: no compute slot freed within %v", errBusy, budget)
+	}
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- outcome{nil, fmt.Errorf("server: computation panicked: %v", rec)}
+			}
+		}()
+		v, err := fn()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return nil, fmt.Errorf("%w before the computation finished", errClientGone)
+		}
+		return nil, fmt.Errorf("%w after %v", errTimeout, budget)
+	}
+}
+
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	p, err := params(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := s.scenarioParam(p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err1 := intParam(p, "m", 2)
+	k, err2 := intParam(p, "k", 0)
+	f, err3 := intParam(p, "f", -1)
+	kmax, err4 := intParam(p, "kmax", 0)
+	if err := errors.Join(err1, err2, err3, err4); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if kmax > s.cfg.MaxKMax {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("kmax %d exceeds the server cap %d", kmax, s.cfg.MaxKMax))
+		return
+	}
+	// Grid mode: kmax set. Single-cell mode: k (and optionally f) set.
+	if kmax > 0 {
+		table, err := ComputeBoundsTable(sc, m, kmax)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if p["format"] == "markdown" {
+			writeText(w, table.Markdown())
+			return
+		}
+		writeJSON(w, http.StatusOK, table)
+		return
+	}
+	if k <= 0 || f < 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("need either kmax (grid mode) or k and f (single mode)"))
+		return
+	}
+	ans, err := s.boundsAnswer(sc, m, k, f)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+// boundsAnswer evaluates one cell through the scenario, sharing the
+// per-cell logic with the grid table (computeCellBound).
+func (s *Server) boundsAnswer(sc registry.Scenario, m, k, f int) (*BoundsAnswer, error) {
+	cb, err := computeCellBound(sc, m, k, f)
+	if err != nil {
+		return nil, err
+	}
+	ans := &BoundsAnswer{
+		Scenario: sc.Name, M: m, K: k, F: f, Q: m * (f + 1),
+		Rho: cb.Rho, Regime: cb.Regime.String(),
+		Lower: Float(cb.Lambda), AlphaStar: Float(cb.AlphaStar),
+	}
+	upper, uerr := sc.UpperBound(m, k, f)
+	switch {
+	case uerr == nil:
+		ans.Upper = Float(upper)
+		ans.HasUpper = true
+	case errors.Is(uerr, registry.ErrNoUpperBound) || cb.Regime == bounds.RegimeUnsolvable:
+		ans.Upper = Float(nan())
+	default:
+		return nil, uerr
+	}
+	return ans, nil
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	p, err := params(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := s.scenarioParam(p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err1 := intParam(p, "m", 2)
+	k, err2 := intParam(p, "k", 0)
+	f, err3 := intParam(p, "f", -1)
+	horizon, err4 := floatParam(p, "horizon", DefaultHorizon)
+	if err := errors.Join(err1, err2, err3, err4); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if k <= 0 || f < 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("need k and f"))
+		return
+	}
+	if !(horizon > 1) || horizon > maxHorizon {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("horizon %g out of range (1, %g]", horizon, maxHorizon))
+		return
+	}
+	job, err := sc.VerifyJob(m, k, f, horizon)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.compute(r, p, func() (any, error) {
+		res, err := s.cfg.Engine.Run(job)
+		if err != nil {
+			return nil, err
+		}
+		ans := &VerifyAnswer{
+			Scenario: sc.Name, M: m, K: k, F: f, Horizon: horizon,
+			Value: Float(res.Value), Lower: Float(nan()), RelGap: Float(nan()),
+		}
+		if lower, err := sc.LowerBound(m, k, f); err == nil {
+			ans.Lower = Float(lower)
+			if lower > 0 {
+				ans.RelGap = Float((res.Value - lower) / lower)
+			}
+		}
+		if res.Eval.WorstRatio != 0 {
+			ans.Evaluated = true
+			ans.WorstRay = res.Eval.WorstRay
+			ans.WorstX = Float(res.Eval.WorstX)
+		}
+		return ans, nil
+	})
+	if err != nil {
+		writeErr(w, computeStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	p, err := params(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// The measured grid sweep is the crash model's (engine.Sweep runs
+	// the crash verification job per cell); reject other models rather
+	// than mislabeling crash numbers as theirs.
+	sc, err := s.scenarioParam(p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if sc.Name != "crash" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("sweep supports only the crash scenario (the measured grid runs the crash verification job); got %q", sc.Name))
+		return
+	}
+	m, err1 := intParam(p, "m", 2)
+	kmax, err2 := intParam(p, "kmax", 6)
+	horizon, err3 := floatParam(p, "horizon", DefaultHorizon)
+	if err := errors.Join(err1, err2, err3); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if m < 2 || kmax < 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need m >= 2 and kmax >= 1, got m=%d kmax=%d", m, kmax))
+		return
+	}
+	if kmax > s.cfg.MaxKMax {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("kmax %d exceeds the server cap %d", kmax, s.cfg.MaxKMax))
+		return
+	}
+	if !(horizon > 1) || horizon > maxHorizon {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("horizon %g out of range (1, %g]", horizon, maxHorizon))
+		return
+	}
+	// Validate the rendering style before burning a sweep on it. The
+	// line grid renders as the Theorem 1 (E1) table, m-ray grids as the
+	// Theorem 6 (E4) table; ?table= overrides.
+	style := p["table"]
+	if style == "" {
+		style = "rays"
+		if m == 2 {
+			style = "line"
+		}
+	}
+	if style != "line" && style != "rays" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown table style %q (want line or rays)", style))
+		return
+	}
+	v, err := s.compute(r, p, func() (any, error) {
+		return ComputeSweep(s.cfg.Engine, engine.Grid(m, kmax), horizon)
+	})
+	if err != nil {
+		writeErr(w, computeStatus(err), err)
+		return
+	}
+	table := v.(*SweepTable)
+	if p["format"] == "markdown" {
+		if style == "line" {
+			writeText(w, table.MarkdownLine())
+		} else {
+			writeText(w, table.MarkdownRays())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, table)
+}
+
+// computeStatus classifies an error from the compute path.
+func computeStatus(err error) int {
+	switch {
+	case errors.Is(err, errTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errBusy):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errClientGone):
+		// 499 is the de-facto (nginx) "client closed request" code; the
+		// client is gone, the status only feeds the error counters.
+		return 499
+	}
+	var ce *engine.CellError
+	if errors.As(err, &ce) || errors.Is(err, bounds.ErrInvalidParams) || errors.Is(err, errBadParam) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func nan() float64 { return math.NaN() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeText(w http.ResponseWriter, text string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,459 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz = (%d, %q)", code, body)
+	}
+}
+
+func TestScenariosListing(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/scenarios")
+	if code != http.StatusOK {
+		t.Fatalf("scenarios = %d: %s", code, body)
+	}
+	var payload struct {
+		Scenarios []registry.Scenario `json:"scenarios"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(payload.Scenarios))
+	for _, sc := range payload.Scenarios {
+		names = append(names, sc.Name)
+		if sc.Description == "" || len(sc.Params) == 0 {
+			t.Errorf("scenario %q not self-describing in the listing", sc.Name)
+		}
+	}
+	if len(names) != 3 || names[0] != "byzantine" || names[1] != "crash" || names[2] != "probabilistic" {
+		t.Errorf("scenario names = %v", names)
+	}
+}
+
+func TestBoundsSingleCell(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/bounds?m=2&k=3&f=1")
+	if code != http.StatusOK {
+		t.Fatalf("bounds = %d: %s", code, body)
+	}
+	var ans BoundsAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := bounds.AMKF(2, 3, 1)
+	if math.Abs(float64(ans.Lower)-want) > 1e-12 || !ans.HasUpper {
+		t.Errorf("bounds answer = %+v, want tight %g", ans, want)
+	}
+	if ans.Regime != "search" || ans.Q != 4 {
+		t.Errorf("bounds answer = %+v", ans)
+	}
+}
+
+func TestBoundsByzantineNoUpper(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/bounds?m=2&k=3&f=1&model=byzantine")
+	if code != http.StatusOK {
+		t.Fatalf("bounds = %d: %s", code, body)
+	}
+	var ans BoundsAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.HasUpper {
+		t.Errorf("byzantine must have no upper bound: %+v", ans)
+	}
+	if !strings.Contains(body, `"upper": null`) {
+		t.Errorf("missing null upper in %s", body)
+	}
+}
+
+func TestBoundsGridMarkdownMatchesRenderer(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/bounds?m=2&kmax=6&format=markdown")
+	if code != http.StatusOK {
+		t.Fatalf("bounds grid = %d: %s", code, body)
+	}
+	sc, err := registry.Get("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := ComputeBoundsTable(sc, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != table.Markdown() {
+		t.Errorf("endpoint bytes differ from shared renderer:\n--- endpoint ---\n%s\n--- renderer ---\n%s", body, table.Markdown())
+	}
+	if !strings.Contains(body, "A(m=2, k, f): optimal competitive ratio (Theorems 1 and 6)") {
+		t.Errorf("markdown table missing legacy title:\n%s", body)
+	}
+}
+
+func TestBoundsBadInput(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, query := range []string{
+		"/v1/bounds?m=zebra&kmax=3",            // unparsable int
+		"/v1/bounds?m=2",                       // neither kmax nor (k, f)
+		"/v1/bounds?m=2&kmax=999",              // over the cap
+		"/v1/bounds?m=1&kmax=3",                // m < 2
+		"/v1/bounds?m=2&k=3&f=1&model=martian", // unknown scenario
+		"/v1/bounds?m=2&k=-1&f=0",              // invalid k
+	} {
+		code, body := get(t, ts.URL+query)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d (want 400): %s", query, code, body)
+		}
+		if !strings.Contains(body, `"error"`) {
+			t.Errorf("%s: error body missing: %s", query, body)
+		}
+	}
+}
+
+func TestVerifyMatchesClosedForm(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/verify?m=2&k=3&f=1&horizon=20000")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d: %s", code, body)
+	}
+	var ans VerifyAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := bounds.AMKF(2, 3, 1)
+	if math.Abs(float64(ans.Value)-want)/want > 1e-3 || !ans.Evaluated {
+		t.Errorf("verify answer = %+v, want ~%g", ans, want)
+	}
+}
+
+func TestVerifyCacheHit(t *testing.T) {
+	eng := engine.NewWithCache(0, 64)
+	ts := newTestServer(t, Config{Engine: eng})
+	url := ts.URL + "/v1/verify?m=2&k=3&f=1&horizon=20000"
+	if code, body := get(t, url); code != http.StatusOK {
+		t.Fatalf("first verify = %d: %s", code, body)
+	}
+	st := eng.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after first request: %+v, want 1 miss", st)
+	}
+	if code, _ := get(t, url); code != http.StatusOK {
+		t.Fatal("second verify failed")
+	}
+	st = eng.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("after second request: %+v, want 1 miss / 1 hit", st)
+	}
+}
+
+func TestVerifyBadInput(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, query := range []string{
+		"/v1/verify?m=2&k=4&f=1",                 // trivial regime: not verifiable
+		"/v1/verify?m=2&k=3&f=1&model=byzantine", // no verification known
+		"/v1/verify?m=2&k=3",                     // f missing
+		"/v1/verify?m=2&k=3&f=1&horizon=0",       // horizon out of range
+		"/v1/verify?m=2&k=3&f=1&horizon=1e99",    // horizon too large
+		"/v1/verify?m=2&k=3&f=1&timeout_ms=-5",   // bad timeout
+	} {
+		code, body := get(t, ts.URL+query)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d (want 400): %s", query, code, body)
+		}
+	}
+}
+
+// slowJob stalls long enough to trip any sub-second budget.
+type slowJob struct{ d time.Duration }
+
+func (j slowJob) Key() string { return "slow" }
+func (j slowJob) Run() (engine.Result, error) {
+	time.Sleep(j.d)
+	return engine.Result{Value: 1}, nil
+}
+
+// slowRegistry wraps the builtin entries plus a scenario whose
+// verification takes ~forever relative to the test budget.
+func slowRegistry(t *testing.T) *registry.Registry {
+	t.Helper()
+	r := registry.NewRegistry()
+	for _, sc := range registry.Default().All() {
+		if err := r.Register(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := r.Register(registry.Scenario{
+		Name:        "slow",
+		Description: "test scenario: verification sleeps",
+		Params:      []registry.Param{{Name: "m", Kind: registry.KindInt, Doc: "unused"}},
+		Verifiable:  true,
+		Validate:    func(m, k, f int) error { return nil },
+		LowerBound:  func(m, k, f int) (float64, error) { return 1, nil },
+		UpperBound:  func(m, k, f int) (float64, error) { return 1, nil },
+		VerifyJob: func(m, k, f int, h float64) (engine.Job, error) {
+			return slowJob{d: 2 * time.Second}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestVerifyTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{Registry: slowRegistry(t), Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	code, body := get(t, ts.URL+"/v1/verify?m=2&k=1&f=0&model=slow")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow verify = %d (want 504): %s", code, body)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timeout took %v, budget was 50ms", elapsed)
+	}
+	if !strings.Contains(body, "timed out") {
+		t.Errorf("timeout body: %s", body)
+	}
+}
+
+func TestVerifyPerRequestTimeoutParam(t *testing.T) {
+	// The request may lower the budget below the server default.
+	ts := newTestServer(t, Config{Registry: slowRegistry(t), Timeout: 10 * time.Second})
+	start := time.Now()
+	code, _ := get(t, ts.URL+"/v1/verify?m=2&k=1&f=0&model=slow&timeout_ms=40")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("verify with timeout_ms=40 = %d (want 504)", code)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("per-request timeout took %v", elapsed)
+	}
+}
+
+func TestSweepMarkdownMatchesRenderer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is too slow for -short")
+	}
+	eng := engine.New(0)
+	ts := newTestServer(t, Config{Engine: eng})
+	code, body := get(t, ts.URL+"/v1/sweep?m=2&kmax=4&horizon=20000&format=markdown")
+	if code != http.StatusOK {
+		t.Fatalf("sweep = %d: %s", code, body)
+	}
+	table, err := ComputeSweep(eng, engine.Grid(2, 4), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != table.MarkdownLine() {
+		t.Errorf("sweep endpoint bytes differ from shared renderer:\n--- endpoint ---\n%s\n--- renderer ---\n%s", body, table.MarkdownLine())
+	}
+}
+
+func TestSweepJSON(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/sweep?m=2&kmax=3&horizon=5000")
+	if code != http.StatusOK {
+		t.Fatalf("sweep = %d: %s", code, body)
+	}
+	var table SweepTable
+	if err := json.Unmarshal([]byte(body), &table); err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Cells) != 6 { // k=1..3, f=0..k-1
+		t.Fatalf("sweep cells = %d, want 6", len(table.Cells))
+	}
+	for _, c := range table.Cells {
+		if c.Regime == "unsolvable" && !math.IsNaN(float64(c.Closed)) {
+			t.Errorf("unsolvable cell %+v should have null closed bound", c)
+		}
+		if c.Evaluated {
+			want, _ := bounds.AMKF(c.M, c.K, c.F)
+			if math.Abs(float64(c.Measured)-want)/want > 5e-3 {
+				t.Errorf("cell %+v measured far from %g", c, want)
+			}
+		}
+	}
+}
+
+func TestSweepBadInput(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, query := range []string{
+		"/v1/sweep?m=1&kmax=3",
+		"/v1/sweep?m=2&kmax=0",
+		"/v1/sweep?m=2&kmax=64",
+		"/v1/sweep?m=2&kmax=3&horizon=-4",
+		"/v1/sweep?m=2&kmax=3&format=markdown&table=pie",
+	} {
+		code, body := get(t, ts.URL+query)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d (want 400): %s", query, code, body)
+		}
+	}
+}
+
+func TestMetricsAndCounters(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	get(t, ts.URL+"/healthz")
+	get(t, ts.URL+"/v1/bounds?m=2&k=3&f=1")
+	get(t, ts.URL+"/v1/bounds?m=bad") // 400
+	get(t, ts.URL+"/nope")            // 404, counted as "other"
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		`boundsd_requests_total{path="/healthz"} 1`,
+		`boundsd_requests_total{path="/v1/bounds"} 2`,
+		`boundsd_request_errors_total{path="/v1/bounds"} 1`,
+		`boundsd_requests_total{path="other"} 1`,
+		"boundsd_engine_workers",
+		"boundsd_engine_cache_hits_total",
+		"boundsd_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestPostJSONBody(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/bounds", "application/json",
+		strings.NewReader(`{"m": 2, "k": 3, "f": 1, "model": "crash"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST bounds = %d", resp.StatusCode)
+	}
+	var ans BoundsAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := bounds.AMKF(2, 3, 1)
+	if math.Abs(float64(ans.Lower)-want) > 1e-12 {
+		t.Errorf("POST answer = %+v", ans)
+	}
+	// Malformed body is a 400.
+	resp2, err := http.Post(ts.URL+"/v1/bounds", "application/json", strings.NewReader(`{"m": [`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed POST = %d (want 400)", resp2.StatusCode)
+	}
+}
+
+func TestFloatJSONRoundTrip(t *testing.T) {
+	in := []Float{Float(1.5), Float(math.NaN()), Float(math.Inf(1))}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[1.5,null,null]" {
+		t.Errorf("marshal = %s", data)
+	}
+	var out []Float
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if float64(out[0]) != 1.5 || !math.IsNaN(float64(out[1])) || !math.IsNaN(float64(out[2])) {
+		t.Errorf("round trip = %v", out)
+	}
+}
+
+// panicJob blows up inside the engine — the stand-in for a buggy
+// third-party scenario callback.
+type panicJob struct{}
+
+func (panicJob) Key() string { return "panic" }
+func (panicJob) Run() (engine.Result, error) {
+	panic("scenario bug")
+}
+
+func TestComputePanicIsA500NotACrash(t *testing.T) {
+	r := slowRegistry(t)
+	if err := r.Register(registry.Scenario{
+		Name:        "panicky",
+		Description: "test scenario: verification panics",
+		Params:      []registry.Param{{Name: "m", Kind: registry.KindInt, Doc: "unused"}},
+		Verifiable:  true,
+		Validate:    func(m, k, f int) error { return nil },
+		LowerBound:  func(m, k, f int) (float64, error) { return 1, nil },
+		UpperBound:  func(m, k, f int) (float64, error) { return 1, nil },
+		VerifyJob: func(m, k, f int, h float64) (engine.Job, error) {
+			return panicJob{}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Registry: r})
+	code, body := get(t, ts.URL+"/v1/verify?m=2&k=1&f=0&model=panicky")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking verify = %d (want 500): %s", code, body)
+	}
+	if !strings.Contains(body, "panicked") {
+		t.Errorf("panic body: %s", body)
+	}
+	// The daemon survived: a normal request still works.
+	if code, _ := get(t, ts.URL+"/v1/bounds?m=2&k=3&f=1"); code != http.StatusOK {
+		t.Errorf("server did not survive the panic: %d", code)
+	}
+}
+
+func TestComputeSaturationIsA503(t *testing.T) {
+	// One compute slot, held by an abandoned slow computation: the next
+	// compute request cannot get a slot within its budget -> 503.
+	ts := newTestServer(t, Config{
+		Registry:    slowRegistry(t),
+		Timeout:     10 * time.Second,
+		MaxInflight: 1,
+	})
+	if code, _ := get(t, ts.URL+"/v1/verify?m=2&k=1&f=0&model=slow&timeout_ms=30"); code != http.StatusGatewayTimeout {
+		t.Fatal("expected the slot-holder request to time out first")
+	}
+	code, body := get(t, ts.URL+"/v1/verify?m=2&k=3&f=1&timeout_ms=100")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated verify = %d (want 503): %s", code, body)
+	}
+	if !strings.Contains(body, "in-flight") {
+		t.Errorf("saturation body: %s", body)
+	}
+}
