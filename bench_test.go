@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -37,7 +38,7 @@ func BenchmarkE01Theorem1Table(b *testing.B) {
 			var worstGap float64
 			for i := 0; i < b.N; i++ {
 				worstGap = 0
-				cells, err := engine.New(workers).Sweep(grid, 1e4)
+				cells, err := engine.New(workers).Sweep(context.Background(), grid, 1e4)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -125,7 +126,7 @@ func BenchmarkE04MRayTable(b *testing.B) {
 	var worstGap float64
 	for i := 0; i < b.N; i++ {
 		worstGap = 0
-		results, err := engine.New(0).Sweep(cells, 1e4)
+		results, err := engine.New(0).Sweep(context.Background(), cells, 1e4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,7 +256,7 @@ func BenchmarkE08ParallelSearch(b *testing.B) {
 	}
 	var coop, base float64
 	for i := 0; i < b.N; i++ {
-		results, err := engine.New(0).RunBatch(jobs)
+		results, err := engine.New(0).RunBatch(context.Background(), jobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -377,7 +378,7 @@ func BenchmarkAblationGridVsExact(b *testing.B) {
 	var exact, grid float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := engine.New(0).RunBatch(jobs)
+		results, err := engine.New(0).RunBatch(context.Background(), jobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -468,7 +469,7 @@ func BenchmarkE13MonteCarloBatch(b *testing.B) {
 	}
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		results, err := engine.New(0).RunBatch(jobs)
+		results, err := engine.New(0).RunBatch(context.Background(), jobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -538,14 +539,14 @@ func BenchmarkAblationBigVsFloat(b *testing.B) {
 // iteration — the speedup must not buy any output drift.
 func BenchmarkAblationSweepParallelism(b *testing.B) {
 	cells := append(engine.Grid(2, 6), engine.Grid(3, 5)...)
-	baseline, err := engine.New(1).Sweep(cells, 1e4)
+	baseline, err := engine.New(1).Sweep(context.Background(), cells, 1e4)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				results, err := engine.New(workers).Sweep(cells, 1e4)
+				results, err := engine.New(workers).Sweep(context.Background(), cells, 1e4)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -560,17 +561,66 @@ func BenchmarkAblationSweepParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepStream measures the streaming sweep path on a cold
+// engine (fresh per iteration — every cell computes), serial vs
+// GOMAXPROCS, so the reorder buffer's overhead and scaling read off
+// directly against BenchmarkAblationSweepParallelism's batch numbers.
+func BenchmarkSweepStream(b *testing.B) {
+	grid := engine.Grid(2, 5)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for r := range engine.New(workers).SweepStream(context.Background(), grid, 1e4) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+					n++
+				}
+				if n != len(grid) {
+					b.Fatalf("stream emitted %d of %d cells", n, len(grid))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepStreamDedup is the with-dedup counterpart: a warm
+// engine streams the same grid again, so every cell resolves through
+// the singleflight/cache layer instead of computing.
+func BenchmarkSweepStreamDedup(b *testing.B) {
+	grid := engine.Grid(2, 5)
+	eng := engine.New(0)
+	for range eng.SweepStream(context.Background(), grid, 1e4) {
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for r := range eng.SweepStream(context.Background(), grid, 1e4) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			n++
+		}
+		if n != len(grid) {
+			b.Fatalf("stream emitted %d of %d cells", n, len(grid))
+		}
+	}
+	st := eng.Stats()
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+}
+
 // BenchmarkAblationCacheHit measures the engine's memoization: the
 // second identical sweep on a warm engine must cost only map lookups.
 func BenchmarkAblationCacheHit(b *testing.B) {
 	cells := engine.Grid(2, 6)
 	eng := engine.New(0)
-	if _, err := eng.Sweep(cells, 1e4); err != nil {
+	if _, err := eng.Sweep(context.Background(), cells, 1e4); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Sweep(cells, 1e4); err != nil {
+		if _, err := eng.Sweep(context.Background(), cells, 1e4); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,12 +18,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/bounds"
 	"repro/internal/engine"
@@ -41,6 +44,7 @@ func main() {
 		etas      = flag.String("eta", "", "comma-separated eta values for the fractional bound")
 		prec      = flag.Uint("prec", 0, "if > 0, also print certified enclosures at this many bits")
 		workers   = flag.Int("workers", 0, "worker-pool size for the enclosures (0 = GOMAXPROCS, 1 = serial)")
+		timeout   = flag.Duration("timeout", 0, "compute budget for the enclosure sweep (0 = none)")
 	)
 	flag.Parse()
 	if *scenarios {
@@ -50,7 +54,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *m, *kmax, *etas, *prec, *workers, *model); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, os.Stdout, *m, *kmax, *etas, *prec, *workers, *model); err != nil {
 		fmt.Fprintln(os.Stderr, "bounds:", err)
 		os.Exit(1)
 	}
@@ -67,7 +78,7 @@ func printScenarios(w io.Writer) error {
 	return err
 }
 
-func run(w io.Writer, m, kmax int, etas string, prec uint, workers int, model string) error {
+func run(ctx context.Context, w io.Writer, m, kmax int, etas string, prec uint, workers int, model string) error {
 	if etas != "" {
 		return printEtas(w, etas)
 	}
@@ -99,7 +110,7 @@ func run(w io.Writer, m, kmax int, etas string, prec uint, workers int, model st
 			}
 		}
 		encs := make([]bounds.HighPrecision, len(cells))
-		err := engine.New(workers).ForEach(len(cells), func(i int) error {
+		err := engine.New(workers).ForEach(ctx, len(cells), func(i int) error {
 			var herr error
 			encs[i], herr = bounds.HighPrecisionBound(cells[i].M*(cells[i].F+1), cells[i].K, prec)
 			return herr

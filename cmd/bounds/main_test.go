@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestRunTheoremTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 4, "", 0, 1, "crash"); err != nil {
+	if err := run(context.Background(), &sb, 2, 4, "", 0, 1, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -23,7 +24,7 @@ func TestRunTheoremTable(t *testing.T) {
 
 func TestRunWithPrecision(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 3, "", 96, 2, "crash"); err != nil {
+	if err := run(context.Background(), &sb, 2, 3, "", 96, 2, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -37,7 +38,7 @@ func TestRunWithPrecision(t *testing.T) {
 
 func TestRunEtas(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 4, "1.5, 2", 0, 1, "crash"); err != nil {
+	if err := run(context.Background(), &sb, 2, 4, "1.5, 2", 0, 1, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -48,16 +49,16 @@ func TestRunEtas(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 1, 4, "", 0, 1, "crash"); err == nil {
+	if err := run(context.Background(), &sb, 1, 4, "", 0, 1, "crash"); err == nil {
 		t.Error("m < 2 should fail")
 	}
-	if err := run(&sb, 2, 0, "", 0, 1, "crash"); err == nil {
+	if err := run(context.Background(), &sb, 2, 0, "", 0, 1, "crash"); err == nil {
 		t.Error("kmax < 1 should fail")
 	}
-	if err := run(&sb, 2, 2, "abc", 0, 1, "crash"); err == nil {
+	if err := run(context.Background(), &sb, 2, 2, "abc", 0, 1, "crash"); err == nil {
 		t.Error("unparsable eta should fail")
 	}
-	if err := run(&sb, 2, 2, "0.5", 0, 1, "crash"); err == nil {
+	if err := run(context.Background(), &sb, 2, 2, "0.5", 0, 1, "crash"); err == nil {
 		t.Error("eta <= 1 should fail")
 	}
 }
@@ -66,10 +67,10 @@ func TestRunErrors(t *testing.T) {
 // pooled enclosure computation: output must not depend on workers.
 func TestRunPrecisionParallelIdentical(t *testing.T) {
 	var serial, parallel strings.Builder
-	if err := run(&serial, 2, 5, "", 96, 1, "crash"); err != nil {
+	if err := run(context.Background(), &serial, 2, 5, "", 96, 1, "crash"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&parallel, 2, 5, "", 96, 8, "crash"); err != nil {
+	if err := run(context.Background(), &parallel, 2, 5, "", 96, 8, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
@@ -82,7 +83,7 @@ func TestRunPrecisionParallelIdentical(t *testing.T) {
 // boundsd serves for /v1/bounds?format=markdown on the same grid.
 func TestRunMatchesServerRenderer(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 3, 5, "", 0, 1, "crash"); err != nil {
+	if err := run(context.Background(), &sb, 3, 5, "", 0, 1, "crash"); err != nil {
 		t.Fatal(err)
 	}
 	sc, err := registry.Get("crash")
@@ -100,14 +101,14 @@ func TestRunMatchesServerRenderer(t *testing.T) {
 
 func TestRunByzantineModel(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 4, "", 0, 1, "byzantine"); err != nil {
+	if err := run(context.Background(), &sb, 2, 4, "", 0, 1, "byzantine"); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, `scenario "byzantine"`) {
 		t.Errorf("byzantine table missing scenario title:\n%s", out)
 	}
-	if err := run(&sb, 2, 4, "", 0, 1, "martian"); err == nil {
+	if err := run(context.Background(), &sb, 2, 4, "", 0, 1, "martian"); err == nil {
 		t.Error("unknown model must fail")
 	}
 }

@@ -2,18 +2,23 @@
 // the scenario registry (crash / byzantine / probabilistic) backed by
 // the shared evaluation engine with a bounded LRU result cache.
 //
-//	boundsd -addr :8080 -workers 0 -cache 4096 -timeout 30s
+//	boundsd -addr :8080 -workers 0 -cache 4096 -timeout 30s -heartbeat 10s
 //
 //	curl localhost:8080/healthz
 //	curl 'localhost:8080/v1/bounds?m=2&k=3&f=1'
 //	curl 'localhost:8080/v1/bounds?m=2&kmax=8&format=markdown'
 //	curl 'localhost:8080/v1/verify?m=2&k=3&f=1&horizon=200000'
 //	curl 'localhost:8080/v1/sweep?m=2&kmax=6&format=markdown'
+//	curl -N -H 'Accept: application/x-ndjson' 'localhost:8080/v1/sweep?m=2&kmax=6'
 //	curl localhost:8080/v1/scenarios
 //	curl localhost:8080/metrics
 //
-// The process shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests get a drain window before the listener closes.
+// Request timeouts cancel the underlying computation cooperatively (a
+// timed-out sweep stops consuming engine workers within one cell), and
+// NDJSON sweeps stream rows as cells finish with '#' heartbeat comments
+// every -heartbeat while idle. The process shuts down gracefully on
+// SIGINT/SIGTERM: in-flight requests get a drain window before the
+// listener closes.
 package main
 
 import (
@@ -35,16 +40,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", server.DefaultCacheCapacity, "engine LRU result-cache capacity (0 = unbounded)")
-		timeout = flag.Duration("timeout", server.DefaultTimeout, "per-request compute budget")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		cache     = flag.Int("cache", server.DefaultCacheCapacity, "engine LRU result-cache capacity (0 = unbounded)")
+		timeout   = flag.Duration("timeout", server.DefaultTimeout, "per-request compute budget")
+		heartbeat = flag.Duration("heartbeat", server.DefaultHeartbeat, "NDJSON sweep-stream heartbeat interval")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *workers, *cache, *timeout, *drain, nil); err != nil {
+	if err := run(ctx, *addr, *workers, *cache, *timeout, *heartbeat, *drain, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "boundsd:", err)
 		os.Exit(1)
 	}
@@ -53,10 +59,11 @@ func main() {
 // run serves until ctx is cancelled, then drains gracefully. ready, if
 // non-nil, receives the bound address once the listener is up (the
 // test hook for -addr :0).
-func run(ctx context.Context, addr string, workers, cache int, timeout, drain time.Duration, ready func(addr string)) error {
+func run(ctx context.Context, addr string, workers, cache int, timeout, heartbeat, drain time.Duration, ready func(addr string)) error {
 	handler := server.New(server.Config{
-		Engine:  engine.NewWithCache(workers, cache),
-		Timeout: timeout,
+		Engine:    engine.NewWithCache(workers, cache),
+		Timeout:   timeout,
+		Heartbeat: heartbeat,
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

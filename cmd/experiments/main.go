@@ -5,20 +5,29 @@
 //
 // The expensive adversarial evaluations fan out over the worker pool of
 // internal/engine; results merge in input order, so the output is
-// byte-identical for every -workers setting.
+// byte-identical for every -workers setting. The sweep-backed
+// experiments (E1, E4) consume the engine's result stream, so a live
+// progress meter (cells done, cells/sec, ETA) ticks on stderr while the
+// tables build. Ctrl-C (or -timeout) cancels the engine cooperatively:
+// in-flight cells stop at their next check and the run exits cleanly.
 //
 //	experiments               run everything
 //	experiments -only 4       run a single experiment id
 //	experiments -workers 1    force the sequential evaluation path
+//	experiments -timeout 2m   give up (cleanly) after two minutes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/contract"
@@ -34,21 +43,42 @@ import (
 func main() {
 	only := flag.Int("only", 0, "run a single experiment id (1..12); 0 = all")
 	workers := flag.Int("workers", 0, "worker-pool size for the evaluations (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "overall compute budget (0 = none); the engine cancels cooperatively")
 	flag.Parse()
-	if err := run(os.Stdout, *only, *workers); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// The redraw-in-place meter is for humans: suppress it when stderr
+	// is not a terminal so captured logs don't fill with \r segments.
+	var progress io.Writer
+	if fi, err := os.Stderr.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		progress = os.Stderr
+	}
+	if err := run(ctx, os.Stdout, progress, *only, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
+// exec carries the per-run environment every experiment receives: the
+// shared engine and the (possibly nil) progress sink.
+type exec struct {
+	eng      *engine.Engine
+	progress io.Writer
+}
+
 type experiment struct {
 	id   int
 	name string
-	fn   func(io.Writer, *engine.Engine) error
+	fn   func(context.Context, io.Writer, *exec) error
 }
 
-func run(w io.Writer, only, workers int) error {
-	eng := engine.New(workers)
+func run(ctx context.Context, w, progress io.Writer, only, workers int) error {
+	x := &exec{eng: engine.New(workers), progress: progress}
 	experiments := []experiment{
 		{1, "E1: Theorem 1 — A(k,f) closed form vs. measured strategy ratio", e01},
 		{2, "E2: Byzantine transfer — B(3,1) >= 5.2333 (prior 3.93)", e02},
@@ -67,8 +97,11 @@ func run(w io.Writer, only, workers int) error {
 		if only != 0 && ex.id != only {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted before E%d: %w", ex.id, err)
+		}
 		fmt.Fprintf(w, "## %s\n\n", ex.name)
-		if err := ex.fn(w, eng); err != nil {
+		if err := ex.fn(ctx, w, x); err != nil {
 			return fmt.Errorf("E%d: %w", ex.id, err)
 		}
 		fmt.Fprintln(w)
@@ -76,19 +109,69 @@ func run(w io.Writer, only, workers int) error {
 	return nil
 }
 
+// meter is the stderr progress line of the stream-driven sweeps: cells
+// done, throughput, and ETA, redrawn in place as each cell lands.
+type meter struct {
+	w     io.Writer // nil = silent
+	label string
+	total int
+	done  int
+	start time.Time
+}
+
+func newMeter(w io.Writer, label string, total int) *meter {
+	return &meter{w: w, label: label, total: total, start: time.Now()}
+}
+
+// tick records one finished cell and redraws the line.
+func (m *meter) tick() {
+	m.done++
+	if m.w == nil {
+		return
+	}
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	rate := float64(m.done) / elapsed
+	eta := "-"
+	if rate > 0 {
+		eta = (time.Duration(float64(m.total-m.done) / rate * float64(time.Second))).Round(time.Second).String()
+	}
+	fmt.Fprintf(m.w, "\r%s: %d/%d cells  %.1f cells/s  ETA %s ", m.label, m.done, m.total, rate, eta)
+}
+
+// finish ends the progress line.
+func (m *meter) finish() {
+	if m.w != nil && m.done > 0 {
+		fmt.Fprintln(m.w)
+	}
+}
+
+// sweepTable streams the cells through the engine with a live progress
+// meter and returns the shaped table — the same bytes the batch path
+// produces, built incrementally.
+func sweepTable(ctx context.Context, x *exec, label string, cells []engine.Cell, horizon float64) (*server.SweepTable, error) {
+	m := newMeter(x.progress, label, len(cells))
+	table, err := server.ComputeSweepObserved(ctx, x.eng, cells, horizon, func(server.SweepCell) { m.tick() })
+	m.finish()
+	return table, err
+}
+
 // e01 renders through the shared server.SweepTable response struct, so
 // this table and a boundsd /v1/sweep?m=2&kmax=6&format=markdown answer
 // are the same bytes.
-func e01(w io.Writer, eng *engine.Engine) error {
-	table, err := server.ComputeSweep(eng, engine.Grid(2, 6), 2e5)
-	if err != nil {
-		return err
+func e01(ctx context.Context, w io.Writer, x *exec) error {
+	table, err := sweepTable(ctx, x, "E1 sweep", engine.Grid(2, 6), 2e5)
+	if table != nil && len(table.Cells) > 0 {
+		if _, werr := io.WriteString(w, table.MarkdownLine()); werr != nil {
+			return werr
+		}
 	}
-	_, err = io.WriteString(w, table.MarkdownLine())
 	return err
 }
 
-func e02(w io.Writer, _ *engine.Engine) error {
+func e02(_ context.Context, w io.Writer, _ *exec) error {
 	improved := bounds.B31Improved()
 	hp, err := bounds.HighPrecisionBound(4, 3, 160)
 	if err != nil {
@@ -103,7 +186,7 @@ func e02(w io.Writer, _ *engine.Engine) error {
 	return err
 }
 
-func e03(w io.Writer, _ *engine.Engine) error {
+func e03(_ context.Context, w io.Writer, _ *exec) error {
 	tb := report.NewTable("", "lambda/lambda0", "verdict", "delta", "min step ratio", "max survivable steps", "observed steps")
 	p := core.Problem{M: 2, K: 3, F: 1}
 	lambda0, err := p.LowerBound()
@@ -142,20 +225,21 @@ func e03(w io.Writer, _ *engine.Engine) error {
 
 // e04, like e01, prints the shared renderer's bytes (the m-ray table of
 // server.SweepTable).
-func e04(w io.Writer, eng *engine.Engine) error {
+func e04(ctx context.Context, w io.Writer, x *exec) error {
 	cells := []engine.Cell{
 		{M: 2, K: 1, F: 0}, {M: 2, K: 3, F: 1}, {M: 3, K: 2, F: 0}, {M: 3, K: 4, F: 1},
 		{M: 4, K: 3, F: 0}, {M: 4, K: 5, F: 1}, {M: 5, K: 4, F: 0}, {M: 6, K: 5, F: 0},
 	}
-	table, err := server.ComputeSweep(eng, cells, 2e5)
-	if err != nil {
-		return err
+	table, err := sweepTable(ctx, x, "E4 sweep", cells, 2e5)
+	if table != nil && len(table.Cells) > 0 {
+		if _, werr := io.WriteString(w, table.MarkdownRays()); werr != nil {
+			return werr
+		}
 	}
-	_, err = io.WriteString(w, table.MarkdownRays())
 	return err
 }
 
-func e05(w io.Writer, _ *engine.Engine) error {
+func e05(ctx context.Context, w io.Writer, _ *exec) error {
 	tb := report.NewTable("", "m", "k", "q", "lambda/lambda0", "verdict", "detail")
 	cases := []struct{ m, k int }{{3, 2}, {2, 1}}
 	for _, c := range cases {
@@ -180,7 +264,7 @@ func e05(w io.Writer, _ *engine.Engine) error {
 				}
 				cert, err = p.RefuteStrategy(turns, lambda0*factor, 250)
 			} else {
-				cert, err = p.RefuteBelow(factor, 250)
+				cert, err = p.RefuteBelow(ctx, factor, 250)
 			}
 			if err != nil {
 				return err
@@ -215,7 +299,7 @@ func orcTurnsOf(s strategy.Strategy, horizon float64) ([][]float64, error) {
 	return out, nil
 }
 
-func e06(w io.Writer, _ *engine.Engine) error {
+func e06(_ context.Context, w io.Writer, _ *exec) error {
 	tb := report.NewTable("", "eta", "C(eta) closed form", "best q/k (k<=12)", "C(k,q)", "measured reduction ratio")
 	for _, eta := range []float64{1.25, 1.5, 2, 2.5, 3, 4} {
 		ceta, err := bounds.CEta(eta)
@@ -243,7 +327,7 @@ func e06(w io.Writer, _ *engine.Engine) error {
 	return err
 }
 
-func e07(w io.Writer, eng *engine.Engine) error {
+func e07(ctx context.Context, w io.Writer, x *exec) error {
 	m, k, f := 2, 3, 1
 	q := m * (f + 1)
 	star, err := bounds.OptimalAlpha(q, k)
@@ -271,7 +355,7 @@ func e07(w io.Writer, eng *engine.Engine) error {
 		alphas = append(alphas, alpha)
 		jobs = append(jobs, engine.ExactRatio{Strategy: s, Faults: f, Horizon: 5e4})
 	}
-	results, err := eng.RunBatch(jobs)
+	results, err := x.eng.RunBatch(ctx, jobs)
 	if err != nil {
 		return err
 	}
@@ -286,7 +370,7 @@ func e07(w io.Writer, eng *engine.Engine) error {
 	return err
 }
 
-func e08(w io.Writer, eng *engine.Engine) error {
+func e08(ctx context.Context, w io.Writer, x *exec) error {
 	tb := report.NewTable("", "m", "k", "A(m,k,0)", "measured", "ray-split baseline", "classical k=1 check")
 	cases := []struct{ m, k int }{{2, 1}, {3, 1}, {3, 2}, {4, 2}, {4, 3}, {5, 2}}
 	// Fan out the optimal-strategy evaluations and the ray-split
@@ -307,7 +391,7 @@ func e08(w io.Writer, eng *engine.Engine) error {
 			jobs = append(jobs, engine.ExactRatio{Strategy: base, Faults: 0, Horizon: 1e5})
 		}
 	}
-	results, err := eng.RunBatch(jobs)
+	results, err := x.eng.RunBatch(ctx, jobs)
 	if err != nil {
 		return err
 	}
@@ -338,7 +422,7 @@ func e08(w io.Writer, eng *engine.Engine) error {
 	return err
 }
 
-func e09(w io.Writer, _ *engine.Engine) error {
+func e09(_ context.Context, w io.Writer, _ *exec) error {
 	tb := report.NewTable("", "s", "k", "mu_crit = mu(k+s,k)", "delta at 0.99*mu_crit", "delta at mu_crit", "delta at 1.01*mu_crit")
 	for _, c := range []struct{ s, k int }{{1, 1}, {1, 3}, {2, 3}, {3, 5}} {
 		muCrit, err := bounds.MuQK(float64(c.k+c.s), float64(c.k))
@@ -359,7 +443,7 @@ func e09(w io.Writer, _ *engine.Engine) error {
 	return err
 }
 
-func e10(w io.Writer, _ *engine.Engine) error {
+func e10(_ context.Context, w io.Writer, _ *exec) error {
 	tb := report.NewTable("", "m", "k", "f", "regime", "ratio")
 	cases := []struct{ m, k, f int }{
 		{2, 4, 1}, {2, 2, 0}, {3, 6, 1}, {2, 2, 2}, {3, 1, 1}, {2, 3, 1},
@@ -379,7 +463,7 @@ func e10(w io.Writer, _ *engine.Engine) error {
 	return err
 }
 
-func e11(w io.Writer, _ *engine.Engine) error {
+func e11(_ context.Context, w io.Writer, _ *exec) error {
 	series := report.Series{
 		Name:   "lambda = 2*rho^rho/(rho-1)^(rho-1) + 1 over rho in (1, 2]",
 		XLabel: "rho",
@@ -397,7 +481,7 @@ func e11(w io.Writer, _ *engine.Engine) error {
 	return err
 }
 
-func e12(w io.Writer, _ *engine.Engine) error {
+func e12(_ context.Context, w io.Writer, _ *exec) error {
 	tb := report.NewTable("Contract schedules: AR* = mu(m+k, k)",
 		"m", "k", "AR* closed form", "measured AR", "alpha*")
 	for _, c := range []struct{ m, k int }{{2, 1}, {3, 1}, {4, 1}, {3, 2}} {

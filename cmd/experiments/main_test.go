@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	// benchmark harness and by running the binary.
 	for _, id := range []int{2, 9, 10, 11} {
 		var sb strings.Builder
-		if err := run(&sb, id, 1); err != nil {
+		if err := run(context.Background(), &sb, nil, id, 1); err != nil {
 			t.Fatalf("experiment %d: %v", id, err)
 		}
 		if !strings.Contains(sb.String(), "## E") {
@@ -32,10 +33,10 @@ func TestRunParallelOutputIdentical(t *testing.T) {
 	}
 	for _, id := range []int{1, 7, 8} {
 		var serial, parallel strings.Builder
-		if err := run(&serial, id, 1); err != nil {
+		if err := run(context.Background(), &serial, nil, id, 1); err != nil {
 			t.Fatalf("experiment %d serial: %v", id, err)
 		}
-		if err := run(&parallel, id, 8); err != nil {
+		if err := run(context.Background(), &parallel, nil, id, 8); err != nil {
 			t.Fatalf("experiment %d parallel: %v", id, err)
 		}
 		if serial.String() != parallel.String() {
@@ -47,7 +48,7 @@ func TestRunParallelOutputIdentical(t *testing.T) {
 
 func TestRunE10Content(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 10, 1); err != nil {
+	if err := run(context.Background(), &sb, nil, 10, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -60,7 +61,7 @@ func TestRunE10Content(t *testing.T) {
 
 func TestRunE2Certified(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 2, 1); err != nil {
+	if err := run(context.Background(), &sb, nil, 2, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "5.23306947191519859933788170473") {
@@ -70,7 +71,7 @@ func TestRunE2Certified(t *testing.T) {
 
 func TestRunUnknownIdIsNoop(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 99, 1); err != nil {
+	if err := run(context.Background(), &sb, nil, 99, 1); err != nil {
 		t.Fatal(err)
 	}
 	if sb.Len() != 0 {
@@ -87,11 +88,11 @@ func TestE01MatchesServerRenderer(t *testing.T) {
 	}
 	eng := engine.New(0)
 	var sb strings.Builder
-	if err := e01(&sb, eng); err != nil {
+	if err := e01(context.Background(), &sb, &exec{eng: eng}); err != nil {
 		t.Fatal(err)
 	}
 	// Same engine: the sweep results come straight from the cache.
-	table, err := server.ComputeSweep(eng, engine.Grid(2, 6), 2e5)
+	table, err := server.ComputeSweep(context.Background(), eng, engine.Grid(2, 6), 2e5)
 	if err != nil {
 		t.Fatal(err)
 	}

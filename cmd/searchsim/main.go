@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/adversary"
 	"repro/internal/bounds"
@@ -31,23 +34,31 @@ import (
 
 func main() {
 	var (
-		m     = flag.Int("m", 2, "number of rays (2 = the line)")
-		k     = flag.Int("k", 3, "number of robots")
-		f     = flag.Int("f", 1, "number of crash-faulty robots")
-		model = flag.String("model", "crash", "fault model (a registry scenario name)")
-		ray   = flag.Int("ray", 1, "target ray")
-		dist  = flag.Float64("dist", 5, "target distance (>= 1)")
-		alpha = flag.Float64("alpha", 0, "override the strategy base (0 = optimal alpha*)")
-		sweep = flag.Bool("sweep", false, "also print the exact worst-case ratio over [1, 1e5)")
+		m       = flag.Int("m", 2, "number of rays (2 = the line)")
+		k       = flag.Int("k", 3, "number of robots")
+		f       = flag.Int("f", 1, "number of crash-faulty robots")
+		model   = flag.String("model", "crash", "fault model (a registry scenario name)")
+		ray     = flag.Int("ray", 1, "target ray")
+		dist    = flag.Float64("dist", 5, "target distance (>= 1)")
+		alpha   = flag.Float64("alpha", 0, "override the strategy base (0 = optimal alpha*)")
+		sweep   = flag.Bool("sweep", false, "also print the exact worst-case ratio over [1, 1e5)")
+		timeout = flag.Duration("timeout", 0, "compute budget for the -sweep evaluation (0 = none)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *model, *m, *k, *f, *ray, *dist, *alpha, *sweep); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, os.Stdout, *model, *m, *k, *f, *ray, *dist, *alpha, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "searchsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, model string, m, k, f, ray int, dist, alpha float64, sweep bool) error {
+func run(ctx context.Context, w io.Writer, model string, m, k, f, ray int, dist, alpha float64, sweep bool) error {
 	sc, err := registry.Get(model)
 	if err != nil {
 		return err
@@ -56,17 +67,17 @@ func run(w io.Writer, model string, m, k, f, ray int, dist, alpha float64, sweep
 	case "crash":
 		// Fall through to the deterministic simulation below.
 	case "probabilistic":
-		return runProbabilistic(w, sc, m, k, f, dist)
+		return runProbabilistic(ctx, w, sc, m, k, f, dist)
 	default:
 		return fmt.Errorf("scenario %q has no simulator (only bound transfer is known); use -model crash to simulate the embedded silent behavior", sc.Name)
 	}
-	return runCrash(w, m, k, f, ray, dist, alpha, sweep)
+	return runCrash(ctx, w, m, k, f, ray, dist, alpha, sweep)
 }
 
 // runProbabilistic samples the randomized zigzag at the target distance
 // and compares the Monte-Carlo mean ratio with the scenario's closed
 // form (which is distance-independent).
-func runProbabilistic(w io.Writer, sc registry.Scenario, m, k, f int, dist float64) error {
+func runProbabilistic(ctx context.Context, w io.Writer, sc registry.Scenario, m, k, f int, dist float64) error {
 	if err := sc.Validate(m, k, f); err != nil {
 		return err
 	}
@@ -78,7 +89,7 @@ func runProbabilistic(w io.Writer, sc registry.Scenario, m, k, f int, dist float
 		return err
 	}
 	const samples = 4000
-	mc, err := randomized.MonteCarloRatio(base, dist, samples, rand.New(rand.NewSource(1)))
+	mc, err := randomized.MonteCarloRatioCtx(ctx, base, dist, samples, rand.New(rand.NewSource(1)))
 	if err != nil {
 		return err
 	}
@@ -89,7 +100,7 @@ func runProbabilistic(w io.Writer, sc registry.Scenario, m, k, f int, dist float
 	return nil
 }
 
-func runCrash(w io.Writer, m, k, f, ray int, dist, alpha float64, sweep bool) error {
+func runCrash(ctx context.Context, w io.Writer, m, k, f, ray int, dist, alpha float64, sweep bool) error {
 	var (
 		s   *strategy.CyclicExponential
 		err error
@@ -131,7 +142,7 @@ func runCrash(w io.Writer, m, k, f, ray int, dist, alpha float64, sweep bool) er
 		res.DetectionTime, res.Ratio, lambda0)
 
 	if sweep {
-		ev, err := adversary.ExactRatio(s, f, 1e5)
+		ev, err := adversary.ExactRatioCtx(ctx, s, f, 1e5)
 		if err != nil {
 			return err
 		}

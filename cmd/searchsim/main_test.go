@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunBasicSimulation(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "crash", 2, 3, 1, 1, 5, 0, false); err != nil {
+	if err := run(context.Background(), &sb, "crash", 2, 3, 1, 1, 5, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -20,7 +21,7 @@ func TestRunBasicSimulation(t *testing.T) {
 
 func TestRunWithSweepAndAlpha(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "crash", 2, 1, 0, 1, 3, 2.5, true); err != nil {
+	if err := run(context.Background(), &sb, "crash", 2, 1, 0, 1, 3, 2.5, true); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -34,20 +35,20 @@ func TestRunWithSweepAndAlpha(t *testing.T) {
 
 func TestRunRejectsBadParams(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "crash", 2, 4, 1, 1, 5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, "crash", 2, 4, 1, 1, 5, 0, false); err == nil {
 		t.Error("trivial regime should be rejected by the strategy constructor")
 	}
-	if err := run(&sb, "crash", 2, 3, 1, 9, 5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, "crash", 2, 3, 1, 9, 5, 0, false); err == nil {
 		t.Error("bad ray should fail")
 	}
-	if err := run(&sb, "crash", 2, 3, 1, 1, 0.5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, "crash", 2, 3, 1, 1, 0.5, 0, false); err == nil {
 		t.Error("target below distance 1 should fail")
 	}
 }
 
 func TestRunProbabilisticModel(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "probabilistic", 2, 1, 0, 1, 7.5, 0, false); err != nil {
+	if err := run(context.Background(), &sb, "probabilistic", 2, 1, 0, 1, 7.5, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -57,17 +58,17 @@ func TestRunProbabilisticModel(t *testing.T) {
 		}
 	}
 	// The stub's scope is enforced through the registry scenario.
-	if err := run(&sb, "probabilistic", 2, 3, 1, 1, 7.5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, "probabilistic", 2, 3, 1, 1, 7.5, 0, false); err == nil {
 		t.Error("probabilistic with k=3 should fail scenario validation")
 	}
 }
 
 func TestRunModelResolution(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "byzantine", 2, 3, 1, 1, 5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, "byzantine", 2, 3, 1, 1, 5, 0, false); err == nil {
 		t.Error("byzantine has no simulator and must be rejected")
 	}
-	if err := run(&sb, "martian", 2, 3, 1, 1, 5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, "martian", 2, 3, 1, 1, 5, 0, false); err == nil {
 		t.Error("unknown scenario must be rejected")
 	}
 }

@@ -23,12 +23,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/bounds"
 	"repro/internal/potential"
@@ -37,11 +40,12 @@ import (
 
 func main() {
 	var (
-		q      = flag.Int("q", 2, "required covering multiplicity")
-		lambda = flag.Float64("lambda", 9, "claimed competitive ratio")
-		upTo   = flag.Float64("upto", 100, "verify covering of (1, upto]")
-		caseC  = flag.Float64("casec", 1e9, "Case-1/Case-2 split constant of the Eq. (10) proof")
-		model  = flag.String("model", "crash", "fault model (a registry scenario name)")
+		q       = flag.Int("q", 2, "required covering multiplicity")
+		lambda  = flag.Float64("lambda", 9, "claimed competitive ratio")
+		upTo    = flag.Float64("upto", 100, "verify covering of (1, upto]")
+		caseC   = flag.Float64("casec", 1e9, "Case-1/Case-2 split constant of the Eq. (10) proof")
+		model   = flag.String("model", "crash", "fault model (a registry scenario name)")
+		timeout = flag.Duration("timeout", 0, "give up after this long (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -54,13 +58,20 @@ func main() {
 		os.Exit(1)
 	}
 	defer file.Close()
-	if err := run(os.Stdout, file, *model, *q, *lambda, *upTo, *caseC); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, os.Stdout, file, *model, *q, *lambda, *upTo, *caseC); err != nil {
 		fmt.Fprintln(os.Stderr, "verifybound:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, r io.Reader, model string, q int, lambda, upTo, caseC float64) error {
+func run(ctx context.Context, w io.Writer, r io.Reader, model string, q int, lambda, upTo, caseC float64) error {
 	sc, err := registry.Get(model)
 	if err != nil {
 		return err
@@ -84,12 +95,28 @@ func run(w io.Writer, r io.Reader, model string, q int, lambda, upTo, caseC floa
 			fmt.Fprintf(w, "Eq. (10) bound for (k=%d, q=%d): lambda >= %.9g\n", k, q, l0)
 		}
 	}
-	cert, err := potential.RefuteORCStrategy(turns, q, lambda, upTo, caseC)
-	if err != nil {
-		return err
+	// The refutation pipeline is not context-aware; run it aside and
+	// abandon it on timeout/interrupt — this is a short-lived CLI, so
+	// process exit reclaims the work either way.
+	type outcome struct {
+		cert potential.Certificate
+		err  error
 	}
-	printCertificate(w, cert, 0)
-	return nil
+	ch := make(chan outcome, 1)
+	go func() {
+		cert, err := potential.RefuteORCStrategy(turns, q, lambda, upTo, caseC)
+		ch <- outcome{cert, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return o.err
+		}
+		printCertificate(w, o.cert, 0)
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("gave up: %w", ctx.Err())
+	}
 }
 
 func printCertificate(w io.Writer, cert potential.Certificate, depth int) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -38,7 +39,7 @@ func TestRunValidCover(t *testing.T) {
 	// Doubling at lambda above 9 is a valid single cover.
 	input := "0.125 0.25 0.5 1 2 4 8 16 32 64 128 256\n"
 	var sb strings.Builder
-	if err := run(&sb, strings.NewReader(input), "crash", 1, 9.2, 100, 1e9); err != nil {
+	if err := run(context.Background(), &sb, strings.NewReader(input), "crash", 1, 9.2, 100, 1e9); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -52,7 +53,7 @@ func TestRunRefutesBelowBound(t *testing.T) {
 	// (lambda >= 5); at lambda = 4.5 it must gap.
 	input := "0.125 0.25 0.5 1 2 4 8 16 32 64 128 256\n"
 	var sb strings.Builder
-	if err := run(&sb, strings.NewReader(input), "crash", 1, 4.5, 100, 1e9); err != nil {
+	if err := run(context.Background(), &sb, strings.NewReader(input), "crash", 1, 4.5, 100, 1e9); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -64,7 +65,7 @@ func TestRunRefutesBelowBound(t *testing.T) {
 func TestRunPrintsEqTenBound(t *testing.T) {
 	input := "1 2 4\n2 4 8\n"
 	var sb strings.Builder
-	if err := run(&sb, strings.NewReader(input), "crash", 3, 12, 5, 1e9); err != nil {
+	if err := run(context.Background(), &sb, strings.NewReader(input), "crash", 3, 12, 5, 1e9); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Eq. (10) bound") {
@@ -76,13 +77,13 @@ func TestRunModelResolution(t *testing.T) {
 	var sb strings.Builder
 	input := "1 2 4 8 16 32 64 128\n"
 	// Byzantine coverings are crash coverings (transfer principle).
-	if err := run(&sb, strings.NewReader(input), "byzantine", 1, 9.2, 100, 1e9); err != nil {
+	if err := run(context.Background(), &sb, strings.NewReader(input), "byzantine", 1, 9.2, 100, 1e9); err != nil {
 		t.Errorf("byzantine model should be accepted: %v", err)
 	}
-	if err := run(&sb, strings.NewReader(input), "probabilistic", 1, 9.2, 100, 1e9); err == nil {
+	if err := run(context.Background(), &sb, strings.NewReader(input), "probabilistic", 1, 9.2, 100, 1e9); err == nil {
 		t.Error("probabilistic is not an ORC model and must be rejected")
 	}
-	if err := run(&sb, strings.NewReader(input), "martian", 1, 9.2, 100, 1e9); err == nil {
+	if err := run(context.Background(), &sb, strings.NewReader(input), "martian", 1, 9.2, 100, 1e9); err == nil {
 		t.Error("unknown scenario must be rejected")
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -82,7 +83,7 @@ func main() {
 
 	// The lower bound, executably: 5%% below lambda0 the covering that any
 	// valid strategy would need develops a machine-checked contradiction.
-	cert, err := problem.RefuteBelow(0.95, 200)
+	cert, err := problem.RefuteBelow(context.Background(), 0.95, 200)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package adversary
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,12 @@ import (
 
 	"repro/internal/strategy"
 )
+
+// cancelCheckEvery is how many breakpoints/samples the evaluator loops
+// process between cooperative context checks — frequent enough that a
+// cancelled evaluation stops within microseconds, rare enough that the
+// check cost vanishes against the per-point sort work.
+const cancelCheckEvery = 64
 
 // Errors returned by the evaluator.
 var (
@@ -122,6 +129,14 @@ func kthOffset(tables [][]rayVisit, x float64, f int, strict bool) float64 {
 // ExactRatio computes the exact supremum of tau(x)/x over x in [1, horizon)
 // on every ray, for the crash-fault adversary with f faults.
 func ExactRatio(s strategy.Strategy, faults int, horizon float64) (Evaluation, error) {
+	return ExactRatioCtx(context.Background(), s, faults, horizon)
+}
+
+// ExactRatioCtx is ExactRatio under a context: the breakpoint loop
+// checks ctx every cancelCheckEvery candidates and returns ctx's error
+// promptly when cancelled, so an abandoned evaluation stops consuming a
+// worker mid-ray instead of finishing for nobody.
+func ExactRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon float64) (Evaluation, error) {
 	if s == nil {
 		return Evaluation{}, fmt.Errorf("%w: nil strategy", ErrBadParams)
 	}
@@ -149,6 +164,11 @@ func ExactRatio(s strategy.Strategy, faults int, horizon float64) (Evaluation, e
 		}
 		for b := range cands {
 			eval.Breakpoints++
+			if eval.Breakpoints%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return Evaluation{}, err
+				}
+			}
 			// Attained value at x = b.
 			cAtt := kthOffset(tables[ray], b, faults, false)
 			if math.IsInf(cAtt, 1) {
@@ -187,6 +207,12 @@ func ExactRatio(s strategy.Strategy, faults int, horizon float64) (Evaluation, e
 // surely misses); it exists for the grid-vs-exact ablation and as an
 // independent cross-check (Grid <= Exact must always hold).
 func GridRatio(s strategy.Strategy, faults int, horizon float64, n int) (float64, error) {
+	return GridRatioCtx(context.Background(), s, faults, horizon, n)
+}
+
+// GridRatioCtx is GridRatio under a context, with the same cooperative
+// cancellation contract as ExactRatioCtx.
+func GridRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon float64, n int) (float64, error) {
 	if s == nil || n < 2 {
 		return 0, fmt.Errorf("%w: need a strategy and n >= 2", ErrBadParams)
 	}
@@ -204,6 +230,11 @@ func GridRatio(s strategy.Strategy, faults int, horizon float64, n int) (float64
 	worst := 0.0
 	for ray := 1; ray <= s.M(); ray++ {
 		for i := 0; i < n; i++ {
+			if i%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			x := math.Exp(logH * float64(i) / float64(n-1))
 			if x >= horizon {
 				x = horizon * (1 - 1e-12)

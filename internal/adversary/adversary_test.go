@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -270,5 +271,30 @@ func TestQuickMeasuredNeverBeatsLowerBound(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestExactRatioCtxCancellation: the breakpoint loop checks its context
+// periodically, so a cancelled evaluation aborts with the context's
+// error instead of running to completion.
+func TestExactRatioCtxCancellation(t *testing.T) {
+	// A deep ladder (k=8, horizon 1e7) has thousands of breakpoints, so
+	// the every-64th-point check fires many times.
+	s, err := strategy.NewCyclicExponential(2, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExactRatioCtx(ctx, s, 7, 1e7); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ExactRatioCtx = %v, want context.Canceled", err)
+	}
+	if _, err := GridRatioCtx(ctx, s, 7, 1e7, 1000); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled GridRatioCtx = %v, want context.Canceled", err)
+	}
+	// The context-free names stay the plain evaluations.
+	ev, err := ExactRatio(s, 7, 1e5)
+	if err != nil || !(ev.WorstRatio > 1) {
+		t.Errorf("ExactRatio = (%+v, %v)", ev, err)
 	}
 }

@@ -15,10 +15,16 @@
 //	lb, _ := p.LowerBound()          // 5.2333...
 //	s, _ := p.OptimalStrategy()      // the cyclic exponential strategy
 //	ev, _ := p.VerifyUpper(1e6)      // measured sup ratio == lb
-//	cert, _ := p.RefuteBelow(0.97, 300) // machine-checked impossibility
+//	cert, _ := p.RefuteBelow(ctx, 0.97, 300) // machine-checked impossibility
+//
+// The compute methods that can run long take a context.Context and
+// cancel cooperatively (VerifyOn, VerifyUpperOn, RefuteBelow);
+// VerifyUpper is the context-free convenience over the process-wide
+// engine.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -223,16 +229,17 @@ func (p Problem) OptimalStrategy() (*strategy.CyclicExponential, error) {
 // parameter sets should use VerifyUpperOn with their own engine (or
 // engine.Default().ResetCache()) to bound its memory.
 func (p Problem) VerifyUpper(horizon float64) (adversary.Evaluation, error) {
-	return p.VerifyUpperOn(engine.Default(), horizon)
+	return p.VerifyUpperOn(context.Background(), engine.Default(), horizon)
 }
 
 // VerifyUpperOn is VerifyUpper evaluated through an explicit engine —
 // the hook batch callers (cmd/experiments, the benchmark harness, the
 // boundsd server) use to control pool size and cache lifetime. The job
 // is resolved through the scenario registry, so it shares cache keys
-// with engine.Sweep cells of the same (m, k, f, horizon).
-func (p Problem) VerifyUpperOn(e *engine.Engine, horizon float64) (adversary.Evaluation, error) {
-	res, err := p.VerifyOn(e, horizon)
+// with engine.Sweep cells of the same (m, k, f, horizon). Cancelling
+// ctx aborts the evaluation at its next cooperative check.
+func (p Problem) VerifyUpperOn(ctx context.Context, e *engine.Engine, horizon float64) (adversary.Evaluation, error) {
+	res, err := p.VerifyOn(ctx, e, horizon)
 	if err != nil {
 		return adversary.Evaluation{}, err
 	}
@@ -251,8 +258,9 @@ func (p Problem) VerifyUpperOn(e *engine.Engine, horizon float64) (adversary.Eva
 // crash faults Result.Eval carries the located supremum; scalar-only
 // scenarios (probabilistic) populate just Result.Value. Non-verifiable
 // parameter triples surface as ErrNotSearchRegime when the regime is
-// the reason, the scenario's own error otherwise.
-func (p Problem) VerifyOn(e *engine.Engine, horizon float64) (engine.Result, error) {
+// the reason, the scenario's own error otherwise. ctx flows through the
+// job construction and into the engine run.
+func (p Problem) VerifyOn(ctx context.Context, e *engine.Engine, horizon float64) (engine.Result, error) {
 	if err := p.Validate(); err != nil {
 		return engine.Result{}, err
 	}
@@ -260,7 +268,7 @@ func (p Problem) VerifyOn(e *engine.Engine, horizon float64) (engine.Result, err
 	if err != nil {
 		return engine.Result{}, err
 	}
-	job, err := sc.VerifyJob(p.M, p.K, p.F, horizon)
+	job, err := sc.VerifyJob(ctx, p.M, p.K, p.F, horizon)
 	if err != nil {
 		if errors.Is(err, registry.ErrNotVerifiable) {
 			if regime, rerr := bounds.Classify(p.M, p.K, p.F); rerr == nil && regime != bounds.RegimeSearch {
@@ -269,7 +277,7 @@ func (p Problem) VerifyOn(e *engine.Engine, horizon float64) (engine.Result, err
 		}
 		return engine.Result{}, fmt.Errorf("core: %w", err)
 	}
-	return e.Run(job)
+	return e.Run(ctx, job)
 }
 
 // RefuteBelow runs the Eq. (10) refutation pipeline against the optimal
@@ -277,8 +285,10 @@ func (p Problem) VerifyOn(e *engine.Engine, horizon float64) (engine.Result, err
 // covering either gaps outright or the potential argument applies. This is
 // the executable form of the Theorem 6 lower bound — by the theorem, NO
 // strategy can do better, and this method demonstrates the machinery on
-// the strongest available candidate.
-func (p Problem) RefuteBelow(factor, upTo float64) (potential.Certificate, error) {
+// the strongest available candidate. The pipeline checks ctx between its
+// stages (strategy materialization, per-robot turn extraction, the
+// refutation replay), so a cancelled caller stops it at a stage boundary.
+func (p Problem) RefuteBelow(ctx context.Context, factor, upTo float64) (potential.Certificate, error) {
 	if !(factor > 0 && factor < 1) {
 		return potential.Certificate{}, fmt.Errorf("core: factor %g must be in (0,1)", factor)
 	}
@@ -290,8 +300,14 @@ func (p Problem) RefuteBelow(factor, upTo float64) (potential.Certificate, error
 	if err != nil {
 		return potential.Certificate{}, err
 	}
-	turns, err := orcTurns(s, upTo*8)
+	if err := ctx.Err(); err != nil {
+		return potential.Certificate{}, err
+	}
+	turns, err := orcTurnsCtx(ctx, s, upTo*8)
 	if err != nil {
+		return potential.Certificate{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return potential.Certificate{}, err
 	}
 	return potential.RefuteORCStrategy(turns, p.Q(), lambda0*factor, upTo, 1e9)
@@ -316,10 +332,14 @@ func (p Problem) Solve(target trajectory.Point) (sim.Result, error) {
 	return sim.Run(sim.Config{Strategy: s, Faults: p.F, Target: target})
 }
 
-// orcTurns extracts every robot's excursion distances (labels dropped).
-func orcTurns(s strategy.Strategy, horizon float64) ([][]float64, error) {
+// orcTurnsCtx extracts every robot's excursion distances (labels
+// dropped), checking ctx between robots.
+func orcTurnsCtx(ctx context.Context, s strategy.Strategy, horizon float64) ([][]float64, error) {
 	out := make([][]float64, s.K())
 	for r := 0; r < s.K(); r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rounds, err := s.Rounds(r, horizon)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)

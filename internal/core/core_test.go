@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -158,14 +159,14 @@ func TestProblemOptimalStrategyAndVerify(t *testing.T) {
 
 func TestProblemRefuteBelow(t *testing.T) {
 	p := Problem{M: 2, K: 1, F: 0}
-	cert, err := p.RefuteBelow(0.95, 200)
+	cert, err := p.RefuteBelow(context.Background(), 0.95, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cert.Verdict == potential.VerdictBounded {
 		t.Errorf("verdict below the bound = %v, expected a refutation", cert.Verdict)
 	}
-	if _, err := p.RefuteBelow(1.5, 200); err == nil {
+	if _, err := p.RefuteBelow(context.Background(), 1.5, 200); err == nil {
 		t.Error("factor >= 1 should fail")
 	}
 }
@@ -234,7 +235,7 @@ func TestEndToEndGrid(t *testing.T) {
 		if ev.WorstRatio < lb*(1-5e-3) {
 			t.Errorf("%+v: measured %.9g suspiciously below lambda0 %.9g", p, ev.WorstRatio, lb)
 		}
-		cert, err := p.RefuteBelow(0.9, 100)
+		cert, err := p.RefuteBelow(context.Background(), 0.9, 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -287,7 +288,7 @@ func TestProblemProbabilistic(t *testing.T) {
 	if err != nil || !numeric.EqualWithin(ub, lb, 1e-12) {
 		t.Errorf("probabilistic upper bound = (%g, %v), want tight %g", ub, err, lb)
 	}
-	res, err := p.VerifyOn(engine.New(1), 4000)
+	res, err := p.VerifyOn(context.Background(), engine.New(1), 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,11 +303,11 @@ func TestProblemProbabilistic(t *testing.T) {
 
 func TestVerifyOnRegimeErrors(t *testing.T) {
 	trivial := Problem{M: 2, K: 4, F: 1}
-	if _, err := trivial.VerifyOn(engine.New(1), 1e3); !errors.Is(err, ErrNotSearchRegime) {
+	if _, err := trivial.VerifyOn(context.Background(), engine.New(1), 1e3); !errors.Is(err, ErrNotSearchRegime) {
 		t.Errorf("trivial-regime VerifyOn = %v, want ErrNotSearchRegime", err)
 	}
 	byz := Problem{M: 2, K: 3, F: 1, Fault: Byzantine}
-	if _, err := byz.VerifyOn(engine.New(1), 1e3); !errors.Is(err, registry.ErrNotVerifiable) {
+	if _, err := byz.VerifyOn(context.Background(), engine.New(1), 1e3); !errors.Is(err, registry.ErrNotVerifiable) {
 		t.Errorf("byzantine VerifyOn = %v, want ErrNotVerifiable", err)
 	}
 }
@@ -315,11 +316,11 @@ func TestVerifyUpperRejectsScalarScenarios(t *testing.T) {
 	// Probabilistic verification is a Monte-Carlo scalar; surfacing it
 	// as an adversarial Evaluation would read as "sup ratio 0".
 	p := Problem{M: 2, K: 1, F: 0, Fault: Probabilistic}
-	if _, err := p.VerifyUpperOn(engine.New(1), 2000); !errors.Is(err, ErrNoEvaluation) {
+	if _, err := p.VerifyUpperOn(context.Background(), engine.New(1), 2000); !errors.Is(err, ErrNoEvaluation) {
 		t.Errorf("probabilistic VerifyUpperOn = %v, want ErrNoEvaluation", err)
 	}
 	// VerifyOn remains the supported path.
-	res, err := p.VerifyOn(engine.New(1), 2000)
+	res, err := p.VerifyOn(context.Background(), engine.New(1), 2000)
 	if err != nil || res.Value <= 0 {
 		t.Errorf("VerifyOn = (%+v, %v)", res, err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -109,7 +110,7 @@ func TestIntegrationSimUndetectableReported(t *testing.T) {
 func TestIntegrationRefuteAtManyFactors(t *testing.T) {
 	p := Problem{M: 3, K: 2, F: 0}
 	for _, factor := range []float64{0.5, 0.8, 0.99} {
-		cert, err := p.RefuteBelow(factor, 120)
+		cert, err := p.RefuteBelow(context.Background(), factor, 120)
 		if err != nil {
 			t.Fatalf("factor %g: %v", factor, err)
 		}

@@ -2,8 +2,8 @@
 // reproduction: a bounded worker pool, a Job abstraction for the
 // library's expensive evaluations (exact adversarial ratios, grid
 // ratios, upper-bound verification, randomized trials), a result cache
-// keyed on the job fingerprint, and a deterministic Sweep over
-// (m, k, f) parameter grids.
+// keyed on the job fingerprint, and deterministic batch and streaming
+// sweeps over (m, k, f) parameter grids.
 //
 // Every batch primitive merges results in input order, so output built
 // from a parallel run is byte-identical to the sequential (workers = 1)
@@ -11,15 +11,23 @@
 // the experiment tables of cmd/experiments are reproduction artifacts,
 // and a table that changes with GOMAXPROCS would be useless as one.
 //
+// Every compute entry point takes a context.Context and cancellation is
+// cooperative end to end: batch primitives stop claiming work between
+// cells, jobs check the context inside their long loops, and an
+// in-flight singleflight computation is cancelled as soon as its last
+// interested caller goes away — a timed-out request stops burning
+// workers instead of running to completion for nobody.
+//
 // Typical usage:
 //
 //	eng := engine.New(0) // 0 = runtime.GOMAXPROCS(0) workers
-//	cells, err := eng.Sweep(engine.Grid(2, 6), 2e5)
-//	res, err := eng.Run(engine.ExactRatio{Strategy: s, Faults: 1, Horizon: 1e4})
+//	cells, err := eng.Sweep(ctx, engine.Grid(2, 6), 2e5)
+//	res, err := eng.Run(ctx, engine.ExactRatio{Strategy: s, Faults: 1, Horizon: 1e4})
 package engine
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -45,6 +53,13 @@ type Engine struct {
 	workers  int
 	capacity int // max cached entries; 0 = unbounded
 
+	// compSem caps concurrently executing detached computations at the
+	// pool size, so abandoned non-cooperative jobs cannot pile up
+	// unbounded CPU work: at most `workers` jobs execute at once, and a
+	// queued computation whose context is cancelled (all callers left)
+	// exits without ever running.
+	compSem chan struct{}
+
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 	lru   *list.List // front = most recently used *cacheEntry
@@ -52,22 +67,42 @@ type Engine struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	deduped   atomic.Int64
+	cancelled atomic.Int64
+	inflight  atomic.Int64
 }
 
-// cacheEntry is a singleflight slot: the first Run for a key computes
-// the result, later Runs for the same key wait on done and share it.
+// cacheEntry is a singleflight slot: the first Run for a key starts the
+// computation, later Runs for the same key join it and share the
+// result. The computation runs detached from any single caller, so it
+// outlives a cancelled caller as long as someone still wants it — and
+// is cancelled itself the moment nobody does.
 type cacheEntry struct {
 	key  string
 	elem *list.Element
 	done chan struct{}
 	res  Result
 	err  error
+
+	// waiters counts the callers currently blocked on done; guarded by
+	// Engine.mu. When the last waiter abandons an incomplete entry, the
+	// computation's context is cancelled.
+	waiters int
+	// completed reports that res/err are valid (set before done closes);
+	// guarded by Engine.mu.
+	completed bool
+	// abandoned marks an in-flight entry whose last waiter left (its
+	// compute context is cancelled). A later Run finding an abandoned
+	// in-flight entry displaces it and recomputes; guarded by Engine.mu.
+	abandoned bool
+	// cancel aborts the detached computation. Safe to call repeatedly.
+	cancel context.CancelFunc
 }
 
 // New returns an engine with the given worker-pool size and an
 // unbounded result cache; workers <= 0 selects runtime.GOMAXPROCS(0).
-// workers = 1 is the exact sequential path (batch primitives run on the
-// calling goroutine, no pool).
+// workers = 1 is the exact sequential path (batch primitives claim
+// cells one at a time, in index order).
 func New(workers int) *Engine {
 	return NewWithCache(workers, 0)
 }
@@ -88,6 +123,7 @@ func NewWithCache(workers, capacity int) *Engine {
 	return &Engine{
 		workers:  workers,
 		capacity: capacity,
+		compSem:  make(chan struct{}, workers),
 		cache:    make(map[string]*cacheEntry),
 		lru:      list.New(),
 	}
@@ -114,24 +150,36 @@ func (e *Engine) CacheSize() int {
 	return len(e.cache)
 }
 
-// Stats is a snapshot of the engine's cache accounting. Hits + Misses
-// counts every Run of a keyed job; uncacheable jobs (empty Key) are not
+// Stats is a snapshot of the engine's cache and execution accounting.
+// Hits + Misses counts every Run of a keyed job that was not abandoned
+// before touching the cache; uncacheable jobs (empty Key) are not
 // counted.
 type Stats struct {
-	// Hits counts Runs served from the cache (including waits on an
-	// in-flight computation of the same key).
+	// Hits counts Runs served from the cache, including Runs that joined
+	// an in-flight computation of the same key.
 	Hits int64
-	// Misses counts Runs that had to compute.
+	// Misses counts Runs that had to start a computation.
 	Misses int64
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64
+	// Deduped counts Runs that joined an in-flight computation instead
+	// of starting their own — the singleflight savings. Deduped Runs are
+	// a subset of Hits.
+	Deduped int64
+	// Cancelled counts Runs that returned early because the caller's
+	// context was cancelled (before, or while waiting for, a result).
+	Cancelled int64
+	// InFlight is the number of job computations executing right now —
+	// the engine's worker occupancy. A cancelled request must drive this
+	// back to zero within one cooperative cancellation check.
+	InFlight int64
 	// Size is the current number of cached entries.
 	Size int
 	// Capacity is the cache bound (0 = unbounded).
 	Capacity int
 }
 
-// Stats returns a snapshot of the cache counters. The counters are
+// Stats returns a snapshot of the engine counters. The counters are
 // cumulative for the engine's lifetime; ResetCache drops entries but
 // not the counters.
 func (e *Engine) Stats() Stats {
@@ -139,6 +187,9 @@ func (e *Engine) Stats() Stats {
 		Hits:      e.hits.Load(),
 		Misses:    e.misses.Load(),
 		Evictions: e.evictions.Load(),
+		Deduped:   e.deduped.Load(),
+		Cancelled: e.cancelled.Load(),
+		InFlight:  e.inflight.Load(),
 		Size:      e.CacheSize(),
 		Capacity:  e.capacity,
 	}
@@ -157,46 +208,146 @@ func (e *Engine) ResetCache() {
 }
 
 // Run evaluates one job through the cache. Identical jobs (equal keys)
-// compute once: concurrent duplicates wait for the first computation
-// and share its result. Jobs with an empty Key are never cached.
-// Errors are memoized too — jobs are deterministic, so a failed job
-// fails the same way every time.
-func (e *Engine) Run(j Job) (Result, error) {
+// compute once: concurrent duplicates join the first computation
+// (singleflight) and share its result. Jobs with an empty Key are never
+// cached. Deterministic job errors are memoized — a failed job fails
+// the same way every time — but a cancelled computation is not: its
+// entry is dropped so a later Run recomputes.
+//
+// The computation is detached from any single caller: if ctx is
+// cancelled while waiting, Run returns ctx.Err() immediately and the
+// computation keeps running only while other callers still want it.
+// When the last interested caller goes away, the job's context is
+// cancelled and a cooperative job stops within one check.
+func (e *Engine) Run(ctx context.Context, j Job) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		e.cancelled.Add(1)
+		return Result{}, err
+	}
 	key := j.Key()
 	if key == "" {
-		return safeRun(j)
+		e.inflight.Add(1)
+		defer e.inflight.Add(-1)
+		return safeRun(ctx, j)
 	}
 	e.mu.Lock()
 	if en, ok := e.cache[key]; ok {
-		if en.elem != nil {
-			e.lru.MoveToFront(en.elem)
+		if en.completed {
+			if en.elem != nil {
+				e.lru.MoveToFront(en.elem)
+			}
+			e.mu.Unlock()
+			e.hits.Add(1)
+			return en.res, en.err
 		}
-		e.mu.Unlock()
-		e.hits.Add(1)
-		<-en.done
-		return en.res, en.err
+		if !en.abandoned {
+			if en.elem != nil {
+				e.lru.MoveToFront(en.elem)
+			}
+			en.waiters++
+			e.mu.Unlock()
+			e.hits.Add(1)
+			e.deduped.Add(1)
+			return e.wait(ctx, en)
+		}
+		// In flight but abandoned: its compute context is already
+		// cancelled and its (non-)result will be discarded. Displace it
+		// and start fresh.
+		e.removeLocked(en)
 	}
-	en := &cacheEntry{key: key, done: make(chan struct{})}
+	cctx, cancel := context.WithCancel(context.Background())
+	en := &cacheEntry{key: key, done: make(chan struct{}), waiters: 1, cancel: cancel}
 	e.cache[key] = en
 	en.elem = e.lru.PushFront(en)
 	e.evictLocked()
 	e.mu.Unlock()
 	e.misses.Add(1)
-	en.res, en.err = safeRun(j)
+	go e.compute(cctx, en, j)
+	return e.wait(ctx, en)
+}
+
+// wait blocks until the entry's computation completes or ctx is
+// cancelled. A caller abandoning the last reference cancels the
+// computation itself.
+func (e *Engine) wait(ctx context.Context, en *cacheEntry) (Result, error) {
+	select {
+	case <-en.done:
+		e.mu.Lock()
+		en.waiters--
+		e.mu.Unlock()
+		return en.res, en.err
+	case <-ctx.Done():
+		e.mu.Lock()
+		en.waiters--
+		last := en.waiters == 0 && !en.completed
+		if last {
+			en.abandoned = true
+		}
+		e.mu.Unlock()
+		if last {
+			en.cancel()
+		}
+		e.cancelled.Add(1)
+		return Result{}, ctx.Err()
+	}
+}
+
+// compute runs the job detached from any caller, under a context that
+// wait cancels when the last waiter leaves. Execution is gated on the
+// engine-wide compSem: at most `workers` detached jobs run at once, and
+// a computation abandoned while still queued exits without running. A
+// result produced despite abandonment is still memoized when it is a
+// real result; a cancellation error is never memoized (it is a
+// property of the request, not of the job).
+func (e *Engine) compute(cctx context.Context, en *cacheEntry, j Job) {
+	defer en.cancel()
+	var res Result
+	var err error
+	select {
+	case e.compSem <- struct{}{}:
+		e.inflight.Add(1)
+		res, err = safeRun(cctx, j)
+		e.inflight.Add(-1)
+		<-e.compSem
+	case <-cctx.Done():
+		err = cctx.Err()
+	}
+	e.mu.Lock()
+	en.res, en.err = res, err
+	en.completed = true
+	if err != nil && errors.Is(err, context.Canceled) {
+		// Only the abandonment path cancels cctx, so this outcome says
+		// "nobody wanted it and the job cooperated (or never started)"
+		// — forget it.
+		e.removeLocked(en)
+	}
+	e.mu.Unlock()
 	close(en.done)
-	return en.res, en.err
+}
+
+// removeLocked detaches an entry from the cache map and LRU list if it
+// is still the resident entry for its key; the caller holds e.mu.
+func (e *Engine) removeLocked(en *cacheEntry) {
+	if cur, ok := e.cache[en.key]; ok && cur == en {
+		delete(e.cache, en.key)
+	}
+	if en.elem != nil {
+		e.lru.Remove(en.elem)
+		en.elem = nil
+	}
 }
 
 // safeRun executes the job, converting a panic into an ordinary error
-// (wrapping ErrJobPanic). safeRun never panics, so Run's close(done)
-// after it always executes and singleflight waiters never hang.
-func safeRun(j Job) (res Result, err error) {
+// (wrapping ErrJobPanic). safeRun never panics, so compute's
+// close(done) after it always executes and singleflight waiters never
+// hang.
+func safeRun(ctx context.Context, j Job) (res Result, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			res, err = Result{}, fmt.Errorf("%w: %v", ErrJobPanic, rec)
 		}
 	}()
-	return j.Run()
+	return j.Run(ctx)
 }
 
 // evictLocked enforces the LRU bound; the caller holds e.mu. Entries
@@ -218,12 +369,13 @@ func (e *Engine) evictLocked() {
 // RunBatch evaluates jobs on the pool and returns their results in
 // input order. All jobs are attempted even when some fail, and the
 // reported error is the lowest-index one, so the outcome — results,
-// error, everything — is independent of scheduling order.
-func (e *Engine) RunBatch(jobs []Job) ([]Result, error) {
+// error, everything — is independent of scheduling order. Cancelling
+// ctx stops the batch between jobs; the error is then ctx's.
+func (e *Engine) RunBatch(ctx context.Context, jobs []Job) ([]Result, error) {
 	results := make([]Result, len(jobs))
-	err := e.ForEach(len(jobs), func(i int) error {
+	err := e.ForEach(ctx, len(jobs), func(i int) error {
 		var jerr error
-		results[i], jerr = e.Run(jobs[i])
+		results[i], jerr = e.Run(ctx, jobs[i])
 		return jerr
 	})
 	if err != nil {
@@ -235,8 +387,10 @@ func (e *Engine) RunBatch(jobs []Job) ([]Result, error) {
 // ForEach runs fn(0), ..., fn(n-1) on the pool. Every index is
 // attempted; the error returned is the lowest-index failure (nil if
 // none), so parallel and sequential runs agree. With workers = 1 the
-// calls happen in index order on the calling goroutine.
-func (e *Engine) ForEach(n int, fn func(i int) error) error {
+// calls happen in index order on the calling goroutine. Cancelling ctx
+// stops the loop between indexes (already-started calls finish); the
+// unstarted indexes fail with ctx.Err().
+func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -247,6 +401,10 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			errs[i] = fn(i)
 		}
 	} else {
@@ -262,6 +420,10 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
+					}
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
 					}
 					errs[i] = fn(i)
 				}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,7 +27,7 @@ type countingJob struct {
 
 func (j countingJob) Key() string { return j.key }
 
-func (j countingJob) Run() (Result, error) {
+func (j countingJob) Run(context.Context) (Result, error) {
 	j.runs.Add(1)
 	return Result{Value: j.value}, j.err
 }
@@ -51,7 +52,7 @@ func TestRunCachesByKey(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = j
 	}
-	results, err := eng.RunBatch(jobs)
+	results, err := eng.RunBatch(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestRunEmptyKeyNotCached(t *testing.T) {
 	var runs atomic.Int64
 	j := countingJob{key: "", value: 1, runs: &runs}
 	for i := 0; i < 3; i++ {
-		if _, err := eng.Run(j); err != nil {
+		if _, err := eng.Run(context.Background(), j); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -91,7 +92,7 @@ func TestRunCachesErrors(t *testing.T) {
 	boom := errors.New("boom")
 	j := countingJob{key: "failing", err: boom, runs: &runs}
 	for i := 0; i < 2; i++ {
-		if _, err := eng.Run(j); !errors.Is(err, boom) {
+		if _, err := eng.Run(context.Background(), j); !errors.Is(err, boom) {
 			t.Fatalf("run %d: err = %v, want boom", i, err)
 		}
 	}
@@ -107,7 +108,7 @@ func TestRunBatchInputOrder(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = countingJob{key: fmt.Sprintf("j%d", i), value: float64(i), runs: &runs}
 	}
-	results, err := eng.RunBatch(jobs)
+	results, err := eng.RunBatch(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestRunBatchInputOrder(t *testing.T) {
 func TestForEachReportsLowestIndexError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		eng := New(workers)
-		err := eng.ForEach(20, func(i int) error {
+		err := eng.ForEach(context.Background(), 20, func(i int) error {
 			if i%2 == 1 {
 				return fmt.Errorf("fail at %d", i)
 			}
@@ -134,7 +135,7 @@ func TestForEachReportsLowestIndexError(t *testing.T) {
 }
 
 func TestForEachEmpty(t *testing.T) {
-	if err := New(4).ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := New(4).ForEach(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("ForEach(0) = %v, want nil", err)
 	}
 }
@@ -158,11 +159,11 @@ func TestGridOrder(t *testing.T) {
 // the pool for data races.
 func TestSweepParallelMatchesSequential(t *testing.T) {
 	cells := Grid(2, 6)
-	seq, err := New(1).Sweep(cells, 1e4)
+	seq, err := New(1).Sweep(context.Background(), cells, 1e4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := New(8).Sweep(cells, 1e4)
+	par, err := New(8).Sweep(context.Background(), cells, 1e4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func floatsEqual(a, b float64) bool {
 func TestSweepRegimes(t *testing.T) {
 	// {2,2,2} is unsolvable (f >= k), {2,4,1} is trivial (k >= m(f+1)),
 	// {2,3,1} is the search regime.
-	results, err := New(4).Sweep([]Cell{{2, 2, 2}, {2, 4, 1}, {2, 3, 1}}, 1e4)
+	results, err := New(4).Sweep(context.Background(), []Cell{{2, 2, 2}, {2, 4, 1}, {2, 3, 1}}, 1e4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestSweepRegimes(t *testing.T) {
 func TestSweepCacheReuse(t *testing.T) {
 	eng := New(4)
 	cells := Grid(2, 5)
-	first, err := eng.Sweep(cells, 1e3)
+	first, err := eng.Sweep(context.Background(), cells, 1e3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestSweepCacheReuse(t *testing.T) {
 	if size == 0 {
 		t.Fatal("sweep populated no cache entries")
 	}
-	second, err := eng.Sweep(cells, 1e3)
+	second, err := eng.Sweep(context.Background(), cells, 1e3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestVerifyUpperJobMatchesDirectEvaluation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(2).Run(VerifyUpper{M: 2, K: 3, F: 1, Horizon: 1e4})
+	res, err := New(2).Run(context.Background(), VerifyUpper{M: 2, K: 3, F: 1, Horizon: 1e4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,11 +264,11 @@ func TestExactAndGridRatioJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := New(4)
-	exact, err := eng.Run(ExactRatio{Strategy: s, Faults: 1, Horizon: 1e4})
+	exact, err := eng.Run(context.Background(), ExactRatio{Strategy: s, Faults: 1, Horizon: 1e4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	grid, err := eng.Run(GridRatio{Strategy: s, Faults: 1, Horizon: 1e4, N: 300})
+	grid, err := eng.Run(context.Background(), GridRatio{Strategy: s, Faults: 1, Horizon: 1e4, N: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,18 +282,18 @@ func TestExactAndGridRatioJobs(t *testing.T) {
 
 func TestRandomizedTrialsDeterministicBySeed(t *testing.T) {
 	j := RandomizedTrials{Base: 3.59, X: 10, Samples: 200, Seed: 42}
-	a, err := New(1).Run(j)
+	a, err := New(1).Run(context.Background(), j)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := New(4).Run(j)
+	b, err := New(4).Run(context.Background(), j)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Value != b.Value {
 		t.Errorf("same seed gave %g and %g", a.Value, b.Value)
 	}
-	c, err := New(1).Run(RandomizedTrials{Base: 3.59, X: 10, Samples: 200, Seed: 43})
+	c, err := New(1).Run(context.Background(), RandomizedTrials{Base: 3.59, X: 10, Samples: 200, Seed: 43})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,8 +311,8 @@ func TestSweepErrorIsDeterministic(t *testing.T) {
 	// m = 0 is invalid; Classify rejects it. Both pool sizes must
 	// report the same (lowest-index) failing cell.
 	cells := []Cell{{2, 3, 1}, {0, 1, 0}, {0, 2, 0}}
-	_, errSeq := New(1).Sweep(cells, 1e3)
-	_, errPar := New(8).Sweep(cells, 1e3)
+	_, errSeq := New(1).Sweep(context.Background(), cells, 1e3)
+	_, errPar := New(8).Sweep(context.Background(), cells, 1e3)
 	if errSeq == nil || errPar == nil {
 		t.Fatal("invalid cells must fail the sweep")
 	}
@@ -326,7 +327,7 @@ func TestStatsHitMissAccounting(t *testing.T) {
 	// 3 distinct keys, 5 Runs each: 3 misses, 12 hits.
 	for round := 0; round < 5; round++ {
 		for _, key := range []string{"a", "b", "c"} {
-			if _, err := eng.Run(countingJob{key: key, value: 1, runs: &runs}); err != nil {
+			if _, err := eng.Run(context.Background(), countingJob{key: key, value: 1, runs: &runs}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -339,7 +340,7 @@ func TestStatsHitMissAccounting(t *testing.T) {
 		t.Errorf("Stats = %+v, want size 3, no evictions", st)
 	}
 	// Uncacheable jobs must not move the counters.
-	if _, err := eng.Run(countingJob{key: "", value: 1, runs: &runs}); err != nil {
+	if _, err := eng.Run(context.Background(), countingJob{key: "", value: 1, runs: &runs}); err != nil {
 		t.Fatal(err)
 	}
 	if st2 := eng.Stats(); st2.Hits != st.Hits || st2.Misses != st.Misses {
@@ -361,7 +362,7 @@ func TestStatsConcurrentAccounting(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%keys)
-				if _, err := eng.Run(countingJob{key: key, value: 1, runs: &runs}); err != nil {
+				if _, err := eng.Run(context.Background(), countingJob{key: key, value: 1, runs: &runs}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -401,7 +402,7 @@ func TestResetCacheUnderConcurrentCallers(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				key := fmt.Sprintf("k%d", i%10)
-				res, err := eng.Run(countingJob{key: key, value: float64(i % 10), runs: &runs})
+				res, err := eng.Run(context.Background(), countingJob{key: key, value: float64(i % 10), runs: &runs})
 				if err != nil {
 					t.Error(err)
 					return
@@ -417,7 +418,7 @@ func TestResetCacheUnderConcurrentCallers(t *testing.T) {
 	if size := eng.CacheSize(); size > 16 {
 		t.Errorf("cache size %d exceeds capacity 16 after reset storm", size)
 	}
-	res, err := eng.Run(countingJob{key: "k3", value: 3, runs: &runs})
+	res, err := eng.Run(context.Background(), countingJob{key: "k3", value: 3, runs: &runs})
 	if err != nil || res.Value != 3 {
 		t.Errorf("post-storm Run = (%v, %v), want 3", res.Value, err)
 	}
@@ -427,7 +428,7 @@ func TestLRUEviction(t *testing.T) {
 	eng := NewWithCache(2, 2)
 	var runs atomic.Int64
 	for _, key := range []string{"a", "b", "c"} {
-		if _, err := eng.Run(countingJob{key: key, value: 1, runs: &runs}); err != nil {
+		if _, err := eng.Run(context.Background(), countingJob{key: key, value: 1, runs: &runs}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -436,15 +437,15 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatalf("Stats = %+v, want size 2 and 1 eviction ('a' dropped)", st)
 	}
 	// "b" survives (hit); "a" was evicted (miss, evicting "c").
-	eng.Run(countingJob{key: "b", value: 1, runs: &runs})
-	eng.Run(countingJob{key: "a", value: 1, runs: &runs})
+	eng.Run(context.Background(), countingJob{key: "b", value: 1, runs: &runs})
+	eng.Run(context.Background(), countingJob{key: "a", value: 1, runs: &runs})
 	st = eng.Stats()
 	if st.Hits != 1 || st.Misses != 4 || st.Evictions != 2 {
 		t.Errorf("Stats = %+v, want 1 hit, 4 misses, 2 evictions", st)
 	}
 	// After touching "a" and "b" most recently, "c" is the victim: a
 	// re-Run of "b" must still hit.
-	eng.Run(countingJob{key: "b", value: 1, runs: &runs})
+	eng.Run(context.Background(), countingJob{key: "b", value: 1, runs: &runs})
 	if st = eng.Stats(); st.Hits != 2 {
 		t.Errorf("touch order not preserved: %+v", st)
 	}
@@ -453,11 +454,11 @@ func TestLRUEviction(t *testing.T) {
 func TestLRUTouchOnHit(t *testing.T) {
 	eng := NewWithCache(1, 2)
 	var runs atomic.Int64
-	eng.Run(countingJob{key: "a", value: 1, runs: &runs})
-	eng.Run(countingJob{key: "b", value: 1, runs: &runs})
-	eng.Run(countingJob{key: "a", value: 1, runs: &runs}) // touch "a"
-	eng.Run(countingJob{key: "c", value: 1, runs: &runs}) // evicts "b"
-	eng.Run(countingJob{key: "a", value: 1, runs: &runs}) // must still hit
+	eng.Run(context.Background(), countingJob{key: "a", value: 1, runs: &runs})
+	eng.Run(context.Background(), countingJob{key: "b", value: 1, runs: &runs})
+	eng.Run(context.Background(), countingJob{key: "a", value: 1, runs: &runs}) // touch "a"
+	eng.Run(context.Background(), countingJob{key: "c", value: 1, runs: &runs}) // evicts "b"
+	eng.Run(context.Background(), countingJob{key: "a", value: 1, runs: &runs}) // must still hit
 	st := eng.Stats()
 	if st.Hits != 2 || st.Misses != 3 || st.Evictions != 1 {
 		t.Errorf("Stats = %+v, want 2 hits / 3 misses / 1 eviction", st)
@@ -466,7 +467,7 @@ func TestLRUTouchOnHit(t *testing.T) {
 
 func TestSweepReturnsCellError(t *testing.T) {
 	cells := []Cell{{2, 3, 1}, {0, 1, 0}}
-	_, err := New(1).Sweep(cells, 1e3)
+	_, err := New(1).Sweep(context.Background(), cells, 1e3)
 	if err == nil {
 		t.Fatal("invalid cell must fail the sweep")
 	}
@@ -486,13 +487,13 @@ func TestSweepReturnsCellError(t *testing.T) {
 type panickingJob struct{ key string }
 
 func (j panickingJob) Key() string { return j.key }
-func (j panickingJob) Run() (Result, error) {
+func (j panickingJob) Run(context.Context) (Result, error) {
 	panic("job bug")
 }
 
 func TestRunRecoversJobPanic(t *testing.T) {
 	eng := New(2)
-	_, err := eng.Run(panickingJob{key: "boom"})
+	_, err := eng.Run(context.Background(), panickingJob{key: "boom"})
 	if !errors.Is(err, ErrJobPanic) {
 		t.Fatalf("panicking job returned %v, want ErrJobPanic", err)
 	}
@@ -501,7 +502,7 @@ func TestRunRecoversJobPanic(t *testing.T) {
 	// blocking forever.
 	done := make(chan error, 1)
 	go func() {
-		_, err := eng.Run(panickingJob{key: "boom"})
+		_, err := eng.Run(context.Background(), panickingJob{key: "boom"})
 		done <- err
 	}()
 	select {
@@ -513,7 +514,7 @@ func TestRunRecoversJobPanic(t *testing.T) {
 		t.Fatal("retry of a panicked key blocked: done channel never closed")
 	}
 	// Uncached jobs are protected too.
-	if _, err := eng.Run(panickingJob{key: ""}); !errors.Is(err, ErrJobPanic) {
+	if _, err := eng.Run(context.Background(), panickingJob{key: ""}); !errors.Is(err, ErrJobPanic) {
 		t.Errorf("uncached panicking job returned %v", err)
 	}
 }

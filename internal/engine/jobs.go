@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -42,8 +43,11 @@ type Job interface {
 	// the exact base bits when exposed), so custom strategies must
 	// encode their parameters in Name (the built-in constructors do).
 	Key() string
-	// Run performs the evaluation.
-	Run() (Result, error)
+	// Run performs the evaluation. Long-running implementations should
+	// check ctx cooperatively (the built-in jobs check inside their
+	// breakpoint/sample loops); the engine cancels ctx when no caller
+	// wants the result anymore. A ctx-induced error is never memoized.
+	Run(ctx context.Context) (Result, error)
 }
 
 // ExactRatio evaluates the exact worst-case competitive ratio of a
@@ -63,8 +67,8 @@ func (j ExactRatio) Key() string {
 }
 
 // Run implements Job.
-func (j ExactRatio) Run() (Result, error) {
-	ev, err := adversary.ExactRatio(j.Strategy, j.Faults, j.Horizon)
+func (j ExactRatio) Run(ctx context.Context) (Result, error) {
+	ev, err := adversary.ExactRatioCtx(ctx, j.Strategy, j.Faults, j.Horizon)
 	return Result{Value: ev.WorstRatio, Eval: ev}, err
 }
 
@@ -87,8 +91,8 @@ func (j GridRatio) Key() string {
 }
 
 // Run implements Job.
-func (j GridRatio) Run() (Result, error) {
-	v, err := adversary.GridRatio(j.Strategy, j.Faults, j.Horizon, j.N)
+func (j GridRatio) Run(ctx context.Context) (Result, error) {
+	v, err := adversary.GridRatioCtx(ctx, j.Strategy, j.Faults, j.Horizon, j.N)
 	return Result{Value: v}, err
 }
 
@@ -106,12 +110,12 @@ func (j VerifyUpper) Key() string {
 }
 
 // Run implements Job.
-func (j VerifyUpper) Run() (Result, error) {
+func (j VerifyUpper) Run(ctx context.Context) (Result, error) {
 	s, err := strategy.NewCyclicExponential(j.M, j.K, j.F)
 	if err != nil {
 		return Result{}, err
 	}
-	ev, err := adversary.ExactRatio(s, j.F, j.Horizon)
+	ev, err := adversary.ExactRatioCtx(ctx, s, j.F, j.Horizon)
 	return Result{Value: ev.WorstRatio, Eval: ev}, err
 }
 
@@ -131,9 +135,9 @@ func (j RandomizedTrials) Key() string {
 }
 
 // Run implements Job.
-func (j RandomizedTrials) Run() (Result, error) {
+func (j RandomizedTrials) Run(ctx context.Context) (Result, error) {
 	rng := rand.New(rand.NewSource(j.Seed))
-	v, err := randomized.MonteCarloRatio(j.Base, j.X, j.Samples, rng)
+	v, err := randomized.MonteCarloRatioCtx(ctx, j.Base, j.X, j.Samples, rng)
 	return Result{Value: v}, err
 }
 

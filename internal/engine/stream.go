@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// SweepStream evaluates the cells on the worker pool and emits each
+// CellResult as soon as it — and every cell before it — has finished.
+// Emission order is always input order: workers publish out-of-order
+// completions into a reorder buffer and a single emitter releases the
+// contiguous prefix, so a consumer printing rows as they arrive
+// produces exactly the bytes of the batch path, just incrementally.
+//
+// Failed cells are emitted like successful ones, with the *CellError in
+// CellResult.Err — a sweep never throws away the progress it has made.
+// Cancelling ctx stops the stream cooperatively: workers stop claiming
+// cells, in-flight evaluations abort at their next cancellation check,
+// and the channel closes after the already-completed contiguous prefix
+// has been delivered. The channel is always closed; consumers must
+// drain it (or cancel ctx) or the emitter goroutine leaks.
+func (e *Engine) SweepStream(ctx context.Context, cells []Cell, horizon float64) <-chan CellResult {
+	out := make(chan CellResult)
+	n := len(cells)
+	if n == 0 {
+		close(out)
+		return out
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	type indexed struct {
+		i int
+		r CellResult
+	}
+	results := make(chan indexed, workers)
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r := e.evalCell(ctx, cells[i], horizon)
+				if r.Err != nil && ctx.Err() != nil && errors.Is(r.Err, ctx.Err()) {
+					// The cell did not fail — the stream was cancelled
+					// out from under it. Not a result.
+					return
+				}
+				select {
+				case results <- indexed{i, r}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	go func() {
+		defer close(out)
+		pending := make(map[int]CellResult, workers)
+		emit := 0
+		for item := range results {
+			pending[item.i] = item.r
+			for {
+				r, ok := pending[emit]
+				if !ok {
+					break
+				}
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					// The consumer is gone; unblock the workers and
+					// discard the tail.
+					for range results {
+					}
+					return
+				}
+				delete(pending, emit)
+				emit++
+			}
+		}
+	}()
+	return out
+}

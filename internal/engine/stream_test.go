@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bounds"
+)
+
+// TestSweepStreamMatchesBatch pins the streaming determinism contract:
+// a parallel SweepStream emits exactly the cells of a serial batch
+// Sweep, in input order, with bit-identical measured values.
+func TestSweepStreamMatchesBatch(t *testing.T) {
+	cells := Grid(2, 6)
+	batch, err := New(1).Sweep(context.Background(), cells, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []CellResult
+	for r := range New(8).SweepStream(context.Background(), cells, 1e4) {
+		streamed = append(streamed, r)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("stream emitted %d cells, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		s, b := streamed[i], batch[i]
+		if s.Cell != cells[i] {
+			t.Fatalf("position %d: streamed cell %v, want input-order %v", i, s.Cell, cells[i])
+		}
+		if s.Regime != b.Regime || s.Evaluated != b.Evaluated || (s.Err == nil) != (b.Err == nil) {
+			t.Errorf("cell %d: metadata mismatch: %+v vs %+v", i, s, b)
+		}
+		if s.Eval.WorstRatio != b.Eval.WorstRatio {
+			t.Errorf("cell %d: streamed ratio %v vs batch %v (must be bit-identical)",
+				i, s.Eval.WorstRatio, b.Eval.WorstRatio)
+		}
+	}
+}
+
+// TestSweepStreamCancelledPrefix: cancelling mid-stream closes the
+// channel after a deterministic-order prefix — no out-of-order stragglers,
+// no hang, and not the whole grid.
+func TestSweepStreamCancelledPrefix(t *testing.T) {
+	cells := Grid(2, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var got []CellResult
+	for r := range New(2).SweepStream(ctx, cells, 1e6) {
+		got = append(got, r)
+		if len(got) == 5 {
+			cancel()
+		}
+	}
+	if len(got) < 5 {
+		t.Fatalf("stream closed after %d cells, before the cancellation point", len(got))
+	}
+	// Workers run at most a few cells ahead of emission (the internal
+	// channel is bounded by the worker count), so cancellation must cut
+	// the grid well short.
+	if len(got) >= len(cells) {
+		t.Fatalf("stream emitted the whole grid (%d cells) despite cancellation", len(got))
+	}
+	for i, r := range got {
+		if r.Cell != cells[i] {
+			t.Errorf("position %d: cell %v, want prefix-order %v", i, r.Cell, cells[i])
+		}
+	}
+}
+
+// TestSweepPartialResultsOnCellError is the keep-going contract: a
+// failing cell travels in its result, the cells after it still compute,
+// and the batch wrapper reports the failure without discarding anything.
+func TestSweepPartialResultsOnCellError(t *testing.T) {
+	cells := []Cell{{2, 3, 1}, {0, 1, 0}, {2, 1, 0}}
+	results, err := New(1).Sweep(context.Background(), cells, 1e3)
+	if err == nil {
+		t.Fatal("invalid middle cell must surface an error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Cell != (Cell{0, 1, 0}) {
+		t.Fatalf("error %v does not identify the failing cell", err)
+	}
+	if !errors.Is(err, bounds.ErrInvalidParams) {
+		t.Errorf("error %v must unwrap to the bounds error", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("partial results discarded: got %d cells, want 3", len(results))
+	}
+	if results[0].Err != nil || !results[0].Evaluated {
+		t.Errorf("cell before the failure: %+v", results[0])
+	}
+	if results[1].Err == nil {
+		t.Errorf("failing cell carries no error: %+v", results[1])
+	}
+	if results[2].Err != nil || !results[2].Evaluated {
+		t.Errorf("cell after the failure was thrown away: %+v", results[2])
+	}
+}
+
+// TestSweepStreamEmpty: an empty grid yields a closed channel.
+func TestSweepStreamEmpty(t *testing.T) {
+	n := 0
+	for range New(4).SweepStream(context.Background(), nil, 1e3) {
+		n++
+	}
+	if n != 0 {
+		t.Errorf("empty stream emitted %d cells", n)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,7 +34,9 @@ func (e *CellError) Error() string {
 func (e *CellError) Unwrap() error { return e.Err }
 
 // CellResult pairs a cell with its regime, closed-form bound, and (for
-// search-regime cells) the measured exact worst-case ratio.
+// search-regime cells) the measured exact worst-case ratio. A failed
+// cell carries its *CellError in Err; the other fields hold whatever
+// was computed before the failure.
 type CellResult struct {
 	Cell Cell
 	// Regime classifies the cell (unsolvable / trivial / search).
@@ -45,6 +48,10 @@ type CellResult struct {
 	Eval adversary.Evaluation
 	// Evaluated reports whether the cell was measured (search regime).
 	Evaluated bool
+	// Err is the cell's *CellError when the evaluation failed; nil for
+	// successful cells. Sweeps keep going past failed cells, so a batch
+	// can mix both.
+	Err error
 }
 
 // RelGap returns |measured - closed| / closed for evaluated cells and
@@ -70,42 +77,73 @@ func Grid(m, kMax int) []Cell {
 	return cells
 }
 
+// evalCell computes one sweep cell: regime classification, closed-form
+// bound, and — in the search regime — the measured exact worst-case
+// ratio through the job cache. Failures land in the result's Err
+// (wrapped as *CellError) rather than aborting the caller's loop.
+func (e *Engine) evalCell(ctx context.Context, c Cell, horizon float64) CellResult {
+	out := CellResult{Cell: c, Closed: math.NaN()}
+	regime, err := bounds.Classify(c.M, c.K, c.F)
+	if err != nil {
+		out.Err = &CellError{Cell: c, Err: err}
+		return out
+	}
+	out.Regime = regime
+	if regime != bounds.RegimeUnsolvable {
+		closed, err := bounds.AMKF(c.M, c.K, c.F)
+		if err != nil {
+			out.Err = &CellError{Cell: c, Err: err}
+			return out
+		}
+		out.Closed = closed
+	}
+	if regime != bounds.RegimeSearch {
+		return out
+	}
+	res, err := e.Run(ctx, VerifyUpper{M: c.M, K: c.K, F: c.F, Horizon: horizon})
+	if err != nil {
+		out.Err = &CellError{Cell: c, Err: err}
+		return out
+	}
+	out.Eval = res.Eval
+	out.Evaluated = true
+	return out
+}
+
 // Sweep classifies every cell, computes the closed-form bound, and
 // measures the exact worst-case ratio of the optimal strategy for each
 // search-regime cell at the horizon, fanning the evaluations out over
 // the worker pool. Results come back in input order regardless of the
 // pool size, so tables built from a parallel sweep are byte-identical
-// to the sequential (workers = 1) path. A failure surfaces as a
-// *CellError identifying the failing (m, k, f).
-func (e *Engine) Sweep(cells []Cell, horizon float64) ([]CellResult, error) {
+// to the sequential (workers = 1) path.
+//
+// A failing cell does not abort the sweep: its result carries a
+// *CellError in Err and the remaining cells still run. The returned
+// error is the lowest-index cell failure (nil when every cell
+// succeeded), so callers keep the familiar one-error signature without
+// losing the partial results. Cancelling ctx stops the sweep between
+// cells and wins over cell failures in the returned error; cells the
+// cancellation prevented from running are zero-valued in the slice.
+//
+// Sweep shares evalCell with SweepStream, so both produce identical
+// per-cell results; the batch shape skips the stream's channel plumbing
+// because a fully-cached sweep must stay at map-lookup cost (the
+// AblationCacheHit benchmark gates exactly that).
+func (e *Engine) Sweep(ctx context.Context, cells []Cell, horizon float64) ([]CellResult, error) {
 	out := make([]CellResult, len(cells))
-	err := e.ForEach(len(cells), func(i int) error {
-		c := cells[i]
-		regime, err := bounds.Classify(c.M, c.K, c.F)
-		if err != nil {
-			return &CellError{Cell: c, Err: err}
-		}
-		out[i] = CellResult{Cell: c, Regime: regime, Closed: math.NaN()}
-		if regime != bounds.RegimeUnsolvable {
-			closed, err := bounds.AMKF(c.M, c.K, c.F)
-			if err != nil {
-				return &CellError{Cell: c, Err: err}
-			}
-			out[i].Closed = closed
-		}
-		if regime != bounds.RegimeSearch {
-			return nil
-		}
-		res, err := e.Run(VerifyUpper{M: c.M, K: c.K, F: c.F, Horizon: horizon})
-		if err != nil {
-			return &CellError{Cell: c, Err: err}
-		}
-		out[i].Eval = res.Eval
-		out[i].Evaluated = true
+	// The per-index error is always nil: cell failures ride in the
+	// results so every cell is attempted regardless.
+	_ = e.ForEach(ctx, len(cells), func(i int) error {
+		out[i] = e.evalCell(ctx, cells[i], horizon)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			return out, out[i].Err
+		}
 	}
 	return out, nil
 }

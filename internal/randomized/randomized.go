@@ -27,6 +27,7 @@
 package randomized
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -127,12 +128,25 @@ func Trajectory(b float64, rng *rand.Rand, horizon float64) (*trajectory.Line, e
 // signed position x by sampling full randomized trajectories. The fair
 // side coin is implemented by mirroring the target sign per sample.
 func MonteCarloRatio(b, x float64, samples int, rng *rand.Rand) (float64, error) {
+	return MonteCarloRatioCtx(context.Background(), b, x, samples, rng)
+}
+
+// MonteCarloRatioCtx is MonteCarloRatio under a context: the sample
+// loop checks ctx every 64 samples so a cancelled batch stops promptly.
+// Cancellation does not disturb determinism — a run that completes
+// consumes exactly the same rng stream regardless of ctx.
+func MonteCarloRatioCtx(ctx context.Context, b, x float64, samples int, rng *rand.Rand) (float64, error) {
 	if !(b > 1) || x == 0 || samples < 1 || rng == nil {
 		return 0, fmt.Errorf("%w: base %g, x %g, samples %d", ErrBadParams, b, x, samples)
 	}
 	ax := math.Abs(x)
 	var acc numeric.Kahan
 	for s := 0; s < samples; s++ {
+		if s%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		l, err := Trajectory(b, rng, ax*b*b)
 		if err != nil {
 			return 0, err

@@ -1,6 +1,7 @@
 package randomized
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -204,5 +205,16 @@ func TestQuickExpectedRatioConvex(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMonteCarloRatioCtxCancellation: the sample loop checks its
+// context, so a cancelled batch aborts instead of finishing.
+func TestMonteCarloRatioCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarloRatioCtx(ctx, 3.59, 7.5, 5000, rng); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled MonteCarloRatioCtx = %v, want context.Canceled", err)
 	}
 }

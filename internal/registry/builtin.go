@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bounds"
@@ -41,7 +42,7 @@ func crashScenario() Scenario {
 		},
 		LowerBound: bounds.AMKF,
 		UpperBound: bounds.AMKF,
-		VerifyJob: func(m, k, f int, horizon float64) (engine.Job, error) {
+		VerifyJob: func(ctx context.Context, m, k, f int, horizon float64) (engine.Job, error) {
 			regime, err := bounds.Classify(m, k, f)
 			if err != nil {
 				return nil, err
@@ -73,7 +74,7 @@ func byzantineScenario() Scenario {
 		UpperBound: func(m, k, f int) (float64, error) {
 			return 0, ErrNoUpperBound
 		},
-		VerifyJob: func(m, k, f int, horizon float64) (engine.Job, error) {
+		VerifyJob: func(ctx context.Context, m, k, f int, horizon float64) (engine.Job, error) {
 			return nil, fmt.Errorf("%w: only the transfer lower bound is known for Byzantine faults", ErrNotVerifiable)
 		},
 	}
@@ -128,7 +129,7 @@ func probabilisticScenario() Scenario {
 			_, ratio, err := randomized.OptimalBase()
 			return ratio, err
 		},
-		VerifyJob: func(m, k, f int, horizon float64) (engine.Job, error) {
+		VerifyJob: func(ctx context.Context, m, k, f int, horizon float64) (engine.Job, error) {
 			if err := validateProbabilistic(m, k, f); err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrNotVerifiable, err)
 			}

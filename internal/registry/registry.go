@@ -15,6 +15,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -85,8 +86,11 @@ type Scenario struct {
 	UpperBound func(m, k, f int) (float64, error) `json:"-"`
 	// VerifyJob constructs the deterministic engine job measuring the
 	// scenario's verifiable headline quantity at the horizon, or an
-	// error wrapping ErrNotVerifiable.
-	VerifyJob func(m, k, f int, horizon float64) (engine.Job, error) `json:"-"`
+	// error wrapping ErrNotVerifiable. ctx is the caller's request
+	// context: constructors doing nontrivial work (root finding,
+	// strategy materialization) should respect it, and the job it
+	// returns receives a context again at Run time from the engine.
+	VerifyJob func(ctx context.Context, m, k, f int, horizon float64) (engine.Job, error) `json:"-"`
 }
 
 // Registry is a concurrency-safe name -> Scenario table.

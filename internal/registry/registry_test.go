@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -44,7 +45,7 @@ func TestRegisterValidation(t *testing.T) {
 		Validate:   func(m, k, f int) error { return nil },
 		LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
 		UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
-		VerifyJob:  func(m, k, f int, h float64) (engine.Job, error) { return nil, ErrNotVerifiable },
+		VerifyJob:  func(ctx context.Context, m, k, f int, h float64) (engine.Job, error) { return nil, ErrNotVerifiable },
 	}
 	if err := r.Register(ok); err != nil {
 		t.Fatal(err)
@@ -74,11 +75,11 @@ func TestCrashScenarioMatchesBounds(t *testing.T) {
 	if err != nil || ub != want {
 		t.Errorf("crash upper bound = (%g, %v), want tight %g", ub, err, want)
 	}
-	job, err := sc.VerifyJob(2, 3, 1, 1e4)
+	job, err := sc.VerifyJob(context.Background(), 2, 3, 1, 1e4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.New(1).Run(job)
+	res, err := engine.New(1).Run(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestCrashScenarioMatchesBounds(t *testing.T) {
 		t.Errorf("verify job measured %g vs closed form %g (rel %g)", res.Value, want, rel)
 	}
 	// Outside the search regime verification is refused.
-	if _, err := sc.VerifyJob(2, 4, 1, 1e4); !errors.Is(err, ErrNotVerifiable) {
+	if _, err := sc.VerifyJob(context.Background(), 2, 4, 1, 1e4); !errors.Is(err, ErrNotVerifiable) {
 		t.Errorf("trivial-regime verify = %v, want ErrNotVerifiable", err)
 	}
 }
@@ -107,7 +108,7 @@ func TestByzantineScenario(t *testing.T) {
 	if _, err := sc.UpperBound(2, 3, 1); !errors.Is(err, ErrNoUpperBound) {
 		t.Errorf("byzantine upper bound = %v, want ErrNoUpperBound", err)
 	}
-	if _, err := sc.VerifyJob(2, 3, 1, 1e4); !errors.Is(err, ErrNotVerifiable) {
+	if _, err := sc.VerifyJob(context.Background(), 2, 3, 1, 1e4); !errors.Is(err, ErrNotVerifiable) {
 		t.Errorf("byzantine verify = %v, want ErrNotVerifiable", err)
 	}
 	if sc.HasUpperBound || sc.Verifiable {
@@ -130,11 +131,11 @@ func TestProbabilisticScenario(t *testing.T) {
 	if _, err := sc.LowerBound(2, 3, 1); err == nil {
 		t.Error("probabilistic stub must reject k > 1")
 	}
-	job, err := sc.VerifyJob(2, 1, 0, 4000)
+	job, err := sc.VerifyJob(context.Background(), 2, 1, 0, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.New(1).Run(job)
+	res, err := engine.New(1).Run(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestProbabilisticScenario(t *testing.T) {
 		t.Errorf("Monte-Carlo estimate %g far from closed form %g", res.Value, lb)
 	}
 	// Same horizon => same job key (deterministic, cacheable).
-	j2, _ := sc.VerifyJob(2, 1, 0, 4000)
+	j2, _ := sc.VerifyJob(context.Background(), 2, 1, 0, 4000)
 	if job.Key() == "" || job.Key() != j2.Key() {
 		t.Errorf("probabilistic verify jobs not cache-stable: %q vs %q", job.Key(), j2.Key())
 	}
@@ -161,7 +162,7 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 					Validate:   func(m, k, f int) error { return nil },
 					LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
 					UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
-					VerifyJob:  func(m, k, f int, h float64) (engine.Job, error) { return nil, ErrNotVerifiable },
+					VerifyJob:  func(ctx context.Context, m, k, f int, h float64) (engine.Job, error) { return nil, ErrNotVerifiable },
 				})
 				r.Names()
 				r.Get(string(rune('a' + g)))

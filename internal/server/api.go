@@ -7,10 +7,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 
 	"repro/internal/bounds"
 	"repro/internal/engine"
@@ -151,7 +153,9 @@ func (t *BoundsTable) Markdown() string {
 	return tb.Markdown()
 }
 
-// SweepCell is one measured (m, k, f) point of a sweep.
+// SweepCell is one measured (m, k, f) point of a sweep. A cell whose
+// evaluation failed carries the message in Error; the sweep's other
+// cells are unaffected (partial progress is never thrown away).
 type SweepCell struct {
 	M         int    `json:"m"`
 	K         int    `json:"k"`
@@ -164,6 +168,7 @@ type SweepCell struct {
 	RelGap    Float  `json:"rel_gap"`
 	WorstRay  int    `json:"worst_ray,omitempty"`
 	WorstX    Float  `json:"worst_x,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // SweepTable is the payload of /v1/sweep and the source of the E1/E4
@@ -173,32 +178,77 @@ type SweepTable struct {
 	Cells   []SweepCell `json:"cells"`
 }
 
+// SweepCellOf shapes one engine result as the wire/rendering struct —
+// the single shaping used by the batch table, the NDJSON stream, and
+// the CLI progress path, which is what keeps streamed rows
+// byte-identical to batch rows.
+func SweepCellOf(cr engine.CellResult) SweepCell {
+	cell := SweepCell{
+		M: cr.Cell.M, K: cr.Cell.K, F: cr.Cell.F, Q: cr.Cell.M * (cr.Cell.F + 1),
+		Regime: cr.Regime.String(), Closed: Float(cr.Closed),
+		Evaluated: cr.Evaluated,
+		Measured:  Float(cr.Eval.WorstRatio), RelGap: Float(cr.RelGap()),
+	}
+	if cr.Evaluated {
+		cell.WorstRay = cr.Eval.WorstRay
+		cell.WorstX = Float(cr.Eval.WorstX)
+	}
+	if cr.Err != nil {
+		cell.Error = cr.Err.Error()
+	}
+	return cell
+}
+
 // ComputeSweep runs the engine sweep and shapes the results for
-// rendering and JSON. Errors carry the failing cell (engine.CellError).
-func ComputeSweep(eng *engine.Engine, cells []engine.Cell, horizon float64) (*SweepTable, error) {
-	results, err := eng.Sweep(cells, horizon)
-	if err != nil {
-		return nil, err
-	}
+// rendering and JSON. Failed cells stay in the table (with Error set)
+// and the returned error is the lowest-index *engine.CellError — the
+// partial table is valid alongside a non-nil error. A cancelled ctx
+// returns the completed prefix with ctx's error.
+func ComputeSweep(ctx context.Context, eng *engine.Engine, cells []engine.Cell, horizon float64) (*SweepTable, error) {
+	return ComputeSweepObserved(ctx, eng, cells, horizon, nil)
+}
+
+// ComputeSweepObserved is ComputeSweep with a per-cell observer invoked
+// in emission (= input) order as each cell finishes — the hook the CLI
+// progress meters and the NDJSON stream share.
+func ComputeSweepObserved(ctx context.Context, eng *engine.Engine, cells []engine.Cell, horizon float64, observe func(SweepCell)) (*SweepTable, error) {
 	t := &SweepTable{Horizon: horizon}
-	for _, cr := range results {
-		cell := SweepCell{
-			M: cr.Cell.M, K: cr.Cell.K, F: cr.Cell.F, Q: cr.Cell.M * (cr.Cell.F + 1),
-			Regime: cr.Regime.String(), Closed: Float(cr.Closed),
-			Evaluated: cr.Evaluated,
-			Measured:  Float(cr.Eval.WorstRatio), RelGap: Float(cr.RelGap()),
-		}
-		if cr.Evaluated {
-			cell.WorstRay = cr.Eval.WorstRay
-			cell.WorstX = Float(cr.Eval.WorstX)
-		}
+	var firstErr error
+	for cr := range eng.SweepStream(ctx, cells, horizon) {
+		cell := SweepCellOf(cr)
 		t.Cells = append(t.Cells, cell)
+		if cr.Err != nil && firstErr == nil {
+			firstErr = cr.Err
+		}
+		if observe != nil {
+			observe(cell)
+		}
 	}
-	return t, nil
+	if firstErr == nil && len(t.Cells) < len(cells) {
+		firstErr = ctx.Err()
+	}
+	return t, firstErr
+}
+
+// markdownErrors renders the failed-cell section appended below a
+// partial sweep table; empty when every cell succeeded.
+func (t *SweepTable) markdownErrors() string {
+	var sb strings.Builder
+	for _, c := range t.Cells {
+		if c.Error == "" {
+			continue
+		}
+		if sb.Len() == 0 {
+			sb.WriteString("\nerrors:\n")
+		}
+		fmt.Fprintf(&sb, "- cell (%d,%d,%d): %s\n", c.M, c.K, c.F, c.Error)
+	}
+	return sb.String()
 }
 
 // MarkdownLine renders the evaluated cells as the Theorem 1 line table
-// (byte-identical to experiment E1 of cmd/experiments).
+// (byte-identical to experiment E1 of cmd/experiments). Failed cells
+// are listed in an errors section below the partial table.
 func (t *SweepTable) MarkdownLine() string {
 	tb := report.NewTable("", "k", "f", "s", "A(k,f) closed form", "measured sup ratio", "rel. gap")
 	for _, c := range t.Cells {
@@ -211,21 +261,25 @@ func (t *SweepTable) MarkdownLine() string {
 			report.Fmt(float64(c.RelGap), 2),
 		)
 	}
-	return tb.Markdown()
+	return tb.Markdown() + t.markdownErrors()
 }
 
-// MarkdownRays renders every cell as the Theorem 6 m-ray table
-// (byte-identical to experiment E4 of cmd/experiments).
+// MarkdownRays renders every successful cell as the Theorem 6 m-ray
+// table (byte-identical to experiment E4 of cmd/experiments), with
+// failed cells in an errors section below the partial table.
 func (t *SweepTable) MarkdownRays() string {
 	tb := report.NewTable("", "m", "k", "f", "q", "A(m,k,f) closed form", "measured sup ratio", "rel. gap")
 	for _, c := range t.Cells {
+		if c.Error != "" {
+			continue
+		}
 		tb.AddRow(
 			strconv.Itoa(c.M), strconv.Itoa(c.K), strconv.Itoa(c.F), strconv.Itoa(c.Q),
 			report.Fmt(float64(c.Closed), 9), report.Fmt(float64(c.Measured), 9),
 			report.Fmt(float64(c.RelGap), 2),
 		)
 	}
-	return tb.Markdown()
+	return tb.Markdown() + t.markdownErrors()
 }
 
 // BoundsAnswer is the single-cell payload of /v1/bounds.

@@ -10,12 +10,26 @@
 //
 // The grid endpoints (/v1/bounds in kmax mode and /v1/sweep) accept
 // ?format=markdown to render through the same tables cmd/bounds and
-// cmd/experiments print (byte-identical). Compute requests run under a
-// per-request timeout (?timeout_ms, capped by the server
-// configuration), execute on a shared engine.Engine whose bounded LRU
-// cache makes repeated queries cheap, and are limited to MaxInflight
-// concurrent computations (abandoned timed-out work counts against the
-// limit until it finishes). Invalid input is a 400 with a JSON error
+// cmd/experiments print (byte-identical). /v1/sweep additionally
+// streams when the client sends Accept: application/x-ndjson (or
+// ?format=ndjson): one SweepCell JSON object per line, flushed as each
+// cell finishes, interleaved with '#'-prefixed heartbeat comment lines
+// so idle proxies keep the connection open. The streamed rows are
+// byte-identical to (and in the same order as) the cells array of the
+// batch JSON answer.
+//
+// Compute requests run under a per-request timeout (?timeout_ms,
+// capped by the server configuration) that actually cancels the work:
+// the context flows into the engine, which stops claiming cells and
+// aborts in-flight evaluations at their next cooperative check, so a
+// timed-out or disconnected request frees its workers within one cell
+// evaluation. Requests are limited to MaxInflight concurrent
+// computations while they are being waited on (a job that ignores its
+// context finishes detached on an engine goroutine — a successful
+// result still lands in the cache, so an identical retry is instant).
+// Sweeps keep going past failing cells: the response
+// carries the partial table with per-cell error fields (plus an errors
+// section in markdown mode). Invalid input is a 400 with a JSON error
 // body; an exceeded budget is a 504; a saturated server is a 503.
 package server
 
@@ -29,6 +43,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -46,14 +61,17 @@ const (
 	DefaultCacheCapacity = 4096
 	// DefaultMaxKMax caps grid requests (cells grow quadratically).
 	DefaultMaxKMax = 16
-	// DefaultMaxInflight caps concurrent compute goroutines, counting
-	// abandoned (timed-out) computations until they finish — the bound
-	// that keeps a stream of instantly-timing-out heavy requests from
-	// accumulating unbounded background work.
+	// DefaultMaxInflight caps the compute requests being actively waited
+	// on. Cancellation propagates into the engine, so a timed-out
+	// request's work stops (and its slot frees) within one cooperative
+	// check rather than when the computation happens to finish.
 	DefaultMaxInflight = 32
 	// DefaultHorizon is the sweep/verify horizon when unspecified —
 	// the value the recorded experiment tables use.
 	DefaultHorizon = 2e5
+	// DefaultHeartbeat is the interval between comment lines on an NDJSON
+	// sweep stream with no row ready to send.
+	DefaultHeartbeat = 10 * time.Second
 	// maxHorizon caps client-supplied horizons.
 	maxHorizon = 1e8
 )
@@ -85,9 +103,10 @@ type Config struct {
 	Timeout time.Duration
 	// MaxKMax caps the kmax of grid requests.
 	MaxKMax int
-	// MaxInflight caps concurrent compute goroutines (including
-	// abandoned timed-out ones until they finish).
+	// MaxInflight caps the compute requests being actively waited on.
 	MaxInflight int
+	// Heartbeat is the comment-line interval on NDJSON sweep streams.
+	Heartbeat time.Duration
 }
 
 // Server is the boundsd HTTP handler. Construct with New.
@@ -123,6 +142,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -194,6 +216,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "boundsd_engine_cache_evictions_total %d\n", st.Evictions)
 	fmt.Fprintf(w, "boundsd_engine_cache_size %d\n", st.Size)
 	fmt.Fprintf(w, "boundsd_engine_cache_capacity %d\n", st.Capacity)
+	fmt.Fprintf(w, "boundsd_engine_dedup_total %d\n", st.Deduped)
+	fmt.Fprintf(w, "boundsd_engine_cancelled_runs_total %d\n", st.Cancelled)
+	fmt.Fprintf(w, "boundsd_engine_inflight_jobs %d\n", st.InFlight)
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -264,33 +289,54 @@ func (s *Server) scenarioParam(p map[string]string) (registry.Scenario, error) {
 	return s.cfg.Registry.Get(name)
 }
 
-// compute runs fn under the request's compute budget and the server's
-// MaxInflight cap. The computation itself is not interruptible
-// (CPU-bound engine jobs); on timeout the goroutine is abandoned — it
-// keeps its compute slot until it finishes, and its result still lands
-// in the engine cache, so an identical retry is instant once it
-// completes. A panic inside fn is recovered into a 500, not a process
-// crash (scenario callbacks are a plugin point).
-func (s *Server) compute(r *http.Request, p map[string]string, fn func() (any, error)) (any, error) {
+// budgetCtx derives the request's compute context: the server default
+// budget, optionally lowered (never raised) by ?timeout_ms, rooted in
+// the request context so a client disconnect cancels it too.
+func (s *Server) budgetCtx(r *http.Request, p map[string]string) (context.Context, context.CancelFunc, time.Duration, error) {
 	budget := s.cfg.Timeout
 	if raw, ok := p["timeout_ms"]; ok && raw != "" {
 		ms, err := strconv.Atoi(raw)
 		if err != nil || ms <= 0 {
-			return nil, fmt.Errorf("%w: %q must be a positive integer", errBadParam, "timeout_ms")
+			return nil, nil, 0, fmt.Errorf("%w: %q must be a positive integer", errBadParam, "timeout_ms")
 		}
 		if d := time.Duration(ms) * time.Millisecond; d < budget {
 			budget = d
 		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
-	defer cancel()
+	return ctx, cancel, budget, nil
+}
+
+// acquireSlot blocks for a MaxInflight compute slot until ctx expires.
+func (s *Server) acquireSlot(ctx context.Context, budget time.Duration) error {
 	select {
 	case s.sem <- struct{}{}:
+		return nil
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.Canceled) {
-			return nil, fmt.Errorf("%w while waiting for a compute slot", errClientGone)
+			return fmt.Errorf("%w while waiting for a compute slot", errClientGone)
 		}
-		return nil, fmt.Errorf("%w: no compute slot freed within %v", errBusy, budget)
+		return fmt.Errorf("%w: no compute slot freed within %v", errBusy, budget)
+	}
+}
+
+// compute runs fn under the request's compute budget and the server's
+// MaxInflight cap. The budget context is handed to fn and flows into
+// the engine, so cancellation (timeout or client disconnect) actually
+// stops the work: the engine stops claiming cells and aborts in-flight
+// evaluations at their next cooperative check. A job that ignores its
+// context is abandoned instead — the request's slot frees immediately
+// and the job finishes detached inside the engine (memoized on
+// success). A panic inside fn is recovered into a 500, not a process
+// crash (scenario callbacks are a plugin point).
+func (s *Server) compute(r *http.Request, p map[string]string, fn func(ctx context.Context) (any, error)) (any, error) {
+	ctx, cancel, budget, err := s.budgetCtx(r, p)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	if err := s.acquireSlot(ctx, budget); err != nil {
+		return nil, err
 	}
 	type outcome struct {
 		v   any
@@ -304,7 +350,7 @@ func (s *Server) compute(r *http.Request, p map[string]string, fn func() (any, e
 				ch <- outcome{nil, fmt.Errorf("server: computation panicked: %v", rec)}
 			}
 		}()
-		v, err := fn()
+		v, err := fn(ctx)
 		ch <- outcome{v, err}
 	}()
 	select {
@@ -419,13 +465,16 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("horizon %g out of range (1, %g]", horizon, maxHorizon))
 		return
 	}
-	job, err := sc.VerifyJob(m, k, f, horizon)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	v, err := s.compute(r, p, func() (any, error) {
-		res, err := s.cfg.Engine.Run(job)
+	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
+		// Construct the job under the budget context too: constructors
+		// are a plugin point that may do nontrivial work (root finding,
+		// strategy materialization), and it must not escape the
+		// request's compute bound.
+		job, err := sc.VerifyJob(ctx, m, k, f, horizon)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.cfg.Engine.Run(ctx, job)
 		if err != nil {
 			return nil, err
 		}
@@ -504,8 +553,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown table style %q (want line or rays)", style))
 		return
 	}
-	v, err := s.compute(r, p, func() (any, error) {
-		return ComputeSweep(s.cfg.Engine, engine.Grid(m, kmax), horizon)
+	cells := engine.Grid(m, kmax)
+	// An explicit ?format= wins; Accept-based negotiation only applies
+	// when the query string does not choose a representation.
+	if p["format"] == "ndjson" ||
+		(p["format"] == "" && strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")) {
+		s.streamSweep(w, r, p, cells, horizon)
+		return
+	}
+	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
+		table, err := ComputeSweep(ctx, s.cfg.Engine, cells, horizon)
+		// Per-cell failures ride inside the table (partial progress is
+		// never thrown away); only whole-request failures propagate.
+		var ce *engine.CellError
+		if err != nil && !errors.As(err, &ce) {
+			return nil, err
+		}
+		return table, nil
 	})
 	if err != nil {
 		writeErr(w, computeStatus(err), err)
@@ -523,6 +587,73 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, table)
 }
 
+// streamSweep is the NDJSON path of /v1/sweep: one SweepCell JSON
+// object per line in deterministic grid order, flushed as each cell
+// finishes, with '#'-prefixed heartbeat comments while no row is ready
+// and a final '#' status comment. The rows are byte-identical to the
+// cells of the batch JSON answer for the same grid. The stream runs
+// under the same compute budget and MaxInflight slot accounting as the
+// batch path; cancellation (timeout or client disconnect) stops the
+// engine within one cell evaluation and truncates the stream cleanly.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p map[string]string, cells []engine.Cell, horizon float64) {
+	ctx, cancel, budget, err := s.budgetCtx(r, p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	if err := s.acquireSlot(ctx, budget); err != nil {
+		writeErr(w, computeStatus(err), err)
+		return
+	}
+	defer func() { <-s.sem }()
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	ticker := time.NewTicker(s.cfg.Heartbeat)
+	defer ticker.Stop()
+	stream := s.cfg.Engine.SweepStream(ctx, cells, horizon)
+	emitted := 0
+	for stream != nil {
+		select {
+		case cr, ok := <-stream:
+			if !ok {
+				stream = nil
+				continue
+			}
+			line, err := json.Marshal(SweepCellOf(cr))
+			if err != nil {
+				fmt.Fprintf(w, "# error: %v\n", err)
+				flush()
+				return
+			}
+			w.Write(line)
+			io.WriteString(w, "\n")
+			emitted++
+			flush()
+		case <-ticker.C:
+			io.WriteString(w, "# heartbeat\n")
+			flush()
+		}
+	}
+	if emitted < len(cells) {
+		reason := "cancelled"
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			reason = fmt.Sprintf("timeout after %v", budget)
+		}
+		fmt.Fprintf(w, "# truncated after %d/%d rows: %s\n", emitted, len(cells), reason)
+	} else {
+		fmt.Fprintf(w, "# done rows=%d\n", emitted)
+	}
+	flush()
+}
+
 // computeStatus classifies an error from the compute path.
 func computeStatus(err error) int {
 	switch {
@@ -536,7 +667,8 @@ func computeStatus(err error) int {
 		return 499
 	}
 	var ce *engine.CellError
-	if errors.As(err, &ce) || errors.Is(err, bounds.ErrInvalidParams) || errors.Is(err, errBadParam) {
+	if errors.As(err, &ce) || errors.Is(err, bounds.ErrInvalidParams) ||
+		errors.Is(err, errBadParam) || errors.Is(err, registry.ErrNotVerifiable) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -204,7 +205,10 @@ func TestVerifyBadInput(t *testing.T) {
 type slowJob struct{ d time.Duration }
 
 func (j slowJob) Key() string { return "slow" }
-func (j slowJob) Run() (engine.Result, error) {
+
+// Run deliberately ignores ctx: it models a non-cooperative job, so the
+// timeout tests exercise the abandon-and-finish-detached path.
+func (j slowJob) Run(context.Context) (engine.Result, error) {
 	time.Sleep(j.d)
 	return engine.Result{Value: 1}, nil
 }
@@ -227,7 +231,7 @@ func slowRegistry(t *testing.T) *registry.Registry {
 		Validate:    func(m, k, f int) error { return nil },
 		LowerBound:  func(m, k, f int) (float64, error) { return 1, nil },
 		UpperBound:  func(m, k, f int) (float64, error) { return 1, nil },
-		VerifyJob: func(m, k, f int, h float64) (engine.Job, error) {
+		VerifyJob: func(ctx context.Context, m, k, f int, h float64) (engine.Job, error) {
 			return slowJob{d: 2 * time.Second}, nil
 		},
 	})
@@ -275,7 +279,7 @@ func TestSweepMarkdownMatchesRenderer(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("sweep = %d: %s", code, body)
 	}
-	table, err := ComputeSweep(eng, engine.Grid(2, 4), 20000)
+	table, err := ComputeSweep(context.Background(), eng, engine.Grid(2, 4), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,6 +347,9 @@ func TestMetricsAndCounters(t *testing.T) {
 		`boundsd_requests_total{path="other"} 1`,
 		"boundsd_engine_workers",
 		"boundsd_engine_cache_hits_total",
+		"boundsd_engine_dedup_total",
+		"boundsd_engine_cancelled_runs_total",
+		"boundsd_engine_inflight_jobs",
 		"boundsd_uptime_seconds",
 	} {
 		if !strings.Contains(body, want) {
@@ -404,7 +411,7 @@ func TestFloatJSONRoundTrip(t *testing.T) {
 type panicJob struct{}
 
 func (panicJob) Key() string { return "panic" }
-func (panicJob) Run() (engine.Result, error) {
+func (panicJob) Run(context.Context) (engine.Result, error) {
 	panic("scenario bug")
 }
 
@@ -418,7 +425,7 @@ func TestComputePanicIsA500NotACrash(t *testing.T) {
 		Validate:    func(m, k, f int) error { return nil },
 		LowerBound:  func(m, k, f int) (float64, error) { return 1, nil },
 		UpperBound:  func(m, k, f int) (float64, error) { return 1, nil },
-		VerifyJob: func(m, k, f int, h float64) (engine.Job, error) {
+		VerifyJob: func(ctx context.Context, m, k, f int, h float64) (engine.Job, error) {
 			return panicJob{}, nil
 		},
 	}); err != nil {
@@ -439,21 +446,25 @@ func TestComputePanicIsA500NotACrash(t *testing.T) {
 }
 
 func TestComputeSaturationIsA503(t *testing.T) {
-	// One compute slot, held by an abandoned slow computation: the next
-	// compute request cannot get a slot within its budget -> 503.
-	ts := newTestServer(t, Config{
-		Registry:    slowRegistry(t),
-		Timeout:     10 * time.Second,
-		MaxInflight: 1,
-	})
-	if code, _ := get(t, ts.URL+"/v1/verify?m=2&k=1&f=0&model=slow&timeout_ms=30"); code != http.StatusGatewayTimeout {
-		t.Fatal("expected the slot-holder request to time out first")
-	}
+	// One compute slot, already taken (a request is still waiting on its
+	// computation): the next compute request cannot get a slot within
+	// its budget -> 503. The slot is occupied directly — timed-out
+	// requests no longer hold theirs, because cancellation actually
+	// stops their work.
+	srv := New(Config{Timeout: 10 * time.Second, MaxInflight: 1})
+	srv.sem <- struct{}{}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
 	code, body := get(t, ts.URL+"/v1/verify?m=2&k=3&f=1&timeout_ms=100")
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated verify = %d (want 503): %s", code, body)
 	}
 	if !strings.Contains(body, "in-flight") {
 		t.Errorf("saturation body: %s", body)
+	}
+	// Freeing the slot restores service.
+	<-srv.sem
+	if code, body := get(t, ts.URL+"/v1/verify?m=2&k=3&f=1&horizon=5000"); code != http.StatusOK {
+		t.Errorf("verify after slot freed = %d: %s", code, body)
 	}
 }
