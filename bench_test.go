@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fractional"
 	"repro/internal/numeric"
+	"repro/internal/pfaulty"
 	"repro/internal/potential"
 	"repro/internal/randomized"
 	"repro/internal/strategy"
@@ -608,6 +609,36 @@ func BenchmarkSweepStreamDedup(b *testing.B) {
 	}
 	st := eng.Stats()
 	b.ReportMetric(float64(st.Hits), "cache-hits")
+}
+
+// BenchmarkSimulationJob measures the simulation-verification hot
+// path: one crash SimulationRun (timeline replay, worst over rays) and
+// one p-faulty Monte-Carlo trial batch per iteration, on a fresh
+// engine so every run computes. This is the per-row cost of
+// /v1/simulate and cmd/searchsim -simulate; regressions here trip the
+// cmd/benchdiff gate.
+func BenchmarkSimulationJob(b *testing.B) {
+	base, _, err := pfaulty.OptimalBase(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := []engine.Job{
+		engine.SimulationRun{M: 2, K: 3, F: 1, Dist: 50},
+		engine.PFaultyTrials{Base: base, P: 0.5, X: 50, Samples: 2000, Seed: 7},
+	}
+	var crash, mc float64
+	for i := 0; i < b.N; i++ {
+		results, err := engine.New(0).RunBatch(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crash, mc = results[0].Value, results[1].Value
+		if !(crash >= 1) || !(mc >= 1) {
+			b.Fatalf("implausible simulated ratios: crash %g, pfaulty %g", crash, mc)
+		}
+	}
+	b.ReportMetric(crash, "crash-sim-ratio")
+	b.ReportMetric(mc, "pfaulty-mc-ratio")
 }
 
 // BenchmarkAblationCacheHit measures the engine's memoization: the

@@ -70,9 +70,10 @@ func main() {
 // printScenarios renders the registry listing — the CLI view of what
 // boundsd serves as /v1/scenarios.
 func printScenarios(w io.Writer) error {
-	tb := report.NewTable("Registered scenarios", "name", "upper bound", "verifiable", "description")
+	tb := report.NewTable("Registered scenarios", "name", "upper bound", "verifiable", "simulatable", "description")
 	for _, sc := range registry.Default().All() {
-		tb.AddRow(sc.Name, strconv.FormatBool(sc.HasUpperBound), strconv.FormatBool(sc.Verifiable), sc.Description)
+		tb.AddRow(sc.Name, strconv.FormatBool(sc.HasUpperBound), strconv.FormatBool(sc.Verifiable),
+			strconv.FormatBool(sc.Simulatable), sc.Description)
 	}
 	_, err := fmt.Fprint(w, tb.Markdown())
 	return err

@@ -49,8 +49,8 @@ func TestRunEtas(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, 1, 4, "", 0, 1, "crash"); err == nil {
-		t.Error("m < 2 should fail")
+	if err := run(context.Background(), &sb, 0, 4, "", 0, 1, "crash"); err == nil {
+		t.Error("m < 1 should fail")
 	}
 	if err := run(context.Background(), &sb, 2, 0, "", 0, 1, "crash"); err == nil {
 		t.Error("kmax < 1 should fail")
@@ -118,9 +118,30 @@ func TestPrintScenarios(t *testing.T) {
 	if err := printScenarios(&sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"crash", "byzantine", "probabilistic", "Registered scenarios"} {
+	for _, want := range []string{"crash", "byzantine", "probabilistic", "pfaulty-halfline", "byzantine-line", "simulatable", "Registered scenarios"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("scenario listing missing %q:\n%s", want, sb.String())
 		}
+	}
+}
+
+// TestRunNewModelsThroughRegistry pins the no-hard-coded-switch
+// contract: the two simulation-backed scenarios resolve through the
+// registry and tabulate like any other model.
+func TestRunNewModelsThroughRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, 1, 1, "", 0, 1, "pfaulty-halfline"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `scenario "pfaulty-halfline"`) || !strings.Contains(sb.String(), "8.1045695") {
+		t.Errorf("pfaulty-halfline table missing the geometric-family optimum at p=0.5:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run(context.Background(), &sb, 2, 4, "", 0, 1, "byzantine-line"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `scenario "byzantine-line"`) || !strings.Contains(out, "5.23306947") {
+		t.Errorf("byzantine-line table missing the transfer bound B(3,1):\n%s", out)
 	}
 }

@@ -10,6 +10,8 @@
 //	curl 'localhost:8080/v1/verify?m=2&k=3&f=1&horizon=200000'
 //	curl 'localhost:8080/v1/sweep?m=2&kmax=6&format=markdown'
 //	curl -N -H 'Accept: application/x-ndjson' 'localhost:8080/v1/sweep?m=2&kmax=6'
+//	curl 'localhost:8080/v1/simulate?m=2&k=3&f=1&horizon=50&format=markdown'
+//	curl 'localhost:8080/v1/simulate?model=pfaulty-halfline&m=1&k=1&f=0&p=0.25'
 //	curl localhost:8080/v1/scenarios
 //	curl localhost:8080/metrics
 //

@@ -34,14 +34,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fractional"
+	"repro/internal/pfaulty"
 	"repro/internal/potential"
+	"repro/internal/registry"
 	"repro/internal/report"
 	"repro/internal/server"
 	"repro/internal/strategy"
 )
 
 func main() {
-	only := flag.Int("only", 0, "run a single experiment id (1..12); 0 = all")
+	only := flag.Int("only", 0, "run a single experiment id (1..14); 0 = all")
 	workers := flag.Int("workers", 0, "worker-pool size for the evaluations (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "overall compute budget (0 = none); the engine cancels cooperatively")
 	flag.Parse()
@@ -92,6 +94,8 @@ func run(ctx context.Context, w, progress io.Writer, only, workers int) error {
 		{10, "E10: Trivial regimes", e10},
 		{11, "E11: The bound as a curve in rho", e11},
 		{12, "E12: Applications — contract schedules and hybrid algorithms", e12},
+		{13, "E13: p-Faulty half-line search — geometric-family optimum vs. Monte-Carlo (Bonato et al.)", e13},
+		{14, "E14: Byzantine line search — transfer bound vs. consistency-observer certainty ratio (Czyzowicz et al.)", e14},
 	}
 	for _, ex := range experiments {
 		if only != 0 && ex.id != only {
@@ -530,5 +534,97 @@ func e12(_ context.Context, w io.Writer, _ *exec) error {
 	}
 	fmt.Fprintln(w)
 	_, err := io.WriteString(w, hy.Markdown())
+	return err
+}
+
+// e13 reproduces the p-Faulty half-line model (the "pfaulty-halfline"
+// registry scenario): for a sweep of fault probabilities, the optimal
+// geometric base, the closed-form worst-case expected ratio, and the
+// Monte-Carlo estimate at the probe distance. The trial jobs resolve
+// through the registry's VerifyJob constructor, so each p gets its own
+// derived seed (independent sample paths) exactly as /v1/verify
+// serves them.
+func e13(ctx context.Context, w io.Writer, x *exec) error {
+	const (
+		probeX  = 7.5
+		samples = 4000
+	)
+	sc, err := registry.Get("pfaulty-halfline")
+	if err != nil {
+		return err
+	}
+	ps := []float64{0.1, 0.25, 0.5, 0.75}
+	tb := report.NewTable("", "p", "b* (geometric family)", "worst expected ratio", "closed form at probe", "Monte-Carlo at probe", "rel. gap")
+	var (
+		jobs   []engine.Job
+		bases  []float64
+		worsts []float64
+		closes []float64
+	)
+	for _, p := range ps {
+		base, worst, err := pfaulty.OptimalBase(p)
+		if err != nil {
+			return err
+		}
+		closed, err := pfaulty.ExpectedRatio(base, p, probeX)
+		if err != nil {
+			return err
+		}
+		bases, worsts, closes = append(bases, base), append(worsts, worst), append(closes, closed)
+		job, err := sc.VerifyJob(ctx, registry.Request{M: 1, K: 1, F: 0, P: p, Samples: samples})
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, job)
+	}
+	results, err := x.eng.RunBatch(ctx, jobs)
+	if err != nil {
+		return err
+	}
+	for i, p := range ps {
+		mc := results[i].Value
+		tb.AddRow(
+			report.Fmt(p, 4), report.Fmt(bases[i], 6), report.Fmt(worsts[i], 9),
+			report.Fmt(closes[i], 9), report.Fmt(mc, 9), report.Fmt((mc-closes[i])/closes[i], 2),
+		)
+	}
+	_, err = io.WriteString(w, tb.Markdown())
+	return err
+}
+
+// e14 reproduces the Byzantine line-search table (the "byzantine-line"
+// registry scenario): the transfer lower bound B(k,f) >= A(2,k,f)
+// against the measured consistency-observer certainty ratio, at a
+// probe distance and as the worst over a distance grid.
+func e14(ctx context.Context, w io.Writer, x *exec) error {
+	const (
+		probeDist = 7.5
+		horizon   = 50.0
+		points    = 8
+	)
+	cases := []struct{ k, f int }{{1, 0}, {2, 1}, {3, 1}, {3, 2}}
+	var jobs []engine.Job
+	for _, c := range cases {
+		jobs = append(jobs,
+			engine.ByzantineLineSim{K: c.k, F: c.f, Dist: probeDist},
+			engine.ByzantineLineWorst{K: c.k, F: c.f, Horizon: horizon, Points: points},
+		)
+	}
+	results, err := x.eng.RunBatch(ctx, jobs)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("", "k", "f", "transfer bound A(2,k,f)", "certainty ratio at probe", "worst over grid")
+	for i, c := range cases {
+		transfer, err := bounds.AMKF(2, c.k, c.f)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			strconv.Itoa(c.k), strconv.Itoa(c.f), report.Fmt(transfer, 9),
+			report.Fmt(results[2*i].Value, 9), report.Fmt(results[2*i+1].Value, 9),
+		)
+	}
+	_, err = io.WriteString(w, tb.Markdown())
 	return err
 }

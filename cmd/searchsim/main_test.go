@@ -6,9 +6,14 @@ import (
 	"testing"
 )
 
+// crashOpts returns timeline-mode options for the crash model.
+func crashOpts(m, k, f, ray int, dist, alpha float64, sweep bool) options {
+	return options{model: "crash", m: m, k: k, f: f, ray: ray, dist: dist, alpha: alpha, sweep: sweep}
+}
+
 func TestRunBasicSimulation(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "crash", 2, 3, 1, 1, 5, 0, false); err != nil {
+	if err := run(context.Background(), &sb, crashOpts(2, 3, 1, 1, 5, 0, false)); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -21,7 +26,7 @@ func TestRunBasicSimulation(t *testing.T) {
 
 func TestRunWithSweepAndAlpha(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "crash", 2, 1, 0, 1, 3, 2.5, true); err != nil {
+	if err := run(context.Background(), &sb, crashOpts(2, 1, 0, 1, 3, 2.5, true)); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -35,20 +40,21 @@ func TestRunWithSweepAndAlpha(t *testing.T) {
 
 func TestRunRejectsBadParams(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "crash", 2, 4, 1, 1, 5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, crashOpts(2, 4, 1, 1, 5, 0, false)); err == nil {
 		t.Error("trivial regime should be rejected by the strategy constructor")
 	}
-	if err := run(context.Background(), &sb, "crash", 2, 3, 1, 9, 5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, crashOpts(2, 3, 1, 9, 5, 0, false)); err == nil {
 		t.Error("bad ray should fail")
 	}
-	if err := run(context.Background(), &sb, "crash", 2, 3, 1, 1, 0.5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, crashOpts(2, 3, 1, 1, 0.5, 0, false)); err == nil {
 		t.Error("target below distance 1 should fail")
 	}
 }
 
 func TestRunProbabilisticModel(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "probabilistic", 2, 1, 0, 1, 7.5, 0, false); err != nil {
+	opts := options{model: "probabilistic", m: 2, k: 1, f: 0, dist: 7.5}
+	if err := run(context.Background(), &sb, opts); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -57,18 +63,112 @@ func TestRunProbabilisticModel(t *testing.T) {
 			t.Errorf("probabilistic output missing %q:\n%s", want, out)
 		}
 	}
+	// Regression (seed pinning): the Monte-Carlo seed must derive from
+	// the parameters, not replay the historical hardcoded seed 1.
+	if strings.Contains(out, "seed 1)") {
+		t.Errorf("probabilistic run still uses the pinned seed 1:\n%s", out)
+	}
+	// An explicit -seed must be honored verbatim.
+	sb.Reset()
+	opts.seed = 42
+	if err := run(context.Background(), &sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "seed 42") {
+		t.Errorf("explicit seed not reflected:\n%s", sb.String())
+	}
 	// The stub's scope is enforced through the registry scenario.
-	if err := run(context.Background(), &sb, "probabilistic", 2, 3, 1, 1, 7.5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, options{model: "probabilistic", m: 2, k: 3, f: 1, dist: 7.5}); err == nil {
 		t.Error("probabilistic with k=3 should fail scenario validation")
 	}
 }
 
 func TestRunModelResolution(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "byzantine", 2, 3, 1, 1, 5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, options{model: "byzantine", m: 2, k: 3, f: 1, ray: 1, dist: 5}); err == nil {
 		t.Error("byzantine has no simulator and must be rejected")
 	}
-	if err := run(context.Background(), &sb, "martian", 2, 3, 1, 1, 5, 0, false); err == nil {
+	if err := run(context.Background(), &sb, options{model: "martian", m: 2, k: 3, f: 1, ray: 1, dist: 5}); err == nil {
 		t.Error("unknown scenario must be rejected")
+	}
+	// Simulatable scenarios without a timeline mode point at -simulate.
+	err := run(context.Background(), &sb, options{model: "byzantine-line", m: 2, k: 3, f: 1, ray: 1, dist: 5})
+	if err == nil || !strings.Contains(err.Error(), "-simulate") {
+		t.Errorf("byzantine-line without -simulate should point at the flag, got %v", err)
+	}
+}
+
+// TestRunSimulateCrash drives the registry-resolved simulate mode for
+// the crash model: the table rows must sit at or below the closed-form
+// bound they are printed against.
+func TestRunSimulateCrash(t *testing.T) {
+	var sb strings.Builder
+	opts := options{model: "crash", m: 2, k: 3, f: 1, simulate: true, horizon: 50, points: 4, workers: 1}
+	if err := run(context.Background(), &sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"simulation: crash (m=2 k=3 f=1)", "| dist", "closed form", "simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("simulate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSimulatePFaulty drives the p-faulty half-line model end to
+// end through the CLI.
+func TestRunSimulatePFaulty(t *testing.T) {
+	var sb strings.Builder
+	opts := options{
+		model: "pfaulty-halfline", m: 1, k: 1, f: 0,
+		simulate: true, horizon: 20, points: 3, p: 0.25, samples: 500, workers: 1,
+	}
+	if err := run(context.Background(), &sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "simulation: pfaulty-halfline (m=1 k=1 f=0), p=0.25") {
+		t.Errorf("simulate title missing:\n%s", out)
+	}
+	if err := run(context.Background(), &sb, options{model: "pfaulty-halfline", m: 2, k: 1, f: 0, simulate: true, horizon: 20, points: 3}); err == nil {
+		t.Error("pfaulty-halfline with m=2 must be rejected (half-line model)")
+	}
+}
+
+// TestRunSimulateRejectsNonSimulatable pins the error for scenarios
+// without a SimulateJob.
+func TestRunSimulateRejectsNonSimulatable(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), &sb, options{model: "byzantine", m: 2, k: 3, f: 1, simulate: true, horizon: 20, points: 3})
+	if err == nil || !strings.Contains(err.Error(), "no simulator") {
+		t.Errorf("byzantine -simulate should list simulatable scenarios, got %v", err)
+	}
+}
+
+// TestRunSimulateSurfacesTruncation: a run cancelled mid-grid must
+// report the truncation and exit non-zero, not pass a partial table
+// off as complete.
+func TestRunSimulateSurfacesTruncation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, &sb, options{model: "crash", m: 2, k: 3, f: 1, simulate: true, horizon: 50, points: 4, workers: 1})
+	if err == nil {
+		t.Fatalf("cancelled simulate returned nil error; output:\n%s", sb.String())
+	}
+}
+
+// TestRunProbabilisticEnforcesSampleRange: the timeline mode resolves
+// its trials through the registry, so an out-of-range -samples errors
+// exactly like -simulate and /v1/verify instead of running uncapped.
+func TestRunProbabilisticEnforcesSampleRange(t *testing.T) {
+	var sb strings.Builder
+	opts := options{model: "probabilistic", m: 2, k: 1, f: 0, dist: 7.5, samples: 500000}
+	if err := run(context.Background(), &sb, opts); err == nil {
+		t.Error("samples=500000 must be rejected in timeline mode too")
+	}
+	opts.samples = 5
+	if err := run(context.Background(), &sb, opts); err == nil {
+		t.Error("samples=5 must be rejected in timeline mode too")
 	}
 }

@@ -69,6 +69,14 @@ const (
 	// (Kao–Reif–Tate, reference [21]); currently scoped to m=2, k=1,
 	// f=0, wired to internal/randomized via the registry stub.
 	Probabilistic
+	// PFaultyHalfline selects p-Faulty Search on the half-line (Bonato
+	// et al.): one robot, each pass over the target detected with
+	// probability 1-p, wired to internal/pfaulty via the registry.
+	PFaultyHalfline
+	// ByzantineLine selects the simulation-backed Byzantine line
+	// search (Czyzowicz et al.): consistency-observer confirmation
+	// with silent Byzantine robots, wired to internal/byzantine.
+	ByzantineLine
 )
 
 // String names the fault model; the name is the registry key.
@@ -80,6 +88,10 @@ func (fm FaultModel) String() string {
 		return "byzantine"
 	case Probabilistic:
 		return "probabilistic"
+	case PFaultyHalfline:
+		return "pfaulty-halfline"
+	case ByzantineLine:
+		return "byzantine-line"
 	default:
 		return fmt.Sprintf("FaultModel(%d)", int(fm))
 	}
@@ -90,7 +102,7 @@ func (fm FaultModel) String() string {
 // Problem.Fault. (The CLIs work with registry.Scenario values directly
 // and resolve names via registry.Get.)
 func ModelByName(name string) (FaultModel, error) {
-	for _, fm := range []FaultModel{Crash, Byzantine, Probabilistic} {
+	for _, fm := range []FaultModel{Crash, Byzantine, Probabilistic, PFaultyHalfline, ByzantineLine} {
 		if fm.String() == name {
 			if _, err := registry.Get(name); err != nil {
 				return 0, fmt.Errorf("core: %w", err)
@@ -268,7 +280,7 @@ func (p Problem) VerifyOn(ctx context.Context, e *engine.Engine, horizon float64
 	if err != nil {
 		return engine.Result{}, err
 	}
-	job, err := sc.VerifyJob(ctx, p.M, p.K, p.F, horizon)
+	job, err := sc.VerifyJob(ctx, registry.Request{M: p.M, K: p.K, F: p.F, Horizon: horizon})
 	if err != nil {
 		if errors.Is(err, registry.ErrNotVerifiable) {
 			if regime, rerr := bounds.Classify(p.M, p.K, p.F); rerr == nil && regime != bounds.RegimeSearch {

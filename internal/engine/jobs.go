@@ -24,7 +24,8 @@ func fingerprint(s strategy.Strategy) string {
 }
 
 // Result is the outcome of one Job: a headline scalar, plus the full
-// adversarial evaluation for ratio-style jobs.
+// adversarial evaluation for ratio-style jobs and the effective
+// Monte-Carlo configuration for sampled jobs.
 type Result struct {
 	// Value is the job's headline quantity (a worst-case ratio for the
 	// adversarial jobs, a mean ratio for randomized trials).
@@ -32,6 +33,17 @@ type Result struct {
 	// Eval carries the located supremum for jobs that run the exact
 	// adversary; zero otherwise.
 	Eval adversary.Evaluation
+	// Samples is the Monte-Carlo sample count the job actually used
+	// (0 for deterministic jobs). Callers that derived the count from a
+	// horizon read the effective value back from here.
+	Samples int
+	// Seed is the effective Monte-Carlo seed (0 for deterministic
+	// jobs).
+	Seed int64
+	// Clamped reports that the requested sample count was clamped into
+	// the supported range — the caller asked for more (or fewer)
+	// samples than the job ran.
+	Clamped bool
 }
 
 // Job is one unit of batch work. Implementations must be deterministic:
@@ -127,18 +139,26 @@ type RandomizedTrials struct {
 	X       float64
 	Samples int
 	Seed    int64
+	// Clamped records that Samples was clamped from a larger
+	// horizon-derived request; part of the key because Result carries
+	// it (equal keys must produce equal Results).
+	Clamped bool
 }
 
 // Key implements Job.
 func (j RandomizedTrials) Key() string {
-	return fmt.Sprintf("mc|b=%g|x=%g|n=%d|seed=%d", j.Base, j.X, j.Samples, j.Seed)
+	key := fmt.Sprintf("mc|b=%g|x=%g|n=%d|seed=%d", j.Base, j.X, j.Samples, j.Seed)
+	if j.Clamped {
+		key += "|clamped"
+	}
+	return key
 }
 
 // Run implements Job.
 func (j RandomizedTrials) Run(ctx context.Context) (Result, error) {
 	rng := rand.New(rand.NewSource(j.Seed))
 	v, err := randomized.MonteCarloRatioCtx(ctx, j.Base, j.X, j.Samples, rng)
-	return Result{Value: v}, err
+	return Result{Value: v, Samples: j.Samples, Seed: j.Seed, Clamped: j.Clamped}, err
 }
 
 var (

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countJob is a trivial deterministic job for stream plumbing tests.
+type countJob struct {
+	id   int
+	fail bool
+}
+
+func (j countJob) Key() string { return fmt.Sprintf("count|%d|%v", j.id, j.fail) }
+
+func (j countJob) Run(ctx context.Context) (Result, error) {
+	if j.fail {
+		return Result{}, errors.New("count job failed")
+	}
+	return Result{Value: float64(j.id)}, nil
+}
+
+// TestRunStreamOrder: emission order is input order regardless of the
+// pool size, and every job is delivered exactly once.
+func TestRunStreamOrder(t *testing.T) {
+	const n = 40
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = countJob{id: i}
+	}
+	for _, workers := range []int{1, 4} {
+		got := 0
+		for jr := range New(workers).RunStream(context.Background(), jobs) {
+			if jr.Index != got {
+				t.Fatalf("workers=%d: emitted index %d, want %d", workers, jr.Index, got)
+			}
+			if jr.Result.Value != float64(got) {
+				t.Fatalf("workers=%d: index %d carries value %g", workers, got, jr.Result.Value)
+			}
+			got++
+		}
+		if got != n {
+			t.Fatalf("workers=%d: stream emitted %d of %d jobs", workers, got, n)
+		}
+	}
+}
+
+// TestRunStreamEmitsFailures: a failing job is emitted with Err set
+// and the stream keeps going — job failures never abort the batch.
+func TestRunStreamEmitsFailures(t *testing.T) {
+	jobs := []Job{countJob{id: 0}, countJob{id: 1, fail: true}, countJob{id: 2}}
+	var seen []error
+	for jr := range New(2).RunStream(context.Background(), jobs) {
+		seen = append(seen, jr.Err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("stream emitted %d of 3 jobs", len(seen))
+	}
+	if seen[0] != nil || seen[1] == nil || seen[2] != nil {
+		t.Errorf("failure placement wrong: %v", seen)
+	}
+}
+
+// TestRunStreamEmptyAndCancelled: edge cases close the channel
+// promptly.
+func TestRunStreamEmptyAndCancelled(t *testing.T) {
+	if _, ok := <-New(1).RunStream(context.Background(), nil); ok {
+		t.Error("empty stream emitted a value")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	for range New(1).RunStream(ctx, []Job{countJob{id: 0}, countJob{id: 1}}) {
+		n++
+	}
+	if n != 0 {
+		t.Errorf("pre-cancelled stream emitted %d rows", n)
+	}
+}
+
+// slowCountJob blocks until released, for cancellation-order tests.
+type slowCountJob struct {
+	id      int
+	started *atomic.Int64
+}
+
+func (j slowCountJob) Key() string { return fmt.Sprintf("slowcount|%d", j.id) }
+
+func (j slowCountJob) Run(ctx context.Context) (Result, error) {
+	j.started.Add(1)
+	select {
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case <-time.After(5 * time.Second):
+		return Result{Value: float64(j.id)}, nil
+	}
+}
+
+// TestRunStreamCancellationStopsWorkers: cancelling mid-stream stops
+// claiming jobs, unblocks cooperative in-flight jobs, and closes the
+// channel without emitting cancellation artifacts as results.
+func TestRunStreamCancellationStopsWorkers(t *testing.T) {
+	var started atomic.Int64
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = slowCountJob{id: i, started: &started}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stream := New(2).RunStream(ctx, jobs)
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	n := 0
+	for range stream {
+		n++
+	}
+	if n != 0 {
+		t.Errorf("cancelled stream emitted %d cancellation artifacts as rows", n)
+	}
+	if got := started.Load(); got > 2 {
+		t.Errorf("workers kept claiming after cancel: %d jobs started with 2 workers", got)
+	}
+}
+
+// TestRunStreamSharesCache: streamed jobs go through the same
+// cache/singleflight as Run, so a second pass over the same jobs is
+// served from memory.
+func TestRunStreamSharesCache(t *testing.T) {
+	jobs := []Job{countJob{id: 1}, countJob{id: 2}}
+	eng := New(2)
+	for range eng.RunStream(context.Background(), jobs) {
+	}
+	for range eng.RunStream(context.Background(), jobs) {
+	}
+	if st := eng.Stats(); st.Hits < 2 {
+		t.Errorf("second stream pass did not hit the cache: %+v", st)
+	}
+}

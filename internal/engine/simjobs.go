@@ -1,0 +1,280 @@
+// simjobs.go is the simulation-verification job family: engine Jobs
+// that run the internal/sim, internal/byzantine and internal/pfaulty
+// simulators (via internal/strategy / internal/trajectory) as
+// cacheable, cancellable units of work. They are what
+// registry.Scenario.SimulateJob constructors return, so every
+// registered fault model can be checked against its simulator through
+// the same cache/singleflight/streaming machinery as the closed-form
+// verification jobs.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bounds"
+	"repro/internal/byzantine"
+	"repro/internal/pfaulty"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/trajectory"
+)
+
+// simHorizonFactor returns the trajectory-horizon multiple used by the
+// simulation jobs: generous enough that detection (which happens by
+// ratio ~ lambda0 for the crash model, later for the Byzantine
+// consistency observer) always lands inside the materialized prefix.
+func simHorizonFactor(m, k, f int) (float64, error) {
+	lambda0, err := bounds.AMKF(m, k, f)
+	if err != nil {
+		return 0, err
+	}
+	return 2*lambda0 + 8, nil
+}
+
+// SimulationRun simulates the optimal cyclic exponential strategy for
+// (M, K, F) against a target at distance Dist under the adversarial
+// crash-fault assignment, on every ray, and reports the worst observed
+// competitive ratio — the simulator-backed counterpart of a single
+// VerifyUpper point.
+type SimulationRun struct {
+	M, K, F int
+	Dist    float64
+}
+
+// Key implements Job.
+func (j SimulationRun) Key() string {
+	return fmt.Sprintf("simrun|m=%d|k=%d|f=%d|d=%g", j.M, j.K, j.F, j.Dist)
+}
+
+// Run implements Job.
+func (j SimulationRun) Run(ctx context.Context) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	s, err := strategy.NewCyclicExponential(j.M, j.K, j.F)
+	if err != nil {
+		return Result{}, err
+	}
+	hf, err := simHorizonFactor(j.M, j.K, j.F)
+	if err != nil {
+		return Result{}, err
+	}
+	worst := 0.0
+	for ray := 1; ray <= j.M; ray++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		res, err := sim.Run(sim.Config{
+			Strategy:      s,
+			Faults:        j.F,
+			Target:        trajectory.Point{Ray: ray, Dist: j.Dist},
+			HorizonFactor: hf,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if res.Ratio > worst {
+			worst = res.Ratio
+		}
+	}
+	return Result{Value: worst}, nil
+}
+
+// PFaultyTrials estimates the expected competitive ratio of the
+// geometric half-line strategy under probability-p silent faults
+// (pfaulty.MonteCarloRatio) with an explicit seed, so the job is
+// deterministic and cacheable like RandomizedTrials.
+type PFaultyTrials struct {
+	Base    float64
+	P       float64
+	X       float64
+	Samples int
+	Seed    int64
+	// Clamped records that the sample count was clamped from a larger
+	// horizon-derived request; it is part of the key because Result
+	// carries it (equal keys must produce equal Results).
+	Clamped bool
+}
+
+// Key implements Job.
+func (j PFaultyTrials) Key() string {
+	key := fmt.Sprintf("pfaulty|b=%g|p=%g|x=%g|n=%d|seed=%d", j.Base, j.P, j.X, j.Samples, j.Seed)
+	if j.Clamped {
+		key += "|clamped"
+	}
+	return key
+}
+
+// Run implements Job.
+func (j PFaultyTrials) Run(ctx context.Context) (Result, error) {
+	rng := rand.New(rand.NewSource(j.Seed))
+	v, err := pfaulty.MonteCarloRatioCtx(ctx, j.Base, j.P, j.X, j.Samples, rng)
+	return Result{Value: v, Samples: j.Samples, Seed: j.Seed, Clamped: j.Clamped}, err
+}
+
+// byzantineLineEval carries the per-(k, f) setup — the optimal line
+// strategy (numeric alpha* root finding) and the horizon factor — so
+// worst-over-grid jobs compute it once, not once per distance.
+type byzantineLineEval struct {
+	s  *strategy.CyclicExponential
+	f  int
+	hf float64
+}
+
+// newByzantineLineEval builds the shared setup for (k, f).
+func newByzantineLineEval(k, f int) (*byzantineLineEval, error) {
+	s, err := strategy.NewCyclicExponential(2, k, f)
+	if err != nil {
+		return nil, err
+	}
+	hf, err := simHorizonFactor(2, k, f)
+	if err != nil {
+		return nil, err
+	}
+	return &byzantineLineEval{s: s, f: f, hf: hf}, nil
+}
+
+// ratio measures the consistency-observer detection ratio with the f
+// Byzantine robots playing silent (the adversary's transfer-optimal
+// behavior: the first f distinct visitors of the target stay mute)
+// against a target at distance dist on ray 1. Candidates are the
+// target, its mirror, and a decoy pair at 1.5x the distance — the
+// finite hypothesis set the observer must disambiguate.
+func (e *byzantineLineEval) ratio(ctx context.Context, dist float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	horizon := dist * e.hf
+	trajs, err := strategy.Trajectories(e.s, horizon)
+	if err != nil {
+		return 0, err
+	}
+	target := trajectory.Point{Ray: 1, Dist: dist}
+	type arrival struct {
+		robot int
+		time  float64
+	}
+	var arrivals []arrival
+	for r, tr := range trajs {
+		if t := tr.FirstVisit(target); !math.IsInf(t, 1) {
+			arrivals = append(arrivals, arrival{robot: r, time: t})
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool {
+		if arrivals[i].time != arrivals[j].time {
+			return arrivals[i].time < arrivals[j].time
+		}
+		return arrivals[i].robot < arrivals[j].robot
+	})
+	silent := make(map[int]bool, e.f)
+	for i := 0; i < e.f && i < len(arrivals); i++ {
+		silent[arrivals[i].robot] = true
+	}
+	robots := make([]byzantine.Robot, len(trajs))
+	for r, tr := range trajs {
+		behavior := byzantine.Honest
+		if silent[r] {
+			behavior = byzantine.Silent
+		}
+		robots[r] = byzantine.Robot{Traj: tr, Behavior: behavior}
+	}
+	sc, err := byzantine.NewScenario(robots, target, e.f)
+	if err != nil {
+		return 0, err
+	}
+	candidates := []trajectory.Point{
+		target,
+		{Ray: 2, Dist: dist},
+		{Ray: 1, Dist: dist * 1.5},
+		{Ray: 2, Dist: dist * 1.5},
+	}
+	t, ok := sc.DetectionTime(candidates, horizon)
+	if !ok {
+		return 0, fmt.Errorf("engine: byzantine observer never certain of target at %v within horizon %g", target, horizon)
+	}
+	return t / dist, nil
+}
+
+// ByzantineLineSim runs one Byzantine line-search simulation
+// (Czyzowicz et al., ISAAC 2016 setting): K robots on the line, F of
+// them Byzantine-silent, consistency-based target confirmation. Value
+// is the certainty ratio (confirmation time / distance).
+type ByzantineLineSim struct {
+	K, F int
+	Dist float64
+}
+
+// Key implements Job.
+func (j ByzantineLineSim) Key() string {
+	return fmt.Sprintf("byzline|k=%d|f=%d|d=%g", j.K, j.F, j.Dist)
+}
+
+// Run implements Job.
+func (j ByzantineLineSim) Run(ctx context.Context) (Result, error) {
+	e, err := newByzantineLineEval(j.K, j.F)
+	if err != nil {
+		return Result{}, err
+	}
+	v, err := e.ratio(ctx, j.Dist)
+	return Result{Value: v}, err
+}
+
+// ByzantineLineWorst measures the worst certainty ratio over a
+// deterministic log-spaced grid of Points target distances in
+// [1, Horizon] — the Byzantine line scenario's verifiable headline
+// quantity.
+type ByzantineLineWorst struct {
+	K, F    int
+	Horizon float64
+	Points  int
+}
+
+// Key implements Job.
+func (j ByzantineLineWorst) Key() string {
+	return fmt.Sprintf("byzworst|k=%d|f=%d|h=%g|n=%d", j.K, j.F, j.Horizon, j.Points)
+}
+
+// Run implements Job.
+func (j ByzantineLineWorst) Run(ctx context.Context) (Result, error) {
+	if j.Points < 2 || !(j.Horizon > 1) {
+		return Result{}, fmt.Errorf("%w: byzantine worst needs points >= 2 and horizon > 1, got %d, %g", ErrBadParams, j.Points, j.Horizon)
+	}
+	e, err := newByzantineLineEval(j.K, j.F)
+	if err != nil {
+		return Result{}, err
+	}
+	worst := 0.0
+	for _, d := range LogGrid(j.Horizon, j.Points) {
+		v, err := e.ratio(ctx, d)
+		if err != nil {
+			return Result{}, err
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return Result{Value: worst}, nil
+}
+
+// LogGrid returns n log-spaced distances spanning [1, horizon] — the
+// deterministic target grid shared by the simulate endpoints and the
+// worst-over-grid jobs (d_0 = 1, d_{n-1} = horizon).
+func LogGrid(horizon float64, n int) []float64 {
+	out := make([]float64, n)
+	logH := math.Log(horizon)
+	for i := range out {
+		out[i] = math.Exp(logH * float64(i) / float64(n-1))
+	}
+	return out
+}
+
+var (
+	_ Job = SimulationRun{}
+	_ Job = PFaultyTrials{}
+	_ Job = ByzantineLineSim{}
+	_ Job = ByzantineLineWorst{}
+)

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+)
+
+// TestSimulationRunBelowClosedForm: the simulated worst-over-rays
+// ratio at any single distance never exceeds the closed-form supremum.
+func TestSimulationRunBelowClosedForm(t *testing.T) {
+	eng := New(1)
+	for _, c := range []struct {
+		m, k, f int
+	}{{2, 1, 0}, {2, 3, 1}, {3, 2, 0}} {
+		closed, err := bounds.AMKF(c.m, c.k, c.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []float64{1, 4.2, 19} {
+			res, err := eng.Run(context.Background(), SimulationRun{M: c.m, K: c.k, F: c.f, Dist: d})
+			if err != nil {
+				t.Fatalf("(%d,%d,%d) at %g: %v", c.m, c.k, c.f, d, err)
+			}
+			if !(res.Value >= 1) || res.Value > closed*(1+1e-9) {
+				t.Errorf("(%d,%d,%d) at %g: simulated ratio %g outside [1, %g]", c.m, c.k, c.f, d, res.Value, closed)
+			}
+		}
+	}
+}
+
+func TestSimulationRunKeyAndDeterminism(t *testing.T) {
+	j := SimulationRun{M: 2, K: 3, F: 1, Dist: 7.5}
+	if j.Key() == "" || j.Key() != (SimulationRun{M: 2, K: 3, F: 1, Dist: 7.5}).Key() {
+		t.Errorf("SimulationRun key unstable: %q", j.Key())
+	}
+	a, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Errorf("SimulationRun not deterministic: %g vs %g", a.Value, b.Value)
+	}
+}
+
+func TestPFaultyTrialsMetadata(t *testing.T) {
+	j := PFaultyTrials{Base: 1.8, P: 0.5, X: 5, Samples: 200, Seed: 11, Clamped: true}
+	res, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 200 || res.Seed != 11 || !res.Clamped {
+		t.Errorf("MC metadata not carried through: %+v", res)
+	}
+	// The clamp flag is part of the key: equal keys must mean equal
+	// Results, including metadata.
+	unclamped := PFaultyTrials{Base: 1.8, P: 0.5, X: 5, Samples: 200, Seed: 11}
+	if j.Key() == unclamped.Key() {
+		t.Error("clamped and unclamped jobs share a cache key")
+	}
+}
+
+// TestByzantineLineSim: the consistency observer reaches certainty at
+// a finite, deterministic time on search-regime instances, and the
+// job is cacheable (stable key, repeatable value).
+func TestByzantineLineSim(t *testing.T) {
+	eng := New(1)
+	for _, c := range []struct {
+		k, f int
+	}{{1, 0}, {2, 1}, {3, 1}, {3, 2}} {
+		j := ByzantineLineSim{K: c.k, F: c.f, Dist: 5}
+		res, err := eng.Run(context.Background(), j)
+		if err != nil {
+			t.Fatalf("(k=%d, f=%d): %v", c.k, c.f, err)
+		}
+		if !(res.Value > 0) || math.IsInf(res.Value, 0) {
+			t.Fatalf("(k=%d, f=%d): certainty ratio = %g, want finite positive", c.k, c.f, res.Value)
+		}
+		again, err := j.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Value != res.Value {
+			t.Errorf("(k=%d, f=%d): not deterministic: %g vs %g", c.k, c.f, res.Value, again.Value)
+		}
+	}
+}
+
+func TestByzantineLineWorstDominatesProbe(t *testing.T) {
+	eng := New(1)
+	worst, err := eng.Run(context.Background(), ByzantineLineWorst{K: 3, F: 1, Horizon: 30, Points: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst over the grid dominates every grid point by
+	// construction; spot-check one.
+	probe, err := eng.Run(context.Background(), ByzantineLineSim{K: 3, F: 1, Dist: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Value < probe.Value-1e-9 {
+		t.Errorf("worst over grid %g below a grid point %g", worst.Value, probe.Value)
+	}
+	if _, err := eng.Run(context.Background(), ByzantineLineWorst{K: 3, F: 1, Horizon: 30, Points: 1}); err == nil {
+		t.Error("points < 2 must be rejected")
+	}
+}
+
+func TestByzantineLineSimCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (ByzantineLineWorst{K: 3, F: 1, Horizon: 30, Points: 6}).Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run = %v, want context.Canceled", err)
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	g := LogGrid(100, 5)
+	if len(g) != 5 || g[0] != 1 || math.Abs(g[4]-100) > 1e-9 {
+		t.Fatalf("LogGrid(100, 5) = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("LogGrid not increasing: %v", g)
+		}
+	}
+	// Log-spacing: constant ratio between neighbors.
+	r := g[1] / g[0]
+	for i := 2; i < len(g); i++ {
+		if math.Abs(g[i]/g[i-1]-r) > 1e-9 {
+			t.Fatalf("LogGrid not geometric: %v", g)
+		}
+	}
+}

@@ -7,34 +7,26 @@ import (
 	"sync/atomic"
 )
 
-// SweepStream evaluates the cells on the worker pool and emits each
-// CellResult as soon as it — and every cell before it — has finished.
-// Emission order is always input order: workers publish out-of-order
-// completions into a reorder buffer and a single emitter releases the
-// contiguous prefix, so a consumer printing rows as they arrive
-// produces exactly the bytes of the batch path, just incrementally.
-//
-// Failed cells are emitted like successful ones, with the *CellError in
-// CellResult.Err — a sweep never throws away the progress it has made.
-// Cancelling ctx stops the stream cooperatively: workers stop claiming
-// cells, in-flight evaluations abort at their next cancellation check,
-// and the channel closes after the already-completed contiguous prefix
-// has been delivered. The channel is always closed; consumers must
-// drain it (or cancel ctx) or the emitter goroutine leaks.
-func (e *Engine) SweepStream(ctx context.Context, cells []Cell, horizon float64) <-chan CellResult {
-	out := make(chan CellResult)
-	n := len(cells)
+// streamOrdered is the shared fan-out/reorder core of SweepStream and
+// RunStream: workers claim indexes 0..n-1, eval each, and publish
+// out-of-order completions into a reorder buffer; a single emitter
+// releases the contiguous prefix, so emission order is always input
+// order. eval returning ok=false means "not a result" (the stream was
+// cancelled out from under the evaluation) and stops that worker. The
+// returned channel is always closed; consumers must drain it (or
+// cancel ctx) or the emitter goroutine leaks.
+func streamOrdered[T any](ctx context.Context, workers, n int, eval func(context.Context, int) (T, bool)) <-chan T {
+	out := make(chan T)
 	if n == 0 {
 		close(out)
 		return out
 	}
-	workers := e.workers
 	if workers > n {
 		workers = n
 	}
 	type indexed struct {
 		i int
-		r CellResult
+		v T
 	}
 	results := make(chan indexed, workers)
 	var (
@@ -53,14 +45,12 @@ func (e *Engine) SweepStream(ctx context.Context, cells []Cell, horizon float64)
 				if i >= n {
 					return
 				}
-				r := e.evalCell(ctx, cells[i], horizon)
-				if r.Err != nil && ctx.Err() != nil && errors.Is(r.Err, ctx.Err()) {
-					// The cell did not fail — the stream was cancelled
-					// out from under it. Not a result.
+				v, ok := eval(ctx, i)
+				if !ok {
 					return
 				}
 				select {
-				case results <- indexed{i, r}:
+				case results <- indexed{i, v}:
 				case <-ctx.Done():
 					return
 				}
@@ -73,17 +63,17 @@ func (e *Engine) SweepStream(ctx context.Context, cells []Cell, horizon float64)
 	}()
 	go func() {
 		defer close(out)
-		pending := make(map[int]CellResult, workers)
+		pending := make(map[int]T, workers)
 		emit := 0
 		for item := range results {
-			pending[item.i] = item.r
+			pending[item.i] = item.v
 			for {
-				r, ok := pending[emit]
+				v, ok := pending[emit]
 				if !ok {
 					break
 				}
 				select {
-				case out <- r:
+				case out <- v:
 				case <-ctx.Done():
 					// The consumer is gone; unblock the workers and
 					// discard the tail.
@@ -97,4 +87,61 @@ func (e *Engine) SweepStream(ctx context.Context, cells []Cell, horizon float64)
 		}
 	}()
 	return out
+}
+
+// SweepStream evaluates the cells on the worker pool and emits each
+// CellResult as soon as it — and every cell before it — has finished.
+// Emission order is always input order: workers publish out-of-order
+// completions into a reorder buffer and a single emitter releases the
+// contiguous prefix, so a consumer printing rows as they arrive
+// produces exactly the bytes of the batch path, just incrementally.
+//
+// Failed cells are emitted like successful ones, with the *CellError in
+// CellResult.Err — a sweep never throws away the progress it has made.
+// Cancelling ctx stops the stream cooperatively: workers stop claiming
+// cells, in-flight evaluations abort at their next cancellation check,
+// and the channel closes after the already-completed contiguous prefix
+// has been delivered. The channel is always closed; consumers must
+// drain it (or cancel ctx) or the emitter goroutine leaks.
+func (e *Engine) SweepStream(ctx context.Context, cells []Cell, horizon float64) <-chan CellResult {
+	return streamOrdered(ctx, e.workers, len(cells), func(ctx context.Context, i int) (CellResult, bool) {
+		r := e.evalCell(ctx, cells[i], horizon)
+		if r.Err != nil && ctx.Err() != nil && errors.Is(r.Err, ctx.Err()) {
+			// The cell did not fail — the stream was cancelled out from
+			// under it. Not a result.
+			return CellResult{}, false
+		}
+		return r, true
+	})
+}
+
+// JobResult pairs a job's input index with its engine result — one
+// element of a RunStream.
+type JobResult struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// Result is the job's outcome (zero when Err is non-nil and the
+	// job produced nothing).
+	Result Result
+	// Err is the job's failure, nil on success. Like sweep cells,
+	// failed jobs are emitted rather than aborting the stream.
+	Err error
+}
+
+// RunStream evaluates jobs through the cache on the worker pool and
+// emits each JobResult in input order as soon as it — and every job
+// before it — has finished, sharing the reorder machinery of
+// SweepStream. Failed jobs are emitted with Err set; the stream keeps
+// going. Cancelling ctx stops the stream cooperatively and closes the
+// channel after the completed contiguous prefix. The channel is always
+// closed; consumers must drain it (or cancel ctx).
+func (e *Engine) RunStream(ctx context.Context, jobs []Job) <-chan JobResult {
+	return streamOrdered(ctx, e.workers, len(jobs), func(ctx context.Context, i int) (JobResult, bool) {
+		res, err := e.Run(ctx, jobs[i])
+		if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			// Cancelled out from under the job, not a job failure.
+			return JobResult{}, false
+		}
+		return JobResult{Index: i, Result: res, Err: err}, true
+	})
 }

@@ -1,0 +1,260 @@
+// Package pfaulty implements p-Faulty Search on the half-line (Bonato,
+// Georgiou, MacRury, Prałat — "Probabilistically Faulty Searching on a
+// Half-Line", LATIN 2020), the probabilistic-fault counterpoint to the
+// adversarial crash model of Kupavskii–Welzl: a single unit-speed robot
+// searches the half-line [0, inf) for a target at unknown distance
+// x >= 1, and every pass over the target is detected independently with
+// probability 1-p (the fault probability p is in (0, 1); p = 0 is the
+// trivial walk-out, p = 1 is unsolvable).
+//
+// The strategy family implemented here is the cyclic geometric family
+// the rest of this repository is built on: round i goes from the origin
+// out to b^i and back (an S_1 instance of trajectory.Star). In the
+// idealized infinite-past model (rounds for all integers i, prefix sums
+// telescoping to b^i/(b-1)) a target at x with j = ceil(log_b x) is
+// passed outbound at A_i = 2 b^i/(b-1) + x and inbound at
+// B_i = 2 b^i/(b-1) + 2 b^i - x for every round i >= j, and detection
+// happens at the n-th pass with probability (1-p) p^(n-1). Summing the
+// geometric series gives the expected detection time
+//
+//	E[T] = (1-p) * 2 b^j [ (1+p)/(b-1) + p ] / (1 - p^2 b) + x (1-p)/(1+p),
+//
+// finite exactly when p^2 b < 1 (revisits must outpace the fault decay;
+// for b >= 1/p^2 the expectation diverges — Bonato et al.'s
+// "termination" constraint). The expected competitive ratio E[T]/x
+// depends on x only through gamma = b^j / x in [1, b), so the worst
+// case is the limit x -> (b^(j-1))+ where gamma -> b:
+//
+//	W(b, p) = 2 b (1-p) [ (1+p)/(b-1) + p ] / (1 - p^2 b) + (1-p)/(1+p).
+//
+// W diverges at both ends of (1, 1/p^2) and has a unique interior
+// minimum, located numerically by OptimalBase. The Monte-Carlo
+// simulator cross-checks the closed form over concrete materialized
+// trajectories: visit times come from trajectory.Star (not from the
+// formulas above), and only the detection coin is sampled.
+package pfaulty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+	"repro/internal/trajectory"
+)
+
+// Errors returned by the p-faulty evaluators.
+var (
+	// ErrBadParams is returned for invalid parameters.
+	ErrBadParams = errors.New("pfaulty: invalid parameters")
+	// ErrDiverges is returned when the expected detection time is
+	// infinite (p^2 * b >= 1: the fault decay outpaces the revisits).
+	ErrDiverges = errors.New("pfaulty: expected detection time diverges (need b < 1/p^2)")
+)
+
+// validate checks the common (b, p) domain.
+func validate(b, p float64) error {
+	if !(b > 1) || math.IsInf(b, 0) || math.IsNaN(b) {
+		return fmt.Errorf("%w: base %g (want > 1)", ErrBadParams, b)
+	}
+	if !(p > 0 && p < 1) {
+		return fmt.Errorf("%w: fault probability %g (want 0 < p < 1)", ErrBadParams, p)
+	}
+	if p*p*b >= 1 {
+		return fmt.Errorf("%w: b=%g p=%g", ErrDiverges, b, p)
+	}
+	return nil
+}
+
+// ExpectedRatio returns the closed-form expected competitive ratio of
+// the geometric strategy with base b for a target at distance x > 0,
+// per-pass fault probability p. Unlike the randomized zigzag of
+// internal/randomized, the ratio is NOT flat in x: it is periodic in
+// log_b x through gamma = b^ceil(log_b x)/x.
+func ExpectedRatio(b, p, x float64) (float64, error) {
+	if err := validate(b, p); err != nil {
+		return 0, err
+	}
+	if !(x > 0) || math.IsInf(x, 0) || math.IsNaN(x) {
+		return 0, fmt.Errorf("%w: distance %g (want positive finite)", ErrBadParams, x)
+	}
+	j := math.Ceil(math.Log(x) / math.Log(b))
+	gamma := math.Pow(b, j) / x
+	// Float noise can put gamma a hair outside [1, b); snap it back so
+	// exact powers of b get gamma = 1, not gamma ~ b.
+	if gamma >= b {
+		gamma /= b
+	}
+	if gamma < 1 {
+		gamma *= b
+	}
+	return ratioAtGamma(b, p, gamma), nil
+}
+
+// ratioAtGamma evaluates the ratio at gamma = b^j/x (see package doc).
+func ratioAtGamma(b, p, gamma float64) float64 {
+	return 2*gamma*(1-p)*((1+p)/(b-1)+p)/(1-p*p*b) + (1-p)/(1+p)
+}
+
+// WorstRatio returns the supremum over target distances of the expected
+// competitive ratio: the gamma -> b limit of ExpectedRatio.
+func WorstRatio(b, p float64) (float64, error) {
+	if err := validate(b, p); err != nil {
+		return 0, err
+	}
+	return ratioAtGamma(b, p, b), nil
+}
+
+// OptimalBase returns the base minimizing WorstRatio over the feasible
+// interval (1, 1/p^2), and the minimal worst-case expected ratio. The
+// objective diverges at both endpoints and is unimodal in between.
+func OptimalBase(p float64) (base, ratio float64, err error) {
+	if !(p > 0 && p < 1) {
+		return 0, 0, fmt.Errorf("%w: fault probability %g (want 0 < p < 1)", ErrBadParams, p)
+	}
+	hi := 1 / (p * p)
+	// Stay strictly inside the feasible interval: the objective is +Inf
+	// outside and golden-section needs finite values at the probes.
+	lo := 1 + 1e-9*(hi-1)
+	hi -= 1e-9 * (hi - 1)
+	f := func(b float64) float64 {
+		v, ferr := WorstRatio(b, p)
+		if ferr != nil {
+			return math.Inf(1)
+		}
+		return v
+	}
+	base, err = numeric.GoldenSection(f, lo, hi, 1e-12, 400)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pfaulty: %w", err)
+	}
+	ratio, err = WorstRatio(base, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, ratio, nil
+}
+
+// maxRounds caps the materialized trajectory length, guarding against
+// pathological (b, p) combinations.
+const maxRounds = 1 << 16
+
+// Trajectory materializes the geometric half-line strategy as an S_1
+// star trajectory with enough rounds that a target at distance <= x is
+// passed at least `visits` times. The earliest rounds start at
+// b^iMin ~ 1e-16 so the finite-past prefix sums agree with the
+// idealized closed form to float64 precision.
+func Trajectory(b, x float64, visits int) (*trajectory.Star, error) {
+	if !(b > 1) || math.IsInf(b, 0) || math.IsNaN(b) {
+		return nil, fmt.Errorf("%w: base %g", ErrBadParams, b)
+	}
+	if !(x >= 1) || math.IsInf(x, 0) {
+		return nil, fmt.Errorf("%w: distance %g (want >= 1)", ErrBadParams, x)
+	}
+	if visits < 1 {
+		return nil, fmt.Errorf("%w: %d visits", ErrBadParams, visits)
+	}
+	logB := math.Log(b)
+	iMin := int(math.Floor(-16 * math.Ln10 / logB))
+	// Round j = ceil(log_b x) is the first to reach x; each later round
+	// adds two passes (out and back).
+	j := int(math.Ceil(math.Log(x) / logB))
+	iMax := j + visits/2 + 1
+	if iMax-iMin+1 > maxRounds {
+		return nil, fmt.Errorf("%w: %d rounds for b=%g x=%g visits=%d", ErrBadParams, iMax-iMin+1, b, x, visits)
+	}
+	rounds := make([]trajectory.Round, 0, iMax-iMin+1)
+	for i := iMin; i <= iMax; i++ {
+		rounds = append(rounds, trajectory.Round{Ray: 1, Turn: math.Pow(b, float64(i))})
+	}
+	return trajectory.NewStar(1, rounds)
+}
+
+// tailProb bounds the probability mass allowed beyond the materialized
+// passes: enough visits are generated that missing all of them has
+// probability below this, so truncation cannot bias the estimate at
+// float64-visible scales.
+const tailProb = 1e-12
+
+// visitsFor returns how many passes must be materialized so that
+// p^visits < tailProb.
+func visitsFor(p float64) int {
+	v := int(math.Ceil(math.Log(tailProb) / math.Log(p)))
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// passTimes returns the detection opportunities for a target at
+// distance x, in time order: an outbound and an inbound pass for every
+// round reaching past x. A round turning exactly at x touches the
+// target once in time but still counts as two opportunities (at the
+// same instant) — the limit convention of the closed form, which is
+// continuous in x; without it, targets on the turning lattice (d = 1
+// = b^0 in particular) would sit on a measure-zero discontinuity the
+// Monte-Carlo check could never match.
+func passTimes(star *trajectory.Star, x float64) []float64 {
+	var times []float64
+	for i := 0; i < star.NumRounds(); i++ {
+		r := star.RoundAt(i)
+		if r.Turn < x {
+			continue
+		}
+		start := 2 * star.PrefixSum(i)
+		times = append(times, start+x, start+2*r.Turn-x)
+	}
+	return times
+}
+
+// MonteCarloRatio estimates the expected competitive ratio for a target
+// at distance x by simulating the per-pass detection coin over the
+// materialized trajectory (see passTimes for the tangency convention).
+// The caller supplies the rng for reproducibility (the engine job
+// seeds it deterministically).
+func MonteCarloRatio(b, p, x float64, samples int, rng *rand.Rand) (float64, error) {
+	return MonteCarloRatioCtx(context.Background(), b, p, x, samples, rng)
+}
+
+// MonteCarloRatioCtx is MonteCarloRatio under a context: the sample
+// loop checks ctx every 64 samples. Cancellation does not disturb
+// determinism — a run that completes consumes exactly the same rng
+// stream regardless of ctx.
+func MonteCarloRatioCtx(ctx context.Context, b, p, x float64, samples int, rng *rand.Rand) (float64, error) {
+	if err := validate(b, p); err != nil {
+		return 0, err
+	}
+	if !(x >= 1) || samples < 1 || rng == nil {
+		return 0, fmt.Errorf("%w: x %g, samples %d", ErrBadParams, x, samples)
+	}
+	star, err := Trajectory(b, x, visitsFor(p))
+	if err != nil {
+		return 0, err
+	}
+	visits := passTimes(star, x)
+	if len(visits) == 0 {
+		return 0, fmt.Errorf("pfaulty: trajectory never reaches %g", x)
+	}
+	logP := math.Log(p)
+	var acc numeric.Kahan
+	for s := 0; s < samples; s++ {
+		if s%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		// The detecting pass is geometric on {1, 2, ...} with success
+		// probability 1-p; inverse-transform sampling keeps the rng
+		// consumption at one draw per sample.
+		n := 1 + int(math.Log(1-rng.Float64())/logP)
+		if n > len(visits) {
+			// p^len(visits) < tailProb: astronomically unlikely, but
+			// truncating to the last pass would bias the mean down.
+			return 0, fmt.Errorf("pfaulty: sample needed pass %d of %d materialized (p too close to 1 for the horizon)", n, len(visits))
+		}
+		acc.Add(visits[n-1] / x)
+	}
+	return acc.Value() / float64(samples), nil
+}

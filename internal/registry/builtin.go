@@ -9,11 +9,14 @@ import (
 	"repro/internal/randomized"
 )
 
-// registerBuiltins installs the paper's fault models into r.
+// registerBuiltins installs the paper's fault models and the two
+// simulation-backed neighbor models (PAPERS.md) into r.
 func registerBuiltins(r *Registry) {
 	r.MustRegister(crashScenario())
 	r.MustRegister(byzantineScenario())
 	r.MustRegister(probabilisticScenario())
+	r.MustRegister(pfaultyHalflineScenario())
+	r.MustRegister(byzantineLineScenario())
 }
 
 // baseParams is the (m, k, f) schema shared by the ray-search models.
@@ -28,7 +31,9 @@ func baseParams() []Param {
 // crashScenario is Theorems 1/6 of Kupavskii–Welzl: crash-faulty robots
 // stay silent at the target; the bound A(m,k,f) = 2*mu(m(f+1),k)+1 is
 // tight, and the upper bound is executable (exact adversarial
-// evaluation of the optimal cyclic exponential strategy).
+// evaluation of the optimal cyclic exponential strategy). The simulate
+// job replays the internal/sim event timeline at one target distance
+// and reports the worst ratio over the rays.
 func crashScenario() Scenario {
 	return Scenario{
 		Name:          "crash",
@@ -42,23 +47,39 @@ func crashScenario() Scenario {
 		},
 		LowerBound: bounds.AMKF,
 		UpperBound: bounds.AMKF,
-		VerifyJob: func(ctx context.Context, m, k, f int, horizon float64) (engine.Job, error) {
-			regime, err := bounds.Classify(m, k, f)
-			if err != nil {
+		VerifyJob: func(ctx context.Context, req Request) (engine.Job, error) {
+			if err := requireSearchRegime(req, "crash verification"); err != nil {
 				return nil, err
 			}
-			if regime != bounds.RegimeSearch {
-				return nil, fmt.Errorf("%w: crash verification needs the search regime f < k < m(f+1), got %v", ErrNotVerifiable, regime)
+			return engine.VerifyUpper{M: req.M, K: req.K, F: req.F, Horizon: req.Horizon}, nil
+		},
+		SimulateJob: func(ctx context.Context, req Request) (engine.Job, error) {
+			if err := requireSearchRegime(req, "crash simulation"); err != nil {
+				return nil, err
 			}
-			return engine.VerifyUpper{M: m, K: k, F: f, Horizon: horizon}, nil
+			return engine.SimulationRun{M: req.M, K: req.K, F: req.F, Dist: req.Dist}, nil
 		},
 	}
+}
+
+// requireSearchRegime rejects triples outside f < k < m(f+1), where the
+// cyclic exponential strategy (the object under measurement) exists.
+func requireSearchRegime(req Request, what string) error {
+	regime, err := bounds.Classify(req.M, req.K, req.F)
+	if err != nil {
+		return err
+	}
+	if regime != bounds.RegimeSearch {
+		return fmt.Errorf("%w: %s needs the search regime f < k < m(f+1), got %v", ErrNotVerifiable, what, regime)
+	}
+	return nil
 }
 
 // byzantineScenario is the transfer setting of reference [13]
 // (Czyzowicz et al., ISAAC 2016): faulty robots may stay silent or lie.
 // Silence is legal Byzantine behavior, so every crash lower bound
-// transfers: B(k,f) >= A(k,f). No matching upper bound is known.
+// transfers: B(k,f) >= A(k,f). No matching upper bound is known; the
+// simulation-backed variant is the "byzantine-line" scenario.
 func byzantineScenario() Scenario {
 	return Scenario{
 		Name:          "byzantine",
@@ -74,23 +95,10 @@ func byzantineScenario() Scenario {
 		UpperBound: func(m, k, f int) (float64, error) {
 			return 0, ErrNoUpperBound
 		},
-		VerifyJob: func(ctx context.Context, m, k, f int, horizon float64) (engine.Job, error) {
-			return nil, fmt.Errorf("%w: only the transfer lower bound is known for Byzantine faults", ErrNotVerifiable)
+		VerifyJob: func(ctx context.Context, req Request) (engine.Job, error) {
+			return nil, fmt.Errorf("%w: only the transfer lower bound is known for Byzantine faults (the byzantine-line scenario carries the simulator)", ErrNotVerifiable)
 		},
 	}
-}
-
-// probabilisticSamples derives the Monte-Carlo sample count from the
-// caller's horizon, clamped so the job stays cheap and deterministic.
-func probabilisticSamples(horizon float64) int {
-	n := int(horizon)
-	if n < 16 {
-		n = 16
-	}
-	if n > 20000 {
-		n = 20000
-	}
-	return n
 }
 
 // probabilisticProbeX is the fixed target distance of the verification
@@ -102,13 +110,15 @@ const probabilisticProbeX = 7.5
 // probabilisticScenario is the randomized line-search counterpoint
 // (Kao–Reif–Tate, reference [21]): one fault-free robot with a random
 // geometric zigzag achieves expected ratio ~4.5911, below every
-// deterministic bound. Currently a stub scoped to (m=2, k=1, f=0),
-// wired to internal/randomized; the p-Faulty half-line search of
-// Bonato et al. is the natural extension slot.
+// deterministic bound. Scoped to (m=2, k=1, f=0) and wired to
+// internal/randomized; the p-Faulty half-line search of Bonato et al.
+// is the "pfaulty-halfline" scenario. The verification seed derives
+// from (m, k, f, samples) via DeriveSeed — distinct requests explore
+// distinct sample paths — and req.Seed overrides it.
 func probabilisticScenario() Scenario {
 	return Scenario{
 		Name:          "probabilistic",
-		Description:   "randomized zigzag line search, expected ratio 1+(1+b*)/ln b* ~ 4.5911 (Kao–Reif–Tate); stub scoped to m=2, k=1, f=0",
+		Description:   "randomized zigzag line search, expected ratio 1+(1+b*)/ln b* ~ 4.5911 (Kao–Reif–Tate); scoped to m=2, k=1, f=0",
 		Params:        baseParams(),
 		HasUpperBound: true,
 		Verifiable:    true,
@@ -129,22 +139,36 @@ func probabilisticScenario() Scenario {
 			_, ratio, err := randomized.OptimalBase()
 			return ratio, err
 		},
-		VerifyJob: func(ctx context.Context, m, k, f int, horizon float64) (engine.Job, error) {
-			if err := validateProbabilistic(m, k, f); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrNotVerifiable, err)
-			}
-			base, _, err := randomized.OptimalBase()
-			if err != nil {
-				return nil, err
-			}
-			return engine.RandomizedTrials{
-				Base:    base,
-				X:       probabilisticProbeX,
-				Samples: probabilisticSamples(horizon),
-				Seed:    1,
-			}, nil
+		VerifyJob: func(ctx context.Context, req Request) (engine.Job, error) {
+			return probabilisticTrials(req, probabilisticProbeX)
+		},
+		SimulateJob: func(ctx context.Context, req Request) (engine.Job, error) {
+			return probabilisticTrials(req, req.Dist)
 		},
 	}
+}
+
+// probabilisticTrials builds the seeded Monte-Carlo job for the
+// randomized zigzag at the probe distance x.
+func probabilisticTrials(req Request, x float64) (engine.Job, error) {
+	if err := validateProbabilistic(req.M, req.K, req.F); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotVerifiable, err)
+	}
+	base, _, err := randomized.OptimalBase()
+	if err != nil {
+		return nil, err
+	}
+	samples, clamped, seed, err := resolveTrials(req)
+	if err != nil {
+		return nil, err
+	}
+	return engine.RandomizedTrials{
+		Base:    base,
+		X:       x,
+		Samples: samples,
+		Seed:    seed,
+		Clamped: clamped,
+	}, nil
 }
 
 func validateProbabilistic(m, k, f int) error {

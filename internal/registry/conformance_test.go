@@ -1,0 +1,115 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bounds"
+)
+
+// validTriples scans a small parameter box for triples the scenario's
+// Validate accepts.
+func validTriples(sc Scenario) [][3]int {
+	var out [][3]int
+	for m := 1; m <= 4; m++ {
+		for k := 1; k <= 4; k++ {
+			for f := 0; f <= 3; f++ {
+				if sc.Validate(m, k, f) == nil {
+					out = append(out, [3]int{m, k, f})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestConformance is the registry-wide round-trip contract: every
+// registered scenario is self-describing, validates at least one
+// triple in the small box, returns consistent bounds wherever both
+// exist, and its advertised capabilities (Verifiable, Simulatable)
+// are backed by constructors that succeed on at least one valid
+// triple.
+func TestConformance(t *testing.T) {
+	ctx := context.Background()
+	scenarios := Default().All()
+	if len(scenarios) == 0 {
+		t.Fatal("default registry is empty")
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if sc.Description == "" {
+				t.Error("missing description")
+			}
+			if len(sc.Params) == 0 {
+				t.Error("missing parameter schema")
+			}
+			for _, p := range sc.Params {
+				if p.Name == "" || p.Doc == "" || (p.Kind != KindInt && p.Kind != KindFloat) {
+					t.Errorf("malformed param %+v", p)
+				}
+			}
+			if sc.Simulatable != (sc.SimulateJob != nil) {
+				t.Errorf("Simulatable = %v but SimulateJob nil-ness says %v", sc.Simulatable, sc.SimulateJob != nil)
+			}
+			triples := validTriples(sc)
+			if len(triples) == 0 {
+				t.Fatal("no valid triple in the scan box m<=4, k<=4, f<=3")
+			}
+			var verified, simulated bool
+			for _, tr := range triples {
+				m, k, f := tr[0], tr[1], tr[2]
+				lower, lerr := sc.LowerBound(m, k, f)
+				if lerr != nil {
+					// The unsolvable regime (f >= k) validates — it is a
+					// legitimate classification — but has no finite bound.
+					if !errors.Is(lerr, bounds.ErrUnsolvable) {
+						t.Errorf("LowerBound(%d,%d,%d) on a validated triple: %v", m, k, f, lerr)
+					}
+					continue
+				}
+				if sc.HasUpperBound {
+					if upper, uerr := sc.UpperBound(m, k, f); uerr == nil && upper < lower-1e-9 {
+						t.Errorf("UpperBound(%d,%d,%d) = %g below LowerBound %g", m, k, f, upper, lower)
+					}
+				} else {
+					if _, uerr := sc.UpperBound(m, k, f); !errors.Is(uerr, ErrNoUpperBound) {
+						t.Errorf("UpperBound(%d,%d,%d) without HasUpperBound: %v", m, k, f, uerr)
+					}
+				}
+				req := Request{M: m, K: k, F: f, Horizon: 1000}
+				if job, err := sc.VerifyJob(ctx, req); err == nil {
+					verified = true
+					if !sc.Verifiable {
+						t.Errorf("VerifyJob(%d,%d,%d) succeeded but Verifiable is false", m, k, f)
+					}
+					if job == nil {
+						t.Errorf("VerifyJob(%d,%d,%d) returned a nil job without error", m, k, f)
+					}
+				}
+				if sc.SimulateJob != nil {
+					simReq := req
+					simReq.Dist = 5
+					if job, err := sc.SimulateJob(ctx, simReq); err == nil {
+						simulated = true
+						if job == nil {
+							t.Errorf("SimulateJob(%d,%d,%d) returned a nil job without error", m, k, f)
+						}
+					}
+				}
+				if sc.ClosedForm != nil {
+					if _, err := sc.ClosedForm(req); err != nil {
+						t.Errorf("ClosedForm(%d,%d,%d): %v", m, k, f, err)
+					}
+				}
+			}
+			if sc.Verifiable && !verified {
+				t.Error("Verifiable scenario has no verifiable triple in the scan box")
+			}
+			if sc.Simulatable && !simulated {
+				t.Error("Simulatable scenario has no simulatable triple in the scan box")
+			}
+		})
+	}
+}

@@ -10,8 +10,9 @@
 // /v1/scenarios.
 //
 // The package-level Default registry carries the built-in scenarios
-// ("crash", "byzantine", "probabilistic"); isolated registries can be
-// constructed for tests or embedding.
+// ("crash", "byzantine", "probabilistic", "pfaulty-halfline",
+// "byzantine-line"); isolated registries can be constructed for tests
+// or embedding.
 package registry
 
 import (
@@ -58,6 +59,35 @@ type Param struct {
 	Name string    `json:"name"`
 	Kind ParamKind `json:"kind"`
 	Doc  string    `json:"doc"`
+	// Default is the value an unset request resolves to, for optional
+	// float parameters (0 = no default / required). It is what lets
+	// generic consumers report the effective configuration instead of
+	// the raw request.
+	Default float64 `json:"default,omitempty"`
+}
+
+// ParamNamed returns the scenario's parameter with the given name.
+func (s Scenario) ParamNamed(name string) (Param, bool) {
+	for _, p := range s.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// EffectiveP resolves the request's effective fault probability under
+// this scenario: the explicit req.P, else the declared default of the
+// scenario's "p" parameter, else 0 (the scenario takes no p).
+func (s Scenario) EffectiveP(req Request) float64 {
+	p, ok := s.ParamNamed("p")
+	if !ok {
+		return 0
+	}
+	if req.P != 0 {
+		return req.P
+	}
+	return p.Default
 }
 
 // Scenario is one named fault model: its parameter schema, its bound
@@ -74,6 +104,9 @@ type Scenario struct {
 	HasUpperBound bool `json:"has_upper_bound"`
 	// Verifiable reports whether VerifyJob can ever succeed.
 	Verifiable bool `json:"verifiable"`
+	// Simulatable reports whether the scenario has a simulator
+	// (SimulateJob non-nil); Register fills it in.
+	Simulatable bool `json:"simulatable"`
 
 	// Validate checks an (m, k, f) triple under this fault model.
 	Validate func(m, k, f int) error `json:"-"`
@@ -85,12 +118,23 @@ type Scenario struct {
 	// error wrapping ErrNoUpperBound.
 	UpperBound func(m, k, f int) (float64, error) `json:"-"`
 	// VerifyJob constructs the deterministic engine job measuring the
-	// scenario's verifiable headline quantity at the horizon, or an
+	// scenario's verifiable headline quantity for the request, or an
 	// error wrapping ErrNotVerifiable. ctx is the caller's request
 	// context: constructors doing nontrivial work (root finding,
 	// strategy materialization) should respect it, and the job it
 	// returns receives a context again at Run time from the engine.
-	VerifyJob func(ctx context.Context, m, k, f int, horizon float64) (engine.Job, error) `json:"-"`
+	VerifyJob func(ctx context.Context, req Request) (engine.Job, error) `json:"-"`
+	// SimulateJob constructs the engine job that runs the scenario's
+	// simulator against one target (req.Dist) — the simulation
+	// verification layer's per-row unit of work. nil when the scenario
+	// has no simulator.
+	SimulateJob func(ctx context.Context, req Request) (engine.Job, error) `json:"-"`
+	// ClosedForm returns the closed-form reference value the verify
+	// and simulate jobs are measured against at this request. nil
+	// defaults to LowerBound(m, k, f); scenarios whose reference
+	// depends on request fields beyond the triple (the p-faulty model's
+	// fault probability and target distance) override it.
+	ClosedForm func(req Request) (float64, error) `json:"-"`
 }
 
 // Registry is a concurrency-safe name -> Scenario table.
@@ -115,6 +159,7 @@ func (r *Registry) Register(s Scenario) error {
 	if s.Validate == nil || s.LowerBound == nil || s.UpperBound == nil || s.VerifyJob == nil {
 		return fmt.Errorf("%w: scenario %q must define Validate, LowerBound, UpperBound and VerifyJob", ErrInvalidScenario, s.Name)
 	}
+	s.Simulatable = s.SimulateJob != nil
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.scenarios[s.Name]; ok {
@@ -158,6 +203,22 @@ func (r *Registry) namesLocked() []string {
 	return names
 }
 
+// SimulatableNames returns the names of the scenarios with a
+// simulator, sorted — the list the CLIs and the server print when a
+// request names a scenario without one.
+func (r *Registry) SimulatableNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.scenarios))
+	for name, sc := range r.scenarios {
+		if sc.Simulatable {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // All returns every scenario in name order.
 func (r *Registry) All() []Scenario {
 	r.mu.RLock()
@@ -185,3 +246,6 @@ func Get(name string) (Scenario, error) { return defaultRegistry.Get(name) }
 
 // Names lists the default registry.
 func Names() []string { return defaultRegistry.Names() }
+
+// SimulatableNames lists the default registry's simulatable scenarios.
+func SimulatableNames() []string { return defaultRegistry.SimulatableNames() }

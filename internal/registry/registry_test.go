@@ -12,7 +12,7 @@ import (
 )
 
 func TestDefaultHasBuiltins(t *testing.T) {
-	want := []string{"byzantine", "crash", "probabilistic"}
+	want := []string{"byzantine", "byzantine-line", "crash", "pfaulty-halfline", "probabilistic"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -45,7 +45,7 @@ func TestRegisterValidation(t *testing.T) {
 		Validate:   func(m, k, f int) error { return nil },
 		LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
 		UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
-		VerifyJob:  func(ctx context.Context, m, k, f int, h float64) (engine.Job, error) { return nil, ErrNotVerifiable },
+		VerifyJob:  func(ctx context.Context, req Request) (engine.Job, error) { return nil, ErrNotVerifiable },
 	}
 	if err := r.Register(ok); err != nil {
 		t.Fatal(err)
@@ -75,7 +75,7 @@ func TestCrashScenarioMatchesBounds(t *testing.T) {
 	if err != nil || ub != want {
 		t.Errorf("crash upper bound = (%g, %v), want tight %g", ub, err, want)
 	}
-	job, err := sc.VerifyJob(context.Background(), 2, 3, 1, 1e4)
+	job, err := sc.VerifyJob(context.Background(), Request{M: 2, K: 3, F: 1, Horizon: 1e4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestCrashScenarioMatchesBounds(t *testing.T) {
 		t.Errorf("verify job measured %g vs closed form %g (rel %g)", res.Value, want, rel)
 	}
 	// Outside the search regime verification is refused.
-	if _, err := sc.VerifyJob(context.Background(), 2, 4, 1, 1e4); !errors.Is(err, ErrNotVerifiable) {
+	if _, err := sc.VerifyJob(context.Background(), Request{M: 2, K: 4, F: 1, Horizon: 1e4}); !errors.Is(err, ErrNotVerifiable) {
 		t.Errorf("trivial-regime verify = %v, want ErrNotVerifiable", err)
 	}
 }
@@ -108,7 +108,7 @@ func TestByzantineScenario(t *testing.T) {
 	if _, err := sc.UpperBound(2, 3, 1); !errors.Is(err, ErrNoUpperBound) {
 		t.Errorf("byzantine upper bound = %v, want ErrNoUpperBound", err)
 	}
-	if _, err := sc.VerifyJob(context.Background(), 2, 3, 1, 1e4); !errors.Is(err, ErrNotVerifiable) {
+	if _, err := sc.VerifyJob(context.Background(), Request{M: 2, K: 3, F: 1, Horizon: 1e4}); !errors.Is(err, ErrNotVerifiable) {
 		t.Errorf("byzantine verify = %v, want ErrNotVerifiable", err)
 	}
 	if sc.HasUpperBound || sc.Verifiable {
@@ -131,7 +131,7 @@ func TestProbabilisticScenario(t *testing.T) {
 	if _, err := sc.LowerBound(2, 3, 1); err == nil {
 		t.Error("probabilistic stub must reject k > 1")
 	}
-	job, err := sc.VerifyJob(context.Background(), 2, 1, 0, 4000)
+	job, err := sc.VerifyJob(context.Background(), Request{M: 2, K: 1, F: 0, Horizon: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestProbabilisticScenario(t *testing.T) {
 		t.Errorf("Monte-Carlo estimate %g far from closed form %g", res.Value, lb)
 	}
 	// Same horizon => same job key (deterministic, cacheable).
-	j2, _ := sc.VerifyJob(context.Background(), 2, 1, 0, 4000)
+	j2, _ := sc.VerifyJob(context.Background(), Request{M: 2, K: 1, F: 0, Horizon: 4000})
 	if job.Key() == "" || job.Key() != j2.Key() {
 		t.Errorf("probabilistic verify jobs not cache-stable: %q vs %q", job.Key(), j2.Key())
 	}
@@ -162,7 +162,7 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 					Validate:   func(m, k, f int) error { return nil },
 					LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
 					UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
-					VerifyJob:  func(ctx context.Context, m, k, f int, h float64) (engine.Job, error) { return nil, ErrNotVerifiable },
+					VerifyJob:  func(ctx context.Context, req Request) (engine.Job, error) { return nil, ErrNotVerifiable },
 				})
 				r.Names()
 				r.Get(string(rune('a' + g)))

@@ -1,0 +1,123 @@
+// request.go defines the job-construction request shared by every
+// scenario's VerifyJob and SimulateJob constructor, and the
+// deterministic Monte-Carlo derivations (sample count from the
+// horizon, seed from the parameters) that keep sampled jobs cacheable
+// without replaying one pinned sample path forever.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// ErrInvalidRequest is returned when a request carries out-of-range
+// overrides (e.g. a sample count beyond MaxSamples).
+var ErrInvalidRequest = errors.New("registry: invalid request")
+
+// Request carries the knobs of a verify/simulate job construction. The
+// zero value of every optional field means "derive": constructors
+// resolve Seed via DeriveSeed, Samples via MonteCarloSamples, and P via
+// the scenario's documented default.
+type Request struct {
+	// M, K, F is the parameter triple under the scenario's fault model.
+	M, K, F int
+	// Horizon is the evaluation horizon: the sup-ratio search range for
+	// adversarial jobs, the sample-count source for Monte-Carlo jobs,
+	// the distance-grid upper end for worst-over-grid jobs.
+	Horizon float64
+	// Dist is the target distance of a single simulate row (SimulateJob
+	// only; VerifyJob constructors ignore it).
+	Dist float64
+	// P overrides the per-visit fault probability for probabilistic
+	// fault models (0 = the scenario's default).
+	P float64
+	// Seed overrides the Monte-Carlo seed (0 = DeriveSeed).
+	Seed int64
+	// Samples overrides the horizon-derived Monte-Carlo sample count
+	// (0 = MonteCarloSamples(Horizon)).
+	Samples int
+}
+
+// Monte-Carlo sample-count bounds. A horizon-derived count is clamped
+// into [MinSamples, MaxSamples]; an explicit override must already lie
+// in the range (it errors instead of clamping silently).
+const (
+	MinSamples = 16
+	MaxSamples = 20000
+)
+
+// MonteCarloSamples derives a Monte-Carlo sample count from an
+// evaluation horizon — one sample per horizon unit, clamped into
+// [MinSamples, MaxSamples] — and reports whether clamping applied, so
+// callers can surface the effective count instead of silently running
+// fewer samples than the horizon suggested.
+func MonteCarloSamples(horizon float64) (n int, clamped bool) {
+	n = int(horizon)
+	if n < MinSamples {
+		return MinSamples, n != MinSamples
+	}
+	if n > MaxSamples {
+		return MaxSamples, true
+	}
+	return n, false
+}
+
+// DeriveSeed returns the deterministic Monte-Carlo seed for a
+// (m, k, f, samples) request: FNV-1a over the decimal tuple, folded to
+// a positive int64 (never 0, which Request reserves for "derive").
+// The derivation is part of the public contract — it is what makes
+// verification runs at different parameters explore different sample
+// paths while keeping engine cache keys stable across identical
+// requests.
+func DeriveSeed(m, k, f, samples int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d", m, k, f, samples)
+	seed := int64(h.Sum64() & (1<<63 - 1))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// resolveTrials resolves a request's effective Monte-Carlo
+// configuration: the sample count (explicit override or horizon
+// derivation, with the clamp surfaced) and the seed (explicit override
+// or DeriveSeed, with the request's fault probability folded in so
+// requests differing only in p explore independent sample paths —
+// correlated streams across p would make cross-p comparisons inherit
+// one draw set's luck).
+func resolveTrials(req Request) (samples int, clamped bool, seed int64, err error) {
+	switch {
+	case req.Samples < 0:
+		return 0, false, 0, fmt.Errorf("%w: negative sample count %d", ErrInvalidRequest, req.Samples)
+	case req.Samples > 0:
+		if req.Samples < MinSamples || req.Samples > MaxSamples {
+			return 0, false, 0, fmt.Errorf("%w: %d samples outside [%d, %d]", ErrInvalidRequest, req.Samples, MinSamples, MaxSamples)
+		}
+		samples = req.Samples
+	default:
+		samples, clamped = MonteCarloSamples(req.Horizon)
+	}
+	seed = req.Seed
+	if seed == 0 {
+		seed = DeriveSeed(req.M, req.K, req.F, samples)
+		if req.P != 0 {
+			seed = foldSeed(seed, req.P)
+		}
+	}
+	return samples, clamped, seed, nil
+}
+
+// foldSeed mixes a float parameter into a derived seed (FNV-1a over
+// the bit pattern), staying deterministic and positive.
+func foldSeed(seed int64, v float64) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%x", seed, math.Float64bits(v))
+	out := int64(h.Sum64() & (1<<63 - 1))
+	if out == 0 {
+		out = 1
+	}
+	return out
+}

@@ -23,15 +23,17 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends a row. Short rows are padded with empty cells; long rows
-// are truncated to the column count.
+// AddRow appends a row. Short rows are padded with empty cells. A row
+// with more cells than the table has columns is a programming error —
+// silently dropping the excess once hid real data from rendered
+// tables — so it panics instead of truncating.
 func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.Columns))
-	for i := range row {
-		if i < len(cells) {
-			row[i] = cells[i]
-		}
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("report: AddRow got %d cells for %d columns (row %v, columns %v)",
+			len(cells), len(t.Columns), cells, t.Columns))
 	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
 	t.Rows = append(t.Rows, row)
 }
 

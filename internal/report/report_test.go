@@ -30,16 +30,29 @@ func TestTableMarkdown(t *testing.T) {
 func TestTableRowPadding(t *testing.T) {
 	tb := NewTable("", "a", "b")
 	tb.AddRow("only")
-	tb.AddRow("x", "y", "overflow-dropped")
 	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
 		t.Error("short row should be padded")
-	}
-	if len(tb.Rows[1]) != 2 {
-		t.Error("long row should be truncated")
 	}
 	if strings.Contains(tb.Markdown(), "###") {
 		t.Error("empty title should not emit a heading")
 	}
+}
+
+// TestTableOverlongRowPanics is the regression test for the silent
+// truncation bug: AddRow used to drop cells beyond the column count
+// without a trace, so a caller with a mismatched column list lost data
+// in every rendered table. Over-long rows are now a panic. (An audit
+// of the cmd/experiments and bench-harness call sites found all rows
+// at or under their column counts, so nothing was being truncated at
+// the time of the fix.)
+func TestTableOverlongRowPanics(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("over-long row must panic, not silently truncate")
+		}
+	}()
+	tb.AddRow("x", "y", "overflow")
 }
 
 func TestTableCSV(t *testing.T) {

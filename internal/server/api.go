@@ -110,8 +110,8 @@ func computeCellBound(sc registry.Scenario, m, k, f int) (cellBound, error) {
 // (k, f) grid k in 1..kmax, f in 0..k-1. Cells the scenario's Validate
 // rejects (e.g. the probabilistic stub outside its scope) are skipped.
 func ComputeBoundsTable(sc registry.Scenario, m, kmax int) (*BoundsTable, error) {
-	if m < 2 || kmax < 1 {
-		return nil, fmt.Errorf("need m >= 2 and kmax >= 1, got m=%d kmax=%d", m, kmax)
+	if m < 1 || kmax < 1 {
+		return nil, fmt.Errorf("need m >= 1 and kmax >= 1, got m=%d kmax=%d", m, kmax)
 	}
 	t := &BoundsTable{Scenario: sc.Name, M: m, KMax: kmax}
 	for k := 1; k <= kmax; k++ {
@@ -310,4 +310,183 @@ type VerifyAnswer struct {
 	Evaluated bool    `json:"evaluated"`
 	WorstRay  int     `json:"worst_ray,omitempty"`
 	WorstX    Float   `json:"worst_x,omitempty"`
+	// Samples/Seed report the effective Monte-Carlo configuration of
+	// sampled verifications (absent for deterministic ones); Clamped
+	// flags a horizon-derived sample count that was clamped into the
+	// supported range, with Warning spelling it out.
+	Samples int    `json:"samples,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Clamped bool   `json:"clamped,omitempty"`
+	Warning string `json:"warning,omitempty"`
+}
+
+// SimRow is one target-distance row of a /v1/simulate answer: the
+// simulator's measured value against the scenario's closed-form
+// reference at the same request. A failed row carries the message in
+// Error; the other rows are unaffected.
+type SimRow struct {
+	Dist    float64 `json:"dist"`
+	Value   Float   `json:"value"`
+	Closed  Float   `json:"closed"`
+	RelGap  Float   `json:"rel_gap"`
+	Samples int     `json:"samples,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	Clamped bool    `json:"clamped,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// SimulateTable is the payload of /v1/simulate and the table
+// cmd/searchsim -simulate prints: the scenario's simulator run over a
+// deterministic log-spaced grid of target distances.
+type SimulateTable struct {
+	Scenario string   `json:"scenario"`
+	M        int      `json:"m"`
+	K        int      `json:"k"`
+	F        int      `json:"f"`
+	Horizon  float64  `json:"horizon"`
+	Points   int      `json:"points"`
+	P        float64  `json:"p,omitempty"`
+	Rows     []SimRow `json:"rows"`
+}
+
+// ComputeSimulate runs the scenario's simulator over a Points-row
+// log-spaced distance grid spanning [1, req.Horizon] through the
+// engine (cacheable, cancellable jobs; engine.RunStream fan-out).
+// Failed rows stay in the table with Error set; the returned error is
+// the lowest-index row failure, so the partial table is valid
+// alongside a non-nil error. A cancelled ctx returns the completed
+// prefix with ctx's error.
+func ComputeSimulate(ctx context.Context, eng *engine.Engine, sc registry.Scenario, req registry.Request, points int) (*SimulateTable, error) {
+	return ComputeSimulateObserved(ctx, eng, sc, req, points, nil)
+}
+
+// ComputeSimulateObserved is ComputeSimulate with a per-row observer
+// invoked in emission (= input) order as each row finishes — the hook
+// the NDJSON stream and CLI progress share; it is what keeps streamed
+// rows byte-identical to batch rows.
+func ComputeSimulateObserved(ctx context.Context, eng *engine.Engine, sc registry.Scenario, req registry.Request, points int, observe func(SimRow)) (*SimulateTable, error) {
+	dists, jobs, err := simulateJobs(ctx, sc, req, points)
+	if err != nil {
+		return nil, err
+	}
+	t := &SimulateTable{
+		Scenario: sc.Name, M: req.M, K: req.K, F: req.F,
+		Horizon: req.Horizon, Points: points,
+		// The EFFECTIVE probability: the scenario's declared default
+		// when the request leaves p unset, and nothing at all for
+		// scenarios without a p parameter (a crash request carrying a
+		// stray ?p= must not be labeled probability-dependent).
+		P: sc.EffectiveP(req),
+	}
+	var firstErr error
+	for jr := range eng.RunStream(ctx, jobs) {
+		row := simRowOf(sc, req, dists[jr.Index], jr)
+		t.Rows = append(t.Rows, row)
+		if jr.Err != nil && firstErr == nil {
+			firstErr = jr.Err
+		}
+		if observe != nil {
+			observe(row)
+		}
+	}
+	if firstErr == nil && len(t.Rows) < points {
+		firstErr = ctx.Err()
+	}
+	return t, firstErr
+}
+
+// simulateJobs builds the per-distance simulate jobs for a request:
+// the log-spaced grid plus one SimulateJob per distance, constructed
+// under ctx (constructors are a plugin point). Shared by the batch
+// table and the NDJSON stream, so both run the same jobs.
+func simulateJobs(ctx context.Context, sc registry.Scenario, req registry.Request, points int) ([]float64, []engine.Job, error) {
+	if sc.SimulateJob == nil {
+		return nil, nil, fmt.Errorf("%w: scenario %q has no simulator", registry.ErrNotVerifiable, sc.Name)
+	}
+	if points < 2 || !(req.Horizon > 1) {
+		return nil, nil, fmt.Errorf("simulate needs points >= 2 and horizon > 1, got %d, %g", points, req.Horizon)
+	}
+	dists := engine.LogGrid(req.Horizon, points)
+	jobs := make([]engine.Job, len(dists))
+	for i, d := range dists {
+		rowReq := req
+		rowReq.Dist = d
+		job, err := sc.SimulateJob(ctx, rowReq)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs[i] = job
+	}
+	return dists, jobs, nil
+}
+
+// simRowOf shapes one engine result as the wire/rendering row — the
+// single shaping used by the batch table, the NDJSON stream, and the
+// CLI, which is what keeps every representation byte-identical.
+func simRowOf(sc registry.Scenario, req registry.Request, dist float64, jr engine.JobResult) SimRow {
+	row := SimRow{
+		Dist:  dist,
+		Value: Float(jr.Result.Value), Closed: Float(nan()), RelGap: Float(nan()),
+		Samples: jr.Result.Samples, Seed: jr.Result.Seed, Clamped: jr.Result.Clamped,
+	}
+	rowReq := req
+	rowReq.Dist = dist
+	closed, err := scenarioClosedForm(sc, rowReq)
+	if err == nil {
+		row.Closed = Float(closed)
+		if closed > 0 && jr.Err == nil {
+			row.RelGap = Float((jr.Result.Value - closed) / closed)
+		}
+	}
+	if jr.Err != nil {
+		row.Value = Float(nan())
+		row.Error = jr.Err.Error()
+	}
+	return row
+}
+
+// scenarioClosedForm resolves the reference value verify/simulate
+// results are measured against: ClosedForm when the scenario defines
+// it, LowerBound otherwise.
+func scenarioClosedForm(sc registry.Scenario, req registry.Request) (float64, error) {
+	if sc.ClosedForm != nil {
+		return sc.ClosedForm(req)
+	}
+	return sc.LowerBound(req.M, req.K, req.F)
+}
+
+// markdownErrors renders the failed-row section appended below a
+// partial simulate table; empty when every row succeeded.
+func (t *SimulateTable) markdownErrors() string {
+	var sb strings.Builder
+	for _, row := range t.Rows {
+		if row.Error == "" {
+			continue
+		}
+		if sb.Len() == 0 {
+			sb.WriteString("\nerrors:\n")
+		}
+		fmt.Fprintf(&sb, "- dist %s: %s\n", report.Fmt(row.Dist, 6), row.Error)
+	}
+	return sb.String()
+}
+
+// Markdown renders the simulate table (byte-identical between
+// cmd/searchsim -simulate and /v1/simulate?format=markdown).
+func (t *SimulateTable) Markdown() string {
+	title := fmt.Sprintf("simulation: %s (m=%d k=%d f=%d)", t.Scenario, t.M, t.K, t.F)
+	if t.P != 0 {
+		title += fmt.Sprintf(", p=%s", report.Fmt(t.P, 6))
+	}
+	tb := report.NewTable(title, "dist", "closed form", "simulated", "rel. gap")
+	for _, row := range t.Rows {
+		if row.Error != "" {
+			continue
+		}
+		tb.AddRow(
+			report.Fmt(row.Dist, 6), report.Fmt(float64(row.Closed), 9),
+			report.Fmt(float64(row.Value), 9), report.Fmt(float64(row.RelGap), 2),
+		)
+	}
+	return tb.Markdown() + t.markdownErrors()
 }

@@ -7,16 +7,26 @@
 //	*    /v1/bounds      closed-form bounds: single cell (k, f) or grid (kmax)
 //	*    /v1/verify      run the scenario's verification job through the engine
 //	*    /v1/sweep       measured (m, k, f) grid sweep (engine.Sweep)
+//	*    /v1/simulate    run the scenario's simulator over a distance grid
 //
-// The grid endpoints (/v1/bounds in kmax mode and /v1/sweep) accept
-// ?format=markdown to render through the same tables cmd/bounds and
-// cmd/experiments print (byte-identical). /v1/sweep additionally
-// streams when the client sends Accept: application/x-ndjson (or
-// ?format=ndjson): one SweepCell JSON object per line, flushed as each
-// cell finishes, interleaved with '#'-prefixed heartbeat comment lines
-// so idle proxies keep the connection open. The streamed rows are
-// byte-identical to (and in the same order as) the cells array of the
+// The grid endpoints (/v1/bounds in kmax mode, /v1/sweep and
+// /v1/simulate) accept ?format=markdown to render through the same
+// tables cmd/bounds, cmd/experiments and cmd/searchsim print
+// (byte-identical). /v1/sweep and /v1/simulate additionally stream
+// when the client sends Accept: application/x-ndjson (or
+// ?format=ndjson): one row JSON object per line, flushed as each row
+// finishes, interleaved with '#'-prefixed heartbeat comment lines so
+// idle proxies keep the connection open. The streamed rows are
+// byte-identical to (and in the same order as) the rows array of the
 // batch JSON answer.
+//
+// /v1/verify and /v1/simulate accept the Monte-Carlo knobs of sampled
+// scenarios: ?seed= overrides the deterministic (m, k, f, samples)
+// seed derivation, ?samples= overrides the horizon-derived sample
+// count (out-of-range values are a 400, not a silent clamp), and ?p=
+// sets the per-visit fault probability of the pfaulty-halfline model.
+// Sampled answers carry the effective samples/seed back, plus a
+// clamped flag and warning when a horizon-derived count was clamped.
 //
 // Compute requests run under a per-request timeout (?timeout_ms,
 // capped by the server configuration) that actually cancels the work:
@@ -72,6 +82,15 @@ const (
 	// DefaultHeartbeat is the interval between comment lines on an NDJSON
 	// sweep stream with no row ready to send.
 	DefaultHeartbeat = 10 * time.Second
+	// DefaultSimHorizon is the /v1/simulate distance-grid upper end
+	// when unspecified (simulations are per-target work; the verify
+	// horizon default would be needlessly expensive here).
+	DefaultSimHorizon = 100.0
+	// DefaultSimPoints is the /v1/simulate distance-grid size when
+	// unspecified.
+	DefaultSimPoints = 8
+	// MaxSimPoints caps client-supplied simulate grids.
+	MaxSimPoints = 128
 	// maxHorizon caps client-supplied horizons.
 	maxHorizon = 1e8
 )
@@ -124,7 +143,7 @@ type Server struct {
 }
 
 // routes is the static route set; unknown paths count under "other".
-var routes = []string{"/healthz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "other"}
+var routes = []string{"/healthz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "/v1/simulate", "other"}
 
 // New returns a ready-to-serve handler.
 func New(cfg Config) *Server {
@@ -164,6 +183,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/bounds", s.handleBounds)
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	return s
 }
 
@@ -438,6 +458,42 @@ func (s *Server) boundsAnswer(sc registry.Scenario, m, k, f int) (*BoundsAnswer,
 	return ans, nil
 }
 
+// requestParams reads the common scenario-request parameters (m, k, f,
+// horizon plus the Monte-Carlo knobs seed/samples/p) into a
+// registry.Request.
+func requestParams(p map[string]string, defHorizon float64) (registry.Request, error) {
+	m, err1 := intParam(p, "m", 2)
+	k, err2 := intParam(p, "k", 0)
+	f, err3 := intParam(p, "f", -1)
+	horizon, err4 := floatParam(p, "horizon", defHorizon)
+	samples, err5 := intParam(p, "samples", 0)
+	pr, err6 := floatParam(p, "p", 0)
+	req := registry.Request{M: m, K: k, F: f, Horizon: horizon, Samples: samples, P: pr}
+	if raw, ok := p["seed"]; ok && raw != "" {
+		seed, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || seed < 0 {
+			return req, fmt.Errorf("%w: %q must be a non-negative integer", errBadParam, "seed")
+		}
+		req.Seed = seed
+	}
+	if err := errors.Join(err1, err2, err3, err4, err5, err6); err != nil {
+		return req, err
+	}
+	if k <= 0 || f < 0 {
+		return req, errors.New("need k and f")
+	}
+	if !(horizon > 1) || horizon > maxHorizon {
+		return req, fmt.Errorf("horizon %g out of range (1, %g]", horizon, maxHorizon)
+	}
+	return req, nil
+}
+
+// clampWarning spells out a clamped horizon-derived sample count.
+func clampWarning(horizon float64, samples int) string {
+	return fmt.Sprintf("horizon %g derived a sample count outside [%d, %d]; running %d samples — pass samples= to choose explicitly",
+		horizon, registry.MinSamples, registry.MaxSamples, samples)
+}
+
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	p, err := params(r)
 	if err != nil {
@@ -449,20 +505,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err1 := intParam(p, "m", 2)
-	k, err2 := intParam(p, "k", 0)
-	f, err3 := intParam(p, "f", -1)
-	horizon, err4 := floatParam(p, "horizon", DefaultHorizon)
-	if err := errors.Join(err1, err2, err3, err4); err != nil {
+	req, err := requestParams(p, DefaultHorizon)
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if k <= 0 || f < 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("need k and f"))
-		return
-	}
-	if !(horizon > 1) || horizon > maxHorizon {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("horizon %g out of range (1, %g]", horizon, maxHorizon))
 		return
 	}
 	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
@@ -470,7 +515,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		// are a plugin point that may do nontrivial work (root finding,
 		// strategy materialization), and it must not escape the
 		// request's compute bound.
-		job, err := sc.VerifyJob(ctx, m, k, f, horizon)
+		job, err := sc.VerifyJob(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -479,10 +524,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		ans := &VerifyAnswer{
-			Scenario: sc.Name, M: m, K: k, F: f, Horizon: horizon,
+			Scenario: sc.Name, M: req.M, K: req.K, F: req.F, Horizon: req.Horizon,
 			Value: Float(res.Value), Lower: Float(nan()), RelGap: Float(nan()),
+			Samples: res.Samples, Seed: res.Seed, Clamped: res.Clamped,
 		}
-		if lower, err := sc.LowerBound(m, k, f); err == nil {
+		if res.Clamped {
+			ans.Warning = clampWarning(req.Horizon, res.Samples)
+		}
+		if lower, err := scenarioClosedForm(sc, req); err == nil {
 			ans.Lower = Float(lower)
 			if lower > 0 {
 				ans.RelGap = Float((res.Value - lower) / lower)
@@ -500,6 +549,170 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	p, err := params(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := s.scenarioParam(p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if sc.SimulateJob == nil {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("scenario %q has no simulator (simulatable: %v)", sc.Name, s.cfg.Registry.SimulatableNames()))
+		return
+	}
+	req, err := requestParams(p, DefaultSimHorizon)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	points, err := intParam(p, "points", DefaultSimPoints)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if points < 2 || points > MaxSimPoints {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("points %d out of range [2, %d]", points, MaxSimPoints))
+		return
+	}
+	// An explicit ?format= wins; Accept-based negotiation only applies
+	// when the query string does not choose a representation.
+	if p["format"] == "ndjson" ||
+		(p["format"] == "" && strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")) {
+		s.streamSimulate(w, r, p, sc, req, points)
+		return
+	}
+	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
+		table, err := ComputeSimulate(ctx, s.cfg.Engine, sc, req, points)
+		// Per-row failures ride inside the table (partial progress is
+		// never thrown away); only whole-request failures propagate.
+		if err != nil && (table == nil || len(table.Rows) == 0) {
+			return nil, err
+		}
+		return table, nil
+	})
+	if err != nil {
+		writeErr(w, computeStatus(err), err)
+		return
+	}
+	table := v.(*SimulateTable)
+	if p["format"] == "markdown" {
+		writeText(w, table.Markdown())
+		return
+	}
+	writeJSON(w, http.StatusOK, table)
+}
+
+// streamSimulate is the NDJSON path of /v1/simulate: one SimRow JSON
+// object per line in deterministic grid order, flushed as each row
+// finishes, with the same heartbeat/status-comment protocol as the
+// sweep stream. The rows are byte-identical to the rows of the batch
+// JSON answer for the same request (both shape through simRowOf).
+// Job construction happens before the headers, so a scenario rejecting
+// the request is still a proper 400 rather than a truncated stream.
+func (s *Server) streamSimulate(w http.ResponseWriter, r *http.Request, p map[string]string, sc registry.Scenario, req registry.Request, points int) {
+	ctx, cancel, budget, err := s.budgetCtx(r, p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	if err := s.acquireSlot(ctx, budget); err != nil {
+		writeErr(w, computeStatus(err), err)
+		return
+	}
+	defer func() { <-s.sem }()
+	dists, jobs, err := simulateJobs(ctx, sc, req, points)
+	if err != nil {
+		writeErr(w, computeStatus(err), err)
+		return
+	}
+	stream := s.cfg.Engine.RunStream(ctx, jobs)
+	s.ndjsonStream(ctx, w, budget, len(jobs), shapeRows(ctx, stream, func(jr engine.JobResult) any {
+		return simRowOf(sc, req, dists[jr.Index], jr)
+	}))
+}
+
+// shapeRows adapts a typed result stream into the wire rows
+// ndjsonStream writes, applying the shared shaping function that keeps
+// streamed rows byte-identical to batch rows. The adapter drains the
+// source even when the consumer leaves early (the source closes on ctx
+// cancellation).
+func shapeRows[T any](ctx context.Context, src <-chan T, shape func(T) any) <-chan any {
+	out := make(chan any)
+	go func() {
+		defer close(out)
+		for v := range src {
+			select {
+			case out <- shape(v):
+			case <-ctx.Done():
+				for range src {
+				}
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// ndjsonStream is the shared NDJSON writer of /v1/sweep and
+// /v1/simulate: one JSON object per line as rows arrive, '#'-prefixed
+// heartbeat comments while nothing is ready, and a final
+// '# done rows=N' or '# truncated after M/N rows: <reason>' status
+// comment. The caller has validated the request and acquired its
+// compute slot; rows must be closed by the producer (both producers
+// close on ctx cancellation).
+func (s *Server) ndjsonStream(ctx context.Context, w http.ResponseWriter, budget time.Duration, total int, rows <-chan any) {
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	ticker := time.NewTicker(s.cfg.Heartbeat)
+	defer ticker.Stop()
+	emitted := 0
+	for rows != nil {
+		select {
+		case row, ok := <-rows:
+			if !ok {
+				rows = nil
+				continue
+			}
+			line, err := json.Marshal(row)
+			if err != nil {
+				fmt.Fprintf(w, "# error: %v\n", err)
+				flush()
+				return
+			}
+			w.Write(line)
+			io.WriteString(w, "\n")
+			emitted++
+			flush()
+		case <-ticker.C:
+			io.WriteString(w, "# heartbeat\n")
+			flush()
+		}
+	}
+	if emitted < total {
+		reason := "cancelled"
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			reason = fmt.Sprintf("timeout after %v", budget)
+		}
+		fmt.Fprintf(w, "# truncated after %d/%d rows: %s\n", emitted, total, reason)
+	} else {
+		fmt.Fprintf(w, "# done rows=%d\n", emitted)
+	}
+	flush()
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -589,12 +802,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // streamSweep is the NDJSON path of /v1/sweep: one SweepCell JSON
 // object per line in deterministic grid order, flushed as each cell
-// finishes, with '#'-prefixed heartbeat comments while no row is ready
-// and a final '#' status comment. The rows are byte-identical to the
-// cells of the batch JSON answer for the same grid. The stream runs
-// under the same compute budget and MaxInflight slot accounting as the
-// batch path; cancellation (timeout or client disconnect) stops the
-// engine within one cell evaluation and truncates the stream cleanly.
+// finishes, via the shared ndjsonStream protocol. The rows are
+// byte-identical to the cells of the batch JSON answer for the same
+// grid. The stream runs under the same compute budget and MaxInflight
+// slot accounting as the batch path; cancellation (timeout or client
+// disconnect) stops the engine within one cell evaluation and
+// truncates the stream cleanly.
 func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p map[string]string, cells []engine.Cell, horizon float64) {
 	ctx, cancel, budget, err := s.budgetCtx(r, p)
 	if err != nil {
@@ -607,51 +820,10 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p map[strin
 		return
 	}
 	defer func() { <-s.sem }()
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-	ticker := time.NewTicker(s.cfg.Heartbeat)
-	defer ticker.Stop()
 	stream := s.cfg.Engine.SweepStream(ctx, cells, horizon)
-	emitted := 0
-	for stream != nil {
-		select {
-		case cr, ok := <-stream:
-			if !ok {
-				stream = nil
-				continue
-			}
-			line, err := json.Marshal(SweepCellOf(cr))
-			if err != nil {
-				fmt.Fprintf(w, "# error: %v\n", err)
-				flush()
-				return
-			}
-			w.Write(line)
-			io.WriteString(w, "\n")
-			emitted++
-			flush()
-		case <-ticker.C:
-			io.WriteString(w, "# heartbeat\n")
-			flush()
-		}
-	}
-	if emitted < len(cells) {
-		reason := "cancelled"
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			reason = fmt.Sprintf("timeout after %v", budget)
-		}
-		fmt.Fprintf(w, "# truncated after %d/%d rows: %s\n", emitted, len(cells), reason)
-	} else {
-		fmt.Fprintf(w, "# done rows=%d\n", emitted)
-	}
-	flush()
+	s.ndjsonStream(ctx, w, budget, len(cells), shapeRows(ctx, stream, func(cr engine.CellResult) any {
+		return SweepCellOf(cr)
+	}))
 }
 
 // computeStatus classifies an error from the compute path.
@@ -668,7 +840,8 @@ func computeStatus(err error) int {
 	}
 	var ce *engine.CellError
 	if errors.As(err, &ce) || errors.Is(err, bounds.ErrInvalidParams) ||
-		errors.Is(err, errBadParam) || errors.Is(err, registry.ErrNotVerifiable) {
+		errors.Is(err, errBadParam) || errors.Is(err, registry.ErrNotVerifiable) ||
+		errors.Is(err, registry.ErrInvalidRequest) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

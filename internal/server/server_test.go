@@ -64,8 +64,19 @@ func TestScenariosListing(t *testing.T) {
 			t.Errorf("scenario %q not self-describing in the listing", sc.Name)
 		}
 	}
-	if len(names) != 3 || names[0] != "byzantine" || names[1] != "crash" || names[2] != "probabilistic" {
-		t.Errorf("scenario names = %v", names)
+	want := []string{"byzantine", "byzantine-line", "crash", "pfaulty-halfline", "probabilistic"}
+	if len(names) != len(want) {
+		t.Fatalf("scenario names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("scenario[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	for _, sc := range payload.Scenarios {
+		if (sc.Name == "pfaulty-halfline" || sc.Name == "byzantine-line" || sc.Name == "crash") && !sc.Simulatable {
+			t.Errorf("scenario %q should advertise a simulator", sc.Name)
+		}
 	}
 }
 
@@ -134,7 +145,7 @@ func TestBoundsBadInput(t *testing.T) {
 		"/v1/bounds?m=zebra&kmax=3",            // unparsable int
 		"/v1/bounds?m=2",                       // neither kmax nor (k, f)
 		"/v1/bounds?m=2&kmax=999",              // over the cap
-		"/v1/bounds?m=1&kmax=3",                // m < 2
+		"/v1/bounds?m=0&kmax=3",                // m < 1
 		"/v1/bounds?m=2&k=3&f=1&model=martian", // unknown scenario
 		"/v1/bounds?m=2&k=-1&f=0",              // invalid k
 	} {
@@ -231,7 +242,7 @@ func slowRegistry(t *testing.T) *registry.Registry {
 		Validate:    func(m, k, f int) error { return nil },
 		LowerBound:  func(m, k, f int) (float64, error) { return 1, nil },
 		UpperBound:  func(m, k, f int) (float64, error) { return 1, nil },
-		VerifyJob: func(ctx context.Context, m, k, f int, h float64) (engine.Job, error) {
+		VerifyJob: func(ctx context.Context, req registry.Request) (engine.Job, error) {
 			return slowJob{d: 2 * time.Second}, nil
 		},
 	})
@@ -425,7 +436,7 @@ func TestComputePanicIsA500NotACrash(t *testing.T) {
 		Validate:    func(m, k, f int) error { return nil },
 		LowerBound:  func(m, k, f int) (float64, error) { return 1, nil },
 		UpperBound:  func(m, k, f int) (float64, error) { return 1, nil },
-		VerifyJob: func(ctx context.Context, m, k, f int, h float64) (engine.Job, error) {
+		VerifyJob: func(ctx context.Context, req registry.Request) (engine.Job, error) {
 			return panicJob{}, nil
 		},
 	}); err != nil {

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// TestSimulateCrashBatch: the crash simulator rows sit at or below the
+// closed-form bound they are printed against.
+func TestSimulateCrashBatch(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/simulate?model=crash&m=2&k=3&f=1&horizon=50&points=4")
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, body)
+	}
+	var table SimulateTable
+	if err := json.Unmarshal([]byte(body), &table); err != nil {
+		t.Fatal(err)
+	}
+	if table.Scenario != "crash" || table.Points != 4 || len(table.Rows) != 4 {
+		t.Fatalf("table shape wrong: %+v", table)
+	}
+	for i, row := range table.Rows {
+		if row.Error != "" {
+			t.Fatalf("row %d failed: %s", i, row.Error)
+		}
+		if !(float64(row.Value) >= 1) || float64(row.Value) > float64(row.Closed)*(1+1e-9) {
+			t.Errorf("row %d: simulated %g outside [1, closed %g]", i, row.Value, row.Closed)
+		}
+	}
+	if table.Rows[0].Dist != 1 || math.Abs(table.Rows[3].Dist-50) > 1e-9 {
+		t.Errorf("distance grid wrong: %g .. %g", table.Rows[0].Dist, table.Rows[3].Dist)
+	}
+}
+
+// TestSimulatePFaultyEndToEnd: the p-faulty model verifies end to end
+// through the endpoint — Monte-Carlo rows near the p-dependent closed
+// form, effective seed/samples surfaced.
+func TestSimulatePFaultyEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/simulate?model=pfaulty-halfline&m=1&k=1&f=0&horizon=20&points=3&p=0.25&samples=2000")
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, body)
+	}
+	var table SimulateTable
+	if err := json.Unmarshal([]byte(body), &table); err != nil {
+		t.Fatal(err)
+	}
+	if table.P != 0.25 {
+		t.Errorf("effective p not echoed: %+v", table)
+	}
+	for i, row := range table.Rows {
+		if row.Error != "" {
+			t.Fatalf("row %d failed: %s", i, row.Error)
+		}
+		if row.Samples != 2000 || row.Seed == 0 {
+			t.Errorf("row %d: effective MC config missing: %+v", i, row)
+		}
+		if rel := math.Abs(float64(row.Value)-float64(row.Closed)) / float64(row.Closed); rel > 0.15 {
+			t.Errorf("row %d: Monte-Carlo %g far from closed form %g", i, row.Value, row.Closed)
+		}
+	}
+}
+
+// TestSimulateByzantineLine: the Byzantine line model serves finite
+// certainty ratios through the endpoint.
+func TestSimulateByzantineLine(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/simulate?model=byzantine-line&m=2&k=3&f=1&horizon=30&points=3")
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, body)
+	}
+	var table SimulateTable
+	if err := json.Unmarshal([]byte(body), &table); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range table.Rows {
+		if row.Error != "" {
+			t.Fatalf("row %d failed: %s", i, row.Error)
+		}
+		if !(float64(row.Value) > 0) {
+			t.Errorf("row %d: certainty ratio %g", i, row.Value)
+		}
+	}
+}
+
+// TestSimulateNDJSONRowsMatchBatch is the acceptance contract of the
+// streaming path: every NDJSON data row is byte-identical to the
+// compact encoding of the corresponding batch row, in the same order.
+func TestSimulateNDJSONRowsMatchBatch(t *testing.T) {
+	eng := engine.New(0)
+	ts := newTestServer(t, Config{Engine: eng, Heartbeat: time.Minute})
+	const query = "/v1/simulate?model=pfaulty-halfline&m=1&k=1&f=0&horizon=20&points=4&p=0.5&samples=500"
+	code, batchBody := get(t, ts.URL+query)
+	if code != http.StatusOK {
+		t.Fatalf("batch simulate = %d: %s", code, batchBody)
+	}
+	var table SimulateTable
+	if err := json.Unmarshal([]byte(batchBody), &table); err != nil {
+		t.Fatal(err)
+	}
+	code, streamBody := getWithHeader(t, ts.URL+query, "Accept", "application/x-ndjson")
+	if code != http.StatusOK {
+		t.Fatalf("ndjson simulate = %d: %s", code, streamBody)
+	}
+	rows, comments := ndjsonRows(streamBody)
+	if len(rows) != len(table.Rows) {
+		t.Fatalf("ndjson rows = %d, batch rows = %d", len(rows), len(table.Rows))
+	}
+	for i, row := range table.Rows {
+		want, err := json.Marshal(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows[i] != string(want) {
+			t.Errorf("row %d:\nndjson: %s\nbatch:  %s", i, rows[i], want)
+		}
+	}
+	if len(comments) == 0 || !strings.Contains(comments[len(comments)-1], "# done rows=4") {
+		t.Errorf("missing terminal done comment, comments = %v", comments)
+	}
+}
+
+// TestSimulateMarkdownMatchesRenderer: ?format=markdown serves the
+// shared renderer's bytes (what cmd/searchsim -simulate prints).
+func TestSimulateMarkdownMatchesRenderer(t *testing.T) {
+	eng := engine.New(0)
+	ts := newTestServer(t, Config{Engine: eng})
+	code, body := get(t, ts.URL+"/v1/simulate?model=crash&m=2&k=3&f=1&horizon=20&points=3&format=markdown")
+	if code != http.StatusOK {
+		t.Fatalf("markdown simulate = %d: %s", code, body)
+	}
+	sc, err := registry.Get("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := ComputeSimulate(context.Background(), eng, sc,
+		registry.Request{M: 2, K: 3, F: 1, Horizon: 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != table.Markdown() {
+		t.Errorf("endpoint bytes differ from shared renderer:\n--- endpoint ---\n%s\n--- renderer ---\n%s", body, table.Markdown())
+	}
+}
+
+func TestSimulateBadInput(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, query := range []string{
+		"/v1/simulate?model=byzantine&m=2&k=3&f=1",                       // no simulator
+		"/v1/simulate?model=crash&m=2&k=3",                               // f missing
+		"/v1/simulate?model=crash&m=2&k=4&f=1",                           // trivial regime
+		"/v1/simulate?model=crash&m=2&k=3&f=1&points=1",                  // points < 2
+		"/v1/simulate?model=crash&m=2&k=3&f=1&points=9999",               // points over cap
+		"/v1/simulate?model=crash&m=2&k=3&f=1&seed=zebra",                // bad seed
+		"/v1/simulate?model=crash&m=2&k=3&f=1&seed=-4",                   // negative seed
+		"/v1/simulate?model=pfaulty-halfline&m=1&k=1&f=0&p=1.5",          // p out of range
+		"/v1/simulate?model=pfaulty-halfline&m=1&k=1&f=0&samples=999999", // samples over cap
+		"/v1/simulate?model=pfaulty-halfline&m=2&k=1&f=0",                // wrong m for the half-line
+	} {
+		code, body := get(t, ts.URL+query)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d (want 400): %s", query, code, body)
+		}
+	}
+	// The NDJSON path rejects bad requests before streaming too.
+	code, body := getWithHeader(t, ts.URL+"/v1/simulate?model=crash&m=2&k=4&f=1", "Accept", "application/x-ndjson")
+	if code != http.StatusBadRequest {
+		t.Errorf("ndjson trivial-regime = %d (want 400): %s", code, body)
+	}
+}
+
+// TestVerifySurfacesMonteCarloConfig is the HTTP face of the two
+// Monte-Carlo bugfixes: the effective samples/seed appear in the
+// answer, a clamped derivation carries a warning, and the seed
+// override round-trips.
+func TestVerifySurfacesMonteCarloConfig(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Clamped: horizon 1e6 derives far beyond the cap.
+	code, body := get(t, ts.URL+"/v1/verify?model=probabilistic&m=2&k=1&f=0&horizon=1000000")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d: %s", code, body)
+	}
+	var ans VerifyAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Samples != registry.MaxSamples || !ans.Clamped || ans.Warning == "" {
+		t.Errorf("clamp not surfaced: %+v", ans)
+	}
+	if ans.Seed == 0 || ans.Seed == 1 {
+		t.Errorf("seed = %d, want a derived (non-pinned) value", ans.Seed)
+	}
+	// Seed override round-trips (fresh struct: omitempty fields would
+	// otherwise survive from the previous unmarshal).
+	code, body = get(t, ts.URL+"/v1/verify?model=probabilistic&m=2&k=1&f=0&horizon=4000&seed=123")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d: %s", code, body)
+	}
+	ans = VerifyAnswer{}
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Seed != 123 || ans.Clamped || ans.Warning != "" {
+		t.Errorf("override answer wrong: %+v", ans)
+	}
+	// Deterministic verifications carry no MC fields.
+	code, body = get(t, ts.URL+"/v1/verify?m=2&k=3&f=1&horizon=5000")
+	if code != http.StatusOK {
+		t.Fatalf("crash verify = %d: %s", code, body)
+	}
+	if strings.Contains(body, `"samples"`) || strings.Contains(body, `"seed"`) {
+		t.Errorf("deterministic verify leaked MC fields: %s", body)
+	}
+	// Out-of-range explicit samples are a 400, not a silent clamp.
+	code, body = get(t, ts.URL+"/v1/verify?model=probabilistic&m=2&k=1&f=0&horizon=4000&samples=999999")
+	if code != http.StatusBadRequest {
+		t.Errorf("oversized samples = %d (want 400): %s", code, body)
+	}
+}
+
+// TestVerifyPFaultyAtRequestedP: the verify reference tracks the
+// requested fault probability through ClosedForm, not the default-p
+// scenario bound.
+func TestVerifyPFaultyAtRequestedP(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/verify?model=pfaulty-halfline&m=1&k=1&f=0&horizon=4000&p=0.25")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d: %s", code, body)
+	}
+	var ans VerifyAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := registry.Get("pfaulty-halfline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sc.ClosedForm(registry.Request{M: 1, K: 1, F: 0, P: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(ans.Lower)-want) > 1e-9 {
+		t.Errorf("verify reference = %g, want p=0.25 closed form %g", ans.Lower, want)
+	}
+	if rel := math.Abs(float64(ans.Value)-want) / want; rel > 0.15 {
+		t.Errorf("measured %g far from closed form %g", ans.Value, want)
+	}
+}

@@ -102,9 +102,12 @@ func TestSweepNDJSONRowsMatchBatch(t *testing.T) {
 }
 
 // slowGrid is a sweep request expensive enough (serial engine, deep
-// horizon, kmax at the cap) that a tight timeout reliably lands
-// mid-sweep.
-const slowGrid = "/v1/sweep?m=2&kmax=16&horizon=1e8"
+// horizon, kmax raised past the default cap) that a tight timeout
+// reliably lands mid-sweep even on fast hardware.
+const (
+	slowGrid     = "/v1/sweep?m=2&kmax=24&horizon=1e8"
+	slowGridKMax = 24
+)
 
 // TestSweepTimeoutStopsEngineWork is the worker-occupancy regression
 // test: a timed-out /v1/sweep must leave zero in-progress cells within
@@ -113,9 +116,9 @@ const slowGrid = "/v1/sweep?m=2&kmax=16&horizon=1e8"
 // context fires.
 func TestSweepTimeoutStopsEngineWork(t *testing.T) {
 	eng := engine.New(1) // serial: the sweep takes tens of ms
-	ts := newTestServer(t, Config{Engine: eng})
+	ts := newTestServer(t, Config{Engine: eng, MaxKMax: slowGridKMax})
 	searchCells := 0
-	for _, c := range engine.Grid(2, 16) {
+	for _, c := range engine.Grid(2, slowGridKMax) {
 		if c.K < 2*(c.F+1) { // search regime: f < k < m(f+1)
 			searchCells++
 		}
@@ -153,13 +156,13 @@ func TestSweepTimeoutStopsEngineWork(t *testing.T) {
 // comment instead of hanging or dying silently.
 func TestSweepNDJSONTruncatedOnTimeout(t *testing.T) {
 	eng := engine.New(1)
-	ts := newTestServer(t, Config{Engine: eng, Heartbeat: 200 * time.Microsecond})
+	ts := newTestServer(t, Config{Engine: eng, Heartbeat: 200 * time.Microsecond, MaxKMax: slowGridKMax})
 	code, body := getWithHeader(t, ts.URL+slowGrid+"&timeout_ms=15", "Accept", "application/x-ndjson")
 	if code != http.StatusOK {
 		t.Fatalf("streaming headers must be sent before the timeout can fire: %d", code)
 	}
 	rows, comments := ndjsonRows(body)
-	total := len(engine.Grid(2, 16))
+	total := len(engine.Grid(2, slowGridKMax))
 	if len(rows) >= total {
 		t.Fatalf("stream emitted the whole grid (%d rows) despite the budget", len(rows))
 	}
