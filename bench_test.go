@@ -9,8 +9,12 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/adversary"
@@ -23,6 +27,7 @@ import (
 	"repro/internal/pfaulty"
 	"repro/internal/potential"
 	"repro/internal/randomized"
+	"repro/internal/server"
 	"repro/internal/strategy"
 	"repro/internal/turncost"
 )
@@ -695,4 +700,61 @@ func BenchmarkAblationEDFAssignment(b *testing.B) {
 		n = len(assigned)
 	}
 	b.ReportMetric(float64(n), "assigned-intervals")
+}
+
+// BenchmarkEvaluatorReuse measures the cross-f kernel reuse: ONE visit
+// table build answering the strategy's whole fault range (the
+// adversary.Evaluator FRange pass behind engine.FRangeRatio), versus
+// which the old per-f API would rebuild the tables f+1 times. The
+// regression gate (cmd/benchdiff vs BENCH_baseline.json) watches this
+// path: it is the kernel cost of every verify endpoint and sweep cell.
+func BenchmarkEvaluatorReuse(b *testing.B) {
+	s, err := strategy.NewCyclicExponential(2, 7, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var atBudget float64
+	for i := 0; i < b.N; i++ {
+		ev, err := adversary.NewEvaluator(s, 1e4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals, err := ev.FRange(ctx, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		atBudget = evals[3].WorstRatio
+	}
+	b.ReportMetric(4, "fault-counts-per-build")
+	b.ReportMetric(atBudget, "ratio-at-f3")
+}
+
+// BenchmarkBatchEndpoint measures the /v1/batch multiplex round trip:
+// one POST carrying a bounds + verify + simulate triple against a warm
+// server (the compute results cache after the first iteration, so the
+// steady state isolates the endpoint's parse/dispatch/stream overhead
+// — the per-request cost a dashboard multiplexing through batch pays).
+func BenchmarkBatchEndpoint(b *testing.B) {
+	ts := httptest.NewServer(server.New(server.Config{}))
+	defer ts.Close()
+	const body = `[
+	  {"op": "bounds", "m": 2, "k": 3, "f": 1},
+	  {"op": "verify", "m": 2, "k": 3, "f": 1, "horizon": 5000},
+	  {"op": "simulate", "model": "pfaulty-halfline", "m": 1, "k": 1, "f": 0, "horizon": 20, "points": 3, "p": 0.25, "samples": 500}
+	]`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("batch = %d", resp.StatusCode)
+		}
+	}
 }

@@ -12,6 +12,7 @@
 //	curl -N -H 'Accept: application/x-ndjson' 'localhost:8080/v1/sweep?m=2&kmax=6'
 //	curl 'localhost:8080/v1/simulate?m=2&k=3&f=1&horizon=50&format=markdown'
 //	curl 'localhost:8080/v1/simulate?model=pfaulty-halfline&m=1&k=1&f=0&p=0.25'
+//	curl -d '[{"op":"bounds","m":2,"k":3,"f":1},{"op":"verify","m":2,"k":3,"f":1}]' localhost:8080/v1/batch
 //	curl localhost:8080/v1/scenarios
 //	curl localhost:8080/metrics
 //
@@ -45,6 +46,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		cache     = flag.Int("cache", server.DefaultCacheCapacity, "engine LRU result-cache capacity (0 = unbounded)")
+		shards    = flag.Int("cache-shards", 0, "engine result-cache shard count (0 = automatic)")
 		timeout   = flag.Duration("timeout", server.DefaultTimeout, "per-request compute budget")
 		heartbeat = flag.Duration("heartbeat", server.DefaultHeartbeat, "NDJSON sweep-stream heartbeat interval")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
@@ -52,7 +54,7 @@ func main() {
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *workers, *cache, *timeout, *heartbeat, *drain, nil); err != nil {
+	if err := run(ctx, *addr, *workers, *cache, *shards, *timeout, *heartbeat, *drain, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "boundsd:", err)
 		os.Exit(1)
 	}
@@ -61,9 +63,9 @@ func main() {
 // run serves until ctx is cancelled, then drains gracefully. ready, if
 // non-nil, receives the bound address once the listener is up (the
 // test hook for -addr :0).
-func run(ctx context.Context, addr string, workers, cache int, timeout, heartbeat, drain time.Duration, ready func(addr string)) error {
+func run(ctx context.Context, addr string, workers, cache, shards int, timeout, heartbeat, drain time.Duration, ready func(addr string)) error {
 	handler := server.New(server.Config{
-		Engine:    engine.NewWithCache(workers, cache),
+		Engine:    engine.NewWithCacheShards(workers, cache, shards),
 		Timeout:   timeout,
 		Heartbeat: heartbeat,
 	})
@@ -75,8 +77,8 @@ func run(ctx context.Context, addr string, workers, cache int, timeout, heartbea
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("boundsd: listening on %s (workers=%d cache=%d timeout=%v)",
-		ln.Addr(), handler.Engine().Workers(), handler.Engine().CacheCapacity(), timeout)
+	log.Printf("boundsd: listening on %s (workers=%d cache=%d shards=%d timeout=%v)",
+		ln.Addr(), handler.Engine().Workers(), handler.Engine().CacheCapacity(), handler.Engine().CacheShards(), timeout)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}

@@ -20,7 +20,7 @@ func startDaemon(t *testing.T, ctx context.Context) (string, <-chan error) {
 	readyCh := make(chan string, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(ctx, "127.0.0.1:0", 2, 128, 5*time.Second, time.Second, 5*time.Second,
+		errCh <- run(ctx, "127.0.0.1:0", 2, 128, 0, 5*time.Second, time.Second, 5*time.Second,
 			func(addr string) { readyCh <- addr })
 	}()
 	select {
@@ -113,7 +113,7 @@ func TestDaemonListenErrorSurfaces(t *testing.T) {
 	base, errCh := startDaemon(t, ctx)
 	// Second daemon on the same port must fail fast with a bind error.
 	addr := strings.TrimPrefix(base, "http://")
-	err := run(ctx, addr, 1, 16, time.Second, time.Second, time.Second, nil)
+	err := run(ctx, addr, 1, 16, 0, time.Second, time.Second, time.Second, nil)
 	if err == nil {
 		t.Error("second bind on the same address should fail")
 	}

@@ -22,8 +22,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/strategy"
 )
@@ -99,33 +97,6 @@ func visitTables(s strategy.Strategy, horizon float64) ([][][]rayVisit, error) {
 	return tables, nil
 }
 
-// offsetAt returns the arrival offset of one robot for a target at x on
-// the tabled ray: the offset of its first excursion with Turn >= x
-// (strict = false) or Turn > x (strict = true); +Inf if none.
-func offsetAt(table []rayVisit, x float64, strict bool) float64 {
-	idx := sort.Search(len(table), func(i int) bool {
-		if strict {
-			return table[i].Turn > x
-		}
-		return table[i].Turn >= x
-	})
-	if idx == len(table) {
-		return math.Inf(1)
-	}
-	return table[idx].Offset
-}
-
-// kthOffset returns the (f+1)-st smallest arrival offset among the robots
-// for a target at x (with the given comparison strictness).
-func kthOffset(tables [][]rayVisit, x float64, f int, strict bool) float64 {
-	offsets := make([]float64, 0, len(tables))
-	for _, table := range tables {
-		offsets = append(offsets, offsetAt(table, x, strict))
-	}
-	sort.Float64s(offsets)
-	return offsets[f]
-}
-
 // ExactRatio computes the exact supremum of tau(x)/x over x in [1, horizon)
 // on every ray, for the crash-fault adversary with f faults.
 func ExactRatio(s strategy.Strategy, faults int, horizon float64) (Evaluation, error) {
@@ -136,6 +107,10 @@ func ExactRatio(s strategy.Strategy, faults int, horizon float64) (Evaluation, e
 // checks ctx every cancelCheckEvery candidates and returns ctx's error
 // promptly when cancelled, so an abandoned evaluation stops consuming a
 // worker mid-ray instead of finishing for nobody.
+//
+// It is a thin wrapper over a single-use Evaluator; callers evaluating
+// the same strategy at several fault counts should build the Evaluator
+// themselves (or use FRange) so the visit tables are built once.
 func ExactRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon float64) (Evaluation, error) {
 	if s == nil {
 		return Evaluation{}, fmt.Errorf("%w: nil strategy", ErrBadParams)
@@ -143,62 +118,11 @@ func ExactRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon
 	if faults < 0 || faults >= s.K() {
 		return Evaluation{}, fmt.Errorf("%w: %d faults with %d robots", ErrBadParams, faults, s.K())
 	}
-	if !(horizon > 1) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
-		return Evaluation{}, fmt.Errorf("%w: horizon %g (want finite > 1)", ErrBadParams, horizon)
-	}
-	tables, err := visitTables(s, horizon)
+	e, err := NewEvaluator(s, horizon)
 	if err != nil {
 		return Evaluation{}, err
 	}
-	eval := Evaluation{WorstRatio: -1}
-	for ray := 1; ray <= s.M(); ray++ {
-		// Candidate points: x = 1 (attained) plus every turning point in
-		// [1, horizon) (right limits).
-		cands := map[float64]struct{}{1: {}}
-		for _, table := range tables[ray] {
-			for _, v := range table {
-				if v.Turn >= 1 && v.Turn < horizon {
-					cands[v.Turn] = struct{}{}
-				}
-			}
-		}
-		for b := range cands {
-			eval.Breakpoints++
-			if eval.Breakpoints%cancelCheckEvery == 0 {
-				if err := ctx.Err(); err != nil {
-					return Evaluation{}, err
-				}
-			}
-			// Attained value at x = b.
-			cAtt := kthOffset(tables[ray], b, faults, false)
-			if math.IsInf(cAtt, 1) {
-				return Evaluation{}, fmt.Errorf("%w: ray %d, x = %g", ErrUncovered, ray, b)
-			}
-			if ratio := (cAtt + b) / b; ratio > eval.WorstRatio {
-				eval = Evaluation{
-					WorstRatio: ratio, WorstRay: ray, WorstX: b,
-					Attained: true, Breakpoints: eval.Breakpoints,
-				}
-			}
-			// Right-limit value just beyond x = b (only meaningful while
-			// targets just beyond b are still within the horizon).
-			if b < horizon {
-				cLim := kthOffset(tables[ray], b, faults, true)
-				if math.IsInf(cLim, 1) {
-					// The strategy's generated prefix ends here; targets
-					// beyond are outside the evaluated window.
-					continue
-				}
-				if ratio := (cLim + b) / b; ratio > eval.WorstRatio {
-					eval = Evaluation{
-						WorstRatio: ratio, WorstRay: ray, WorstX: b,
-						Attained: false, Breakpoints: eval.Breakpoints,
-					}
-				}
-			}
-		}
-	}
-	return eval, nil
+	return e.ExactRatio(ctx, faults)
 }
 
 // GridRatio estimates the worst ratio by sampling n log-spaced target
@@ -211,7 +135,8 @@ func GridRatio(s strategy.Strategy, faults int, horizon float64, n int) (float64
 }
 
 // GridRatioCtx is GridRatio under a context, with the same cooperative
-// cancellation contract as ExactRatioCtx.
+// cancellation contract as ExactRatioCtx. Like ExactRatioCtx it is a
+// thin wrapper over a single-use Evaluator.
 func GridRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon float64, n int) (float64, error) {
 	if s == nil || n < 2 {
 		return 0, fmt.Errorf("%w: need a strategy and n >= 2", ErrBadParams)
@@ -219,36 +144,11 @@ func GridRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon 
 	if faults < 0 || faults >= s.K() {
 		return 0, fmt.Errorf("%w: %d faults with %d robots", ErrBadParams, faults, s.K())
 	}
-	if !(horizon > 1) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
-		return 0, fmt.Errorf("%w: horizon %g (want finite > 1)", ErrBadParams, horizon)
-	}
-	tables, err := visitTables(s, horizon)
+	e, err := NewEvaluator(s, horizon)
 	if err != nil {
 		return 0, err
 	}
-	logH := math.Log(horizon)
-	worst := 0.0
-	for ray := 1; ray <= s.M(); ray++ {
-		for i := 0; i < n; i++ {
-			if i%cancelCheckEvery == 0 {
-				if err := ctx.Err(); err != nil {
-					return 0, err
-				}
-			}
-			x := math.Exp(logH * float64(i) / float64(n-1))
-			if x >= horizon {
-				x = horizon * (1 - 1e-12)
-			}
-			c := kthOffset(tables[ray], x, faults, false)
-			if math.IsInf(c, 1) {
-				return 0, fmt.Errorf("%w: ray %d, x = %g", ErrUncovered, ray, x)
-			}
-			if ratio := (c + x) / x; ratio > worst {
-				worst = ratio
-			}
-		}
-	}
-	return worst, nil
+	return e.GridRatio(ctx, faults, n)
 }
 
 // ConvergenceCheck evaluates ExactRatio over doubling horizons and reports

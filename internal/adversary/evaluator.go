@@ -1,0 +1,361 @@
+// evaluator.go is the reusable adversary kernel: an Evaluator builds a
+// strategy's visit tables once per (strategy, horizon) and answers
+// exact/grid ratio queries for ANY fault count from them. The tables
+// depend only on the strategy and the horizon — the fault count enters
+// only in the order statistic taken over the per-robot arrival offsets
+// — so one table build serves the whole fault range of a strategy
+// (FRange evaluates every f in a single breakpoint pass).
+//
+// The kernel is allocation-free after construction: the per-ray
+// candidate map of the original implementation is a sorted, deduplicated
+// breakpoint slice built once, the per-breakpoint offset slices are
+// scratch buffers owned by the Evaluator, and the (f+1)-st smallest
+// offset comes from an in-place partial selection instead of a full
+// sort. Breakpoints are walked in increasing order, so each robot's
+// table position advances monotonically (amortized O(1) per breakpoint
+// instead of a binary search).
+package adversary
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/strategy"
+)
+
+// Evaluator answers worst-case ratio queries for one (strategy, horizon)
+// pair from tables built exactly once. Construct with NewEvaluator.
+//
+// An Evaluator owns scratch buffers and is therefore NOT safe for
+// concurrent use; build one per goroutine (construction is the
+// expensive part being shared across fault counts, not across
+// goroutines).
+type Evaluator struct {
+	s       strategy.Strategy
+	horizon float64
+	m, k    int
+
+	// tables[ray][robot] is the increasing (turn, offset) table of the
+	// robot's first-reaching excursions on the ray.
+	tables [][][]rayVisit
+	// breaks[ray] is the sorted, deduplicated candidate-point slice of
+	// the ray: x = 1 plus every turning point in [1, horizon).
+	breaks [][]float64
+
+	// Scratch buffers (all length k), reused across breakpoints so the
+	// query loops allocate nothing.
+	cursors []int     // per-robot table position, monotone in x
+	att     []float64 // arrival offsets at x (Turn >= x)
+	lim     []float64 // arrival offsets just beyond x (Turn > x)
+	sel     []float64 // selection workspace
+}
+
+// NewEvaluator validates the strategy and horizon and builds the visit
+// tables and breakpoint slices. The fault count is per query, not per
+// evaluator: any f in 0..K()-1 can be asked of the same Evaluator.
+func NewEvaluator(s strategy.Strategy, horizon float64) (*Evaluator, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil strategy", ErrBadParams)
+	}
+	if !(horizon > 1) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return nil, fmt.Errorf("%w: horizon %g (want finite > 1)", ErrBadParams, horizon)
+	}
+	tables, err := visitTables(s, horizon)
+	if err != nil {
+		return nil, err
+	}
+	m, k := s.M(), s.K()
+	e := &Evaluator{
+		s: s, horizon: horizon, m: m, k: k,
+		tables:  tables,
+		breaks:  make([][]float64, m+1),
+		cursors: make([]int, k),
+		att:     make([]float64, k),
+		lim:     make([]float64, k),
+		sel:     make([]float64, k),
+	}
+	for ray := 1; ray <= m; ray++ {
+		e.breaks[ray] = breakpointSlice(tables[ray], horizon)
+	}
+	return e, nil
+}
+
+// Strategy returns the strategy under evaluation.
+func (e *Evaluator) Strategy() strategy.Strategy { return e.s }
+
+// Horizon returns the evaluation horizon.
+func (e *Evaluator) Horizon() float64 { return e.horizon }
+
+// Breakpoints returns the total number of candidate points across all
+// rays — the work one ExactRatio query performs.
+func (e *Evaluator) Breakpoints() int {
+	n := 0
+	for ray := 1; ray <= e.m; ray++ {
+		n += len(e.breaks[ray])
+	}
+	return n
+}
+
+// breakpointSlice flattens one ray's candidate points — x = 1 plus
+// every turning point in [1, horizon) — into a sorted, deduplicated
+// slice (the allocation-free replacement of the per-ray candidate map).
+func breakpointSlice(tables [][]rayVisit, horizon float64) []float64 {
+	n := 1
+	for _, table := range tables {
+		n += len(table)
+	}
+	out := make([]float64, 1, n)
+	out[0] = 1
+	for _, table := range tables {
+		for _, v := range table {
+			if v.Turn >= 1 && v.Turn < horizon {
+				out = append(out, v.Turn)
+			}
+		}
+	}
+	sort.Float64s(out)
+	// In-place dedup (turns shared between robots, and 1 may itself be
+	// a turning point).
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// resetCursors rewinds the per-robot table positions for a fresh
+// increasing walk over one ray's breakpoints.
+func (e *Evaluator) resetCursors() {
+	for i := range e.cursors {
+		e.cursors[i] = 0
+	}
+}
+
+// offsetsAt fills e.att and e.lim with every robot's arrival offset for
+// a target at x on the given ray: att[r] is the offset of robot r's
+// first excursion with Turn >= x, lim[r] with Turn > x (the right-limit
+// offset); +Inf when no such excursion exists. Successive calls must
+// use nondecreasing x (the cursors only advance).
+func (e *Evaluator) offsetsAt(ray int, x float64) {
+	tables := e.tables[ray]
+	for r, table := range tables {
+		c := e.cursors[r]
+		for c < len(table) && table[c].Turn < x {
+			c++
+		}
+		e.cursors[r] = c
+		if c == len(table) {
+			e.att[r] = math.Inf(1)
+			e.lim[r] = math.Inf(1)
+			continue
+		}
+		e.att[r] = table[c].Offset
+		if table[c].Turn == x {
+			if c+1 == len(table) {
+				e.lim[r] = math.Inf(1)
+			} else {
+				e.lim[r] = table[c+1].Offset
+			}
+		} else {
+			e.lim[r] = e.att[r]
+		}
+	}
+}
+
+// selectKth returns the (f+1)-st smallest value of src via an in-place
+// partial selection over the e.sel scratch buffer — no allocation, and
+// no full sort: only the first f+1 positions are settled.
+func (e *Evaluator) selectKth(src []float64, f int) float64 {
+	sel := e.sel[:len(src)]
+	copy(sel, src)
+	for i := 0; i <= f; i++ {
+		min := i
+		for j := i + 1; j < len(sel); j++ {
+			if sel[j] < sel[min] {
+				min = j
+			}
+		}
+		sel[i], sel[min] = sel[min], sel[i]
+	}
+	return sel[f]
+}
+
+// sortAll insertion-sorts src into the e.sel scratch buffer and returns
+// it — the full order statistic vector, so one pass serves every fault
+// count simultaneously (FRange).
+func (e *Evaluator) sortAll(src []float64) []float64 {
+	sel := e.sel[:len(src)]
+	copy(sel, src)
+	for i := 1; i < len(sel); i++ {
+		v := sel[i]
+		j := i - 1
+		for j >= 0 && sel[j] > v {
+			sel[j+1] = sel[j]
+			j--
+		}
+		sel[j+1] = v
+	}
+	return sel
+}
+
+// checkFaults validates a per-query fault count against the strategy.
+func (e *Evaluator) checkFaults(faults int) error {
+	if faults < 0 || faults >= e.k {
+		return fmt.Errorf("%w: %d faults with %d robots", ErrBadParams, faults, e.k)
+	}
+	return nil
+}
+
+// ExactRatio computes the exact supremum of tau(x)/x over x in
+// [1, horizon) on every ray for f crash faults, from the prebuilt
+// tables. The candidate set, arithmetic and results are identical to
+// the package-level ExactRatio; only the bookkeeping differs (sorted
+// breakpoint walk, scratch-buffer selection, no allocation).
+func (e *Evaluator) ExactRatio(ctx context.Context, faults int) (Evaluation, error) {
+	if err := e.checkFaults(faults); err != nil {
+		return Evaluation{}, err
+	}
+	eval := Evaluation{WorstRatio: -1}
+	for ray := 1; ray <= e.m; ray++ {
+		e.resetCursors()
+		for _, b := range e.breaks[ray] {
+			eval.Breakpoints++
+			if eval.Breakpoints%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return Evaluation{}, err
+				}
+			}
+			e.offsetsAt(ray, b)
+			// Attained value at x = b.
+			cAtt := e.selectKth(e.att, faults)
+			if math.IsInf(cAtt, 1) {
+				return Evaluation{}, fmt.Errorf("%w: ray %d, x = %g", ErrUncovered, ray, b)
+			}
+			if ratio := (cAtt + b) / b; ratio > eval.WorstRatio {
+				eval = Evaluation{
+					WorstRatio: ratio, WorstRay: ray, WorstX: b,
+					Attained: true, Breakpoints: eval.Breakpoints,
+				}
+			}
+			// Right-limit value just beyond x = b.
+			cLim := e.selectKth(e.lim, faults)
+			if math.IsInf(cLim, 1) {
+				// The strategy's generated prefix ends here; targets
+				// beyond are outside the evaluated window.
+				continue
+			}
+			if ratio := (cLim + b) / b; ratio > eval.WorstRatio {
+				eval = Evaluation{
+					WorstRatio: ratio, WorstRay: ray, WorstX: b,
+					Attained: false, Breakpoints: eval.Breakpoints,
+				}
+			}
+		}
+	}
+	return eval, nil
+}
+
+// FRange evaluates ExactRatio for every fault count f in 0..maxF in a
+// single breakpoint pass: per candidate point the offsets are gathered
+// and fully ordered once, and the whole order-statistic vector updates
+// every fault count's running supremum. This is the cross-f table
+// reuse the per-f API cannot express — k fault counts for one table
+// build and one traversal.
+//
+// maxF must satisfy 0 <= maxF < K(), and the strategy must cover every
+// in-horizon target at least maxF+1 times (true for the optimal cyclic
+// exponential strategy of fault budget f whenever maxF <= f); an
+// uncovered fault count fails the whole call with ErrUncovered.
+func (e *Evaluator) FRange(ctx context.Context, maxF int) ([]Evaluation, error) {
+	if err := e.checkFaults(maxF); err != nil {
+		return nil, err
+	}
+	evals := make([]Evaluation, maxF+1)
+	for f := range evals {
+		evals[f].WorstRatio = -1
+	}
+	checked := 0
+	for ray := 1; ray <= e.m; ray++ {
+		e.resetCursors()
+		for _, b := range e.breaks[ray] {
+			checked++
+			if checked%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			e.offsetsAt(ray, b)
+			sorted := e.sortAll(e.att)
+			for f := 0; f <= maxF; f++ {
+				evals[f].Breakpoints++
+				cAtt := sorted[f]
+				if math.IsInf(cAtt, 1) {
+					return nil, fmt.Errorf("%w: ray %d, x = %g (fault count %d)", ErrUncovered, ray, b, f)
+				}
+				if ratio := (cAtt + b) / b; ratio > evals[f].WorstRatio {
+					evals[f] = Evaluation{
+						WorstRatio: ratio, WorstRay: ray, WorstX: b,
+						Attained: true, Breakpoints: evals[f].Breakpoints,
+					}
+				}
+			}
+			sorted = e.sortAll(e.lim)
+			for f := 0; f <= maxF; f++ {
+				cLim := sorted[f]
+				if math.IsInf(cLim, 1) {
+					continue
+				}
+				if ratio := (cLim + b) / b; ratio > evals[f].WorstRatio {
+					evals[f] = Evaluation{
+						WorstRatio: ratio, WorstRay: ray, WorstX: b,
+						Attained: false, Breakpoints: evals[f].Breakpoints,
+					}
+				}
+			}
+		}
+	}
+	return evals, nil
+}
+
+// GridRatio estimates the worst ratio for f faults by sampling n
+// log-spaced target distances per ray in [1, horizon], from the
+// prebuilt tables. Same sample points and arithmetic as the
+// package-level GridRatio.
+func (e *Evaluator) GridRatio(ctx context.Context, faults, n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("%w: need a strategy and n >= 2", ErrBadParams)
+	}
+	if err := e.checkFaults(faults); err != nil {
+		return 0, err
+	}
+	logH := math.Log(e.horizon)
+	worst := 0.0
+	for ray := 1; ray <= e.m; ray++ {
+		e.resetCursors()
+		for i := 0; i < n; i++ {
+			if i%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			x := math.Exp(logH * float64(i) / float64(n-1))
+			if x >= e.horizon {
+				x = e.horizon * (1 - 1e-12)
+			}
+			e.offsetsAt(ray, x)
+			c := e.selectKth(e.att, faults)
+			if math.IsInf(c, 1) {
+				return 0, fmt.Errorf("%w: ray %d, x = %g", ErrUncovered, ray, x)
+			}
+			if ratio := (c + x) / x; ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	return worst, nil
+}

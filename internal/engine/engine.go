@@ -47,11 +47,19 @@ var (
 )
 
 // Engine runs Jobs on a bounded worker pool and memoizes their results.
-// The zero value is not usable; construct with New or NewWithCache. An
-// Engine is safe for concurrent use.
+// The zero value is not usable; construct with New, NewWithCache or
+// NewWithCacheShards. An Engine is safe for concurrent use.
+//
+// The result cache is sharded: each job key hashes (FNV-1a over the
+// fingerprint) to one of several independent shards, each with its own
+// mutex, map and LRU list, so concurrent Runs of distinct keys contend
+// only when they land on the same shard instead of serializing on one
+// engine-wide lock. Singleflight semantics are per key and a key lives
+// on exactly one shard, so sharding never changes which computations
+// are deduplicated — only how much the bookkeeping around them blocks.
 type Engine struct {
 	workers  int
-	capacity int // max cached entries; 0 = unbounded
+	capacity int // max cached entries summed over shards; 0 = unbounded
 
 	// compSem caps concurrently executing detached computations at the
 	// pool size, so abandoned non-cooperative jobs cannot pile up
@@ -60,9 +68,7 @@ type Engine struct {
 	// exits without ever running.
 	compSem chan struct{}
 
-	mu    sync.Mutex
-	cache map[string]*cacheEntry
-	lru   *list.List // front = most recently used *cacheEntry
+	shards []*cacheShard
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -70,6 +76,14 @@ type Engine struct {
 	deduped   atomic.Int64
 	cancelled atomic.Int64
 	inflight  atomic.Int64
+}
+
+// cacheShard is one independently locked slice of the result cache.
+type cacheShard struct {
+	mu       sync.Mutex
+	cache    map[string]*cacheEntry
+	lru      *list.List // front = most recently used *cacheEntry
+	capacity int        // per-shard LRU bound; 0 = unbounded
 }
 
 // cacheEntry is a singleflight slot: the first Run for a key starts the
@@ -84,16 +98,20 @@ type cacheEntry struct {
 	res  Result
 	err  error
 
+	// shard is the cache shard the key hashes to; all the guarded
+	// fields below are protected by shard.mu.
+	shard *cacheShard
+
 	// waiters counts the callers currently blocked on done; guarded by
-	// Engine.mu. When the last waiter abandons an incomplete entry, the
+	// shard.mu. When the last waiter abandons an incomplete entry, the
 	// computation's context is cancelled.
 	waiters int
 	// completed reports that res/err are valid (set before done closes);
-	// guarded by Engine.mu.
+	// guarded by shard.mu.
 	completed bool
 	// abandoned marks an in-flight entry whose last waiter left (its
 	// compute context is cancelled). A later Run finding an abandoned
-	// in-flight entry displaces it and recomputes; guarded by Engine.mu.
+	// in-flight entry displaces it and recomputes; guarded by shard.mu.
 	abandoned bool
 	// cancel aborts the detached computation. Safe to call repeatedly.
 	cancel context.CancelFunc
@@ -107,26 +125,86 @@ func New(workers int) *Engine {
 	return NewWithCache(workers, 0)
 }
 
+// Shard-count defaults: unbounded and large bounded caches use
+// defaultShardCount fingerprint-hashed shards; a bounded cache smaller
+// than minShardedCapacity stays on a single shard, where the LRU is
+// exactly global (slicing a tiny budget across shards would evict on
+// hash imbalance long before the cache is full, and a cache that small
+// has no lock contention worth splitting).
+const (
+	defaultShardCount  = 16
+	minShardedCapacity = 4 * defaultShardCount
+)
+
 // NewWithCache returns an engine whose result cache holds at most
 // capacity entries, evicting the least recently used one on overflow
 // (capacity <= 0 = unbounded). Long-lived servers use this to bound the
 // memory of a cache fed by arbitrary request streams; evicting an
 // in-flight entry is safe (its waiters keep their reference, only new
-// Runs recompute).
+// Runs recompute). The shard count is chosen automatically; use
+// NewWithCacheShards to pin it.
 func NewWithCache(workers, capacity int) *Engine {
+	return NewWithCacheShards(workers, capacity, 0)
+}
+
+// NewWithCacheShards is NewWithCache with an explicit cache shard
+// count (shards <= 0 selects the automatic policy: one shard for small
+// bounded caches, defaultShardCount otherwise). The capacity budget is
+// split evenly across shards — each shard evicts independently once
+// its slice fills, so a sharded bounded cache can evict before the
+// summed size reaches capacity when keys hash unevenly; the summed
+// size never exceeds capacity. A single shard keeps the exact global
+// LRU order.
+func NewWithCacheShards(workers, capacity, shards int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Engine{
+	if shards <= 0 {
+		if capacity > 0 && capacity < minShardedCapacity {
+			shards = 1
+		} else {
+			shards = defaultShardCount
+		}
+	}
+	if capacity > 0 && shards > capacity {
+		shards = capacity
+	}
+	e := &Engine{
 		workers:  workers,
 		capacity: capacity,
 		compSem:  make(chan struct{}, workers),
-		cache:    make(map[string]*cacheEntry),
-		lru:      list.New(),
+		shards:   make([]*cacheShard, shards),
 	}
+	for i := range e.shards {
+		perShard := capacity / shards
+		if i < capacity%shards {
+			// Distribute the remainder so the summed per-shard bounds
+			// equal the configured capacity exactly.
+			perShard++
+		}
+		e.shards[i] = &cacheShard{
+			cache:    make(map[string]*cacheEntry),
+			lru:      list.New(),
+			capacity: perShard,
+		}
+	}
+	return e
+}
+
+// shardFor hashes a job key onto its cache shard (FNV-1a).
+func (e *Engine) shardFor(key string) *cacheShard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return e.shards[h%uint64(len(e.shards))]
 }
 
 // defaultEngine serves package-level callers (core.Problem.VerifyUpper)
@@ -143,11 +221,19 @@ func (e *Engine) Workers() int { return e.workers }
 // CacheCapacity reports the cache bound (0 = unbounded).
 func (e *Engine) CacheCapacity() int { return e.capacity }
 
-// CacheSize reports the number of memoized job results.
+// CacheShards reports the number of cache shards.
+func (e *Engine) CacheShards() int { return len(e.shards) }
+
+// CacheSize reports the number of memoized job results, summed over
+// the shards.
 func (e *Engine) CacheSize() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.cache)
+	n := 0
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		n += len(sh.cache)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats is a snapshot of the engine's cache and execution accounting.
@@ -173,10 +259,12 @@ type Stats struct {
 	// the engine's worker occupancy. A cancelled request must drive this
 	// back to zero within one cooperative cancellation check.
 	InFlight int64
-	// Size is the current number of cached entries.
+	// Size is the current number of cached entries, summed over shards.
 	Size int
 	// Capacity is the cache bound (0 = unbounded).
 	Capacity int
+	// Shards is the number of independently locked cache shards.
+	Shards int
 }
 
 // Stats returns a snapshot of the engine counters. The counters are
@@ -192,6 +280,7 @@ func (e *Engine) Stats() Stats {
 		InFlight:  e.inflight.Load(),
 		Size:      e.CacheSize(),
 		Capacity:  e.capacity,
+		Shards:    len(e.shards),
 	}
 }
 
@@ -201,10 +290,12 @@ func (e *Engine) Stats() Stats {
 // bound the memory of Default()'s otherwise append-only cache. The
 // hit/miss/eviction counters are not reset.
 func (e *Engine) ResetCache() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cache = make(map[string]*cacheEntry)
-	e.lru = list.New()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.cache = make(map[string]*cacheEntry)
+		sh.lru = list.New()
+		sh.mu.Unlock()
+	}
 }
 
 // Run evaluates one job through the cache. Identical jobs (equal keys)
@@ -230,22 +321,23 @@ func (e *Engine) Run(ctx context.Context, j Job) (Result, error) {
 		defer e.inflight.Add(-1)
 		return safeRun(ctx, j)
 	}
-	e.mu.Lock()
-	if en, ok := e.cache[key]; ok {
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	if en, ok := sh.cache[key]; ok {
 		if en.completed {
 			if en.elem != nil {
-				e.lru.MoveToFront(en.elem)
+				sh.lru.MoveToFront(en.elem)
 			}
-			e.mu.Unlock()
+			sh.mu.Unlock()
 			e.hits.Add(1)
 			return en.res, en.err
 		}
 		if !en.abandoned {
 			if en.elem != nil {
-				e.lru.MoveToFront(en.elem)
+				sh.lru.MoveToFront(en.elem)
 			}
 			en.waiters++
-			e.mu.Unlock()
+			sh.mu.Unlock()
 			e.hits.Add(1)
 			e.deduped.Add(1)
 			return e.wait(ctx, en)
@@ -253,14 +345,14 @@ func (e *Engine) Run(ctx context.Context, j Job) (Result, error) {
 		// In flight but abandoned: its compute context is already
 		// cancelled and its (non-)result will be discarded. Displace it
 		// and start fresh.
-		e.removeLocked(en)
+		sh.removeLocked(en)
 	}
 	cctx, cancel := context.WithCancel(context.Background())
-	en := &cacheEntry{key: key, done: make(chan struct{}), waiters: 1, cancel: cancel}
-	e.cache[key] = en
-	en.elem = e.lru.PushFront(en)
-	e.evictLocked()
-	e.mu.Unlock()
+	en := &cacheEntry{key: key, shard: sh, done: make(chan struct{}), waiters: 1, cancel: cancel}
+	sh.cache[key] = en
+	en.elem = sh.lru.PushFront(en)
+	e.evictLocked(sh)
+	sh.mu.Unlock()
 	e.misses.Add(1)
 	go e.compute(cctx, en, j)
 	return e.wait(ctx, en)
@@ -270,20 +362,21 @@ func (e *Engine) Run(ctx context.Context, j Job) (Result, error) {
 // cancelled. A caller abandoning the last reference cancels the
 // computation itself.
 func (e *Engine) wait(ctx context.Context, en *cacheEntry) (Result, error) {
+	sh := en.shard
 	select {
 	case <-en.done:
-		e.mu.Lock()
+		sh.mu.Lock()
 		en.waiters--
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		return en.res, en.err
 	case <-ctx.Done():
-		e.mu.Lock()
+		sh.mu.Lock()
 		en.waiters--
 		last := en.waiters == 0 && !en.completed
 		if last {
 			en.abandoned = true
 		}
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		if last {
 			en.cancel()
 		}
@@ -312,27 +405,29 @@ func (e *Engine) compute(cctx context.Context, en *cacheEntry, j Job) {
 	case <-cctx.Done():
 		err = cctx.Err()
 	}
-	e.mu.Lock()
+	sh := en.shard
+	sh.mu.Lock()
 	en.res, en.err = res, err
 	en.completed = true
 	if err != nil && errors.Is(err, context.Canceled) {
 		// Only the abandonment path cancels cctx, so this outcome says
 		// "nobody wanted it and the job cooperated (or never started)"
 		// — forget it.
-		e.removeLocked(en)
+		sh.removeLocked(en)
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	close(en.done)
 }
 
-// removeLocked detaches an entry from the cache map and LRU list if it
-// is still the resident entry for its key; the caller holds e.mu.
-func (e *Engine) removeLocked(en *cacheEntry) {
-	if cur, ok := e.cache[en.key]; ok && cur == en {
-		delete(e.cache, en.key)
+// removeLocked detaches an entry from the shard's cache map and LRU
+// list if it is still the resident entry for its key; the caller holds
+// sh.mu.
+func (sh *cacheShard) removeLocked(en *cacheEntry) {
+	if cur, ok := sh.cache[en.key]; ok && cur == en {
+		delete(sh.cache, en.key)
 	}
 	if en.elem != nil {
-		e.lru.Remove(en.elem)
+		sh.lru.Remove(en.elem)
 		en.elem = nil
 	}
 }
@@ -350,18 +445,19 @@ func safeRun(ctx context.Context, j Job) (res Result, err error) {
 	return j.Run(ctx)
 }
 
-// evictLocked enforces the LRU bound; the caller holds e.mu. Entries
-// removed here may still be in flight — their waiters hold the entry
-// pointer and are unaffected; only future Runs of the key recompute.
-func (e *Engine) evictLocked() {
-	for e.capacity > 0 && len(e.cache) > e.capacity {
-		back := e.lru.Back()
+// evictLocked enforces the shard's LRU bound; the caller holds sh.mu.
+// Entries removed here may still be in flight — their waiters hold the
+// entry pointer and are unaffected; only future Runs of the key
+// recompute.
+func (e *Engine) evictLocked(sh *cacheShard) {
+	for sh.capacity > 0 && len(sh.cache) > sh.capacity {
+		back := sh.lru.Back()
 		if back == nil {
 			return
 		}
-		victim := e.lru.Remove(back).(*cacheEntry)
+		victim := sh.lru.Remove(back).(*cacheEntry)
 		victim.elem = nil
-		delete(e.cache, victim.key)
+		delete(sh.cache, victim.key)
 		e.evictions.Add(1)
 	}
 }

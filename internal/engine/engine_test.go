@@ -518,3 +518,143 @@ func TestRunRecoversJobPanic(t *testing.T) {
 		t.Errorf("uncached panicking job returned %v", err)
 	}
 }
+
+func TestCacheShardPolicy(t *testing.T) {
+	// Unbounded caches shard by default; small bounded caches keep one
+	// shard (exact global LRU); explicit counts are honored and clamped
+	// to the capacity so per-shard budgets stay >= 1.
+	cases := []struct {
+		workers, capacity, shards int
+		want                      int
+	}{
+		{4, 0, 0, 16},    // unbounded -> defaultShardCount
+		{4, 2, 0, 1},     // tiny bounded -> single shard
+		{4, 63, 0, 1},    // below minShardedCapacity -> single shard
+		{4, 64, 0, 16},   // at minShardedCapacity -> sharded
+		{4, 4096, 0, 16}, // server default -> sharded
+		{4, 256, 8, 8},   // explicit count honored
+		{4, 4, 8, 4},     // explicit count clamped to capacity
+		{4, 0, 3, 3},     // explicit count on an unbounded cache
+	}
+	for _, c := range cases {
+		eng := NewWithCacheShards(c.workers, c.capacity, c.shards)
+		if got := eng.CacheShards(); got != c.want {
+			t.Errorf("NewWithCacheShards(%d, %d, %d).CacheShards() = %d, want %d",
+				c.workers, c.capacity, c.shards, got, c.want)
+		}
+		if st := eng.Stats(); st.Shards != eng.CacheShards() {
+			t.Errorf("Stats.Shards = %d, want %d", st.Shards, eng.CacheShards())
+		}
+	}
+}
+
+func TestShardedCacheBoundAndSingleflight(t *testing.T) {
+	// A sharded bounded cache never exceeds its summed capacity, and
+	// singleflight still collapses concurrent Runs of one key.
+	eng := NewWithCacheShards(8, 64, 16)
+	var runs atomic.Int64
+	for i := 0; i < 500; i++ {
+		if _, err := eng.Run(context.Background(), countingJob{key: fmt.Sprintf("k%d", i), value: 1, runs: &runs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if size := eng.CacheSize(); size > 64 {
+		t.Errorf("cache size %d exceeds capacity 64", size)
+	}
+	if st := eng.Stats(); st.Evictions == 0 {
+		t.Error("500 keys into a 64-slot cache evicted nothing")
+	}
+	runs.Store(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Run(context.Background(), countingJob{key: "flight", value: 1, runs: &runs}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Errorf("concurrent Runs of one key executed %d times, want 1 (singleflight)", got)
+	}
+}
+
+func TestShardedCacheConcurrentDistinctKeys(t *testing.T) {
+	// Hammer distinct keys across shards under -race: every miss is one
+	// execution, hits+misses account for every Run, and values stay
+	// keyed correctly.
+	eng := NewWithCacheShards(8, 0, 16)
+	var runs atomic.Int64
+	const goroutines, perG, keys = 16, 60, 23
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id := (g*perG + i) % keys
+				res, err := eng.Run(context.Background(), countingJob{key: fmt.Sprintf("k%d", id), value: float64(id), runs: &runs})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Value != float64(id) {
+					t.Errorf("key k%d returned %g", id, res.Value)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := eng.Stats()
+	if st.Hits+st.Misses != goroutines*perG {
+		t.Errorf("hits %d + misses %d != %d Runs", st.Hits, st.Misses, goroutines*perG)
+	}
+	if st.Misses != runs.Load() {
+		t.Errorf("misses %d != executions %d", st.Misses, runs.Load())
+	}
+	if st.Size != keys {
+		t.Errorf("cache size %d, want %d distinct keys", st.Size, keys)
+	}
+}
+
+func TestFRangeRatioJobMatchesPerFJobs(t *testing.T) {
+	// One FRangeRatio answers the whole fault range with the numbers the
+	// per-f ExactRatio jobs produce, from one table build, and caches
+	// under one key.
+	s, err := strategy.NewCyclicExponential(2, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(4)
+	res, err := eng.Run(context.Background(), FRangeRatio{Strategy: s, MaxF: 2, Horizon: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evals) != 3 {
+		t.Fatalf("Evals has %d entries, want 3", len(res.Evals))
+	}
+	if res.Value != res.Evals[2].WorstRatio || res.Eval != res.Evals[2] {
+		t.Errorf("headline fields disagree with Evals[MaxF]: %+v", res)
+	}
+	for f := 0; f <= 2; f++ {
+		per, err := eng.Run(context.Background(), ExactRatio{Strategy: s, Faults: f, Horizon: 1e4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evals[f] != per.Eval {
+			t.Errorf("f=%d: FRangeRatio %+v, ExactRatio %+v", f, res.Evals[f], per.Eval)
+		}
+	}
+	if eng.CacheSize() != 4 { // frange + three per-f jobs
+		t.Errorf("CacheSize = %d, want 4", eng.CacheSize())
+	}
+	if (FRangeRatio{}).Key() != "" {
+		t.Error("nil-strategy FRangeRatio must opt out of caching")
+	}
+	if _, err := eng.Run(context.Background(), FRangeRatio{Strategy: s, MaxF: 5, Horizon: 1e4}); err == nil {
+		t.Error("MaxF >= K must fail")
+	}
+}

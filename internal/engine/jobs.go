@@ -44,6 +44,10 @@ type Result struct {
 	// the supported range — the caller asked for more (or fewer)
 	// samples than the job ran.
 	Clamped bool
+	// Evals carries the full fault-range evaluation of FRangeRatio-style
+	// jobs (Evals[f] is the evaluation at f faults); nil otherwise.
+	// Results are shared through the cache: callers must not mutate it.
+	Evals []adversary.Evaluation
 }
 
 // Job is one unit of batch work. Implementations must be deterministic:
@@ -82,6 +86,44 @@ func (j ExactRatio) Key() string {
 func (j ExactRatio) Run(ctx context.Context) (Result, error) {
 	ev, err := adversary.ExactRatioCtx(ctx, j.Strategy, j.Faults, j.Horizon)
 	return Result{Value: ev.WorstRatio, Eval: ev}, err
+}
+
+// FRangeRatio evaluates the exact worst-case competitive ratio of one
+// strategy at EVERY fault count f in 0..MaxF from a single visit-table
+// build (adversary.Evaluator.FRange) — the cross-f reuse that a batch
+// of per-f ExactRatio jobs cannot express, since each of those rebuilds
+// the tables. Value and Eval report the full-budget (f = MaxF) point;
+// Evals carries the whole resilience curve.
+type FRangeRatio struct {
+	Strategy strategy.Strategy
+	// MaxF is the inclusive top of the fault range; it must satisfy
+	// 0 <= MaxF < K, and the strategy must cover every in-horizon
+	// target MaxF+1 times (always true for the optimal cyclic
+	// exponential strategy of fault budget f when MaxF <= f).
+	MaxF    int
+	Horizon float64
+}
+
+// Key implements Job.
+func (j FRangeRatio) Key() string {
+	if j.Strategy == nil {
+		return ""
+	}
+	return fmt.Sprintf("frange|%s|fmax=%d|h=%g", fingerprint(j.Strategy), j.MaxF, j.Horizon)
+}
+
+// Run implements Job.
+func (j FRangeRatio) Run(ctx context.Context) (Result, error) {
+	ev, err := adversary.NewEvaluator(j.Strategy, j.Horizon)
+	if err != nil {
+		return Result{}, err
+	}
+	evals, err := ev.FRange(ctx, j.MaxF)
+	if err != nil {
+		return Result{}, err
+	}
+	last := evals[len(evals)-1]
+	return Result{Value: last.WorstRatio, Eval: last, Evals: evals}, nil
 }
 
 // GridRatio evaluates the log-spaced grid estimate of the worst-case
@@ -163,6 +205,7 @@ func (j RandomizedTrials) Run(ctx context.Context) (Result, error) {
 
 var (
 	_ Job = ExactRatio{}
+	_ Job = FRangeRatio{}
 	_ Job = GridRatio{}
 	_ Job = VerifyUpper{}
 	_ Job = RandomizedTrials{}

@@ -262,13 +262,18 @@ func (j ByzantineLineWorst) Run(ctx context.Context) (Result, error) {
 
 // LogGrid returns n log-spaced distances spanning [1, horizon] — the
 // deterministic target grid shared by the simulate endpoints and the
-// worst-over-grid jobs (d_0 = 1, d_{n-1} = horizon).
+// worst-over-grid jobs (d_0 = 1, d_{n-1} = horizon). The endpoints are
+// pinned exactly: exp(log(horizon)) is one ulp off horizon for many
+// inputs, which would make the grid's last row a simulation of almost
+// — but not quite — the requested horizon.
 func LogGrid(horizon float64, n int) []float64 {
 	out := make([]float64, n)
 	logH := math.Log(horizon)
 	for i := range out {
 		out[i] = math.Exp(logH * float64(i) / float64(n-1))
 	}
+	out[0] = 1
+	out[n-1] = horizon
 	return out
 }
 

@@ -139,3 +139,24 @@ func TestLogGrid(t *testing.T) {
 		}
 	}
 }
+
+// TestLogGridEndpointsExact is the endpoint-pinning regression test:
+// exp(log(h)) is one ulp off h for many horizons (10 is one), so the
+// grid's boundary rows must be pinned to exactly 1 and exactly the
+// requested horizon, not their round-tripped neighbors.
+func TestLogGridEndpointsExact(t *testing.T) {
+	if v := math.Exp(math.Log(10.0)); v == 10.0 {
+		t.Log("exp(log(10)) round-trips exactly on this platform; the pin is still required elsewhere")
+	}
+	for _, h := range []float64{7.3, 10, 50, 100, 2e5, 1e8} {
+		for _, n := range []int{2, 3, 8, 128} {
+			g := LogGrid(h, n)
+			if g[0] != 1 {
+				t.Errorf("LogGrid(%g, %d)[0] = %.17g, want exactly 1", h, n, g[0])
+			}
+			if g[n-1] != h {
+				t.Errorf("LogGrid(%g, %d)[%d] = %.17g, want exactly %.17g", h, n, n-1, g[n-1], h)
+			}
+		}
+	}
+}

@@ -143,7 +143,7 @@ type Server struct {
 }
 
 // routes is the static route set; unknown paths count under "other".
-var routes = []string{"/healthz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "/v1/simulate", "other"}
+var routes = []string{"/healthz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "/v1/simulate", "/v1/batch", "other"}
 
 // New returns a ready-to-serve handler.
 func New(cfg Config) *Server {
@@ -184,6 +184,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	return s
 }
 
@@ -236,6 +237,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "boundsd_engine_cache_evictions_total %d\n", st.Evictions)
 	fmt.Fprintf(w, "boundsd_engine_cache_size %d\n", st.Size)
 	fmt.Fprintf(w, "boundsd_engine_cache_capacity %d\n", st.Capacity)
+	fmt.Fprintf(w, "boundsd_engine_cache_shards %d\n", st.Shards)
 	fmt.Fprintf(w, "boundsd_engine_dedup_total %d\n", st.Deduped)
 	fmt.Fprintf(w, "boundsd_engine_cancelled_runs_total %d\n", st.Cancelled)
 	fmt.Fprintf(w, "boundsd_engine_inflight_jobs %d\n", st.InFlight)
@@ -245,32 +247,68 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"scenarios": s.cfg.Registry.All()})
 }
 
-// params reads request parameters from the query string and, for
-// POSTs with a JSON body, from the top-level object fields (body wins).
-func params(r *http.Request) (map[string]string, error) {
+// maxBodyBytes bounds request bodies (parameter objects and batch
+// arrays alike).
+const maxBodyBytes = 1 << 20
+
+// queryParams reads the query string, rejecting repeated keys: with
+// ?k=3&k=5 the historical behavior silently took the first value, and
+// a request whose intent is ambiguous should fail loudly instead.
+func queryParams(r *http.Request) (map[string]string, error) {
 	out := make(map[string]string)
 	for key, vals := range r.URL.Query() {
-		if len(vals) > 0 {
+		if len(vals) > 1 {
+			return nil, fmt.Errorf("parameter %q repeated %d times in the query string", key, len(vals))
+		}
+		if len(vals) == 1 {
 			out[key] = vals[0]
 		}
 	}
+	return out, nil
+}
+
+// coerceParam renders one JSON body field as a parameter string (the
+// scalar types a query string can express).
+func coerceParam(key string, val any) (string, error) {
+	switch v := val.(type) {
+	case string:
+		return v, nil
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64), nil
+	case bool:
+		return strconv.FormatBool(v), nil
+	default:
+		return "", fmt.Errorf("field %q has unsupported type", key)
+	}
+}
+
+// params reads request parameters from the query string and, for POSTs
+// with a JSON body, from the top-level object fields. A parameter may
+// arrive through either channel but not both: the historical behavior
+// let the body silently override a same-named query parameter, so a
+// client disagreeing with itself got whichever value the merge favored
+// — now it gets a 400 naming the parameter. Repeated query keys are
+// rejected the same way.
+func params(r *http.Request) (map[string]string, error) {
+	out, err := queryParams(r)
+	if err != nil {
+		return nil, err
+	}
 	if r.Method == http.MethodPost && r.Body != nil {
 		var body map[string]any
-		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
 		if err := dec.Decode(&body); err != nil && !errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("bad JSON body: %w", err)
 		}
 		for key, val := range body {
-			switch v := val.(type) {
-			case string:
-				out[key] = v
-			case float64:
-				out[key] = strconv.FormatFloat(v, 'g', -1, 64)
-			case bool:
-				out[key] = strconv.FormatBool(v)
-			default:
-				return nil, fmt.Errorf("bad JSON body: field %q has unsupported type", key)
+			if _, dup := out[key]; dup {
+				return nil, fmt.Errorf("parameter %q supplied in both the query string and the JSON body", key)
 			}
+			s, err := coerceParam(key, val)
+			if err != nil {
+				return nil, fmt.Errorf("bad JSON body: %w", err)
+			}
+			out[key] = s
 		}
 	}
 	return out, nil
@@ -390,47 +428,48 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sc, err := s.scenarioParam(p)
+	v, err := s.boundsPayload(p)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
+	}
+	if table, ok := v.(*BoundsTable); ok && p["format"] == "markdown" {
+		writeText(w, table.Markdown())
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// boundsPayload evaluates a /v1/bounds parameter set to its answer
+// payload: a *BoundsTable in grid mode (kmax set), a *BoundsAnswer in
+// single-cell mode. Shared verbatim by the /v1/batch "bounds" op, which
+// is what keeps batch rows identical to single-endpoint answers.
+func (s *Server) boundsPayload(p map[string]string) (any, error) {
+	sc, err := s.scenarioParam(p)
+	if err != nil {
+		return nil, err
 	}
 	m, err1 := intParam(p, "m", 2)
 	k, err2 := intParam(p, "k", 0)
 	f, err3 := intParam(p, "f", -1)
 	kmax, err4 := intParam(p, "kmax", 0)
 	if err := errors.Join(err1, err2, err3, err4); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("%w: %q must be >= 1, got %d", errBadParam, "m", m)
 	}
 	if kmax > s.cfg.MaxKMax {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("kmax %d exceeds the server cap %d", kmax, s.cfg.MaxKMax))
-		return
+		return nil, fmt.Errorf("kmax %d exceeds the server cap %d", kmax, s.cfg.MaxKMax)
 	}
 	// Grid mode: kmax set. Single-cell mode: k (and optionally f) set.
 	if kmax > 0 {
-		table, err := ComputeBoundsTable(sc, m, kmax)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if p["format"] == "markdown" {
-			writeText(w, table.Markdown())
-			return
-		}
-		writeJSON(w, http.StatusOK, table)
-		return
+		return ComputeBoundsTable(sc, m, kmax)
 	}
 	if k <= 0 || f < 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("need either kmax (grid mode) or k and f (single mode)"))
-		return
+		return nil, errors.New("need either kmax (grid mode) or k and f (single mode)")
 	}
-	ans, err := s.boundsAnswer(sc, m, k, f)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ans)
+	return s.boundsAnswer(sc, m, k, f)
 }
 
 // boundsAnswer evaluates one cell through the scenario, sharing the
@@ -479,8 +518,20 @@ func requestParams(p map[string]string, defHorizon float64) (registry.Request, e
 	if err := errors.Join(err1, err2, err3, err4, err5, err6); err != nil {
 		return req, err
 	}
+	// Range-check every numeric parameter by name before anything
+	// reaches registry or core code: a negative m or sample count must
+	// be a 400 naming the parameter, never a computed absurdity.
+	if m < 1 {
+		return req, fmt.Errorf("%w: %q must be >= 1, got %d", errBadParam, "m", m)
+	}
 	if k <= 0 || f < 0 {
 		return req, errors.New("need k and f")
+	}
+	if samples < 0 {
+		return req, fmt.Errorf("%w: %q must be >= 0, got %d", errBadParam, "samples", samples)
+	}
+	if pr < 0 || pr >= 1 {
+		return req, fmt.Errorf("%w: %q must lie in [0, 1), got %g", errBadParam, "p", pr)
 	}
 	if !(horizon > 1) || horizon > maxHorizon {
 		return req, fmt.Errorf("horizon %g out of range (1, %g]", horizon, maxHorizon)
@@ -500,49 +551,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sc, err := s.scenarioParam(p)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	req, err := requestParams(p, DefaultHorizon)
+	sc, req, err := s.verifyRequest(p)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
-		// Construct the job under the budget context too: constructors
-		// are a plugin point that may do nontrivial work (root finding,
-		// strategy materialization), and it must not escape the
-		// request's compute bound.
-		job, err := sc.VerifyJob(ctx, req)
-		if err != nil {
-			return nil, err
-		}
-		res, err := s.cfg.Engine.Run(ctx, job)
-		if err != nil {
-			return nil, err
-		}
-		ans := &VerifyAnswer{
-			Scenario: sc.Name, M: req.M, K: req.K, F: req.F, Horizon: req.Horizon,
-			Value: Float(res.Value), Lower: Float(nan()), RelGap: Float(nan()),
-			Samples: res.Samples, Seed: res.Seed, Clamped: res.Clamped,
-		}
-		if res.Clamped {
-			ans.Warning = clampWarning(req.Horizon, res.Samples)
-		}
-		if lower, err := scenarioClosedForm(sc, req); err == nil {
-			ans.Lower = Float(lower)
-			if lower > 0 {
-				ans.RelGap = Float((res.Value - lower) / lower)
-			}
-		}
-		if res.Eval.WorstRatio != 0 {
-			ans.Evaluated = true
-			ans.WorstRay = res.Eval.WorstRay
-			ans.WorstX = Float(res.Eval.WorstX)
-		}
-		return ans, nil
+		return s.verifyAnswer(ctx, sc, req)
 	})
 	if err != nil {
 		writeErr(w, computeStatus(err), err)
@@ -551,34 +566,64 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// verifyRequest parses and validates the /v1/verify parameter set.
+func (s *Server) verifyRequest(p map[string]string) (registry.Scenario, registry.Request, error) {
+	sc, err := s.scenarioParam(p)
+	if err != nil {
+		return registry.Scenario{}, registry.Request{}, err
+	}
+	req, err := requestParams(p, DefaultHorizon)
+	if err != nil {
+		return registry.Scenario{}, registry.Request{}, err
+	}
+	return sc, req, nil
+}
+
+// verifyAnswer runs the scenario's verification job and shapes the
+// /v1/verify payload. Shared verbatim by the /v1/batch "verify" op.
+// Job construction happens under ctx too: constructors are a plugin
+// point that may do nontrivial work (root finding, strategy
+// materialization), and it must not escape the request's compute bound.
+func (s *Server) verifyAnswer(ctx context.Context, sc registry.Scenario, req registry.Request) (*VerifyAnswer, error) {
+	job, err := sc.VerifyJob(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.cfg.Engine.Run(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	ans := &VerifyAnswer{
+		Scenario: sc.Name, M: req.M, K: req.K, F: req.F, Horizon: req.Horizon,
+		Value: Float(res.Value), Lower: Float(nan()), RelGap: Float(nan()),
+		Samples: res.Samples, Seed: res.Seed, Clamped: res.Clamped,
+	}
+	if res.Clamped {
+		ans.Warning = clampWarning(req.Horizon, res.Samples)
+	}
+	if lower, err := scenarioClosedForm(sc, req); err == nil {
+		ans.Lower = Float(lower)
+		if lower > 0 {
+			ans.RelGap = Float((res.Value - lower) / lower)
+		}
+	}
+	if res.Eval.WorstRatio != 0 {
+		ans.Evaluated = true
+		ans.WorstRay = res.Eval.WorstRay
+		ans.WorstX = Float(res.Eval.WorstX)
+	}
+	return ans, nil
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	p, err := params(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sc, err := s.scenarioParam(p)
+	sc, req, points, err := s.simulateRequest(p)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if sc.SimulateJob == nil {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("scenario %q has no simulator (simulatable: %v)", sc.Name, s.cfg.Registry.SimulatableNames()))
-		return
-	}
-	req, err := requestParams(p, DefaultSimHorizon)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	points, err := intParam(p, "points", DefaultSimPoints)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if points < 2 || points > MaxSimPoints {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("points %d out of range [2, %d]", points, MaxSimPoints))
 		return
 	}
 	// An explicit ?format= wins; Accept-based negotiation only applies
@@ -589,13 +634,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
-		table, err := ComputeSimulate(ctx, s.cfg.Engine, sc, req, points)
-		// Per-row failures ride inside the table (partial progress is
-		// never thrown away); only whole-request failures propagate.
-		if err != nil && (table == nil || len(table.Rows) == 0) {
-			return nil, err
-		}
-		return table, nil
+		return s.simulateAnswer(ctx, sc, req, points)
 	})
 	if err != nil {
 		writeErr(w, computeStatus(err), err)
@@ -607,6 +646,42 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, table)
+}
+
+// simulateRequest parses and validates the /v1/simulate parameter set.
+func (s *Server) simulateRequest(p map[string]string) (registry.Scenario, registry.Request, int, error) {
+	sc, err := s.scenarioParam(p)
+	if err != nil {
+		return registry.Scenario{}, registry.Request{}, 0, err
+	}
+	if sc.SimulateJob == nil {
+		return registry.Scenario{}, registry.Request{}, 0,
+			fmt.Errorf("scenario %q has no simulator (simulatable: %v)", sc.Name, s.cfg.Registry.SimulatableNames())
+	}
+	req, err := requestParams(p, DefaultSimHorizon)
+	if err != nil {
+		return registry.Scenario{}, registry.Request{}, 0, err
+	}
+	points, err := intParam(p, "points", DefaultSimPoints)
+	if err != nil {
+		return registry.Scenario{}, registry.Request{}, 0, err
+	}
+	if points < 2 || points > MaxSimPoints {
+		return registry.Scenario{}, registry.Request{}, 0, fmt.Errorf("points %d out of range [2, %d]", points, MaxSimPoints)
+	}
+	return sc, req, points, nil
+}
+
+// simulateAnswer runs the simulate table under ctx. Per-row failures
+// ride inside the table (partial progress is never thrown away); only
+// whole-request failures propagate. Shared verbatim by the /v1/batch
+// "simulate" op.
+func (s *Server) simulateAnswer(ctx context.Context, sc registry.Scenario, req registry.Request, points int) (*SimulateTable, error) {
+	table, err := ComputeSimulate(ctx, s.cfg.Engine, sc, req, points)
+	if err != nil && (table == nil || len(table.Rows) == 0) {
+		return nil, err
+	}
+	return table, nil
 }
 
 // streamSimulate is the NDJSON path of /v1/simulate: one SimRow JSON
@@ -826,14 +901,17 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p map[strin
 	}))
 }
 
-// computeStatus classifies an error from the compute path.
+// computeStatus classifies an error from the compute path. Raw context
+// errors surface when engine work is consumed without the compute()
+// wrapper (the batch endpoint's per-row evaluation, stream setup): they
+// classify like the wrapper's sentinels.
 func computeStatus(err error) int {
 	switch {
-	case errors.Is(err, errTimeout):
+	case errors.Is(err, errTimeout), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, errBusy):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, errClientGone):
+	case errors.Is(err, errClientGone), errors.Is(err, context.Canceled):
 		// 499 is the de-facto (nginx) "client closed request" code; the
 		// client is gone, the status only feeds the error counters.
 		return 499

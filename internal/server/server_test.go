@@ -479,3 +479,129 @@ func TestComputeSaturationIsA503(t *testing.T) {
 		t.Errorf("verify after slot freed = %d: %s", code, body)
 	}
 }
+
+// TestParamsRejectConflicts is the params() bugfix contract: a POST
+// body silently overriding a same-named query parameter, or a repeated
+// query key silently taking the first value, are now 400s naming the
+// parameter.
+func TestParamsRejectConflicts(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Same parameter through both channels (even with equal values).
+	resp, err := http.Post(ts.URL+"/v1/bounds?k=3", "application/json",
+		strings.NewReader(`{"m": 2, "k": 5, "f": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("query/body conflict = %d (want 400): %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `\"k\"`) || !strings.Contains(string(body), "both") {
+		t.Errorf("conflict error does not name the parameter: %s", body)
+	}
+	// Repeated query key.
+	code, got := get(t, ts.URL+"/v1/bounds?m=2&k=3&k=5&f=1")
+	if code != http.StatusBadRequest {
+		t.Errorf("repeated query key = %d (want 400): %s", code, got)
+	}
+	if !strings.Contains(got, `\"k\"`) || !strings.Contains(got, "repeated") {
+		t.Errorf("repeated-key error does not name the parameter: %s", got)
+	}
+	// Disjoint query and body parameters still merge fine.
+	resp2, err := http.Post(ts.URL+"/v1/bounds?m=2", "application/json",
+		strings.NewReader(`{"k": 3, "f": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("disjoint query+body = %d (want 200)", resp2.StatusCode)
+	}
+}
+
+// TestHandlersRejectNegativeParams is the bad-value matrix: every
+// negative or out-of-range numeric parameter must be a 400 naming the
+// parameter — never a panic, never a computed absurdity.
+func TestHandlersRejectNegativeParams(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		query string
+		name  string // parameter the error must mention
+	}{
+		{"/v1/bounds?m=-3&k=3&f=1", "m"},
+		{"/v1/bounds?m=-3&kmax=4", "m"},
+		{"/v1/verify?m=-3&k=3&f=1", "m"},
+		{"/v1/verify?m=2&k=3&f=1&samples=-5", "samples"},
+		{"/v1/verify?m=2&k=3&f=1&seed=-4", "seed"},
+		{"/v1/verify?model=pfaulty-halfline&m=1&k=1&f=0&p=-0.5", "p"},
+		{"/v1/verify?model=pfaulty-halfline&m=1&k=1&f=0&p=1.5", "p"},
+		{"/v1/simulate?model=crash&m=-2&k=3&f=1", "m"},
+		{"/v1/simulate?model=crash&m=2&k=3&f=1&points=-1", "points"},
+		{"/v1/simulate?model=crash&m=2&k=3&f=1&samples=-5", "samples"},
+		{"/v1/simulate?model=crash&m=2&k=3&f=1&horizon=-10", "horizon"},
+		{"/v1/sweep?m=-2&kmax=3", "m"},
+		{"/v1/sweep?m=2&kmax=-1", "kmax"},
+		{"/v1/verify?m=2&k=3&f=1&timeout_ms=-5", "timeout_ms"},
+	}
+	for _, c := range cases {
+		code, body := get(t, ts.URL+c.query)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d (want 400): %s", c.query, code, body)
+			continue
+		}
+		if !strings.Contains(body, c.name) {
+			t.Errorf("%s: error %s does not name %q", c.query, body, c.name)
+		}
+	}
+	// Negative k/f (the "need k and f" pair) still 400 without panicking.
+	for _, q := range []string{"/v1/verify?m=2&k=-2&f=1", "/v1/verify?m=2&k=3&f=-1"} {
+		if code, body := get(t, ts.URL+q); code != http.StatusBadRequest {
+			t.Errorf("%s = %d (want 400): %s", q, code, body)
+		}
+	}
+}
+
+// TestTimedOutComputeReleasesSlotAndInflight is the slot-accounting
+// regression test guarding the sharded-cache refactor: after a 504,
+// the request's MaxInflight slot must come back (an immediate new
+// compute succeeds) and the engine's in-flight gauge must return to
+// zero on /metrics once the abandoned job finishes.
+func TestTimedOutComputeReleasesSlotAndInflight(t *testing.T) {
+	r := slowRegistry(t)
+	eng := engine.New(2)
+	srv := New(Config{Registry: r, Engine: eng, Timeout: 60 * time.Millisecond, MaxInflight: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	code, body := get(t, ts.URL+"/v1/verify?m=2&k=1&f=0&model=slow")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow verify = %d (want 504): %s", code, body)
+	}
+	// The slot must already be free: with MaxInflight = 1, a second
+	// compute request can only succeed if the timed-out one released it.
+	if code, body := get(t, ts.URL+"/v1/verify?m=2&k=3&f=1&horizon=5000"); code != http.StatusOK {
+		t.Fatalf("verify after timeout = %d (slot leaked?): %s", code, body)
+	}
+	if got := len(srv.sem); got != 0 {
+		t.Errorf("server semaphore still holds %d slots", got)
+	}
+	// The abandoned slow job (it ignores its context) finishes detached;
+	// the in-flight gauge must drain to zero within its sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if eng.Stats().InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine in-flight stuck at %d", eng.Stats().InFlight)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	code, metrics := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if !strings.Contains(metrics, "boundsd_engine_inflight_jobs 0") {
+		t.Errorf("metrics in-flight not back to zero:\n%s", metrics)
+	}
+}

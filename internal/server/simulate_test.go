@@ -255,3 +255,27 @@ func TestVerifyPFaultyAtRequestedP(t *testing.T) {
 		t.Errorf("measured %g far from closed form %g", ans.Value, want)
 	}
 }
+
+// TestSimulateTableEndpointRowAtExactHorizon is the LogGrid
+// endpoint-pinning regression at the table level: the last row of a
+// simulate table is evaluated at exactly the requested horizon (the
+// unpinned grid computed exp(log(h)), one ulp off for many horizons),
+// and the first row at exactly 1.
+func TestSimulateTableEndpointRowAtExactHorizon(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	const horizon = 10.0 // exp(log(10)) != 10 in float64
+	code, body := get(t, ts.URL+"/v1/simulate?model=crash&m=2&k=3&f=1&horizon=10&points=3")
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, body)
+	}
+	var table SimulateTable
+	if err := json.Unmarshal([]byte(body), &table); err != nil {
+		t.Fatal(err)
+	}
+	if got := table.Rows[0].Dist; got != 1 {
+		t.Errorf("first row dist = %.17g, want exactly 1", got)
+	}
+	if got := table.Rows[len(table.Rows)-1].Dist; got != horizon {
+		t.Errorf("last row dist = %.17g, want exactly %.17g", got, horizon)
+	}
+}

@@ -151,21 +151,38 @@ func (s *CyclicExponential) Rounds(r int, horizon float64) ([]trajectory.Round, 
 		q        = s.Q()
 		logA     = math.Log(s.alpha)
 		stopExpo = math.Log(horizon)/logA + float64(q+s.k*s.m)
-		rounds   []trajectory.Round
+		start    = 1 - 2*s.m
+		e0       = float64(s.k*start + s.m*(r+1))
 	)
-	for l := 1 - 2*s.m; ; l++ {
+	if e0 > stopExpo {
+		return nil, nil
+	}
+	// Successive turning points differ by the constant factor alpha^k,
+	// so one math.Pow seeds the progression and the loop multiplies —
+	// the turn-generation cost of a table build drops from one Pow per
+	// excursion to two per robot. The count is known up front, so the
+	// slice is allocated once and the round cap checked before looping:
+	// the rounds generated are floor(span)+1, which exceeds maxRounds
+	// exactly when span >= maxRounds (the float comparison also guards
+	// the int conversion below against overflow).
+	span := (stopExpo - e0) / float64(s.k)
+	if span >= maxRounds {
+		return nil, fmt.Errorf("%w: %d rounds at horizon %g", ErrTooManyRounds, maxRounds, horizon)
+	}
+	rounds := make([]trajectory.Round, 0, int(span)+1)
+	step := math.Pow(s.alpha, float64(s.k))
+	turn := math.Pow(s.alpha, e0)
+	for l := start; ; l++ {
 		e := float64(s.k*l + s.m*(r+1))
 		if e > stopExpo {
 			break
 		}
-		if len(rounds) >= maxRounds {
-			return nil, fmt.Errorf("%w: %d rounds at horizon %g", ErrTooManyRounds, maxRounds, horizon)
-		}
 		ray := ((l-1)%s.m + s.m) % s.m // Go's % can be negative; normalize.
 		rounds = append(rounds, trajectory.Round{
 			Ray:  ray + 1,
-			Turn: math.Pow(s.alpha, e),
+			Turn: turn,
 		})
+		turn *= step
 	}
 	return rounds, nil
 }
