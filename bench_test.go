@@ -28,6 +28,7 @@ import (
 	"repro/internal/potential"
 	"repro/internal/randomized"
 	"repro/internal/server"
+	"repro/internal/solver"
 	"repro/internal/strategy"
 	"repro/internal/turncost"
 )
@@ -757,4 +758,61 @@ func BenchmarkBatchEndpoint(b *testing.B) {
 			b.Fatalf("batch = %d", resp.StatusCode)
 		}
 	}
+}
+
+// BenchmarkEvaluatorExtend measures the incremental-horizon kernel: an
+// Evaluator built at h answers each doubled horizon by appending the
+// new suffix (Extend) instead of rebuilding its tables, versus which
+// the rebuild path pays the full construction per doubling. This is
+// the per-doubling cost of adversary.ConvergenceCheck; the regression
+// gate (cmd/benchdiff vs BENCH_baseline.json) watches it.
+func BenchmarkEvaluatorExtend(b *testing.B) {
+	s, err := strategy.NewCyclicExponential(2, 5, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		ev, err := adversary.NewEvaluator(s, 1e3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range []float64{2e3, 4e3, 8e3, 16e3} {
+			if err := ev.Extend(h); err != nil {
+				b.Fatal(err)
+			}
+			res, err := ev.ExactRatio(ctx, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.WorstRatio
+		}
+		ev.Release()
+	}
+	b.ReportMetric(4, "doublings-per-build")
+	b.ReportMetric(last, "ratio-at-16k")
+}
+
+// BenchmarkWarmAlphaSolve measures the warm-started alpha* layer: one
+// pass over the Theorem-1 search-regime grid (k <= 12) through a fresh
+// solver, each cell's Newton solve seeded from the previous cell's
+// root. The memo is cold every iteration, so the number isolates the
+// solve path itself — the per-cell strategy-construction cost a sweep
+// amortizes through the shared solver.
+func BenchmarkWarmAlphaSolve(b *testing.B) {
+	var alpha float64
+	for i := 0; i < b.N; i++ {
+		sv := solver.New()
+		for f := 0; f <= 11; f++ {
+			for k := f + 1; k < 2*(f+1) && k <= 12; k++ {
+				a, err := sv.AlphaStar(2, k, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				alpha = a
+			}
+		}
+	}
+	b.ReportMetric(alpha, "last-alpha")
 }

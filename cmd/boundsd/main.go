@@ -4,6 +4,14 @@
 //
 //	boundsd -addr :8080 -workers 0 -cache 4096 -timeout 30s -heartbeat 10s
 //
+// Passing -pprof ADDR (off by default) additionally serves the
+// net/http/pprof profiling handlers on their own mux and listener at
+// ADDR — deliberately separate from the API address, so profiling
+// never rides on the public surface:
+//
+//	boundsd -addr :8080 -pprof 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 //	curl localhost:8080/healthz
 //	curl 'localhost:8080/v1/bounds?m=2&k=3&f=1'
 //	curl 'localhost:8080/v1/bounds?m=2&kmax=8&format=markdown'
@@ -32,6 +40,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,35 +50,62 @@ import (
 	"repro/internal/server"
 )
 
+// options carries the daemon's configuration from flags to run.
+type options struct {
+	addr              string
+	workers           int
+	cache             int
+	shards            int
+	timeout           time.Duration
+	heartbeat         time.Duration
+	drain             time.Duration
+	pprofAddr         string            // "" = pprof off
+	ready, pprofReady func(addr string) // test hooks for :0 listeners
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-		cache     = flag.Int("cache", server.DefaultCacheCapacity, "engine LRU result-cache capacity (0 = unbounded)")
-		shards    = flag.Int("cache-shards", 0, "engine result-cache shard count (0 = automatic)")
-		timeout   = flag.Duration("timeout", server.DefaultTimeout, "per-request compute budget")
-		heartbeat = flag.Duration("heartbeat", server.DefaultHeartbeat, "NDJSON sweep-stream heartbeat interval")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
-	)
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&opts.workers, "workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.cache, "cache", server.DefaultCacheCapacity, "engine LRU result-cache capacity (0 = unbounded)")
+	flag.IntVar(&opts.shards, "cache-shards", 0, "engine result-cache shard count (0 = automatic)")
+	flag.DurationVar(&opts.timeout, "timeout", server.DefaultTimeout, "per-request compute budget")
+	flag.DurationVar(&opts.heartbeat, "heartbeat", server.DefaultHeartbeat, "NDJSON sweep-stream heartbeat interval")
+	flag.DurationVar(&opts.drain, "drain", 10*time.Second, "graceful-shutdown drain window")
+	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *workers, *cache, *shards, *timeout, *heartbeat, *drain, nil); err != nil {
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "boundsd:", err)
 		os.Exit(1)
 	}
 }
 
-// run serves until ctx is cancelled, then drains gracefully. ready, if
-// non-nil, receives the bound address once the listener is up (the
-// test hook for -addr :0).
-func run(ctx context.Context, addr string, workers, cache, shards int, timeout, heartbeat, drain time.Duration, ready func(addr string)) error {
+// pprofMux builds the profiling mux: the net/http/pprof handlers,
+// registered explicitly so they live on their own listener and never
+// leak onto the API surface (the API server uses its own mux, so the
+// package's DefaultServeMux registration is inert).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// run serves until ctx is cancelled, then drains gracefully. The ready
+// hooks, if non-nil, receive the bound addresses once the listeners are
+// up (the test hooks for :0 addresses).
+func run(ctx context.Context, opts options) error {
 	handler := server.New(server.Config{
-		Engine:    engine.NewWithCacheShards(workers, cache, shards),
-		Timeout:   timeout,
-		Heartbeat: heartbeat,
+		Engine:    engine.NewWithCacheShards(opts.workers, opts.cache, opts.shards),
+		Timeout:   opts.timeout,
+		Heartbeat: opts.heartbeat,
 	})
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
@@ -77,10 +113,29 @@ func run(ctx context.Context, addr string, workers, cache, shards int, timeout, 
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	if opts.pprofAddr != "" {
+		pln, err := net.Listen("tcp", opts.pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		psrv := &http.Server{
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		// Best-effort lifecycle: the profiler dies with the process; it
+		// never delays the API server's graceful drain.
+		go psrv.Serve(pln)
+		defer psrv.Close()
+		log.Printf("boundsd: pprof on %s", pln.Addr())
+		if opts.pprofReady != nil {
+			opts.pprofReady(pln.Addr().String())
+		}
+	}
 	log.Printf("boundsd: listening on %s (workers=%d cache=%d shards=%d timeout=%v)",
-		ln.Addr(), handler.Engine().Workers(), handler.Engine().CacheCapacity(), handler.Engine().CacheShards(), timeout)
-	if ready != nil {
-		ready(ln.Addr().String())
+		ln.Addr(), handler.Engine().Workers(), handler.Engine().CacheCapacity(), handler.Engine().CacheShards(), opts.timeout)
+	if opts.ready != nil {
+		opts.ready(ln.Addr().String())
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -89,8 +144,8 @@ func run(ctx context.Context, addr string, workers, cache, shards int, timeout, 
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("boundsd: shutting down (drain %v)", drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("boundsd: shutting down (drain %v)", opts.drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("graceful shutdown: %w", err)

@@ -20,8 +20,11 @@ func startDaemon(t *testing.T, ctx context.Context) (string, <-chan error) {
 	readyCh := make(chan string, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(ctx, "127.0.0.1:0", 2, 128, 0, 5*time.Second, time.Second, 5*time.Second,
-			func(addr string) { readyCh <- addr })
+		errCh <- run(ctx, options{
+			addr: "127.0.0.1:0", workers: 2, cache: 128,
+			timeout: 5 * time.Second, heartbeat: time.Second, drain: 5 * time.Second,
+			ready: func(addr string) { readyCh <- addr },
+		})
 	}()
 	select {
 	case addr := <-readyCh:
@@ -113,10 +116,56 @@ func TestDaemonListenErrorSurfaces(t *testing.T) {
 	base, errCh := startDaemon(t, ctx)
 	// Second daemon on the same port must fail fast with a bind error.
 	addr := strings.TrimPrefix(base, "http://")
-	err := run(ctx, addr, 1, 16, 0, time.Second, time.Second, time.Second, nil)
+	err := run(ctx, options{addr: addr, workers: 1, cache: 16, timeout: time.Second, heartbeat: time.Second, drain: time.Second})
 	if err == nil {
 		t.Error("second bind on the same address should fail")
 	}
 	cancel()
 	<-errCh
+}
+
+// TestPprofListener: with -pprof set, the profiling handlers answer on
+// their own listener — and stay off the API mux.
+func TestPprofListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	readyCh := make(chan string, 1)
+	pprofCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, options{
+			addr: "127.0.0.1:0", workers: 1, cache: 16,
+			timeout: 5 * time.Second, heartbeat: time.Second, drain: 5 * time.Second,
+			pprofAddr:  "127.0.0.1:0",
+			ready:      func(addr string) { readyCh <- addr },
+			pprofReady: func(addr string) { pprofCh <- addr },
+		})
+	}()
+	var base, pbase string
+	for base == "" || pbase == "" {
+		select {
+		case addr := <-readyCh:
+			base = "http://" + addr
+		case addr := <-pprofCh:
+			pbase = "http://" + addr
+		case err := <-errCh:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+	}
+	if code, body := fetch(t, pbase+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline = (%d, %q)", code, body)
+	}
+	if code, body := fetch(t, pbase+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("pprof index = (%d, ...)", code)
+	}
+	// The API surface must not expose the profiler.
+	if code, _ := fetch(t, base+"/debug/pprof/"); code == http.StatusOK {
+		t.Error("API mux serves /debug/pprof/; the profiler must live on its own listener")
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Errorf("run returned %v after graceful shutdown", err)
+	}
 }

@@ -69,7 +69,9 @@ type Evaluation struct {
 }
 
 // visitTables builds, for each ray and robot, the increasing (turn, offset)
-// table of first-reaching excursions.
+// table of first-reaching excursions. It is the reference construction
+// the pooled arena build (pool.go) must reproduce bit-for-bit; the
+// equivalence tests compare the two.
 func visitTables(s strategy.Strategy, horizon float64) ([][][]rayVisit, error) {
 	m, k := s.M(), s.K()
 	tables := make([][][]rayVisit, m+1) // 1-based rays
@@ -122,6 +124,7 @@ func ExactRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon
 	if err != nil {
 		return Evaluation{}, err
 	}
+	defer e.Release()
 	return e.ExactRatio(ctx, faults)
 }
 
@@ -148,6 +151,7 @@ func GridRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon 
 	if err != nil {
 		return 0, err
 	}
+	defer e.Release()
 	return e.GridRatio(ctx, faults, n)
 }
 
@@ -156,14 +160,37 @@ func GridRatioCtx(ctx context.Context, s strategy.Strategy, faults int, horizon 
 // ratio has reached its log-periodic steady state (exponential strategies'
 // ratio functions are periodic in log x, so the windowed supremum
 // stabilizes once the window spans a full period).
+//
+// The doublings share one Evaluator grown in place (Evaluator.Extend):
+// each step appends only the new horizon window's rounds and
+// breakpoints instead of rebuilding — and re-querying — the whole
+// prefix from scratch. The reported ratios are identical to the
+// rebuild-per-horizon path (Extend is bit-for-bit equivalent to a
+// fresh build).
 func ConvergenceCheck(s strategy.Strategy, faults int, baseHorizon float64, doublings int) ([]float64, error) {
 	if doublings < 1 {
 		return nil, fmt.Errorf("%w: doublings = %d", ErrBadParams, doublings)
 	}
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil strategy", ErrBadParams)
+	}
+	if faults < 0 || faults >= s.K() {
+		return nil, fmt.Errorf("%w: %d faults with %d robots", ErrBadParams, faults, s.K())
+	}
+	e, err := NewEvaluator(s, baseHorizon)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Release()
 	out := make([]float64, 0, doublings)
 	h := baseHorizon
 	for i := 0; i < doublings; i++ {
-		ev, err := ExactRatio(s, faults, h)
+		if i > 0 {
+			if err := e.Extend(h); err != nil {
+				return nil, err
+			}
+		}
+		ev, err := e.ExactRatio(context.Background(), faults)
 		if err != nil {
 			return nil, err
 		}

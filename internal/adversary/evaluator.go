@@ -23,10 +23,13 @@ import (
 	"sort"
 
 	"repro/internal/strategy"
+	"repro/internal/trajectory"
 )
 
 // Evaluator answers worst-case ratio queries for one (strategy, horizon)
-// pair from tables built exactly once. Construct with NewEvaluator.
+// pair from tables built exactly once. Construct with NewEvaluator; a
+// built Evaluator can grow its horizon in place with Extend, and
+// Release recycles its buffers through the kernel pool (see pool.go).
 //
 // An Evaluator owns scratch buffers and is therefore NOT safe for
 // concurrent use; build one per goroutine (construction is the
@@ -38,23 +41,40 @@ type Evaluator struct {
 	m, k    int
 
 	// tables[ray][robot] is the increasing (turn, offset) table of the
-	// robot's first-reaching excursions on the ray.
+	// robot's first-reaching excursions on the ray. Each table is a
+	// capacity-clamped window into visitsBuf until an Extend append
+	// migrates it out.
 	tables [][][]rayVisit
 	// breaks[ray] is the sorted, deduplicated candidate-point slice of
 	// the ray: x = 1 plus every turning point in [1, horizon).
 	breaks [][]float64
 
 	// Scratch buffers (all length k), reused across breakpoints so the
-	// query loops allocate nothing.
+	// query loops allocate nothing. cursors doubles as the merge
+	// cursor scratch of the build and Extend passes.
 	cursors []int     // per-robot table position, monotone in x
 	att     []float64 // arrival offsets at x (Turn >= x)
 	lim     []float64 // arrival offsets just beyond x (Turn > x)
 	sel     []float64 // selection workspace
+
+	// Build arena (see pool.go): flat backing buffers the tables and
+	// breakpoint slices are partitioned out of, the per-robot filter
+	// and resume state Extend continues from, and the pool bookkeeping.
+	roundsBuf []trajectory.Round
+	robotOff  []int
+	visitsBuf []rayVisit
+	breaksBuf []float64
+	counts    []int
+	maxTurn   []float64 // k rows of m+1 running-maximum filter values
+	resume    []robotResume
+	released  bool
 }
 
 // NewEvaluator validates the strategy and horizon and builds the visit
-// tables and breakpoint slices. The fault count is per query, not per
-// evaluator: any f in 0..K()-1 can be asked of the same Evaluator.
+// tables and breakpoint slices, recycling the buffers of a previously
+// Released evaluator when the kernel pool has one. The fault count is
+// per query, not per evaluator: any f in 0..K()-1 can be asked of the
+// same Evaluator.
 func NewEvaluator(s strategy.Strategy, horizon float64) (*Evaluator, error) {
 	if s == nil {
 		return nil, fmt.Errorf("%w: nil strategy", ErrBadParams)
@@ -62,22 +82,10 @@ func NewEvaluator(s strategy.Strategy, horizon float64) (*Evaluator, error) {
 	if !(horizon > 1) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
 		return nil, fmt.Errorf("%w: horizon %g (want finite > 1)", ErrBadParams, horizon)
 	}
-	tables, err := visitTables(s, horizon)
-	if err != nil {
+	e := getEvaluator()
+	if err := e.build(s, horizon); err != nil {
+		e.Release()
 		return nil, err
-	}
-	m, k := s.M(), s.K()
-	e := &Evaluator{
-		s: s, horizon: horizon, m: m, k: k,
-		tables:  tables,
-		breaks:  make([][]float64, m+1),
-		cursors: make([]int, k),
-		att:     make([]float64, k),
-		lim:     make([]float64, k),
-		sel:     make([]float64, k),
-	}
-	for ray := 1; ray <= m; ray++ {
-		e.breaks[ray] = breakpointSlice(tables[ray], horizon)
 	}
 	return e, nil
 }
@@ -100,7 +108,9 @@ func (e *Evaluator) Breakpoints() int {
 
 // breakpointSlice flattens one ray's candidate points — x = 1 plus
 // every turning point in [1, horizon) — into a sorted, deduplicated
-// slice (the allocation-free replacement of the per-ray candidate map).
+// slice. It is the reference implementation the pooled build's k-way
+// merge (pool.go) must reproduce bit-for-bit; the equivalence tests
+// compare the two.
 func breakpointSlice(tables [][]rayVisit, horizon float64) []float64 {
 	n := 1
 	for _, table := range tables {

@@ -1,0 +1,281 @@
+// extend_test.go pins the amortization layer of the kernel: the pooled
+// arena build must be bit-for-bit identical to the reference
+// construction (visitTables + breakpointSlice), and Extend must be
+// bit-for-bit identical to a fresh build at the extended horizon,
+// across random strategies and horizon chains.
+package adversary
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/strategy"
+	"repro/internal/trajectory"
+)
+
+// referenceEvaluator builds the tables and breakpoints through the
+// reference path, bypassing the arena build.
+func referenceEvaluator(t *testing.T, s strategy.Strategy, horizon float64) ([][][]rayVisit, [][]float64) {
+	t.Helper()
+	tables, err := visitTables(s, horizon)
+	if err != nil {
+		t.Fatalf("visitTables(%s, %g): %v", s.Name(), horizon, err)
+	}
+	m := s.M()
+	breaks := make([][]float64, m+1)
+	for ray := 1; ray <= m; ray++ {
+		breaks[ray] = breakpointSlice(tables[ray], horizon)
+	}
+	return tables, breaks
+}
+
+// requireSameShape compares an evaluator's tables and breakpoints
+// against a reference, element by element with exact float equality.
+func requireSameShape(t *testing.T, label string, e *Evaluator, tables [][][]rayVisit, breaks [][]float64) {
+	t.Helper()
+	if len(e.tables) != len(tables) {
+		t.Fatalf("%s: %d table rays, reference %d", label, len(e.tables), len(tables))
+	}
+	for ray := 1; ray < len(tables); ray++ {
+		if len(e.tables[ray]) != len(tables[ray]) {
+			t.Fatalf("%s: ray %d: %d robots, reference %d", label, ray, len(e.tables[ray]), len(tables[ray]))
+		}
+		for r := range tables[ray] {
+			got, want := e.tables[ray][r], tables[ray][r]
+			if len(got) != len(want) {
+				t.Fatalf("%s: ray %d robot %d: %d visits, reference %d", label, ray, r, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: ray %d robot %d visit %d: got %+v, reference %+v", label, ray, r, i, got[i], want[i])
+				}
+			}
+		}
+		gb, wb := e.breaks[ray], breaks[ray]
+		if len(gb) != len(wb) {
+			t.Fatalf("%s: ray %d: %d breakpoints, reference %d", label, ray, len(gb), len(wb))
+		}
+		for i := range wb {
+			if gb[i] != wb[i] {
+				t.Fatalf("%s: ray %d breakpoint %d: got %g, reference %g", label, ray, i, gb[i], wb[i])
+			}
+		}
+	}
+}
+
+// testStrategies returns a diverse strategy set: cyclic exponentials
+// across the regime, the ray-split baseline, and a FixedRounds list
+// (whose Rounds ignore the horizon — the Extend overshoot path).
+func testStrategies(t *testing.T) []strategy.Strategy {
+	t.Helper()
+	var out []strategy.Strategy
+	for _, p := range [][3]int{{2, 1, 0}, {2, 3, 1}, {2, 5, 2}, {3, 2, 0}, {3, 4, 1}, {4, 3, 0}, {5, 7, 2}} {
+		s, err := strategy.NewCyclicExponential(p[0], p[1], p[2])
+		if err != nil {
+			t.Fatalf("NewCyclicExponential(%v): %v", p, err)
+		}
+		out = append(out, s)
+	}
+	rs, err := strategy.NewRaySplit(5, 2)
+	if err != nil {
+		t.Fatalf("NewRaySplit: %v", err)
+	}
+	out = append(out, rs)
+	fr, err := strategy.NewFixedRounds("fixed", 2, [][]trajectory.Round{
+		{{Ray: 1, Turn: 1.5}, {Ray: 2, Turn: 2}, {Ray: 1, Turn: 4}, {Ray: 2, Turn: 9}, {Ray: 1, Turn: 30}, {Ray: 2, Turn: 80}},
+		{{Ray: 2, Turn: 1.2}, {Ray: 1, Turn: 3}, {Ray: 2, Turn: 7}, {Ray: 1, Turn: 25}, {Ray: 2, Turn: 90}},
+	})
+	if err != nil {
+		t.Fatalf("NewFixedRounds: %v", err)
+	}
+	out = append(out, fr)
+	return out
+}
+
+// TestPooledBuildMatchesReference: the arena build must reproduce the
+// reference construction exactly, including on recycled evaluators.
+func TestPooledBuildMatchesReference(t *testing.T) {
+	for _, s := range testStrategies(t) {
+		for _, horizon := range []float64{1.5, 10, 123.4, 5e3} {
+			tables, breaks := referenceEvaluator(t, s, horizon)
+			// Twice: the second build recycles the first's arena.
+			for round := 0; round < 2; round++ {
+				e, err := NewEvaluator(s, horizon)
+				if err != nil {
+					t.Fatalf("NewEvaluator(%s, %g): %v", s.Name(), horizon, err)
+				}
+				requireSameShape(t, s.Name(), e, tables, breaks)
+				e.Release()
+			}
+		}
+	}
+}
+
+// TestExtendMatchesFreshBuild is the Extend property test: across
+// random strategies and random increasing horizon chains, an evaluator
+// grown by Extend must match a freshly built one bit-for-bit — tables,
+// breakpoints, and every query answer.
+func TestExtendMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	strategies := testStrategies(t)
+	for trial := 0; trial < 60; trial++ {
+		s := strategies[rng.Intn(len(strategies))]
+		h := 1.5 + rng.Float64()*20
+		e, err := NewEvaluator(s, h)
+		if err != nil {
+			t.Fatalf("trial %d: NewEvaluator(%s, %g): %v", trial, s.Name(), h, err)
+		}
+		steps := 1 + rng.Intn(3)
+		for step := 0; step < steps; step++ {
+			h *= 1 + rng.Float64()*math.Pow(10, float64(rng.Intn(3)))
+			if err := e.Extend(h); err != nil {
+				t.Fatalf("trial %d: Extend(%g): %v", trial, h, err)
+			}
+			tables, breaks := referenceEvaluator(t, s, h)
+			requireSameShape(t, s.Name(), e, tables, breaks)
+
+			fresh, err := NewEvaluator(s, h)
+			if err != nil {
+				t.Fatalf("trial %d: fresh NewEvaluator(%s, %g): %v", trial, s.Name(), h, err)
+			}
+			maxF := s.K() - 1
+			if maxF > 3 {
+				maxF = 3
+			}
+			for f := 0; f <= maxF; f++ {
+				got, gerr := e.ExactRatio(context.Background(), f)
+				want, werr := fresh.ExactRatio(context.Background(), f)
+				if (gerr == nil) != (werr == nil) {
+					t.Fatalf("trial %d f=%d: extended err %v, fresh err %v", trial, f, gerr, werr)
+				}
+				if gerr == nil && got != want {
+					t.Fatalf("trial %d f=%d: extended %+v, fresh %+v", trial, f, got, want)
+				}
+			}
+			fresh.Release()
+		}
+		e.Release()
+	}
+}
+
+// TestExtendSameAndInvalidHorizons: extending to the same horizon is a
+// no-op; shrinking or invalid horizons are rejected.
+func TestExtendSameAndInvalidHorizons(t *testing.T) {
+	s, err := strategy.NewCyclicExponential(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Release()
+	if err := e.Extend(100); err != nil {
+		t.Fatalf("Extend to same horizon: %v", err)
+	}
+	for _, h := range []float64{50, 1, 0.5, -3, math.Inf(1), math.NaN()} {
+		if err := e.Extend(h); err == nil {
+			t.Fatalf("Extend(%g) succeeded, want error", h)
+		}
+	}
+	if e.Horizon() != 100 {
+		t.Fatalf("horizon mutated to %g by rejected Extend", e.Horizon())
+	}
+}
+
+// TestConvergenceCheckMatchesRebuilds: the Extend-based
+// ConvergenceCheck must report exactly the ratios of per-horizon
+// rebuilds.
+func TestConvergenceCheckMatchesRebuilds(t *testing.T) {
+	s, err := strategy.NewCyclicExponential(2, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ConvergenceCheck(s, 2, 50, 4)
+	if err != nil {
+		t.Fatalf("ConvergenceCheck: %v", err)
+	}
+	h := 50.0
+	for i, g := range got {
+		ev, err := ExactRatio(s, 2, h)
+		if err != nil {
+			t.Fatalf("ExactRatio at %g: %v", h, err)
+		}
+		if g != ev.WorstRatio {
+			t.Fatalf("doubling %d: ConvergenceCheck %v, rebuild %v", i, g, ev.WorstRatio)
+		}
+		h *= 2
+	}
+}
+
+// TestKernelCountersMove: builds, extends and pool reuses must be
+// observable through ReadKernelStats.
+func TestKernelCountersMove(t *testing.T) {
+	s, err := strategy.NewCyclicExponential(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ReadKernelStats()
+	e, err := NewEvaluator(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Extend(200); err != nil {
+		t.Fatal(err)
+	}
+	e.Release()
+	e2, err := NewEvaluator(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Release()
+	after := ReadKernelStats()
+	if after.Builds <= before.Builds {
+		t.Errorf("Builds did not advance: %d -> %d", before.Builds, after.Builds)
+	}
+	if after.Extends <= before.Extends {
+		t.Errorf("Extends did not advance: %d -> %d", before.Extends, after.Extends)
+	}
+	// Pool reuse is best-effort (a GC can empty the pool), so only
+	// check it never goes backwards.
+	if after.PoolReuses < before.PoolReuses {
+		t.Errorf("PoolReuses went backwards: %d -> %d", before.PoolReuses, after.PoolReuses)
+	}
+}
+
+// TestPooledBuildAllocationFree: in steady state a build-and-release
+// cycle allocates nothing — the arena supplies every buffer. Skipped
+// under the race detector, whose sync.Pool deliberately drops a
+// fraction of Puts.
+func TestPooledBuildAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector")
+	}
+	s, err := strategy.NewCyclicExponential(2, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool and the arena to hot-path capacity.
+	for i := 0; i < 4; i++ {
+		e, err := NewEvaluator(s, 1e4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Release()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		e, err := NewEvaluator(s, 1e4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.ExactRatio(context.Background(), 2); err != nil {
+			t.Fatal(err)
+		}
+		e.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled build+query+release allocated %.1f times per run, want 0", allocs)
+	}
+}

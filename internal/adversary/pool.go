@@ -1,0 +1,464 @@
+// pool.go is the amortization layer of the adversary kernel: Evaluator
+// construction, previously a fresh-allocation affair per (strategy,
+// horizon), now draws every backing buffer from a recycled arena, and
+// a built Evaluator can grow its horizon in place (Extend) instead of
+// being rebuilt from scratch.
+//
+// The build is a two-pass partition over flat buffers: pass one runs
+// the running-maximum visit filter only to count survivors per
+// (ray, robot), which lets the flat visit buffer be partitioned into
+// exactly-sized tables; pass two repeats the identical iteration
+// recording offsets. Breakpoints are produced by a k-way merge of the
+// per-robot tables (each already sorted), replacing the
+// concatenate-sort-dedup of the reference implementation with a single
+// ordered pass. Both passes perform the same floating-point operations
+// in the same order as the reference visitTables/breakpointSlice, so
+// the built Evaluator is bit-for-bit identical to one built the naive
+// way — the equivalence tests pin this.
+//
+// Release returns an Evaluator — arena and all — to a process-wide
+// sync.Pool. In steady state a build therefore allocates nothing, which
+// is where the sweep hot path's time went (the visit tables, rounds
+// slices and breakpoint slices dominated its allocation profile).
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/strategy"
+	"repro/internal/trajectory"
+)
+
+// Kernel counters (process-wide, like the pool itself).
+var (
+	kernelBuilds         atomic.Int64
+	kernelExtends        atomic.Int64
+	kernelExtendRebuilds atomic.Int64
+	kernelPoolReuses     atomic.Int64
+)
+
+// KernelStats is a snapshot of the adversary kernel's amortization
+// counters. The counters are process-wide: the evaluator pool is shared
+// by every engine in the process.
+type KernelStats struct {
+	// Builds counts full table builds (fresh evaluators plus Extend
+	// calls that had to fall back to a rebuild).
+	Builds int64
+	// Extends counts incremental horizon extensions that reused the
+	// prefix tables.
+	Extends int64
+	// ExtendRebuilds counts Extend calls that detected a non-prefix
+	// strategy (or an out-of-order visit) and rebuilt instead.
+	ExtendRebuilds int64
+	// PoolReuses counts evaluator constructions served from the pool —
+	// builds that recycled a previous evaluator's buffers.
+	PoolReuses int64
+}
+
+// ReadKernelStats returns a snapshot of the kernel counters.
+func ReadKernelStats() KernelStats {
+	return KernelStats{
+		Builds:         kernelBuilds.Load(),
+		Extends:        kernelExtends.Load(),
+		ExtendRebuilds: kernelExtendRebuilds.Load(),
+		PoolReuses:     kernelPoolReuses.Load(),
+	}
+}
+
+// robotResume is the per-robot state a build leaves behind so Extend
+// can continue the excursion walk where it stopped: how many rounds
+// were consumed, the last consumed turning point (a cheap prefix-
+// stability check), and the running offset accumulator.
+type robotResume struct {
+	rounds   int
+	lastTurn float64
+	prefix   float64
+}
+
+// evalPool recycles Evaluators with all their backing buffers.
+var evalPool sync.Pool
+
+// getEvaluator returns a pooled Evaluator or a fresh zero one.
+func getEvaluator() *Evaluator {
+	if v := evalPool.Get(); v != nil {
+		e := v.(*Evaluator)
+		e.released = false
+		kernelPoolReuses.Add(1)
+		return e
+	}
+	return &Evaluator{}
+}
+
+// Release returns the Evaluator — tables, breakpoints, scratch, arena —
+// to the kernel pool for the next NewEvaluator to recycle. The
+// Evaluator must not be used after Release; a second Release is a
+// no-op. Releasing is optional (an unreleased Evaluator is ordinary
+// garbage), but the hot paths that build one evaluator per job release
+// it, which is what makes their steady-state builds allocation-free.
+func (e *Evaluator) Release() {
+	if e == nil || e.released {
+		return
+	}
+	e.released = true
+	e.s = nil
+	evalPool.Put(e)
+}
+
+// roundsAppender is the optional strategy fast path: excursion
+// generation into a recycled buffer (strategy.CyclicExponential
+// implements it). Strategies without it fall back to Rounds plus a
+// copy.
+type roundsAppender interface {
+	AppendRounds(dst []trajectory.Round, r int, horizon float64) ([]trajectory.Round, error)
+}
+
+// appendRounds generates robot r's excursions into dst.
+func appendRounds(s strategy.Strategy, dst []trajectory.Round, r int, horizon float64) ([]trajectory.Round, error) {
+	if ra, ok := s.(roundsAppender); ok {
+		return ra.AppendRounds(dst, r, horizon)
+	}
+	rounds, err := s.Rounds(r, horizon)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, rounds...), nil
+}
+
+// Buffer resizers: reuse the arena buffer when it is big enough,
+// allocate once when it is not. Contents are unspecified after a
+// resize; the build passes overwrite every live position.
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeVisits(s []rayVisit, n int) []rayVisit {
+	if cap(s) < n {
+		return make([]rayVisit, n)
+	}
+	return s[:n]
+}
+
+func resizeResume(s []robotResume, n int) []robotResume {
+	if cap(s) < n {
+		return make([]robotResume, n)
+	}
+	return s[:n]
+}
+
+func resizeTables(t [][][]rayVisit, m, k int) [][][]rayVisit {
+	if cap(t) < m+1 {
+		t = make([][][]rayVisit, m+1)
+	} else {
+		t = t[:m+1]
+	}
+	t[0] = nil // rays are 1-based
+	for ray := 1; ray <= m; ray++ {
+		if cap(t[ray]) < k {
+			t[ray] = make([][]rayVisit, k)
+		} else {
+			t[ray] = t[ray][:k]
+		}
+	}
+	return t
+}
+
+func resizeBreaks(b [][]float64, m int) [][]float64 {
+	if cap(b) < m+1 {
+		return make([][]float64, m+1)
+	}
+	b = b[:m+1]
+	b[0] = nil
+	return b
+}
+
+// build populates the Evaluator for (s, horizon) out of its arena. The
+// resulting tables, breakpoints and query answers are bit-for-bit
+// identical to the reference construction (visitTables +
+// breakpointSlice): the filter/offset passes run the same operations in
+// the same order, and the breakpoint merge emits the same sorted
+// deduplicated sequence the reference's sort produced.
+func (e *Evaluator) build(s strategy.Strategy, horizon float64) error {
+	m, k := s.M(), s.K()
+	e.s, e.horizon, e.m, e.k = s, horizon, m, k
+	kernelBuilds.Add(1)
+
+	// Pass 0: generate every robot's excursions into the flat rounds
+	// buffer.
+	e.robotOff = resizeInts(e.robotOff, k+1)
+	rb := e.roundsBuf[:0]
+	var err error
+	for r := 0; r < k; r++ {
+		e.robotOff[r] = len(rb)
+		rb, err = appendRounds(s, rb, r, horizon)
+		if err != nil {
+			e.roundsBuf = rb[:0]
+			return fmt.Errorf("adversary: robot %d: %w", r, err)
+		}
+	}
+	e.robotOff[k] = len(rb)
+	e.roundsBuf = rb
+
+	// Pass 1: run the running-maximum filter only to count survivors
+	// per (ray, robot), so the flat visit buffer partitions exactly.
+	e.counts = resizeInts(e.counts, (m+1)*k)
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	e.maxTurn = resizeFloats(e.maxTurn, k*(m+1))
+	for i := range e.maxTurn {
+		e.maxTurn[i] = 0
+	}
+	total := 0
+	for r := 0; r < k; r++ {
+		mt := e.maxTurn[r*(m+1) : (r+1)*(m+1)]
+		for _, rd := range rb[e.robotOff[r]:e.robotOff[r+1]] {
+			if rd.Turn > mt[rd.Ray] {
+				mt[rd.Ray] = rd.Turn
+				e.counts[rd.Ray*k+r]++
+				total++
+			}
+		}
+	}
+
+	// Partition: each table gets a zero-length slice of exactly its
+	// final capacity. The capacity is clamped (three-index slicing) so
+	// a later Extend append migrates a table out of the arena instead
+	// of clobbering its neighbor.
+	e.visitsBuf = resizeVisits(e.visitsBuf, total)
+	e.tables = resizeTables(e.tables, m, k)
+	off := 0
+	for ray := 1; ray <= m; ray++ {
+		for r := 0; r < k; r++ {
+			n := e.counts[ray*k+r]
+			e.tables[ray][r] = e.visitsBuf[off : off : off+n]
+			off += n
+		}
+	}
+
+	// Pass 2: the identical iteration again, now recording offsets —
+	// same floating-point operations in the same order as the
+	// reference visitTables — and capturing the per-robot resume state
+	// Extend continues from.
+	for i := range e.maxTurn {
+		e.maxTurn[i] = 0
+	}
+	e.resume = resizeResume(e.resume, k)
+	for r := 0; r < k; r++ {
+		mt := e.maxTurn[r*(m+1) : (r+1)*(m+1)]
+		rounds := rb[e.robotOff[r]:e.robotOff[r+1]]
+		prefix := 0.0
+		for _, rd := range rounds {
+			if rd.Turn > mt[rd.Ray] {
+				mt[rd.Ray] = rd.Turn
+				e.tables[rd.Ray][r] = append(e.tables[rd.Ray][r], rayVisit{
+					Turn:   rd.Turn,
+					Offset: 2 * prefix,
+				})
+			}
+			prefix += rd.Turn
+		}
+		res := &e.resume[r]
+		res.rounds = len(rounds)
+		res.prefix = prefix
+		res.lastTurn = 0
+		if len(rounds) > 0 {
+			res.lastTurn = rounds[len(rounds)-1].Turn
+		}
+	}
+
+	// Breakpoints: per ray, a k-way merge of the robots' sorted turn
+	// columns (filtered to [1, horizon)) behind the leading x = 1,
+	// deduplicated against the previous emission — the same sequence
+	// breakpointSlice's concatenate-sort-dedup produces, in one pass.
+	e.breaksBuf = resizeFloats(e.breaksBuf, m+total)
+	e.breaks = resizeBreaks(e.breaks, m)
+	e.cursors = resizeInts(e.cursors, k)
+	w := 0
+	for ray := 1; ray <= m; ray++ {
+		w0 := w
+		e.breaksBuf[w] = 1
+		w++
+		tables := e.tables[ray]
+		for r, t := range tables {
+			c := 0
+			for c < len(t) && t[c].Turn < 1 {
+				c++
+			}
+			e.cursors[r] = c
+		}
+		for {
+			best := -1
+			var bt float64
+			for r, t := range tables {
+				if c := e.cursors[r]; c < len(t) {
+					if tv := t[c].Turn; best < 0 || tv < bt {
+						best, bt = r, tv
+					}
+				}
+			}
+			if best < 0 || bt >= horizon {
+				// Columns are sorted, so a minimum at or past the
+				// horizon means every remaining turn is too.
+				break
+			}
+			if bt != e.breaksBuf[w-1] {
+				e.breaksBuf[w] = bt
+				w++
+			}
+			e.cursors[best]++
+		}
+		e.breaks[ray] = e.breaksBuf[w0:w:w]
+	}
+
+	// Query scratch (all length k; reused across breakpoints so the
+	// query loops stay allocation-free).
+	e.att = resizeFloats(e.att, k)
+	e.lim = resizeFloats(e.lim, k)
+	e.sel = resizeFloats(e.sel, k)
+	return nil
+}
+
+// Extend grows the evaluation horizon in place. The extended visit
+// tables and breakpoint slices — and therefore every query answer —
+// are bit-for-bit identical to a fresh NewEvaluator at the new horizon
+// (property-tested), but the prefix is never recomputed or resorted:
+//
+//   - Per robot, the excursion chain for a smaller horizon is a
+//     bit-exact prefix of the chain for a larger one (see
+//     strategy.CyclicExponential.AppendRounds), so the running-maximum
+//     filter and offset accumulator resume from the stored per-robot
+//     state and only the suffix rounds are consumed.
+//   - Per ray, every new candidate point is at or above the old
+//     horizon while every existing breakpoint is below it, so the new
+//     points (including old-table turns in [oldHorizon, horizon) that
+//     the old cutoff excluded) merge onto the end of the slice.
+//
+// A strategy whose excursions do not extend prefix-stably is detected
+// by the resume-state check (or a new visit below the old horizon) and
+// answered with a full rebuild at the new horizon — still correct,
+// just not incremental. Shrinking the horizon is an error; extending
+// to the same horizon is a no-op.
+func (e *Evaluator) Extend(horizon float64) error {
+	if !(horizon > 1) || math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		return fmt.Errorf("%w: horizon %g (want finite > 1)", ErrBadParams, horizon)
+	}
+	if horizon < e.horizon {
+		return fmt.Errorf("%w: cannot shrink horizon %g to %g", ErrBadParams, e.horizon, horizon)
+	}
+	if horizon == e.horizon {
+		return nil
+	}
+	old := e.horizon
+
+	// Consume each robot's suffix rounds through its resumed filter
+	// state, appending survivors to the tables. A table append always
+	// copies out of the arena (capacity is clamped to length), so
+	// neighbors in the flat buffer are never overwritten.
+	rb := e.roundsBuf[:0]
+	for r := 0; r < e.k; r++ {
+		var err error
+		rb, err = appendRounds(e.s, rb[:0], r, horizon)
+		if err != nil {
+			e.roundsBuf = rb[:0]
+			return fmt.Errorf("adversary: robot %d: %w", r, err)
+		}
+		res := &e.resume[r]
+		if len(rb) < res.rounds || (res.rounds > 0 && rb[res.rounds-1].Turn != res.lastTurn) {
+			// Not a prefix extension of what was built; start over.
+			e.roundsBuf = rb[:0]
+			return e.rebuild(horizon)
+		}
+		mt := e.maxTurn[r*(e.m+1) : (r+1)*(e.m+1)]
+		prefix := res.prefix
+		for _, rd := range rb[res.rounds:] {
+			if rd.Turn > mt[rd.Ray] {
+				if rd.Turn < old {
+					// A surviving visit below the old horizon would
+					// need a breakpoint inserted mid-slice; bail out.
+					e.roundsBuf = rb[:0]
+					return e.rebuild(horizon)
+				}
+				mt[rd.Ray] = rd.Turn
+				e.tables[rd.Ray][r] = append(e.tables[rd.Ray][r], rayVisit{
+					Turn:   rd.Turn,
+					Offset: 2 * prefix,
+				})
+			}
+			prefix += rd.Turn
+		}
+		res.prefix = prefix
+		res.rounds = len(rb)
+		if len(rb) > 0 {
+			res.lastTurn = rb[len(rb)-1].Turn
+		}
+	}
+	e.roundsBuf = rb[:0]
+
+	// Append the new breakpoints: per ray, merge the tables' turn
+	// ranges in [old, horizon). That range covers both the suffix
+	// visits just appended and the old tables' overshoot turns the old
+	// horizon cutoff excluded; everything in it exceeds every existing
+	// breakpoint (all < old), so appending keeps the slice sorted.
+	for ray := 1; ray <= e.m; ray++ {
+		tables := e.tables[ray]
+		for r, t := range tables {
+			lo, hi := 0, len(t)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if t[mid].Turn >= old {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			e.cursors[r] = lo
+		}
+		br := e.breaks[ray]
+		last := br[len(br)-1]
+		for {
+			best := -1
+			var bt float64
+			for r, t := range tables {
+				if c := e.cursors[r]; c < len(t) {
+					if tv := t[c].Turn; best < 0 || tv < bt {
+						best, bt = r, tv
+					}
+				}
+			}
+			if best < 0 || bt >= horizon {
+				break
+			}
+			if bt != last {
+				br = append(br, bt)
+				last = bt
+			}
+			e.cursors[best]++
+		}
+		e.breaks[ray] = br
+	}
+	e.horizon = horizon
+	kernelExtends.Add(1)
+	return nil
+}
+
+// rebuild is Extend's escape hatch: discard every incremental structure
+// and rebuild at the new horizon. Partial appends a bailing Extend left
+// behind are overwritten wholesale by the build passes.
+func (e *Evaluator) rebuild(horizon float64) error {
+	kernelExtendRebuilds.Add(1)
+	return e.build(e.s, horizon)
+}

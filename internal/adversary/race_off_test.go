@@ -1,0 +1,8 @@
+//go:build !race
+
+package adversary
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-pinned pool tests skip under it (sync.Pool intentionally
+// drops a fraction of Puts in race mode).
+const raceEnabled = false

@@ -33,6 +33,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/adversary"
+	"repro/internal/solver"
 )
 
 // Errors returned by the engine.
@@ -60,6 +63,14 @@ var (
 type Engine struct {
 	workers  int
 	capacity int // max cached entries summed over shards; 0 = unbounded
+
+	// solver is the memoizing warm-start layer injected into every job
+	// execution's context (solver.From recovers it), so sweep cells,
+	// batch items and repeated requests share alpha* solves, strategy
+	// instances and golden-section bases. Engines default to the
+	// process-wide solver.Shared() — the memoized values are pure
+	// functions of their keys, so sharing across engines only helps.
+	solver *solver.Solver
 
 	// compSem caps concurrently executing detached computations at the
 	// pool size, so abandoned non-cooperative jobs cannot pile up
@@ -175,6 +186,7 @@ func NewWithCacheShards(workers, capacity, shards int) *Engine {
 	e := &Engine{
 		workers:  workers,
 		capacity: capacity,
+		solver:   solver.Shared(),
 		compSem:  make(chan struct{}, workers),
 		shards:   make([]*cacheShard, shards),
 	}
@@ -217,6 +229,12 @@ func Default() *Engine { return defaultEngine }
 
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Solver returns the engine's memoizing solver layer. Callers that
+// construct jobs outside Run (registry scenario constructors, servers
+// shaping closed-form rows) inject it into their context with
+// solver.With so those paths share the engine's memo.
+func (e *Engine) Solver() *solver.Solver { return e.solver }
 
 // CacheCapacity reports the cache bound (0 = unbounded).
 func (e *Engine) CacheCapacity() int { return e.capacity }
@@ -265,6 +283,18 @@ type Stats struct {
 	Capacity int
 	// Shards is the number of independently locked cache shards.
 	Shards int
+	// Solver is the snapshot of the engine's memoizing solver layer:
+	// warm-start hits and misses per solve kind (alpha*, strategy,
+	// golden-section base, horizon factor) plus cumulative Newton
+	// iterations. The engine's solver defaults to the process-wide
+	// shared instance, so these counters may advance from other
+	// engines too.
+	Solver solver.Stats
+	// Kernel is the snapshot of the adversary kernel's amortization
+	// counters: table builds, incremental horizon extensions, extend
+	// fallback rebuilds, and evaluator pool reuses. The kernel pool is
+	// process-wide, like the counters.
+	Kernel adversary.KernelStats
 }
 
 // Stats returns a snapshot of the engine counters. The counters are
@@ -281,6 +311,8 @@ func (e *Engine) Stats() Stats {
 		Size:      e.CacheSize(),
 		Capacity:  e.capacity,
 		Shards:    len(e.shards),
+		Solver:    e.solver.Stats(),
+		Kernel:    adversary.ReadKernelStats(),
 	}
 }
 
@@ -319,7 +351,7 @@ func (e *Engine) Run(ctx context.Context, j Job) (Result, error) {
 	if key == "" {
 		e.inflight.Add(1)
 		defer e.inflight.Add(-1)
-		return safeRun(ctx, j)
+		return safeRun(solver.With(ctx, e.solver), j)
 	}
 	sh := e.shardFor(key)
 	sh.mu.Lock()
@@ -399,7 +431,7 @@ func (e *Engine) compute(cctx context.Context, en *cacheEntry, j Job) {
 	select {
 	case e.compSem <- struct{}{}:
 		e.inflight.Add(1)
-		res, err = safeRun(cctx, j)
+		res, err = safeRun(solver.With(cctx, e.solver), j)
 		e.inflight.Add(-1)
 		<-e.compSem
 	case <-cctx.Done():

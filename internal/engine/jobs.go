@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/randomized"
+	"repro/internal/solver"
 	"repro/internal/strategy"
 )
 
@@ -118,6 +119,7 @@ func (j FRangeRatio) Run(ctx context.Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer ev.Release()
 	evals, err := ev.FRange(ctx, j.MaxF)
 	if err != nil {
 		return Result{}, err
@@ -165,7 +167,10 @@ func (j VerifyUpper) Key() string {
 
 // Run implements Job.
 func (j VerifyUpper) Run(ctx context.Context) (Result, error) {
-	s, err := strategy.NewCyclicExponential(j.M, j.K, j.F)
+	// The strategy comes from the memoizing solver: a sweep's cells for
+	// one (m, k, f) share a single resident instance instead of
+	// re-running the constructor (and its alpha* derivation) per cell.
+	s, err := solver.From(ctx).Strategy(j.M, j.K, j.F)
 	if err != nil {
 		return Result{}, err
 	}

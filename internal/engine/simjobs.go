@@ -15,25 +15,13 @@ import (
 	"math/rand"
 	"sort"
 
-	"repro/internal/bounds"
 	"repro/internal/byzantine"
 	"repro/internal/pfaulty"
 	"repro/internal/sim"
+	"repro/internal/solver"
 	"repro/internal/strategy"
 	"repro/internal/trajectory"
 )
-
-// simHorizonFactor returns the trajectory-horizon multiple used by the
-// simulation jobs: generous enough that detection (which happens by
-// ratio ~ lambda0 for the crash model, later for the Byzantine
-// consistency observer) always lands inside the materialized prefix.
-func simHorizonFactor(m, k, f int) (float64, error) {
-	lambda0, err := bounds.AMKF(m, k, f)
-	if err != nil {
-		return 0, err
-	}
-	return 2*lambda0 + 8, nil
-}
 
 // SimulationRun simulates the optimal cyclic exponential strategy for
 // (M, K, F) against a target at distance Dist under the adversarial
@@ -55,11 +43,12 @@ func (j SimulationRun) Run(ctx context.Context) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	s, err := strategy.NewCyclicExponential(j.M, j.K, j.F)
+	sv := solver.From(ctx)
+	s, err := sv.Strategy(j.M, j.K, j.F)
 	if err != nil {
 		return Result{}, err
 	}
-	hf, err := simHorizonFactor(j.M, j.K, j.F)
+	hf, err := sv.SimHorizonFactor(j.M, j.K, j.F)
 	if err != nil {
 		return Result{}, err
 	}
@@ -125,13 +114,17 @@ type byzantineLineEval struct {
 	hf float64
 }
 
-// newByzantineLineEval builds the shared setup for (k, f).
-func newByzantineLineEval(k, f int) (*byzantineLineEval, error) {
-	s, err := strategy.NewCyclicExponential(2, k, f)
+// newByzantineLineEval builds the shared setup for (k, f), pulling the
+// strategy and the horizon factor (the trajectory-horizon multiple
+// 2*lambda0 + 8, generous enough that detection always lands inside the
+// materialized prefix) from the context's memoizing solver.
+func newByzantineLineEval(ctx context.Context, k, f int) (*byzantineLineEval, error) {
+	sv := solver.From(ctx)
+	s, err := sv.Strategy(2, k, f)
 	if err != nil {
 		return nil, err
 	}
-	hf, err := simHorizonFactor(2, k, f)
+	hf, err := sv.SimHorizonFactor(2, k, f)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +208,7 @@ func (j ByzantineLineSim) Key() string {
 
 // Run implements Job.
 func (j ByzantineLineSim) Run(ctx context.Context) (Result, error) {
-	e, err := newByzantineLineEval(j.K, j.F)
+	e, err := newByzantineLineEval(ctx, j.K, j.F)
 	if err != nil {
 		return Result{}, err
 	}
@@ -243,7 +236,7 @@ func (j ByzantineLineWorst) Run(ctx context.Context) (Result, error) {
 	if j.Points < 2 || !(j.Horizon > 1) {
 		return Result{}, fmt.Errorf("%w: byzantine worst needs points >= 2 and horizon > 1, got %d, %g", ErrBadParams, j.Points, j.Horizon)
 	}
-	e, err := newByzantineLineEval(j.K, j.F)
+	e, err := newByzantineLineEval(ctx, j.K, j.F)
 	if err != nil {
 		return Result{}, err
 	}

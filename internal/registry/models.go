@@ -13,6 +13,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/pfaulty"
+	"repro/internal/solver"
 )
 
 // DefaultFaultProbability is the fault probability the pfaulty-halfline
@@ -53,8 +54,10 @@ func validatePFaulty(m, k, f int) error {
 }
 
 // pfaultyTrials builds the seeded Monte-Carlo job at probe distance x
-// for the request's effective (p, samples, seed).
-func pfaultyTrials(req Request, x float64) (engine.Job, error) {
+// for the request's effective (p, samples, seed). The optimal base is a
+// golden-section search; the context's memoizing solver runs it once
+// per distinct p instead of once per constructed job.
+func pfaultyTrials(ctx context.Context, req Request, x float64) (engine.Job, error) {
 	if err := validatePFaulty(req.M, req.K, req.F); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotVerifiable, err)
 	}
@@ -62,7 +65,7 @@ func pfaultyTrials(req Request, x float64) (engine.Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, _, err := pfaulty.OptimalBase(p)
+	base, _, err := solver.From(ctx).PFaultyBase(p)
 	if err != nil {
 		return nil, err
 	}
@@ -109,17 +112,20 @@ func pfaultyHalflineScenario() Scenario {
 		LowerBound:    pfaultyDefaultBound,
 		UpperBound:    pfaultyDefaultBound,
 		VerifyJob: func(ctx context.Context, req Request) (engine.Job, error) {
-			return pfaultyTrials(req, pfaultyProbeX)
+			return pfaultyTrials(ctx, req, pfaultyProbeX)
 		},
 		SimulateJob: func(ctx context.Context, req Request) (engine.Job, error) {
-			return pfaultyTrials(req, req.Dist)
+			return pfaultyTrials(ctx, req, req.Dist)
 		},
 		ClosedForm: func(req Request) (float64, error) {
 			p, err := pfaultyP(req)
 			if err != nil {
 				return 0, err
 			}
-			base, _, err := pfaulty.OptimalBase(p)
+			// ClosedForm carries no context, so the base memo comes from
+			// the process-wide shared solver (the same instance the
+			// engine injects into job contexts).
+			base, _, err := solver.Shared().PFaultyBase(p)
 			if err != nil {
 				return 0, err
 			}
@@ -139,7 +145,7 @@ func pfaultyDefaultBound(m, k, f int) (float64, error) {
 	if err := validatePFaulty(m, k, f); err != nil {
 		return 0, err
 	}
-	_, worst, err := pfaulty.OptimalBase(DefaultFaultProbability)
+	_, worst, err := solver.Shared().PFaultyBase(DefaultFaultProbability)
 	return worst, err
 }
 

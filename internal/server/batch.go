@@ -159,11 +159,16 @@ func (s *Server) batchRow(ctx context.Context, index int, item map[string]any) (
 	default:
 		return fail(http.StatusBadRequest, fmt.Errorf("unknown op %q (want bounds, verify or simulate)", row.Op))
 	}
-	data, err := json.Marshal(v)
+	// Encode through pooled scratch; the retained RawMessage must be a
+	// copy, because the pooled buffer is recycled for the next item.
+	enc := getEncoder()
+	data, err := enc.encodeCompact(v)
 	if err != nil {
+		putEncoder(enc)
 		return fail(http.StatusInternalServerError, err)
 	}
-	row.Result = data
+	row.Result = append(json.RawMessage(nil), data...)
+	putEncoder(enc)
 	return row
 }
 

@@ -1,0 +1,118 @@
+// encpool_test.go pins the pooled-encoder equivalence contract: the
+// recycled buffer+encoder paths must produce exactly the bytes the
+// per-call json.Marshal / json.NewEncoder code they replaced produced
+// — on fresh scratch, on recycled scratch, and across the HTTP surface.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// encPayloads is a marshaling-diverse payload sample: HTML-escaping
+// characters (Encoder and Marshal must escape identically), nested
+// response shapes, non-finite floats through the Float wrapper, and
+// RawMessage passthrough.
+func encPayloads() []any {
+	return []any{
+		map[string]string{"error": `parameter "k" <repeated> & bad`},
+		BatchRow{Index: 3, Op: "bounds", Status: 200, Result: json.RawMessage(`{"k":3}`)},
+		&BatchAnswer{Count: 2, Failed: 1, Rows: []BatchRow{{Index: 0, Op: "verify", Status: 504, Error: "timeout <after> 1ms"}}},
+		map[string]any{"value": Float(math.NaN()), "nested": []int{1, 2, 3}},
+		struct {
+			A string  `json:"a"`
+			B float64 `json:"b"`
+		}{A: "<script>&", B: 0.1},
+	}
+}
+
+// TestEncodeCompactMatchesMarshal: encodeCompact must return exactly
+// json.Marshal's bytes, including on recycled scratch.
+func TestEncodeCompactMatchesMarshal(t *testing.T) {
+	enc := getEncoder()
+	defer putEncoder(enc)
+	for round := 0; round < 2; round++ { // round 1 reuses the scratch
+		for _, v := range encPayloads() {
+			want, err := json.Marshal(v)
+			if err != nil {
+				t.Fatalf("Marshal(%#v): %v", v, err)
+			}
+			got, err := enc.encodeCompact(v)
+			if err != nil {
+				t.Fatalf("encodeCompact(%#v): %v", v, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: encodeCompact(%#v) = %q, Marshal = %q", round, v, got, want)
+			}
+		}
+	}
+}
+
+// TestWriteJSONMatchesUnpooledEncoder: writeJSON through the pool must
+// emit exactly what the old per-call indented json.NewEncoder(w) wrote.
+func TestWriteJSONMatchesUnpooledEncoder(t *testing.T) {
+	for round := 0; round < 2; round++ {
+		for _, v := range encPayloads() {
+			var want bytes.Buffer
+			ref := json.NewEncoder(&want)
+			ref.SetIndent("", "  ")
+			if err := ref.Encode(v); err != nil {
+				t.Fatalf("reference encode(%#v): %v", v, err)
+			}
+			rec := httptest.NewRecorder()
+			writeJSON(rec, http.StatusOK, v)
+			if got := rec.Body.String(); got != want.String() {
+				t.Fatalf("round %d: writeJSON(%#v) = %q, reference %q", round, v, got, want.String())
+			}
+		}
+	}
+}
+
+// TestRepeatedResponsesByteIdentical: the same request answered twice —
+// the second answer riding entirely on recycled encoder scratch — must
+// be byte-for-byte identical, across the JSON document, NDJSON stream
+// and batch paths.
+func TestRepeatedResponsesByteIdentical(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	urls := []string{
+		ts.URL + "/v1/bounds?m=2&kmax=4",
+		ts.URL + "/v1/sweep?m=2&kmax=4&horizon=1000",
+		ts.URL + "/v1/sweep?m=2&kmax=4&horizon=1000&format=ndjson",
+	}
+	for _, url := range urls {
+		code1, body1 := get(t, url)
+		code2, body2 := get(t, url)
+		if code1 != http.StatusOK || code1 != code2 {
+			t.Fatalf("%s: codes (%d, %d)", url, code1, code2)
+		}
+		if body1 != body2 {
+			t.Errorf("%s: repeated responses differ:\n%s\nvs\n%s", url, body1, body2)
+		}
+	}
+	batch := `[{"op":"bounds","m":2,"k":3,"f":1},{"op":"verify","m":2,"k":3,"f":1,"horizon":1000}]`
+	post := func() string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch = %d: %s", resp.StatusCode, data)
+		}
+		return string(data)
+	}
+	if b1, b2 := post(), post(); b1 != b2 {
+		t.Errorf("repeated batch responses differ:\n%s\nvs\n%s", b1, b2)
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/registry"
+	"repro/internal/solver"
 )
 
 // Defaults for Config zero values.
@@ -241,6 +242,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "boundsd_engine_dedup_total %d\n", st.Deduped)
 	fmt.Fprintf(w, "boundsd_engine_cancelled_runs_total %d\n", st.Cancelled)
 	fmt.Fprintf(w, "boundsd_engine_inflight_jobs %d\n", st.InFlight)
+	fmt.Fprintf(w, "boundsd_solver_alpha_hits_total %d\n", st.Solver.AlphaHits)
+	fmt.Fprintf(w, "boundsd_solver_alpha_misses_total %d\n", st.Solver.AlphaMisses)
+	fmt.Fprintf(w, "boundsd_solver_strategy_hits_total %d\n", st.Solver.StrategyHits)
+	fmt.Fprintf(w, "boundsd_solver_strategy_misses_total %d\n", st.Solver.StrategyMisses)
+	fmt.Fprintf(w, "boundsd_solver_base_hits_total %d\n", st.Solver.BaseHits)
+	fmt.Fprintf(w, "boundsd_solver_base_misses_total %d\n", st.Solver.BaseMisses)
+	fmt.Fprintf(w, "boundsd_solver_horizon_hits_total %d\n", st.Solver.HorizonHits)
+	fmt.Fprintf(w, "boundsd_solver_horizon_misses_total %d\n", st.Solver.HorizonMisses)
+	fmt.Fprintf(w, "boundsd_solver_newton_iterations_total %d\n", st.Solver.NewtonIterations)
+	fmt.Fprintf(w, "boundsd_kernel_builds_total %d\n", st.Kernel.Builds)
+	fmt.Fprintf(w, "boundsd_kernel_extends_total %d\n", st.Kernel.Extends)
+	fmt.Fprintf(w, "boundsd_kernel_extend_rebuilds_total %d\n", st.Kernel.ExtendRebuilds)
+	fmt.Fprintf(w, "boundsd_kernel_pool_reuses_total %d\n", st.Kernel.PoolReuses)
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -349,7 +363,11 @@ func (s *Server) scenarioParam(p map[string]string) (registry.Scenario, error) {
 
 // budgetCtx derives the request's compute context: the server default
 // budget, optionally lowered (never raised) by ?timeout_ms, rooted in
-// the request context so a client disconnect cancels it too.
+// the request context so a client disconnect cancels it too. The
+// engine's memoizing solver rides in the context, so scenario job
+// constructors (a plugin point that runs root finding and strategy
+// materialization) amortize that work across requests, not just
+// across the engine's own job executions.
 func (s *Server) budgetCtx(r *http.Request, p map[string]string) (context.Context, context.CancelFunc, time.Duration, error) {
 	budget := s.cfg.Timeout
 	if raw, ok := p["timeout_ms"]; ok && raw != "" {
@@ -362,7 +380,7 @@ func (s *Server) budgetCtx(r *http.Request, p map[string]string) (context.Contex
 		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
-	return ctx, cancel, budget, nil
+	return solver.With(ctx, s.cfg.Engine.Solver()), cancel, budget, nil
 }
 
 // acquireSlot blocks for a MaxInflight compute slot until ctx expires.
@@ -755,6 +773,11 @@ func (s *Server) ndjsonStream(ctx context.Context, w http.ResponseWriter, budget
 	w.WriteHeader(http.StatusOK)
 	ticker := time.NewTicker(s.cfg.Heartbeat)
 	defer ticker.Stop()
+	// One pooled encoder serves every row of the stream: Encode writes
+	// exactly Marshal's bytes plus the NDJSON newline, so pooling changes
+	// neither the bytes nor the line framing.
+	enc := getEncoder()
+	defer putEncoder(enc)
 	emitted := 0
 	for rows != nil {
 		select {
@@ -763,14 +786,13 @@ func (s *Server) ndjsonStream(ctx context.Context, w http.ResponseWriter, budget
 				rows = nil
 				continue
 			}
-			line, err := json.Marshal(row)
-			if err != nil {
+			enc.buf.Reset()
+			if err := enc.compact.Encode(row); err != nil {
 				fmt.Fprintf(w, "# error: %v\n", err)
 				flush()
 				return
 			}
-			w.Write(line)
-			io.WriteString(w, "\n")
+			w.Write(enc.buf.Bytes())
 			emitted++
 			flush()
 		case <-ticker.C:
@@ -930,9 +952,16 @@ func nan() float64 { return math.NaN() }
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// Encode into pooled scratch, then write in one call. The indented
+	// encoder produces the same bytes the per-call json.NewEncoder(w)
+	// did (an Encoder buffers the whole document before writing, so the
+	// error behavior — nothing written on a marshal failure — is
+	// unchanged too).
+	enc := getEncoder()
+	defer putEncoder(enc)
+	if err := enc.indented.Encode(v); err == nil {
+		w.Write(enc.buf.Bytes())
+	}
 }
 
 func writeText(w http.ResponseWriter, text string) {

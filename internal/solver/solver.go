@@ -1,0 +1,337 @@
+// Package solver is the shared memoization and warm-start layer of the
+// compute pipeline: every root/argmin the pipeline solves repeatedly —
+// the optimal cyclic-exponential base alpha* = (q/(q-k))^(1/k) of the
+// appendix, the strategy object built from it, the simulation horizon
+// factor derived from lambda0, and the p-faulty golden-section base —
+// is solved once per parameter point and shared across sweep cells,
+// batch items and requests.
+//
+// Two properties make the sharing safe:
+//
+//   - Determinism of the memoized value. alpha* is found by a
+//     warm-started Newton iteration (seeded from the previously solved
+//     cell — adjacent sweep cells have nearby alphas, so the warm seed
+//     converges in a couple of steps where the cold seed needs several),
+//     polished to a seed-independent bit pattern, and then pinned to the
+//     closed-form bits of bounds.OptimalAlpha. Downstream cache keys and
+//     strategy fingerprints embed the exact alpha bits, so the memoized
+//     value must not depend on solve order; the closed-form pin
+//     guarantees it, and the Newton root is asserted (in tests) to land
+//     within an ulp of that pin.
+//
+//   - Immutability of the memoized objects. strategy.CyclicExponential
+//     is stateless after construction, so one instance can serve any
+//     number of concurrent evaluations.
+//
+// A Solver travels through context (With/From), so engine jobs and
+// registry scenario constructors pick up the engine's solver without
+// widening any Job or Scenario API; From falls back to the process-wide
+// Shared solver, which keeps the layer effective even for callers that
+// never heard of it.
+package solver
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bounds"
+	"repro/internal/pfaulty"
+	"repro/internal/strategy"
+)
+
+// triple keys the (m, k, f) parameter point of a search problem.
+type triple struct{ m, k, f int }
+
+// baseVal is the memoized result pair of pfaulty.OptimalBase.
+type baseVal struct{ base, worst float64 }
+
+// Solver memoizes the pipeline's repeated solves. The zero value is not
+// usable; construct with New or use the process-wide Shared instance. A
+// Solver is safe for concurrent use: lookups and (rare) miss-path
+// solves serialize on one mutex, which doubles as per-solver
+// singleflight — two goroutines missing on the same key still solve it
+// once.
+type Solver struct {
+	mu     sync.Mutex
+	alphas map[triple]float64
+	strats map[triple]*strategy.CyclicExponential
+	simHF  map[triple]float64
+	bases  map[float64]baseVal
+
+	// seed is the most recently solved alpha*, used to warm-start the
+	// next cell's Newton iteration; guarded by mu.
+	seed float64
+
+	alphaHits      atomic.Int64
+	alphaMisses    atomic.Int64
+	strategyHits   atomic.Int64
+	strategyMisses atomic.Int64
+	baseHits       atomic.Int64
+	baseMisses     atomic.Int64
+	horizonHits    atomic.Int64
+	horizonMisses  atomic.Int64
+	newtonIters    atomic.Int64
+}
+
+// New returns an empty Solver.
+func New() *Solver {
+	return &Solver{
+		alphas: make(map[triple]float64),
+		strats: make(map[triple]*strategy.CyclicExponential),
+		simHF:  make(map[triple]float64),
+		bases:  make(map[float64]baseVal),
+	}
+}
+
+// shared is the process-wide fallback solver: memoized values are pure
+// functions of their keys, so one instance can serve every engine,
+// registry scenario and CLI in the process.
+var shared = New()
+
+// Shared returns the process-wide Solver.
+func Shared() *Solver { return shared }
+
+// ctxKey carries a *Solver through a context.
+type ctxKey struct{}
+
+// With returns a context carrying sv; jobs and scenario constructors
+// reached under it recover the solver with From.
+func With(ctx context.Context, sv *Solver) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sv)
+}
+
+// From returns the context's Solver, or Shared when the context does
+// not carry one. It never returns nil.
+func From(ctx context.Context) *Solver {
+	if sv, ok := ctx.Value(ctxKey{}).(*Solver); ok && sv != nil {
+		return sv
+	}
+	return shared
+}
+
+// Stats is a snapshot of a Solver's memoization counters. Hits count
+// lookups served from the memo; misses count lookups that had to solve.
+type Stats struct {
+	// AlphaHits / AlphaMisses count AlphaStar lookups — the warm-start
+	// root finder's memo.
+	AlphaHits, AlphaMisses int64
+	// StrategyHits / StrategyMisses count Strategy lookups.
+	StrategyHits, StrategyMisses int64
+	// BaseHits / BaseMisses count PFaultyBase lookups (each miss is one
+	// golden-section minimization).
+	BaseHits, BaseMisses int64
+	// HorizonHits / HorizonMisses count SimHorizonFactor lookups.
+	HorizonHits, HorizonMisses int64
+	// NewtonIterations is the cumulative Newton step count across all
+	// alpha* solves — the quantity warm starting shrinks.
+	NewtonIterations int64
+}
+
+// Hits returns the total memo hits across all solve kinds.
+func (st Stats) Hits() int64 {
+	return st.AlphaHits + st.StrategyHits + st.BaseHits + st.HorizonHits
+}
+
+// Misses returns the total memo misses across all solve kinds.
+func (st Stats) Misses() int64 {
+	return st.AlphaMisses + st.StrategyMisses + st.BaseMisses + st.HorizonMisses
+}
+
+// Stats returns a snapshot of the solver's counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		AlphaHits:        s.alphaHits.Load(),
+		AlphaMisses:      s.alphaMisses.Load(),
+		StrategyHits:     s.strategyHits.Load(),
+		StrategyMisses:   s.strategyMisses.Load(),
+		BaseHits:         s.baseHits.Load(),
+		BaseMisses:       s.baseMisses.Load(),
+		HorizonHits:      s.horizonHits.Load(),
+		HorizonMisses:    s.horizonMisses.Load(),
+		NewtonIterations: s.newtonIters.Load(),
+	}
+}
+
+// powInt returns a^n for small integer n >= 0 by repeated
+// multiplication — the deterministic power the Newton iteration and its
+// bit-level polish share, so the polished root is a pure function of
+// (q, k) and not of the floating quirks of a transcendental pow.
+func powInt(a float64, n int) float64 {
+	p := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			p *= a
+		}
+		a *= a
+	}
+	return p
+}
+
+// SolveAlphaStar solves a^k = q/(q-k) for a > 1 by Newton's method from
+// the given seed and returns the root together with the iteration count.
+// A seed <= 1 (or non-finite) selects the cold first-order seed
+// 1 + ln(q/(q-k))/k. The returned root is polished to the smallest
+// float64 a with powInt(a, k) >= q/(q-k), which is a pure function of
+// (q, k): every seed — warm or cold — lands on the same bits. Requires
+// 1 <= k < q.
+func SolveAlphaStar(q, k int, seed float64) (float64, int, error) {
+	if k < 1 || q <= k {
+		// Match the closed form's domain (and its error) exactly.
+		_, err := bounds.OptimalAlpha(q, k)
+		return 0, 0, err
+	}
+	target := float64(q) / float64(q-k)
+	a := seed
+	if !(a > 1) || math.IsInf(a, 0) || math.IsNaN(a) {
+		a = 1 + math.Log(target)/float64(k)
+	}
+	iters := 0
+	kf := float64(k)
+	for ; iters < 64; iters++ {
+		// Newton on g(a) = a^k - target: a <- a - g(a)/(k a^(k-1)).
+		prev := powInt(a, k-1)
+		next := a - (a*prev-target)/(kf*prev)
+		if !(next > 1) {
+			// A wild seed overshot below the domain; restart cold.
+			next = 1 + math.Log(target)/kf
+		}
+		if math.Abs(next-a) <= 2*(math.Nextafter(a, math.Inf(1))-a) {
+			a = next
+			iters++
+			break
+		}
+		a = next
+	}
+	// Bit-level polish: walk to the smallest float with a^k >= target.
+	// Newton leaves a within a few ulps, so the walk is a handful of
+	// powInt calls and erases every trace of the seed.
+	for powInt(a, k) >= target {
+		a = math.Nextafter(a, 1)
+	}
+	for powInt(a, k) < target {
+		a = math.Nextafter(a, math.Inf(1))
+	}
+	return a, iters, nil
+}
+
+// AlphaStar returns the optimal base alpha* for the (m, k, f) search
+// problem, memoized. On a miss the warm-started Newton solve runs
+// (seeded from the previously solved cell) and the memoized value is
+// pinned to the closed-form bits of bounds.OptimalAlpha — the canonical
+// rounding every downstream fingerprint and cache key already embeds —
+// so the memo's content is independent of the order cells are solved
+// in. Requires the search-regime domain 1 <= k < q = m(f+1).
+func (s *Solver) AlphaStar(m, k, f int) (float64, error) {
+	q := m * (f + 1)
+	key := triple{m, k, f}
+	s.mu.Lock()
+	if a, ok := s.alphas[key]; ok {
+		s.mu.Unlock()
+		s.alphaHits.Add(1)
+		return a, nil
+	}
+	root, iters, err := SolveAlphaStar(q, k, s.seed)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.newtonIters.Add(int64(iters))
+	// Canonical rounding: the closed form and the polished Newton root
+	// agree to within an ulp; the closed-form bits are what strategy
+	// fingerprints embed, so they are what the memo must hold.
+	a, err := bounds.OptimalAlpha(q, k)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.alphas[key] = a
+	s.seed = root
+	s.mu.Unlock()
+	s.alphaMisses.Add(1)
+	return a, nil
+}
+
+// Strategy returns the optimal cyclic exponential strategy for
+// (m, k, f), memoized. The instance is immutable and shared: callers
+// across goroutines receive the same pointer. Parameters outside the
+// search regime fail with the constructor's error.
+func (s *Solver) Strategy(m, k, f int) (*strategy.CyclicExponential, error) {
+	key := triple{m, k, f}
+	s.mu.Lock()
+	if st, ok := s.strats[key]; ok {
+		s.mu.Unlock()
+		s.strategyHits.Add(1)
+		return st, nil
+	}
+	s.mu.Unlock()
+	// The constructor re-derives alpha* from the closed form; it is the
+	// same bits AlphaStar memoizes (asserted in tests), and going
+	// through the constructor keeps its regime validation authoritative.
+	st, err := strategy.NewCyclicExponential(m, k, f)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if prev, ok := s.strats[key]; ok {
+		// A concurrent miss beat us; keep the resident instance so every
+		// caller shares one pointer.
+		st = prev
+	} else {
+		s.strats[key] = st
+		if _, ok := s.alphas[key]; !ok {
+			s.alphas[key] = st.Alpha()
+			s.seed = st.Alpha()
+		}
+	}
+	s.mu.Unlock()
+	s.strategyMisses.Add(1)
+	return st, nil
+}
+
+// SimHorizonFactor returns the simulation trajectory-horizon multiple
+// 2*lambda0(m,k,f) + 8 used by the simulation jobs, memoized.
+func (s *Solver) SimHorizonFactor(m, k, f int) (float64, error) {
+	key := triple{m, k, f}
+	s.mu.Lock()
+	if hf, ok := s.simHF[key]; ok {
+		s.mu.Unlock()
+		s.horizonHits.Add(1)
+		return hf, nil
+	}
+	s.mu.Unlock()
+	lambda0, err := bounds.AMKF(m, k, f)
+	if err != nil {
+		return 0, err
+	}
+	hf := 2*lambda0 + 8
+	s.mu.Lock()
+	s.simHF[key] = hf
+	s.mu.Unlock()
+	s.horizonMisses.Add(1)
+	return hf, nil
+}
+
+// PFaultyBase returns pfaulty.OptimalBase(p) — the golden-section
+// minimizer of the p-faulty expected ratio and its value — memoized per
+// probability. One /v1/batch request evaluates it once instead of once
+// per job construction plus once per closed-form row.
+func (s *Solver) PFaultyBase(p float64) (base, worst float64, err error) {
+	s.mu.Lock()
+	if v, ok := s.bases[p]; ok {
+		s.mu.Unlock()
+		s.baseHits.Add(1)
+		return v.base, v.worst, nil
+	}
+	s.mu.Unlock()
+	base, worst, err = pfaulty.OptimalBase(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.mu.Lock()
+	s.bases[p] = baseVal{base: base, worst: worst}
+	s.mu.Unlock()
+	s.baseMisses.Add(1)
+	return base, worst, nil
+}

@@ -1,0 +1,233 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/pfaulty"
+	"repro/internal/strategy"
+)
+
+// theorem1Grid returns the line-case (m = 2) search-regime pairs of
+// Theorem 1: f < k < 2(f+1), f up to 24.
+func theorem1Grid() [][2]int {
+	var grid [][2]int
+	for f := 0; f <= 24; f++ {
+		for k := f + 1; k < 2*(f+1); k++ {
+			grid = append(grid, [2]int{k, f})
+		}
+	}
+	return grid
+}
+
+// ulpsApart returns the number of representable float64 values strictly
+// between a and b (0 when equal).
+func ulpsApart(a, b float64) int {
+	if a == b {
+		return 0
+	}
+	if b < a {
+		a, b = b, a
+	}
+	n := 0
+	for a < b && n <= 16 {
+		a = math.Nextafter(a, math.Inf(1))
+		n++
+	}
+	return n - 1
+}
+
+// TestSolveAlphaStarSeedIndependent: on the Theorem-1 grid, the
+// warm-started Newton solve must land on exactly the same bits as the
+// cold-started one — the seed controls the iteration count, never the
+// root — and the root must sit within an ulp of the closed form.
+func TestSolveAlphaStarSeedIndependent(t *testing.T) {
+	prev := 0.0
+	for _, kf := range theorem1Grid() {
+		k, f := kf[0], kf[1]
+		q := 2 * (f + 1)
+		cold, coldIters, err := SolveAlphaStar(q, k, 0)
+		if err != nil {
+			t.Fatalf("SolveAlphaStar(%d, %d, cold): %v", q, k, err)
+		}
+		warm, warmIters, err := SolveAlphaStar(q, k, prev)
+		if err != nil {
+			t.Fatalf("SolveAlphaStar(%d, %d, warm): %v", q, k, err)
+		}
+		if cold != warm {
+			t.Fatalf("q=%d k=%d: cold root %x != warm root %x", q, k, cold, warm)
+		}
+		if coldIters <= 0 || warmIters <= 0 {
+			t.Fatalf("q=%d k=%d: nonpositive iteration counts %d, %d", q, k, coldIters, warmIters)
+		}
+		closed, err := bounds.OptimalAlpha(q, k)
+		if err != nil {
+			t.Fatalf("OptimalAlpha(%d, %d): %v", q, k, err)
+		}
+		if d := ulpsApart(cold, closed); d > 1 {
+			t.Fatalf("q=%d k=%d: Newton root %x is %d ulps from closed form %x", q, k, cold, d, closed)
+		}
+		prev = warm
+	}
+}
+
+// TestAlphaStarOrderIndependent: two solvers fed the Theorem-1 grid in
+// opposite orders (so their warm seeds differ at every cell) must
+// memoize identical values — and exactly the closed-form bits.
+func TestAlphaStarOrderIndependent(t *testing.T) {
+	grid := theorem1Grid()
+	fwd, bwd := New(), New()
+	got := make(map[[2]int]float64, len(grid))
+	for _, kf := range grid {
+		a, err := fwd.AlphaStar(2, kf[0], kf[1])
+		if err != nil {
+			t.Fatalf("forward AlphaStar(2, %d, %d): %v", kf[0], kf[1], err)
+		}
+		got[kf] = a
+	}
+	for i := len(grid) - 1; i >= 0; i-- {
+		kf := grid[i]
+		a, err := bwd.AlphaStar(2, kf[0], kf[1])
+		if err != nil {
+			t.Fatalf("backward AlphaStar(2, %d, %d): %v", kf[0], kf[1], err)
+		}
+		if a != got[kf] {
+			t.Fatalf("k=%d f=%d: forward-order alpha %x != backward-order alpha %x", kf[0], kf[1], got[kf], a)
+		}
+		closed, err := bounds.OptimalAlpha(2*(kf[1]+1), kf[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != closed {
+			t.Fatalf("k=%d f=%d: memoized alpha %x != closed form %x", kf[0], kf[1], a, closed)
+		}
+	}
+}
+
+// TestAlphaStarDomainErrors: out-of-domain parameters fail like the
+// closed form.
+func TestAlphaStarDomainErrors(t *testing.T) {
+	s := New()
+	for _, mkf := range [][3]int{{1, 1, 0}, {2, 0, 0}, {2, 5, 3}} {
+		if _, err := s.AlphaStar(mkf[0], mkf[1], mkf[2]); err == nil {
+			// q <= k or k < 1 must be rejected ({2,5,3} has q=8>k: valid).
+			if q := mkf[0] * (mkf[2] + 1); q <= mkf[1] || mkf[1] < 1 {
+				t.Fatalf("AlphaStar(%v) succeeded, want domain error", mkf)
+			}
+		}
+	}
+	if _, err := s.AlphaStar(1, 1, 0); err == nil {
+		t.Fatal("AlphaStar(1,1,0) succeeded, want error (q = k)")
+	}
+}
+
+// TestStrategyMemoized: the memoized strategy is the constructor's (same
+// alpha bits, same name) and repeated lookups share one instance.
+func TestStrategyMemoized(t *testing.T) {
+	s := New()
+	st1, err := s.Strategy(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Strategy(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatal("repeated Strategy lookups returned distinct instances")
+	}
+	ref, err := strategy.NewCyclicExponential(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Alpha() != ref.Alpha() || st1.Name() != ref.Name() {
+		t.Fatalf("memoized strategy %s (alpha %x) differs from constructor %s (alpha %x)",
+			st1.Name(), st1.Alpha(), ref.Name(), ref.Alpha())
+	}
+	if _, err := s.Strategy(2, 4, 1); err == nil {
+		t.Fatal("Strategy(2,4,1) succeeded, want out-of-regime error")
+	}
+	stats := s.Stats()
+	if stats.StrategyHits != 1 || stats.StrategyMisses != 1 {
+		t.Fatalf("strategy hit/miss = %d/%d, want 1/1", stats.StrategyHits, stats.StrategyMisses)
+	}
+}
+
+// TestPFaultyBaseMemoized: the memoized pair matches pfaulty.OptimalBase
+// and the second lookup is a hit.
+func TestPFaultyBaseMemoized(t *testing.T) {
+	s := New()
+	base, worst, err := s.PFaultyBase(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, rw, err := pfaulty.OptimalBase(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != rb || worst != rw {
+		t.Fatalf("PFaultyBase(0.25) = (%x, %x), reference (%x, %x)", base, worst, rb, rw)
+	}
+	if _, _, err := s.PFaultyBase(0.25); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.BaseHits != 1 || stats.BaseMisses != 1 {
+		t.Fatalf("base hit/miss = %d/%d, want 1/1", stats.BaseHits, stats.BaseMisses)
+	}
+}
+
+// TestSimHorizonFactorMemoized: 2*lambda0 + 8 with a hit on repeat.
+func TestSimHorizonFactorMemoized(t *testing.T) {
+	s := New()
+	hf, err := s.SimHorizonFactor(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda0, err := bounds.AMKF(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf != 2*lambda0+8 {
+		t.Fatalf("SimHorizonFactor = %x, want %x", hf, 2*lambda0+8)
+	}
+	if _, err := s.SimHorizonFactor(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.HorizonHits != 1 || stats.HorizonMisses != 1 {
+		t.Fatalf("horizon hit/miss = %d/%d, want 1/1", stats.HorizonHits, stats.HorizonMisses)
+	}
+}
+
+// TestContextPlumbing: With/From round-trips a solver; From without one
+// falls back to Shared and never returns nil.
+func TestContextPlumbing(t *testing.T) {
+	s := New()
+	ctx := With(context.Background(), s)
+	if got := From(ctx); got != s {
+		t.Fatal("From did not return the injected solver")
+	}
+	if got := From(context.Background()); got != Shared() {
+		t.Fatal("From without injection did not return Shared")
+	}
+	if Shared() == nil {
+		t.Fatal("Shared returned nil")
+	}
+}
+
+// TestStatsAggregates: Hits/Misses sum the per-kind counters.
+func TestStatsAggregates(t *testing.T) {
+	st := Stats{
+		AlphaHits: 1, StrategyHits: 2, BaseHits: 3, HorizonHits: 4,
+		AlphaMisses: 5, StrategyMisses: 6, BaseMisses: 7, HorizonMisses: 8,
+	}
+	if st.Hits() != 10 {
+		t.Fatalf("Hits() = %d, want 10", st.Hits())
+	}
+	if st.Misses() != 26 {
+		t.Fatalf("Misses() = %d, want 26", st.Misses())
+	}
+}

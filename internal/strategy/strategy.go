@@ -141,6 +141,18 @@ func (s *CyclicExponential) Q() int { return s.m * (s.f + 1) }
 // which guarantees that every point at distance <= horizon has received all
 // f+1 of its assigned visits within the returned prefix.
 func (s *CyclicExponential) Rounds(r int, horizon float64) ([]trajectory.Round, error) {
+	return s.AppendRounds(nil, r, horizon)
+}
+
+// AppendRounds is Rounds appending into dst — the allocation-averse
+// form the adversary kernel's pooled table builds use: with a recycled
+// dst of sufficient capacity the excursion generation allocates
+// nothing. The appended values are identical to Rounds' (the same
+// multiplication chain from the same seed), and the rounds generated
+// for a smaller horizon are a bit-exact prefix of those for a larger
+// one: the chain depends only on (alpha, k, m, r), the horizon only
+// caps its length. Evaluator.Extend relies on that prefix property.
+func (s *CyclicExponential) AppendRounds(dst []trajectory.Round, r int, horizon float64) ([]trajectory.Round, error) {
 	if r < 0 || r >= s.k {
 		return nil, fmt.Errorf("%w: robot %d of %d", ErrBadParams, r, s.k)
 	}
@@ -155,21 +167,25 @@ func (s *CyclicExponential) Rounds(r int, horizon float64) ([]trajectory.Round, 
 		e0       = float64(s.k*start + s.m*(r+1))
 	)
 	if e0 > stopExpo {
-		return nil, nil
+		return dst, nil
 	}
 	// Successive turning points differ by the constant factor alpha^k,
 	// so one math.Pow seeds the progression and the loop multiplies —
 	// the turn-generation cost of a table build drops from one Pow per
 	// excursion to two per robot. The count is known up front, so the
-	// slice is allocated once and the round cap checked before looping:
-	// the rounds generated are floor(span)+1, which exceeds maxRounds
-	// exactly when span >= maxRounds (the float comparison also guards
-	// the int conversion below against overflow).
+	// slice is grown at most once and the round cap checked before
+	// looping: the rounds generated are floor(span)+1, which exceeds
+	// maxRounds exactly when span >= maxRounds (the float comparison
+	// also guards the int conversion below against overflow).
 	span := (stopExpo - e0) / float64(s.k)
 	if span >= maxRounds {
 		return nil, fmt.Errorf("%w: %d rounds at horizon %g", ErrTooManyRounds, maxRounds, horizon)
 	}
-	rounds := make([]trajectory.Round, 0, int(span)+1)
+	if need := int(span) + 1; cap(dst)-len(dst) < need {
+		grown := make([]trajectory.Round, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
 	step := math.Pow(s.alpha, float64(s.k))
 	turn := math.Pow(s.alpha, e0)
 	for l := start; ; l++ {
@@ -178,13 +194,13 @@ func (s *CyclicExponential) Rounds(r int, horizon float64) ([]trajectory.Round, 
 			break
 		}
 		ray := ((l-1)%s.m + s.m) % s.m // Go's % can be negative; normalize.
-		rounds = append(rounds, trajectory.Round{
+		dst = append(dst, trajectory.Round{
 			Ray:  ray + 1,
 			Turn: turn,
 		})
 		turn *= step
 	}
-	return rounds, nil
+	return dst, nil
 }
 
 // LineTurns returns, for m = 2 only, robot r's zigzag turning sequence in
