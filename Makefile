@@ -1,7 +1,7 @@
 # Development shortcuts; CI (.github/workflows/ci.yml) runs the same
 # commands.
 
-.PHONY: test bench bench-baseline serve cover
+.PHONY: test bench bench-baseline serve cover loadgen-smoke
 
 test:
 	go build ./... && go test -race ./...
@@ -22,3 +22,18 @@ cover:
 
 serve:
 	go run ./cmd/boundsd -addr :8080
+
+# Local version of the CI loadgen-smoke job: boundsd on loopback,
+# ~10s of mixed open-loop load, loose SLO + reconcile gate.
+loadgen-smoke:
+	go build -o /tmp/boundsd-smoke ./cmd/boundsd
+	go build -o /tmp/loadgen-smoke ./cmd/loadgen
+	/tmp/boundsd-smoke -addr 127.0.0.1:18080 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+	  curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; \
+	  sleep 0.2; \
+	done; \
+	/tmp/loadgen-smoke -target http://127.0.0.1:18080 \
+	  -rate 120 -duration 10s -seed 1 -slo 'p99<1500ms,errors<1%'; \
+	rc=$$?; kill -TERM $$pid; wait $$pid 2>/dev/null; exit $$rc

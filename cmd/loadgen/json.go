@@ -1,0 +1,21 @@
+// json.go renders the result document. Separate from main.go so the
+// schema-affecting code is one small reviewable unit: BENCH_loadgen.json
+// and the CI smoke artifact are both written through resultJSON.
+package main
+
+import (
+	"encoding/json"
+
+	"repro/internal/loadgen"
+)
+
+// resultJSON marshals a result as the stable, indented document the
+// -out file and -format json stdout share (trailing newline included,
+// so the artifact is a well-formed text file).
+func resultJSON(res *loadgen.Result) ([]byte, error) {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

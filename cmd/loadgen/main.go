@@ -1,0 +1,168 @@
+// Command loadgen drives a live boundsd with open-loop traffic and
+// gates on SLOs — the macro-benchmark counterpart to the
+// microbenchmark gate (cmd/benchdiff). It synthesizes a weighted mix
+// of /v1/bounds, /v1/verify, /v1/simulate, /v1/batch and streaming
+// /v1/sweep requests at a fixed offered rate with deterministic seeded
+// parameter sampling, then reports per-endpoint latency quantiles
+// (HDR-style histograms), achieved vs offered throughput, error
+// budget, NDJSON stream integrity, and a client-vs-server /metrics
+// reconciliation:
+//
+//	boundsd -addr 127.0.0.1:8080 &
+//	loadgen -target http://127.0.0.1:8080 -rate 200 -duration 10s \
+//	  -mix 'bounds=40,verify=25,simulate=15,batch=10,sweep=10' \
+//	  -slo 'p99<50ms,errors<0.1%' -out result.json
+//
+// The run exits 0 when the SLO holds and the reconciliation matches,
+// 1 when either fails (the CI smoke gate keys off this), and 2 on
+// usage or transport-level errors. -format json prints the
+// machine-readable result to stdout instead of the human table; -out
+// writes the same JSON to a file either way. See the README's loadgen
+// section for the mix and SLO grammars and the result schema.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// options carries the flags to run.
+type options struct {
+	target    string
+	rate      float64
+	duration  time.Duration
+	mixSpec   string
+	seed      int64
+	timeout   time.Duration
+	sloSpec   string
+	out       string
+	format    string
+	reconcile bool
+	client    *http.Client // test hook; nil = default client
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.target, "target", "", "boundsd base URL (required, e.g. http://127.0.0.1:8080)")
+	flag.Float64Var(&opts.rate, "rate", loadgen.DefaultRate, "offered arrival rate, requests/second")
+	flag.DurationVar(&opts.duration, "duration", loadgen.DefaultDuration, "run length")
+	flag.StringVar(&opts.mixSpec, "mix", loadgen.DefaultMixSpec, "weighted endpoint mix (op=weight,...)")
+	flag.Int64Var(&opts.seed, "seed", 1, "parameter-sampling seed (same seed = same request sequence)")
+	flag.DurationVar(&opts.timeout, "timeout", loadgen.DefaultRequestTimeout, "per-request timeout (headers through last body byte)")
+	flag.StringVar(&opts.sloSpec, "slo", "", "SLO gate, e.g. 'p99<50ms,errors<0.1%' (empty = report only)")
+	flag.StringVar(&opts.out, "out", "", "write the JSON result to this file")
+	flag.StringVar(&opts.format, "format", "table", "stdout format: table or json")
+	flag.BoolVar(&opts.reconcile, "reconcile", true, "scrape /metrics before and after and reconcile request counts")
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := run(ctx, opts, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	if !gatePassed(res) {
+		os.Exit(1)
+	}
+}
+
+// gatePassed reports whether the run's gates (SLO, reconciliation)
+// all held — the exit-status contract CI keys off.
+func gatePassed(res *loadgen.Result) bool {
+	if res.SLO != nil && !res.SLO.Pass {
+		return false
+	}
+	if res.Reconcile != nil && res.Reconcile.Checked && !res.Reconcile.OK() {
+		return false
+	}
+	return true
+}
+
+// run executes one load run: parse specs, scrape /metrics, drive the
+// open loop, reconcile, evaluate the SLO, render. Split from main so
+// tests drive it directly against an httptest boundsd.
+func run(ctx context.Context, opts options, stdout io.Writer) (*loadgen.Result, error) {
+	if opts.target == "" {
+		return nil, fmt.Errorf("missing -target (the boundsd base URL)")
+	}
+	if opts.format != "table" && opts.format != "json" {
+		return nil, fmt.Errorf("unknown -format %q (want table or json)", opts.format)
+	}
+	mix, err := loadgen.ParseMix(opts.mixSpec)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := loadgen.ParseSLO(opts.sloSpec)
+	if err != nil {
+		return nil, err
+	}
+	client := opts.client
+	if client == nil {
+		client = &http.Client{}
+	}
+	var before map[string]float64
+	if opts.reconcile {
+		if before, err = loadgen.ScrapeMetrics(ctx, client, opts.target); err != nil {
+			return nil, fmt.Errorf("pre-run metrics scrape: %w", err)
+		}
+	}
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Target:   opts.target,
+		Rate:     opts.rate,
+		Duration: opts.duration,
+		Mix:      mix,
+		Seed:     opts.seed,
+		Timeout:  opts.timeout,
+		Client:   client,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.reconcile {
+		// The post-run scrape uses a fresh context: the run's ctx may
+		// have been cancelled to stop the load, and the accounting is
+		// still worth collecting on the way out.
+		scrapeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		after, err := loadgen.ScrapeMetrics(scrapeCtx, client, opts.target)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("post-run metrics scrape: %w", err)
+		}
+		res.Reconcile = loadgen.ReconcileRequests(before, after, res)
+	}
+	if opts.sloSpec != "" {
+		res.SLO = loadgen.EvaluateSLO(opts.sloSpec, rules, res)
+	}
+	if err := emit(res, opts, stdout); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// emit renders the result to stdout (table or JSON) and -out.
+func emit(res *loadgen.Result, opts options, stdout io.Writer) error {
+	data, err := resultJSON(res)
+	if err != nil {
+		return err
+	}
+	if opts.out != "" {
+		if err := os.WriteFile(opts.out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if opts.format == "json" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	_, err = io.WriteString(stdout, res.Markdown())
+	return err
+}

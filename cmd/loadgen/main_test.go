@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/server/servertest"
+)
+
+// testOpts builds a short real run against an in-process boundsd.
+func testOpts(t *testing.T) options {
+	t.Helper()
+	ts := servertest.Start(t, server.Config{})
+	return options{
+		target:    ts.URL,
+		rate:      80,
+		duration:  500 * time.Millisecond,
+		mixSpec:   loadgen.DefaultMixSpec,
+		seed:      1,
+		timeout:   30 * time.Second,
+		format:    "table",
+		reconcile: true,
+		client:    ts.Client(),
+	}
+}
+
+func TestRunEndToEndTableAndJSONFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live load")
+	}
+	opts := testOpts(t)
+	opts.sloSpec = "p99<60s,errors<1%"
+	opts.out = filepath.Join(t.TempDir(), "result.json")
+	var stdout bytes.Buffer
+	res, err := run(context.Background(), opts, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gatePassed(res) {
+		t.Fatalf("gate failed: slo=%+v reconcile=%+v", res.SLO, res.Reconcile)
+	}
+	if res.SLO == nil || !res.SLO.Pass {
+		t.Fatalf("slo section: %+v", res.SLO)
+	}
+	if res.Reconcile == nil || !res.Reconcile.OK() {
+		t.Fatalf("reconcile section: %+v", res.Reconcile)
+	}
+	for _, want := range []string{"| endpoint", "TOTAL", "slo: PASS", "reconcile: OK"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, stdout.String())
+		}
+	}
+	// The -out file is the documented schema: parse it back and check
+	// the load-bearing fields.
+	data, err := resultJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed loadgen.Result
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("result JSON does not round-trip: %v", err)
+	}
+	if parsed.Schema != loadgen.ResultSchema {
+		t.Errorf("schema = %q, want %q", parsed.Schema, loadgen.ResultSchema)
+	}
+	if parsed.Completed == 0 || len(parsed.Endpoints) == 0 || parsed.Total == nil {
+		t.Errorf("parsed result missing core fields: %+v", parsed)
+	}
+}
+
+func TestRunSLOViolationFailsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live load")
+	}
+	opts := testOpts(t)
+	opts.duration = 300 * time.Millisecond
+	opts.sloSpec = "max<1ns" // unsatisfiable
+	var stdout bytes.Buffer
+	res, err := run(context.Background(), opts, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gatePassed(res) {
+		t.Fatal("unsatisfiable SLO passed the gate")
+	}
+	if res.SLO.Pass || len(res.SLO.Violations) == 0 {
+		t.Fatalf("slo section: %+v", res.SLO)
+	}
+	if !strings.Contains(stdout.String(), "slo: FAIL") {
+		t.Errorf("table output does not surface the failure:\n%s", stdout.String())
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live load")
+	}
+	opts := testOpts(t)
+	opts.format = "json"
+	opts.duration = 300 * time.Millisecond
+	opts.reconcile = false
+	var stdout bytes.Buffer
+	if _, err := run(context.Background(), opts, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	var parsed loadgen.Result
+	if err := json.Unmarshal(stdout.Bytes(), &parsed); err != nil {
+		t.Fatalf("-format json stdout is not the result document: %v", err)
+	}
+	if parsed.Reconcile != nil {
+		t.Error("reconcile section present with -reconcile=false")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	ctx := context.Background()
+	var sink bytes.Buffer
+	if _, err := run(ctx, options{format: "table"}, &sink); err == nil {
+		t.Error("missing target accepted")
+	}
+	opts := options{target: "http://127.0.0.1:1", format: "nope", mixSpec: loadgen.DefaultMixSpec}
+	if _, err := run(ctx, opts, &sink); err == nil {
+		t.Error("bad format accepted")
+	}
+	opts = options{target: "http://127.0.0.1:1", format: "table", mixSpec: "bad"}
+	if _, err := run(ctx, opts, &sink); err == nil {
+		t.Error("bad mix accepted")
+	}
+	opts = options{target: "http://127.0.0.1:1", format: "table", mixSpec: loadgen.DefaultMixSpec, sloSpec: "p98<1ms"}
+	if _, err := run(ctx, opts, &sink); err == nil {
+		t.Error("bad slo accepted")
+	}
+	// Reconcile against a dead target: the pre-run scrape must fail
+	// loudly instead of running load nobody can account for.
+	opts = options{target: "http://127.0.0.1:1", format: "table", mixSpec: loadgen.DefaultMixSpec, reconcile: true}
+	if _, err := run(ctx, opts, &sink); err == nil || !strings.Contains(err.Error(), "pre-run metrics scrape") {
+		t.Errorf("dead-target scrape error = %v", err)
+	}
+}

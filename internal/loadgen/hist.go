@@ -1,0 +1,151 @@
+// Package loadgen is the open-loop load-generation and SLO-checking
+// library behind cmd/loadgen: it synthesizes a weighted mix of
+// /v1/bounds, /v1/verify, /v1/simulate, /v1/batch and streaming
+// /v1/sweep traffic against a live boundsd at a fixed offered rate,
+// with deterministic seeded parameter sampling, HDR-style latency
+// histograms, NDJSON stream-integrity checks, error-budget accounting,
+// and client-vs-server /metrics reconciliation.
+//
+// "Open-loop" means requests launch on the offered-rate schedule
+// regardless of how many are still in flight — a slow server sees its
+// queue grow and its measured latency balloon, exactly as real traffic
+// would behave. A closed-loop generator (fire, wait, fire) would
+// instead slow its own offered rate to match the server and report
+// flattering latencies; see DESIGN.md's macro-benchmark section.
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram bucket geometry: values are nanoseconds; each power of two
+// splits into 2^histSubBits linear sub-buckets, so the relative
+// quantization error is at most 2^-histSubBits (~3.1%) — bounded
+// memory (histBuckets int64 counters, ~15 KiB) no matter how many
+// samples are recorded, which is the point: an open-loop run at
+// thousands of req/s must not grow a per-sample slice.
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits
+	histBuckets    = (64 - histSubBits) * histSubBuckets
+)
+
+// Hist is an HDR-style latency histogram over int64 nanosecond values.
+// The zero value is ready to use. Not safe for concurrent use; the
+// runner serializes recording behind its collector mutex.
+type Hist struct {
+	counts   [histBuckets]int64
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	mant := v >> (exp - histSubBits) // in [histSubBuckets, 2*histSubBuckets)
+	return (exp-histSubBits)*histSubBuckets + int(mant)
+}
+
+// histUpper returns the largest value mapping to bucket idx (the
+// conservative representative Quantile reports).
+func histUpper(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	exp5 := idx/histSubBuckets - 1
+	mant := int64(idx - exp5*histSubBuckets)
+	return mant<<exp5 + (1 << exp5) - 1
+}
+
+// Record adds one sample. Negative values clamp to zero.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the arithmetic mean of the recorded samples (exact —
+// it uses the running sum, not the buckets; NaN when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) as the upper edge of
+// the bucket holding the ceil(q*count)-th smallest sample, clamped to
+// the recorded max — so the reported value is never below the true
+// quantile by more than the bucket width (~3.1% relative) and never
+// above the largest sample actually seen. NaN when empty.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for idx := range h.counts {
+		cum += h.counts[idx]
+		if cum >= rank {
+			v := histUpper(idx)
+			if v > h.max {
+				v = h.max
+			}
+			return float64(v)
+		}
+	}
+	return float64(h.max) // unreachable: cum reaches h.count
+}
+
+// Merge adds other's samples into h (the aggregate-across-endpoints
+// histogram the unscoped SLO clauses evaluate against).
+func (h *Hist) Merge(other *Hist) {
+	if other.count == 0 {
+		return
+	}
+	for idx := range other.counts {
+		h.counts[idx] += other.counts[idx]
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}

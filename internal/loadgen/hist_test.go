@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// histRelTolerance is the histogram's quantization bound: one part in
+// histSubBuckets (the linear sub-bucket width within a power of two).
+const histRelTolerance = 1.0 / histSubBuckets
+
+// exactQuantile is the reference: the ceil(q*n)-th smallest sample.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles records samples and compares every interesting
+// quantile against the exact order statistic: the histogram answer
+// must be >= the exact value (upper-edge reporting never understates)
+// and within the relative quantization bound above it.
+func checkQuantiles(t *testing.T, name string, samples []float64) {
+	t.Helper()
+	var h Hist
+	for _, v := range samples {
+		h.Record(int64(v))
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1.0} {
+		got := h.Quantile(q)
+		// The exact quantile of the truncated-to-int64 samples.
+		exact := exactQuantile(sorted, q)
+		exact = math.Trunc(exact)
+		if got < exact && (exact-got) > 1 { // int64 truncation slack
+			t.Errorf("%s: Quantile(%g) = %g understates exact %g", name, q, got, exact)
+		}
+		if got > exact*(1+histRelTolerance)+1 {
+			t.Errorf("%s: Quantile(%g) = %g overstates exact %g beyond the %.1f%% bucket bound",
+				name, q, got, exact, histRelTolerance*100)
+		}
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Errorf("%s: Count = %d, want %d", name, h.Count(), len(samples))
+	}
+}
+
+func TestHistQuantilesUniform(t *testing.T) {
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = float64(i + 1) // 1..10000 ns, exact quantiles known
+	}
+	checkQuantiles(t, "uniform", samples)
+}
+
+func TestHistQuantilesExponential(t *testing.T) {
+	// Deterministic exponential: the quantile function at evenly spaced
+	// probabilities, scaled to a microsecond..second latency range.
+	n := 5000
+	samples := make([]float64, n)
+	for i := range samples {
+		p := (float64(i) + 0.5) / float64(n)
+		samples[i] = -math.Log(1-p) * 5e6 // mean 5ms in ns
+	}
+	checkQuantiles(t, "exponential", samples)
+}
+
+func TestHistQuantilesLognormalRandom(t *testing.T) {
+	// A seeded heavy-tailed draw — the shape real latency histograms
+	// have (narrow body, long tail spanning decades).
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = math.Exp(rng.NormFloat64()*1.5 + 13) // ~0.05ms..200ms in ns
+	}
+	checkQuantiles(t, "lognormal", samples)
+}
+
+func TestHistEmptyAndEdges(t *testing.T) {
+	var h Hist
+	if !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Mean()) {
+		t.Error("empty histogram must answer NaN")
+	}
+	if h.Max() != 0 || h.Min() != 0 || h.Count() != 0 {
+		t.Error("empty histogram counters must be zero")
+	}
+	h.Record(-5) // clamps to 0
+	h.Record(0)
+	if h.Count() != 2 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("after clamped records: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if got := h.Quantile(1.0); got != 0 {
+		t.Errorf("Quantile(1.0) = %g, want 0", got)
+	}
+}
+
+func TestHistQuantileClampsToMax(t *testing.T) {
+	var h Hist
+	h.Record(1_000_003) // lands in a bucket whose upper edge exceeds it
+	if got := h.Quantile(1.0); got != 1_000_003 {
+		t.Errorf("Quantile(1.0) = %g, want the recorded max 1000003", got)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, all Hist
+	for i := int64(1); i <= 1000; i++ {
+		a.Record(i)
+		all.Record(i)
+	}
+	for i := int64(1001); i <= 2000; i++ {
+		b.Record(i)
+		all.Record(i)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge counters diverge: %d/%d/%d vs %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), all.Count(), all.Min(), all.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("merge Quantile(%g) = %g, want %g", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.Mean() != all.Mean() {
+		t.Errorf("merge Mean = %g, want %g", a.Mean(), all.Mean())
+	}
+}
+
+// TestHistIndexRoundTrip pins the bucket geometry: every value maps to
+// a bucket whose [lower, upper] range contains it, with upper/lower
+// within the advertised relative width.
+func TestHistIndexRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 65, 127, 1000, 4096, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range values {
+		idx := histIndex(v)
+		upper := histUpper(idx)
+		if upper < v {
+			t.Errorf("histUpper(histIndex(%d)) = %d < value", v, upper)
+		}
+		if idx > 0 && histUpper(idx-1) >= v {
+			t.Errorf("value %d does not belong in bucket %d: previous bucket upper %d", v, idx, histUpper(idx-1))
+		}
+	}
+	// Monotone, contiguous upper edges.
+	prev := int64(-1)
+	for idx := 0; idx < histBuckets; idx++ {
+		u := histUpper(idx)
+		if u <= prev {
+			t.Fatalf("bucket %d upper %d not increasing past %d", idx, u, prev)
+		}
+		prev = u
+	}
+}

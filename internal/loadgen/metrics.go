@@ -1,0 +1,138 @@
+// metrics.go scrapes boundsd's /metrics before and after a run and
+// reconciles the server's per-path request counters against the
+// client's own tallies — turning the harness from a stopwatch into a
+// correctness probe: a server that drops, double-counts or misroutes
+// requests fails the reconciliation even if every latency looks fine.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScrapeMetrics fetches target's /metrics and parses it into a
+// name{labels} -> value map.
+func ScrapeMetrics(ctx context.Context, client *http.Client, target string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(target, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape /metrics: status %d", resp.StatusCode)
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// ParseMetrics reads Prometheus-style text lines ("name{labels} value"
+// or "name value") into a map keyed by the full name-with-labels.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %q: %w", line, err)
+		}
+		out[strings.TrimSpace(line[:idx])] = v
+	}
+	return out, sc.Err()
+}
+
+// PathRecon is one endpoint's client-vs-server comparison.
+type PathRecon struct {
+	// Client is the number of requests that received an HTTP status
+	// line from the server (2xx/4xx/5xx).
+	Client int64 `json:"client"`
+	// Unconfirmed is the client-side timeouts and transport failures
+	// for the endpoint: each may or may not have been counted by the
+	// server (a request timing out mid-compute was received; one that
+	// failed to dial was not), so the server delta may legitimately
+	// exceed Client by up to this many.
+	Unconfirmed int64 `json:"unconfirmed,omitempty"`
+	// Server is the requests_total delta the server reported.
+	Server int64 `json:"server"`
+	OK     bool  `json:"ok"`
+}
+
+// ReconcileResult is the reconcile section of a Result.
+type ReconcileResult struct {
+	Checked bool `json:"checked"`
+	// PerPath maps each exercised endpoint path to its comparison.
+	PerPath map[string]PathRecon `json:"per_path,omitempty"`
+	// Mismatches spells out each failed path, empty when OK.
+	Mismatches []string `json:"mismatches,omitempty"`
+}
+
+// OK reports whether every path reconciled.
+func (rr *ReconcileResult) OK() bool { return rr.Checked && len(rr.Mismatches) == 0 }
+
+// summaryLine renders the one-line human summary of the section.
+func (rr *ReconcileResult) summaryLine() string {
+	if !rr.Checked {
+		return "reconcile: skipped\n"
+	}
+	if len(rr.Mismatches) == 0 {
+		return fmt.Sprintf("reconcile: OK (%d endpoint paths match server /metrics deltas)\n", len(rr.PerPath))
+	}
+	out := fmt.Sprintf("reconcile: FAIL (%d mismatches)\n", len(rr.Mismatches))
+	for _, m := range rr.Mismatches {
+		out += "  " + m + "\n"
+	}
+	return out
+}
+
+// requestsTotalKey is the server counter key for one path.
+func requestsTotalKey(path string) string {
+	return fmt.Sprintf("boundsd_requests_total{path=%q}", path)
+}
+
+// ReconcileRequests compares the run's client-side per-endpoint
+// tallies against the server's requests_total deltas between two
+// /metrics scrapes. For each exercised endpoint the server delta must
+// equal the client's responded count, give or take the endpoint's
+// unconfirmed (timeout/transport) requests — assuming the loadgen had
+// the server to itself, which the smoke gate arranges.
+func ReconcileRequests(before, after map[string]float64, res *Result) *ReconcileResult {
+	rr := &ReconcileResult{Checked: true, PerPath: make(map[string]PathRecon)}
+	ops := make([]string, 0, len(res.Endpoints))
+	for op := range res.Endpoints {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		ep := res.Endpoints[op]
+		path := OpPath[op]
+		key := requestsTotalKey(path)
+		server := int64(after[key] - before[key])
+		responded := ep.ByClass[Class2xx] + ep.ByClass[Class4xx] + ep.ByClass[Class5xx]
+		unconfirmed := ep.ByClass[ClassTimeout] + ep.ByClass[ClassTransport]
+		pr := PathRecon{Client: responded, Unconfirmed: unconfirmed, Server: server}
+		pr.OK = server >= responded && server <= responded+unconfirmed
+		rr.PerPath[path] = pr
+		if !pr.OK {
+			rr.Mismatches = append(rr.Mismatches,
+				fmt.Sprintf("%s: server counted %d requests, client saw %d responses (+%d unconfirmed)",
+					path, server, responded, unconfirmed))
+		}
+	}
+	return rr
+}

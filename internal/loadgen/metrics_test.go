@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMetrics(t *testing.T) {
+	text := `# comment
+boundsd_uptime_seconds 12.5
+boundsd_requests_total{path="/v1/bounds"} 42
+boundsd_requests_total{path="/v1/sweep"} 7
+boundsd_engine_cache_hits_total 99
+
+malformed-line-without-value
+`
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["boundsd_uptime_seconds"] != 12.5 {
+		t.Errorf("uptime = %g", m["boundsd_uptime_seconds"])
+	}
+	if m[`boundsd_requests_total{path="/v1/bounds"}`] != 42 {
+		t.Errorf("bounds counter = %g", m[`boundsd_requests_total{path="/v1/bounds"}`])
+	}
+	if m[`boundsd_requests_total{path="/v1/sweep"}`] != 7 {
+		t.Errorf("sweep counter = %g", m[`boundsd_requests_total{path="/v1/sweep"}`])
+	}
+}
+
+func TestParseMetricsBadValue(t *testing.T) {
+	if _, err := ParseMetrics(strings.NewReader("boundsd_requests_total notanumber\n")); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+}
+
+// reconRes builds a result with the given per-op class counts.
+func reconRes(classes map[string]map[string]int64) *Result {
+	res := &Result{Endpoints: make(map[string]*EndpointResult)}
+	for op, byClass := range classes {
+		var count int64
+		for _, n := range byClass {
+			count += n
+		}
+		res.Endpoints[op] = &EndpointResult{Count: count, ByClass: byClass}
+	}
+	return res
+}
+
+func TestReconcileRequestsMatch(t *testing.T) {
+	res := reconRes(map[string]map[string]int64{
+		OpBounds: {Class2xx: 40},
+		OpSweep:  {Class2xx: 9, Class4xx: 1},
+	})
+	before := map[string]float64{
+		requestsTotalKey("/v1/bounds"): 100,
+		requestsTotalKey("/v1/sweep"):  5,
+	}
+	after := map[string]float64{
+		requestsTotalKey("/v1/bounds"): 140,
+		requestsTotalKey("/v1/sweep"):  15,
+	}
+	rr := ReconcileRequests(before, after, res)
+	if !rr.OK() {
+		t.Fatalf("want OK, got mismatches %v", rr.Mismatches)
+	}
+	if pr := rr.PerPath["/v1/bounds"]; pr.Client != 40 || pr.Server != 40 || !pr.OK {
+		t.Errorf("/v1/bounds recon = %+v", pr)
+	}
+}
+
+// A timed-out request may or may not have been counted server-side;
+// the reconciliation must accept the ambiguity — and nothing more.
+func TestReconcileRequestsUnconfirmedRange(t *testing.T) {
+	mk := func(serverDelta float64) *ReconcileResult {
+		res := reconRes(map[string]map[string]int64{
+			OpVerify: {Class2xx: 10, ClassTimeout: 2},
+		})
+		before := map[string]float64{requestsTotalKey("/v1/verify"): 0}
+		after := map[string]float64{requestsTotalKey("/v1/verify"): serverDelta}
+		return ReconcileRequests(before, after, res)
+	}
+	for _, delta := range []float64{10, 11, 12} {
+		if rr := mk(delta); !rr.OK() {
+			t.Errorf("server delta %g within [10,12] must reconcile: %v", delta, rr.Mismatches)
+		}
+	}
+	for _, delta := range []float64{9, 13} {
+		if rr := mk(delta); rr.OK() {
+			t.Errorf("server delta %g outside [10,12] must mismatch", delta)
+		}
+	}
+}
+
+func TestReconcileRequestsMismatchDetail(t *testing.T) {
+	res := reconRes(map[string]map[string]int64{OpBounds: {Class2xx: 5}})
+	rr := ReconcileRequests(
+		map[string]float64{requestsTotalKey("/v1/bounds"): 0},
+		map[string]float64{requestsTotalKey("/v1/bounds"): 3}, res)
+	if rr.OK() || len(rr.Mismatches) != 1 {
+		t.Fatalf("want one mismatch, got %+v", rr)
+	}
+	if !strings.Contains(rr.Mismatches[0], "/v1/bounds") {
+		t.Errorf("mismatch message %q names no path", rr.Mismatches[0])
+	}
+	if !strings.Contains(rr.summaryLine(), "FAIL") {
+		t.Errorf("summary %q", rr.summaryLine())
+	}
+}

@@ -1,0 +1,113 @@
+// mix.go parses the weighted request-mix specification: a
+// comma-separated list of op=weight pairs ("bounds=40,verify=25,...")
+// naming the endpoints a run exercises and their relative traffic
+// shares. Weights are relative, not percentages — "bounds=4,sweep=1"
+// and "bounds=80,sweep=20" describe the same mix.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The ops a mix may name, each mapping to one boundsd endpoint.
+const (
+	OpBounds   = "bounds"
+	OpVerify   = "verify"
+	OpSimulate = "simulate"
+	OpSweep    = "sweep"
+	OpBatch    = "batch"
+)
+
+// OpPath maps an op to the endpoint path it drives — the key the
+// /metrics reconciliation joins client and server tallies on.
+var OpPath = map[string]string{
+	OpBounds:   "/v1/bounds",
+	OpVerify:   "/v1/verify",
+	OpSimulate: "/v1/simulate",
+	OpSweep:    "/v1/sweep",
+	OpBatch:    "/v1/batch",
+}
+
+// DefaultMixSpec is the realistic default: mostly cheap closed-form
+// lookups, a steady stream of engine-backed verifications and
+// simulations, and a tail of multiplexed batches and streaming sweeps.
+const DefaultMixSpec = "bounds=40,verify=25,simulate=15,batch=10,sweep=10"
+
+// MixEntry is one op's share of the traffic.
+type MixEntry struct {
+	Op     string
+	Weight float64
+}
+
+// ParseMix parses a mix specification. Ops must be known, weights
+// positive, and no op may repeat.
+func ParseMix(spec string) ([]MixEntry, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("empty mix spec")
+	}
+	seen := make(map[string]bool)
+	var mix []MixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		op, raw, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want op=weight", part)
+		}
+		op = strings.TrimSpace(op)
+		if _, known := OpPath[op]; !known {
+			return nil, fmt.Errorf("mix entry %q: unknown op (want one of %s)", part, strings.Join(knownOps(), ", "))
+		}
+		if seen[op] {
+			return nil, fmt.Errorf("mix entry %q: op repeated", part)
+		}
+		seen[op] = true
+		w, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil || !(w > 0) {
+			return nil, fmt.Errorf("mix entry %q: weight must be a positive number", part)
+		}
+		mix = append(mix, MixEntry{Op: op, Weight: w})
+	}
+	return mix, nil
+}
+
+// knownOps lists the valid ops, sorted, for error messages.
+func knownOps() []string {
+	ops := make([]string, 0, len(OpPath))
+	for op := range OpPath {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// MixString renders a mix back to its canonical spec form (entry
+// order preserved), the form the result JSON echoes.
+func MixString(mix []MixEntry) string {
+	parts := make([]string, len(mix))
+	for i, e := range mix {
+		parts[i] = fmt.Sprintf("%s=%s", e.Op, strconv.FormatFloat(e.Weight, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
+}
+
+// pickOp draws one op from the mix with probability proportional to
+// its weight, using the caller's (per-request, seeded) rng — which is
+// what makes the op sequence a pure function of (seed, index).
+func pickOp(rng *rand.Rand, mix []MixEntry) string {
+	var total float64
+	for _, e := range mix {
+		total += e.Weight
+	}
+	x := rng.Float64() * total
+	for _, e := range mix {
+		x -= e.Weight
+		if x < 0 {
+			return e.Op
+		}
+	}
+	return mix[len(mix)-1].Op // float round-off fell off the end
+}

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("bounds=40, verify=25,simulate=15,batch=10,sweep=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 5 {
+		t.Fatalf("got %d entries", len(mix))
+	}
+	if mix[0].Op != OpBounds || mix[0].Weight != 40 {
+		t.Errorf("first entry = %+v", mix[0])
+	}
+	if got := MixString(mix); got != "bounds=40,verify=25,simulate=15,batch=10,sweep=10" {
+		t.Errorf("MixString = %q", got)
+	}
+}
+
+func TestParseMixRejects(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"bounds",
+		"bounds=0",
+		"bounds=-1",
+		"bounds=x",
+		"frobnicate=10",
+		"bounds=10,bounds=20",
+	} {
+		if _, err := ParseMix(spec); err == nil {
+			t.Errorf("ParseMix(%q) accepted", spec)
+		}
+	}
+}
+
+func TestDefaultMixSpecParses(t *testing.T) {
+	mix, err := ParseMix(DefaultMixSpec)
+	if err != nil {
+		t.Fatalf("DefaultMixSpec: %v", err)
+	}
+	if len(mix) != len(OpPath) {
+		t.Errorf("default mix names %d of %d ops", len(mix), len(OpPath))
+	}
+}
+
+// TestPickOpProportions draws many ops and checks the empirical shares
+// track the weights (law of large numbers; 3-sigma bound).
+func TestPickOpProportions(t *testing.T) {
+	mix := []MixEntry{{OpBounds, 70}, {OpSweep, 20}, {OpBatch, 10}}
+	rng := rand.New(rand.NewSource(42))
+	const n = 100000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[pickOp(rng, mix)]++
+	}
+	if total := counts[OpBounds] + counts[OpSweep] + counts[OpBatch]; total != n {
+		t.Fatalf("pickOp produced an op outside the mix (%v)", counts)
+	}
+	for _, e := range mix {
+		p := e.Weight / 100
+		got := float64(counts[e.Op]) / n
+		sigma := math.Sqrt(p * (1 - p) / n)
+		if math.Abs(got-p) > 3*sigma+1e-9 {
+			t.Errorf("op %s share %.4f, want %.4f ± %.4f", e.Op, got, p, 3*sigma)
+		}
+	}
+}
+
+func TestOpPathCoversKnownOps(t *testing.T) {
+	for _, op := range []string{OpBounds, OpVerify, OpSimulate, OpSweep, OpBatch} {
+		path, ok := OpPath[op]
+		if !ok || !strings.HasPrefix(path, "/v1/") {
+			t.Errorf("OpPath[%s] = %q, %v", op, path, ok)
+		}
+	}
+}

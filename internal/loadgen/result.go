@@ -1,0 +1,210 @@
+// result.go is the machine-readable outcome of a run (the JSON
+// cmd/loadgen -out writes and BENCH_loadgen.json records) plus its
+// human rendering through the shared report package. The schema is
+// versioned by the top-level "schema" field; see the README's loadgen
+// section for the field-by-field documentation.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/report"
+)
+
+// ResultSchema identifies the result JSON layout. Bump it when a field
+// changes meaning, so recorded runs stay interpretable.
+const ResultSchema = "loadgen-result/v1"
+
+// Status classes of the error budget. A request lands in exactly one.
+const (
+	Class2xx       = "2xx"
+	Class4xx       = "4xx"
+	Class5xx       = "5xx"
+	ClassTimeout   = "timeout"   // client-side deadline fired
+	ClassTransport = "transport" // dial/read failure before a status line
+)
+
+// Quantiles is one histogram's summary in milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// quantilesOf summarizes a histogram of nanosecond samples in ms.
+func quantilesOf(h *Hist) Quantiles {
+	toMs := func(ns float64) float64 { return ns / 1e6 }
+	return Quantiles{
+		P50:  toMs(h.Quantile(0.50)),
+		P90:  toMs(h.Quantile(0.90)),
+		P95:  toMs(h.Quantile(0.95)),
+		P99:  toMs(h.Quantile(0.99)),
+		P999: toMs(h.Quantile(0.999)),
+		Max:  toMs(float64(h.Max())),
+		Mean: toMs(h.Mean()),
+	}
+}
+
+// EndpointResult is one op's (or the aggregate's) completed-request
+// accounting.
+type EndpointResult struct {
+	Count int64 `json:"count"`
+	// ByClass counts completions per status class (2xx/4xx/5xx/
+	// timeout/transport).
+	ByClass map[string]int64 `json:"by_class"`
+	// ErrorRate is the non-2xx fraction of Count.
+	ErrorRate float64 `json:"error_rate"`
+	// LatencyMs summarizes the latency histogram. Latency is measured
+	// to the last body byte (streams included), not first byte.
+	LatencyMs Quantiles `json:"latency_ms"`
+}
+
+// StreamStats is the NDJSON integrity accounting across every
+// streaming (sweep) request of the run.
+type StreamStats struct {
+	// Count is the number of streams opened (and answered 200).
+	Count int64 `json:"count"`
+	// Rows is the total data rows received across streams.
+	Rows int64 `json:"rows"`
+	// Heartbeats counts '# heartbeat' comment lines.
+	Heartbeats int64 `json:"heartbeats"`
+	// Clean counts streams that ended with '# done rows=N' where N
+	// matched the rows actually received.
+	Clean int64 `json:"clean"`
+	// Truncated counts streams that ended with a '# truncated' status
+	// (budget or disconnect cut them off).
+	Truncated int64 `json:"truncated"`
+	// BadTerminal counts streams with no terminal status comment at
+	// all, or a done count disagreeing with the received rows — the
+	// integrity failures an SLO-passing run must not have.
+	BadTerminal int64 `json:"bad_terminal"`
+	// MaxGapMs is the longest observed silence between consecutive
+	// stream lines (data or heartbeat) — bounded by the server's
+	// heartbeat interval on a healthy stream.
+	MaxGapMs float64 `json:"max_gap_ms"`
+}
+
+// BatchStats aggregates the /v1/batch sub-request accounting (the
+// rows inside the multiplexed answers, which the per-endpoint status
+// classes cannot see).
+type BatchStats struct {
+	// Requests is the number of batch POSTs that returned a parseable
+	// answer.
+	Requests int64 `json:"requests"`
+	// Rows is the total sub-request rows across those answers.
+	Rows int64 `json:"rows"`
+	// RowFailures is the rows whose per-row status was an error.
+	RowFailures int64 `json:"row_failures"`
+	// CountMismatch counts answers whose row count disagreed with the
+	// posted sub-request count.
+	CountMismatch int64 `json:"count_mismatch"`
+}
+
+// ErrorBudget is the run-level error accounting the errors< SLO
+// clauses read.
+type ErrorBudget struct {
+	Total  int64   `json:"total"`
+	Errors int64   `json:"errors"`
+	Rate   float64 `json:"rate"`
+}
+
+// Result is a run's full outcome.
+type Result struct {
+	Schema string `json:"schema"`
+	// Config echo: what the run was asked to do.
+	Target          string  `json:"target"`
+	Seed            int64   `json:"seed"`
+	Mix             string  `json:"mix"`
+	OfferedRate     float64 `json:"offered_rate"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	// Offered vs achieved throughput. Scheduled is the open-loop
+	// request count the rate and duration dictate; Launched is how
+	// many actually started (a cancelled run launches fewer);
+	// Completed is how many finished (any class). AchievedRate is
+	// Completed over the wall clock from first launch to last
+	// completion — on a healthy run it converges to OfferedRate, and
+	// the gap between them is the saturation signal open-loop load is
+	// designed to expose.
+	Scheduled    int     `json:"scheduled"`
+	Launched     int     `json:"launched"`
+	Completed    int64   `json:"completed"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	AchievedRate float64 `json:"achieved_rate"`
+	// PeakInFlight is the largest number of concurrently outstanding
+	// requests observed — the queue depth the open loop built up.
+	PeakInFlight int64 `json:"peak_in_flight"`
+
+	Endpoints   map[string]*EndpointResult `json:"endpoints"`
+	Total       *EndpointResult            `json:"total"`
+	Streams     StreamStats                `json:"streams"`
+	Batch       BatchStats                 `json:"batch"`
+	ErrorBudget ErrorBudget                `json:"error_budget"`
+
+	SLO       *SLOResult       `json:"slo,omitempty"`
+	Reconcile *ReconcileResult `json:"reconcile,omitempty"`
+}
+
+// fmtMs renders a millisecond cell.
+func fmtMs(v float64) string { return report.Fmt(v, 4) }
+
+// Markdown renders the result as the human table cmd/loadgen prints —
+// built on the shared report package, so the loadgen tables format
+// exactly like every other table the repo emits (and paste cleanly
+// into a CI step summary).
+func (r *Result) Markdown() string {
+	title := fmt.Sprintf("loadgen: %s — offered %g req/s for %gs (mix %s, seed %d)",
+		r.Target, r.OfferedRate, r.DurationSeconds, r.Mix, r.Seed)
+	tb := report.NewTable(title, "endpoint", "count", "err%", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "max ms")
+	ops := make([]string, 0, len(r.Endpoints))
+	for op := range r.Endpoints {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	addRow := func(name string, ep *EndpointResult) {
+		tb.AddRow(name, strconv.FormatInt(ep.Count, 10),
+			report.Fmt(ep.ErrorRate*100, 3),
+			fmtMs(ep.LatencyMs.P50), fmtMs(ep.LatencyMs.P95),
+			fmtMs(ep.LatencyMs.P99), fmtMs(ep.LatencyMs.P999), fmtMs(ep.LatencyMs.Max))
+	}
+	for _, op := range ops {
+		addRow(op, r.Endpoints[op])
+	}
+	if r.Total != nil {
+		addRow("TOTAL", r.Total)
+	}
+	out := tb.Markdown()
+	out += fmt.Sprintf("\nthroughput: offered %.1f req/s, achieved %.1f req/s (%d/%d completed in %.2fs, peak in-flight %d)\n",
+		r.OfferedRate, r.AchievedRate, r.Completed, r.Scheduled, r.WallSeconds, r.PeakInFlight)
+	out += fmt.Sprintf("error budget: %d/%d errored (%.4f%%)\n",
+		r.ErrorBudget.Errors, r.ErrorBudget.Total, r.ErrorBudget.Rate*100)
+	if r.Streams.Count > 0 {
+		out += fmt.Sprintf("streams: %d opened, %d rows, %d heartbeats, %d clean, %d truncated, %d bad terminal, max gap %.0fms\n",
+			r.Streams.Count, r.Streams.Rows, r.Streams.Heartbeats, r.Streams.Clean,
+			r.Streams.Truncated, r.Streams.BadTerminal, r.Streams.MaxGapMs)
+	}
+	if r.Batch.Requests > 0 {
+		out += fmt.Sprintf("batch: %d answers, %d rows, %d row failures, %d count mismatches\n",
+			r.Batch.Requests, r.Batch.Rows, r.Batch.RowFailures, r.Batch.CountMismatch)
+	}
+	if r.Reconcile != nil {
+		out += r.Reconcile.summaryLine()
+	}
+	if r.SLO != nil {
+		if r.SLO.Pass {
+			out += fmt.Sprintf("slo: PASS (%s)\n", r.SLO.Spec)
+		} else {
+			out += fmt.Sprintf("slo: FAIL (%s)\n", r.SLO.Spec)
+			for _, v := range r.SLO.Violations {
+				out += fmt.Sprintf("  violation %s: %s\n", v.Rule, v.Detail)
+			}
+		}
+	}
+	return out
+}

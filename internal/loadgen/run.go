@@ -1,0 +1,409 @@
+// run.go is the open-loop runner: requests launch on the offered-rate
+// schedule (request i at start + i/rate) whether or not earlier ones
+// finished, each on its own goroutine, with latency measured to the
+// last body byte. The scheduler never waits on the server, so a
+// saturated boundsd shows up as a growing in-flight count and a
+// ballooning tail — not as a silently reduced request rate.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultRate is the offered request rate (req/s).
+	DefaultRate = 100.0
+	// DefaultDuration is the run length.
+	DefaultDuration = 10 * time.Second
+	// DefaultRequestTimeout bounds one request end to end (headers
+	// through last body byte) — it is also what guarantees the run
+	// drains: every outstanding request resolves within one timeout of
+	// the last launch.
+	DefaultRequestTimeout = 10 * time.Second
+)
+
+// Config configures a run; zero values select the defaults above.
+type Config struct {
+	// Target is the boundsd base URL (e.g. http://127.0.0.1:8080).
+	Target string
+	// Rate is the offered arrival rate in requests/second.
+	Rate float64
+	// Duration is how long the arrival schedule runs.
+	Duration time.Duration
+	// Mix is the weighted op mix; nil selects DefaultMixSpec.
+	Mix []MixEntry
+	// Seed drives the deterministic parameter sampling.
+	Seed int64
+	// Timeout bounds each request end to end.
+	Timeout time.Duration
+	// Client issues the requests; nil selects a fresh http.Client
+	// (connection reuse across the run, no global timeout — the
+	// per-request context enforces Timeout).
+	Client *http.Client
+}
+
+// collector accumulates the run's observations behind one mutex (the
+// smoke-scale rates make contention irrelevant; correctness first).
+type collector struct {
+	mu      sync.Mutex
+	eps     map[string]*epStats
+	streams StreamStats
+	batch   BatchStats
+}
+
+// epStats is one op's in-flight accounting.
+type epStats struct {
+	count   int64
+	byClass map[string]int64
+	hist    Hist
+}
+
+func (c *collector) ep(op string) *epStats {
+	ep := c.eps[op]
+	if ep == nil {
+		ep = &epStats{byClass: make(map[string]int64)}
+		c.eps[op] = ep
+	}
+	return ep
+}
+
+// record files one completed request.
+func (c *collector) record(op, class string, elapsed time.Duration, stream *streamOutcome, batch *batchOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep := c.ep(op)
+	ep.count++
+	ep.byClass[class]++
+	ep.hist.Record(elapsed.Nanoseconds())
+	if stream != nil {
+		c.streams.Count++
+		c.streams.Rows += stream.rows
+		c.streams.Heartbeats += stream.heartbeats
+		if stream.maxGapMs > c.streams.MaxGapMs {
+			c.streams.MaxGapMs = stream.maxGapMs
+		}
+		switch {
+		case stream.clean:
+			c.streams.Clean++
+		case stream.truncated:
+			c.streams.Truncated++
+		default:
+			c.streams.BadTerminal++
+		}
+	}
+	if batch != nil {
+		c.batch.Requests++
+		c.batch.Rows += batch.rows
+		c.batch.RowFailures += batch.failures
+		if batch.countMismatch {
+			c.batch.CountMismatch++
+		}
+	}
+}
+
+// streamOutcome is one NDJSON stream's integrity summary.
+type streamOutcome struct {
+	rows       int64
+	heartbeats int64
+	clean      bool // terminal '# done rows=N' with N == rows
+	truncated  bool // terminal '# truncated ...'
+	maxGapMs   float64
+}
+
+// batchOutcome is one /v1/batch answer's row summary.
+type batchOutcome struct {
+	rows          int64
+	failures      int64
+	countMismatch bool
+}
+
+// Run executes the configured open-loop load against cfg.Target and
+// returns the measured result (without the SLO and reconcile sections,
+// which the caller attaches — cmd/loadgen scrapes /metrics around this
+// call). Cancelling ctx stops scheduling new requests; everything
+// already launched still completes (or times out) and is counted.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("loadgen: no target")
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = DefaultRate
+	}
+	if !(cfg.Rate > 0) {
+		return nil, fmt.Errorf("loadgen: rate %g must be positive", cfg.Rate)
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = DefaultDuration
+	}
+	if cfg.Duration < 0 {
+		return nil, fmt.Errorf("loadgen: duration %v must be positive", cfg.Duration)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultRequestTimeout
+	}
+	if cfg.Mix == nil {
+		mix, err := ParseMix(DefaultMixSpec)
+		if err != nil {
+			panic("loadgen: default mix spec invalid: " + err.Error())
+		}
+		cfg.Mix = mix
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	target := strings.TrimRight(cfg.Target, "/")
+	sampler := NewSampler(cfg.Seed, cfg.Mix)
+	scheduled := int(cfg.Rate*cfg.Duration.Seconds() + 0.5)
+	if scheduled < 1 {
+		scheduled = 1
+	}
+
+	col := &collector{eps: make(map[string]*epStats)}
+	var (
+		wg           sync.WaitGroup
+		completed    atomic.Int64
+		inFlight     atomic.Int64
+		peakInFlight atomic.Int64
+		launched     int
+	)
+	start := time.Now()
+	var lastDone atomic.Int64 // ns since start of the last completion
+schedule:
+	for i := 0; i < scheduled; i++ {
+		due := start.Add(time.Duration(float64(i) * float64(time.Second) / cfg.Rate))
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break schedule
+			}
+		} else if ctx.Err() != nil {
+			break schedule
+		}
+		launched++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := inFlight.Add(1)
+			for {
+				peak := peakInFlight.Load()
+				if n <= peak || peakInFlight.CompareAndSwap(peak, n) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			execOne(ctx, client, target, cfg.Timeout, sampler.Plan(i), col)
+			completed.Add(1)
+			if ns := time.Since(start).Nanoseconds(); ns > lastDone.Load() {
+				lastDone.Store(ns)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	wall := time.Duration(lastDone.Load())
+	if wall <= 0 {
+		wall = time.Since(start)
+	}
+	res := &Result{
+		Schema:          ResultSchema,
+		Target:          cfg.Target,
+		Seed:            cfg.Seed,
+		Mix:             MixString(cfg.Mix),
+		OfferedRate:     cfg.Rate,
+		DurationSeconds: cfg.Duration.Seconds(),
+		Scheduled:       scheduled,
+		Launched:        launched,
+		Completed:       completed.Load(),
+		WallSeconds:     wall.Seconds(),
+		PeakInFlight:    peakInFlight.Load(),
+		Endpoints:       make(map[string]*EndpointResult),
+		Streams:         col.streams,
+		Batch:           col.batch,
+	}
+	if res.WallSeconds > 0 {
+		res.AchievedRate = float64(res.Completed) / res.WallSeconds
+	}
+	var totalHist Hist
+	total := &EndpointResult{ByClass: make(map[string]int64)}
+	for op, ep := range col.eps {
+		er := &EndpointResult{Count: ep.count, ByClass: ep.byClass, LatencyMs: quantilesOf(&ep.hist)}
+		er.ErrorRate = errorRate(ep.byClass, ep.count)
+		res.Endpoints[op] = er
+		total.Count += ep.count
+		for class, n := range ep.byClass {
+			total.ByClass[class] += n
+		}
+		totalHist.Merge(&ep.hist)
+	}
+	total.LatencyMs = quantilesOf(&totalHist)
+	total.ErrorRate = errorRate(total.ByClass, total.Count)
+	res.Total = total
+	res.ErrorBudget = ErrorBudget{
+		Total:  total.Count,
+		Errors: total.Count - total.ByClass[Class2xx],
+		Rate:   total.ErrorRate,
+	}
+	return res, nil
+}
+
+// errorRate is the non-2xx fraction.
+func errorRate(byClass map[string]int64, count int64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return float64(count-byClass[Class2xx]) / float64(count)
+}
+
+// execOne issues one planned request and files its outcome. Every exit
+// path records exactly one completion.
+func execOne(ctx context.Context, client *http.Client, target string, timeout time.Duration, plan Plan, col *collector) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var body io.Reader
+	if plan.Body != nil {
+		body = bytes.NewReader(plan.Body)
+	}
+	req, err := http.NewRequestWithContext(rctx, plan.Method, target+plan.Path, body)
+	if err != nil {
+		col.record(plan.Op, ClassTransport, 0, nil, nil)
+		return
+	}
+	if plan.Body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		col.record(plan.Op, classifyErr(rctx, err), time.Since(t0), nil, nil)
+		return
+	}
+	defer resp.Body.Close()
+
+	var (
+		stream *streamOutcome
+		batch  *batchOutcome
+	)
+	class := classOf(resp.StatusCode)
+	switch {
+	case plan.Stream && resp.StatusCode == http.StatusOK:
+		so, rerr := readStream(resp.Body)
+		if rerr != nil {
+			class = classifyErr(rctx, rerr)
+		}
+		stream = &so
+	default:
+		data, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			class = classifyErr(rctx, rerr)
+		} else if plan.Op == OpBatch && resp.StatusCode == http.StatusOK {
+			bo := readBatch(data, plan.Body)
+			batch = &bo
+		}
+	}
+	col.record(plan.Op, class, time.Since(t0), stream, batch)
+}
+
+// classOf buckets an HTTP status.
+func classOf(status int) string {
+	switch {
+	case status >= 200 && status < 300:
+		return Class2xx
+	case status >= 400 && status < 500:
+		return Class4xx
+	default:
+		return Class5xx
+	}
+}
+
+// classifyErr buckets a request/read failure: a fired deadline is a
+// timeout, anything else a transport failure.
+func classifyErr(ctx context.Context, err error) string {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return ClassTimeout
+	}
+	return ClassTransport
+}
+
+// readStream consumes an NDJSON body, checking the protocol the server
+// documents: data rows are JSON objects one per line, comments start
+// with '#', heartbeats keep idle streams alive, and the last line is a
+// '# done rows=N' or '# truncated ...' status. The outcome records row
+// and heartbeat counts, the longest inter-line gap, and whether the
+// terminal status agreed with the rows actually received.
+func readStream(r io.Reader) (streamOutcome, error) {
+	var out streamOutcome
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	last := time.Now()
+	var terminal string
+	for sc.Scan() {
+		now := time.Now()
+		if gap := now.Sub(last).Seconds() * 1e3; gap > out.maxGapMs {
+			out.maxGapMs = gap
+		}
+		last = now
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			switch {
+			case strings.HasPrefix(line, "# heartbeat"):
+				out.heartbeats++
+			case strings.HasPrefix(line, "# done"), strings.HasPrefix(line, "# truncated"):
+				terminal = line
+			}
+			continue
+		}
+		out.rows++
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	switch {
+	case strings.HasPrefix(terminal, "# done rows="):
+		n, err := strconv.ParseInt(strings.TrimPrefix(terminal, "# done rows="), 10, 64)
+		out.clean = err == nil && n == out.rows
+	case strings.HasPrefix(terminal, "# truncated"):
+		out.truncated = true
+	}
+	return out, nil
+}
+
+// readBatch checks a /v1/batch answer's row accounting against the
+// posted sub-request array.
+func readBatch(data, posted []byte) batchOutcome {
+	var out batchOutcome
+	var ans struct {
+		Count  int   `json:"count"`
+		Failed int64 `json:"failed"`
+		Rows   []struct {
+			Error string `json:"error"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &ans); err != nil {
+		out.countMismatch = true
+		return out
+	}
+	out.rows = int64(len(ans.Rows))
+	out.failures = ans.Failed
+	var items []json.RawMessage
+	wantLen := -1
+	if err := json.Unmarshal(posted, &items); err == nil {
+		wantLen = len(items)
+	}
+	out.countMismatch = ans.Count != len(ans.Rows) || (wantLen >= 0 && wantLen != len(ans.Rows))
+	return out
+}

@@ -1,0 +1,183 @@
+package loadgen_test
+
+// The runner tests live in an external test package so they can use
+// servertest (which imports internal/server) against the real handler
+// stack — streaming, batching, metrics and all — over a real listener.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/server/servertest"
+)
+
+// smokeRun drives a short but real open-loop run against an in-process
+// boundsd and returns the result plus the metrics scrapes around it.
+func smokeRun(t *testing.T, cfg loadgen.Config) (*loadgen.Result, map[string]float64, map[string]float64) {
+	t.Helper()
+	ts := servertest.Start(t, server.Config{})
+	cfg.Target = ts.URL
+	cfg.Client = ts.Client()
+	ctx := context.Background()
+	before, err := loadgen.ScrapeMetrics(ctx, cfg.Client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := loadgen.ScrapeMetrics(ctx, cfg.Client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, before, after
+}
+
+func TestRunOpenLoopAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives ~1s of live load")
+	}
+	res, before, after := smokeRun(t, loadgen.Config{
+		Rate:     150,
+		Duration: 1 * time.Second,
+		Seed:     1,
+		Timeout:  30 * time.Second,
+	})
+
+	if res.Scheduled != 150 || res.Launched != res.Scheduled {
+		t.Errorf("scheduled/launched = %d/%d, want 150/150", res.Scheduled, res.Launched)
+	}
+	if res.Completed != int64(res.Launched) {
+		t.Errorf("completed %d of %d launched", res.Completed, res.Launched)
+	}
+	if res.Total == nil || res.Total.Count != res.Completed {
+		t.Fatalf("total accounting inconsistent: %+v", res.Total)
+	}
+	// The sampler only emits valid requests and the in-process server
+	// cannot drop them: the error budget must be exactly zero, making
+	// any nonzero count a server-side finding.
+	if res.ErrorBudget.Errors != 0 {
+		t.Errorf("error budget %d/%d: by class %v", res.ErrorBudget.Errors, res.ErrorBudget.Total, res.Total.ByClass)
+	}
+	if res.AchievedRate <= 0 || res.WallSeconds <= 0 {
+		t.Errorf("throughput accounting: achieved %g over %gs", res.AchievedRate, res.WallSeconds)
+	}
+	if res.PeakInFlight < 1 {
+		t.Errorf("peak in-flight %d", res.PeakInFlight)
+	}
+
+	// Latency percentiles must be populated and ordered for every
+	// exercised endpoint.
+	for op, ep := range res.Endpoints {
+		q := ep.LatencyMs
+		if !(q.P50 <= q.P95 && q.P95 <= q.P99 && q.P99 <= q.P999 && q.P999 <= q.Max) {
+			t.Errorf("%s quantiles unordered: %+v", op, q)
+		}
+		if q.Max <= 0 {
+			t.Errorf("%s max latency %g", op, q.Max)
+		}
+	}
+
+	// Stream integrity: every opened sweep stream ended cleanly with a
+	// row count matching its '# done rows=N' status.
+	if res.Streams.Count == 0 {
+		t.Fatal("the default mix ran no sweep streams")
+	}
+	if res.Streams.Clean != res.Streams.Count || res.Streams.BadTerminal != 0 || res.Streams.Truncated != 0 {
+		t.Errorf("stream integrity: %+v", res.Streams)
+	}
+	if res.Streams.Rows == 0 {
+		t.Error("streams carried no rows")
+	}
+
+	// Batch accounting: every answer parsed, row counts matched, no
+	// row-level failures.
+	if res.Batch.Requests == 0 {
+		t.Fatal("the default mix ran no batches")
+	}
+	if res.Batch.CountMismatch != 0 || res.Batch.RowFailures != 0 {
+		t.Errorf("batch accounting: %+v", res.Batch)
+	}
+
+	// Client-vs-server reconciliation: with the server to ourselves and
+	// zero unconfirmed requests, every per-path delta must match
+	// exactly.
+	rr := loadgen.ReconcileRequests(before, after, res)
+	if !rr.OK() {
+		t.Errorf("reconcile failed: %v\nper-path: %+v", rr.Mismatches, rr.PerPath)
+	}
+}
+
+// TestRunDeterministicOffered pins the offered-load bookkeeping: the
+// scheduled count follows rate*duration, and a cancelled context stops
+// scheduling but still drains and counts what launched.
+func TestRunCancelStopsScheduling(t *testing.T) {
+	ts := servertest.Start(t, server.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Target:   ts.URL,
+		Client:   ts.Client(),
+		Rate:     50,
+		Duration: 10 * time.Second, // would schedule 500; cancel cuts it short
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled != 500 {
+		t.Errorf("scheduled = %d, want 500", res.Scheduled)
+	}
+	if res.Launched >= res.Scheduled {
+		t.Errorf("cancel did not stop scheduling: launched %d", res.Launched)
+	}
+	if res.Completed != int64(res.Launched) {
+		t.Errorf("launched %d but completed %d — the drain lost requests", res.Launched, res.Completed)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := loadgen.Run(ctx, loadgen.Config{}); err == nil {
+		t.Error("missing target accepted")
+	}
+	if _, err := loadgen.Run(ctx, loadgen.Config{Target: "http://x", Rate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := loadgen.Run(ctx, loadgen.Config{Target: "http://x", Duration: -time.Second}); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+// TestRunMarkdownRenders sanity-checks the human rendering on a real
+// result (shared report table + the footer lines the CI summary shows).
+func TestRunMarkdownRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live load")
+	}
+	res, before, after := smokeRun(t, loadgen.Config{
+		Rate:     80,
+		Duration: 500 * time.Millisecond,
+		Seed:     3,
+	})
+	res.Reconcile = loadgen.ReconcileRequests(before, after, res)
+	rules, err := loadgen.ParseSLO("p99<60s,errors<=0%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.SLO = loadgen.EvaluateSLO("p99<60s,errors<=0%", rules, res)
+	out := res.Markdown()
+	for _, want := range []string{"| endpoint", "TOTAL", "throughput:", "error budget:", "reconcile: OK", "slo: PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// sampler.go derives every request of a run from (seed, index) alone:
+// request i seeds its own rng with splitmix64(seed, i), picks its op
+// from the weighted mix, and samples parameters from the finite pools
+// below — so two runs with the same seed and mix issue byte-identical
+// request sequences regardless of scheduling, goroutine interleaving
+// or how fast the server answers. Finite pools (rather than continuous
+// ranges) are deliberate: real traffic repeats itself, and repeats are
+// what exercise the server's cache/singleflight hot paths.
+//
+// Every sampled parameter set is valid for its endpoint by
+// construction: verify and crash-simulate draw from the precomputed
+// search-regime triples (f < k < m(f+1), where the paper's optimal
+// strategy exists), pfaulty-simulate pins (m,k,f)=(1,1,0) as the model
+// requires, and sweep stays on the crash scenario the endpoint serves.
+// A 4xx under this sampler is therefore always a server-side finding,
+// never generator noise — which is what lets the smoke gate treat the
+// error budget as a correctness signal.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/url"
+	"strconv"
+
+	"repro/internal/bounds"
+)
+
+// Parameter pools. Horizons are small enough for sub-second cells on a
+// shared CI runner and coarse enough that the (m,k,f,horizon) space
+// has ~dozens of points, so the engine cache sees realistic repeats.
+var (
+	verifyHorizons   = []float64{2000, 5000, 10000, 20000}
+	simPfaultyP      = []float64{0.1, 0.2, 0.25, 0.4}
+	simHorizons      = []float64{20, 50, 100}
+	simPoints        = []int{4, 6, 8}
+	sweepKmax        = []int{3, 4, 5}
+	sweepHorizons    = []float64{2000, 5000}
+	boundsMs         = []int{1, 2, 3}
+	batchSizeChoices = []int{2, 3, 4}
+)
+
+// Plan is one fully-determined request: everything exec needs to put
+// it on the wire, and everything a test needs to replay it.
+type Plan struct {
+	Index  int    `json:"index"`
+	Op     string `json:"op"`
+	Method string `json:"method"`
+	// Path is the request path including the encoded query string.
+	Path string `json:"path"`
+	// Body is the POST payload (batch only).
+	Body []byte `json:"body,omitempty"`
+	// Stream marks an NDJSON request whose response is consumed
+	// line-by-line with integrity checks (sweep).
+	Stream bool `json:"stream"`
+}
+
+// Sampler derives request plans from a seed and a mix.
+type Sampler struct {
+	seed    int64
+	mix     []MixEntry
+	triples [][3]int // crash search-regime (m, k, f)
+}
+
+// NewSampler precomputes the valid search-regime triples and returns a
+// ready sampler.
+func NewSampler(seed int64, mix []MixEntry) *Sampler {
+	s := &Sampler{seed: seed, mix: mix}
+	for _, m := range []int{2, 3} {
+		for k := 1; k <= 6; k++ {
+			for f := 0; f < k; f++ {
+				if regime, err := bounds.Classify(m, k, f); err == nil && regime == bounds.RegimeSearch {
+					s.triples = append(s.triples, [3]int{m, k, f})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// splitmix64 is the per-index seed mixer (Steele–Lea–Flood); one step
+// of it turns (seed + index) into a well-distributed 64-bit state, so
+// neighboring indexes get decorrelated rngs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng returns request i's private generator.
+func (s *Sampler) rng(i int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(uint64(s.seed) + uint64(i)))))
+}
+
+// Plan derives request i. Pure: same (seed, mix, i) in, same Plan out.
+func (s *Sampler) Plan(i int) Plan {
+	rng := s.rng(i)
+	op := pickOp(rng, s.mix)
+	plan := Plan{Index: i, Op: op, Method: "GET"}
+	switch op {
+	case OpBounds:
+		plan.Path = OpPath[op] + "?" + s.boundsQuery(rng).Encode()
+	case OpVerify:
+		plan.Path = OpPath[op] + "?" + s.verifyQuery(rng).Encode()
+	case OpSimulate:
+		plan.Path = OpPath[op] + "?" + s.simulateQuery(rng).Encode()
+	case OpSweep:
+		q := url.Values{}
+		q.Set("m", "2")
+		q.Set("kmax", strconv.Itoa(pick(rng, sweepKmax)))
+		q.Set("horizon", formatFloat(pick(rng, sweepHorizons)))
+		q.Set("format", "ndjson")
+		plan.Path = OpPath[op] + "?" + q.Encode()
+		plan.Stream = true
+	case OpBatch:
+		plan.Method = "POST"
+		plan.Path = OpPath[op]
+		plan.Body = s.batchBody(rng)
+	}
+	return plan
+}
+
+// boundsQuery samples a single-cell /v1/bounds request. Any regime is
+// fine here — the endpoint answers trivial and unsolvable cells too.
+func (s *Sampler) boundsQuery(rng *rand.Rand) url.Values {
+	m := pick(rng, boundsMs)
+	k := 1 + rng.Intn(8)
+	f := rng.Intn(k)
+	q := url.Values{}
+	q.Set("m", strconv.Itoa(m))
+	q.Set("k", strconv.Itoa(k))
+	q.Set("f", strconv.Itoa(f))
+	return q
+}
+
+// verifyQuery samples a crash verification: a search-regime triple and
+// a pooled horizon.
+func (s *Sampler) verifyQuery(rng *rand.Rand) url.Values {
+	t := s.triples[rng.Intn(len(s.triples))]
+	q := url.Values{}
+	q.Set("m", strconv.Itoa(t[0]))
+	q.Set("k", strconv.Itoa(t[1]))
+	q.Set("f", strconv.Itoa(t[2]))
+	q.Set("horizon", formatFloat(pick(rng, verifyHorizons)))
+	return q
+}
+
+// simulateQuery samples a simulation: half the draws run the
+// pfaulty-halfline Monte-Carlo (seeded explicitly, so the server-side
+// sample paths are reproducible too), half replay the crash timeline.
+func (s *Sampler) simulateQuery(rng *rand.Rand) url.Values {
+	q := url.Values{}
+	if rng.Intn(2) == 0 {
+		q.Set("model", "pfaulty-halfline")
+		q.Set("m", "1")
+		q.Set("k", "1")
+		q.Set("f", "0")
+		q.Set("p", formatFloat(pick(rng, simPfaultyP)))
+		q.Set("seed", strconv.FormatInt(1+rng.Int63n(1<<20), 10))
+	} else {
+		t := s.triples[rng.Intn(len(s.triples))]
+		q.Set("m", strconv.Itoa(t[0]))
+		q.Set("k", strconv.Itoa(t[1]))
+		q.Set("f", strconv.Itoa(t[2]))
+	}
+	q.Set("horizon", formatFloat(pick(rng, simHorizons)))
+	q.Set("points", strconv.Itoa(pick(rng, simPoints)))
+	return q
+}
+
+// batchBody samples a /v1/batch payload of bounds and verify
+// sub-requests. encoding/json sorts map keys, so the bytes are a pure
+// function of the sampled values.
+func (s *Sampler) batchBody(rng *rand.Rand) []byte {
+	n := pick(rng, batchSizeChoices)
+	items := make([]map[string]any, n)
+	for j := range items {
+		if rng.Intn(2) == 0 {
+			q := s.boundsQuery(rng)
+			items[j] = map[string]any{
+				"op": "bounds",
+				"m":  atoiMust(q.Get("m")), "k": atoiMust(q.Get("k")), "f": atoiMust(q.Get("f")),
+			}
+		} else {
+			q := s.verifyQuery(rng)
+			items[j] = map[string]any{
+				"op": "verify",
+				"m":  atoiMust(q.Get("m")), "k": atoiMust(q.Get("k")), "f": atoiMust(q.Get("f")),
+				"horizon": floatMust(q.Get("horizon")),
+			}
+		}
+	}
+	body, err := json.Marshal(items)
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: batch body marshal: %v", err)) // scalar maps cannot fail
+	}
+	return body
+}
+
+// pick draws one element of a non-empty pool.
+func pick[T any](rng *rand.Rand, pool []T) T { return pool[rng.Intn(len(pool))] }
+
+// formatFloat renders a query float the way the pools spell them.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func atoiMust(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: %q not an int", s))
+	}
+	return v
+}
+
+func floatMust(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: %q not a float", s))
+	}
+	return v
+}

@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bounds"
+)
+
+func testMix(t *testing.T) []MixEntry {
+	t.Helper()
+	mix, err := ParseMix(DefaultMixSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mix
+}
+
+// TestSamplerDeterministic pins the reproducibility contract: the plan
+// sequence is a pure function of (seed, mix, index) — two samplers
+// with the same seed agree plan for plan, including batch body bytes,
+// and a different seed diverges.
+func TestSamplerDeterministic(t *testing.T) {
+	mix := testMix(t)
+	a := NewSampler(7, mix)
+	b := NewSampler(7, mix)
+	c := NewSampler(8, mix)
+	diverged := false
+	for i := 0; i < 500; i++ {
+		pa, pb := a.Plan(i), b.Plan(i)
+		if pa.Op != pb.Op || pa.Method != pb.Method || pa.Path != pb.Path ||
+			string(pa.Body) != string(pb.Body) || pa.Stream != pb.Stream {
+			t.Fatalf("plan %d diverged for the same seed:\n%+v\n%+v", i, pa, pb)
+		}
+		if pc := c.Plan(i); pc.Path != pa.Path || string(pc.Body) != string(pa.Body) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("500 plans identical across different seeds")
+	}
+}
+
+// TestSamplerOutOfOrder pins independence from scheduling: deriving
+// plan i requires no plan before it, in any order.
+func TestSamplerOutOfOrder(t *testing.T) {
+	mix := testMix(t)
+	forward := NewSampler(3, mix)
+	plans := make([]Plan, 100)
+	for i := range plans {
+		plans[i] = forward.Plan(i)
+	}
+	backward := NewSampler(3, mix)
+	for i := len(plans) - 1; i >= 0; i-- {
+		got := backward.Plan(i)
+		if got.Path != plans[i].Path || string(got.Body) != string(plans[i].Body) {
+			t.Fatalf("plan %d differs when derived out of order", i)
+		}
+	}
+}
+
+// queryOf parses a plan's query string.
+func queryOf(t *testing.T, plan Plan) url.Values {
+	t.Helper()
+	u, err := url.Parse(plan.Path)
+	if err != nil {
+		t.Fatalf("plan %d path %q: %v", plan.Index, plan.Path, err)
+	}
+	return u.Query()
+}
+
+func mustInt(t *testing.T, q url.Values, key string) int {
+	t.Helper()
+	v, err := strconv.Atoi(q.Get(key))
+	if err != nil {
+		t.Fatalf("param %s=%q: %v", key, q.Get(key), err)
+	}
+	return v
+}
+
+// TestSamplerPlansValid walks many plans and asserts every sampled
+// parameter set satisfies its endpoint's documented constraints — the
+// property that makes a 4xx under load a server finding rather than
+// generator noise.
+func TestSamplerPlansValid(t *testing.T) {
+	s := NewSampler(1, testMix(t))
+	seen := make(map[string]bool)
+	for i := 0; i < 2000; i++ {
+		plan := s.Plan(i)
+		seen[plan.Op] = true
+		if OpPath[plan.Op] == "" || !strings.HasPrefix(plan.Path, OpPath[plan.Op]) {
+			t.Fatalf("plan %d: path %q does not match op %q", i, plan.Path, plan.Op)
+		}
+		switch plan.Op {
+		case OpBounds:
+			q := queryOf(t, plan)
+			m, k, f := mustInt(t, q, "m"), mustInt(t, q, "k"), mustInt(t, q, "f")
+			if _, err := bounds.Classify(m, k, f); err != nil {
+				t.Errorf("plan %d: bounds params invalid: %v", i, err)
+			}
+		case OpVerify:
+			q := queryOf(t, plan)
+			m, k, f := mustInt(t, q, "m"), mustInt(t, q, "k"), mustInt(t, q, "f")
+			regime, err := bounds.Classify(m, k, f)
+			if err != nil || regime != bounds.RegimeSearch {
+				t.Errorf("plan %d: verify triple (%d,%d,%d) not in the search regime", i, m, k, f)
+			}
+			if h, err := strconv.ParseFloat(q.Get("horizon"), 64); err != nil || !(h > 1) {
+				t.Errorf("plan %d: verify horizon %q", i, q.Get("horizon"))
+			}
+		case OpSimulate:
+			q := queryOf(t, plan)
+			if q.Get("model") == "pfaulty-halfline" {
+				if q.Get("m") != "1" || q.Get("k") != "1" || q.Get("f") != "0" {
+					t.Errorf("plan %d: pfaulty params %v", i, q)
+				}
+				if p, err := strconv.ParseFloat(q.Get("p"), 64); err != nil || p <= 0 || p >= 1 {
+					t.Errorf("plan %d: pfaulty p %q", i, q.Get("p"))
+				}
+			} else {
+				m, k, f := mustInt(t, q, "m"), mustInt(t, q, "k"), mustInt(t, q, "f")
+				if regime, err := bounds.Classify(m, k, f); err != nil || regime != bounds.RegimeSearch {
+					t.Errorf("plan %d: crash-simulate triple (%d,%d,%d) not in the search regime", i, m, k, f)
+				}
+			}
+			if pts := mustInt(t, queryOf(t, plan), "points"); pts < 2 || pts > 128 {
+				t.Errorf("plan %d: points %d out of the server's range", i, pts)
+			}
+		case OpSweep:
+			q := queryOf(t, plan)
+			if !plan.Stream || q.Get("format") != "ndjson" {
+				t.Errorf("plan %d: sweep must stream NDJSON, got %+v", i, plan)
+			}
+			if q.Get("m") != "2" {
+				t.Errorf("plan %d: sweep m=%q (the endpoint serves the crash scenario)", i, q.Get("m"))
+			}
+			if kmax := mustInt(t, q, "kmax"); kmax < 1 || kmax > 16 {
+				t.Errorf("plan %d: sweep kmax %d out of the server's cap", i, kmax)
+			}
+		case OpBatch:
+			if plan.Method != "POST" || plan.Body == nil {
+				t.Fatalf("plan %d: batch must POST a body", i)
+			}
+			var items []map[string]any
+			if err := json.Unmarshal(plan.Body, &items); err != nil {
+				t.Fatalf("plan %d: batch body: %v", i, err)
+			}
+			if len(items) < 2 || len(items) > 4 {
+				t.Errorf("plan %d: batch size %d", i, len(items))
+			}
+			for j, item := range items {
+				op, _ := item["op"].(string)
+				if op != "bounds" && op != "verify" {
+					t.Errorf("plan %d item %d: op %q", i, j, op)
+				}
+			}
+		default:
+			t.Fatalf("plan %d: unknown op %q", i, plan.Op)
+		}
+	}
+	for op := range OpPath {
+		if !seen[op] {
+			t.Errorf("2000 plans from the default mix never produced op %q", op)
+		}
+	}
+}
+
+// TestSamplerGoldenPrefix pins the first few plans for seed 1 so an
+// accidental change to the sampling logic (which would silently change
+// what every recorded run measured) fails loudly. Update the
+// expectation deliberately when the sampler is meant to change, and
+// re-record BENCH_loadgen.json alongside.
+func TestSamplerGoldenPrefix(t *testing.T) {
+	want := []string{
+		"GET /v1/simulate?f=0&horizon=50&k=1&m=1&model=pfaulty-halfline&p=0.2&points=8&seed=391812",
+		"GET /v1/verify?f=4&horizon=20000&k=6&m=2",
+		"GET /v1/bounds?f=1&k=6&m=2",
+		"GET /v1/bounds?f=0&k=7&m=1",
+		`POST /v1/batch [{"f":6,"k":8,"m":1,"op":"bounds"},{"f":0,"k":4,"m":2,"op":"bounds"},{"f":2,"horizon":20000,"k":5,"m":3,"op":"verify"}]`,
+		"GET /v1/verify?f=4&horizon=10000&k=6&m=2",
+		"GET /v1/bounds?f=5&k=6&m=3",
+		"GET /v1/simulate?f=2&horizon=20&k=4&m=2&points=6",
+	}
+	s := NewSampler(1, testMix(t))
+	for i, w := range want {
+		plan := s.Plan(i)
+		got := plan.Method + " " + plan.Path
+		if plan.Body != nil {
+			got += " " + string(plan.Body)
+		}
+		if got != w {
+			t.Errorf("plan %d:\n got %q\nwant %q", i, got, w)
+		}
+	}
+}

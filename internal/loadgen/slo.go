@@ -1,0 +1,231 @@
+// slo.go parses and evaluates SLO specifications — the contract that
+// turns a load run into a gate. A spec is a comma-separated list of
+// clauses:
+//
+//	p99<50ms,errors<0.1%,rate>100
+//	sweep:p999<2s,verify:errors<1%
+//
+// Each clause is [op:]metric cmp value. Metrics: the latency quantiles
+// p50/p90/p95/p99/p999 plus max and mean (value takes a duration unit
+// ns/us/ms/s, default ms), "errors" (the non-2xx + transport fraction;
+// value takes % or a bare fraction), and "rate" (achieved req/s).
+// An op prefix scopes the clause to one endpoint's stats; without it
+// the clause reads the aggregate. Comparators: < <= > >=.
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SLORule is one parsed clause.
+type SLORule struct {
+	// Raw is the clause as written, echoed in violations.
+	Raw string `json:"raw"`
+	// Op scopes the clause to one endpoint ("" = aggregate).
+	Op string `json:"op,omitempty"`
+	// Metric is p50|p90|p95|p99|p999|max|mean|errors|rate.
+	Metric string `json:"metric"`
+	// Cmp is the comparator the actual value must satisfy against
+	// Value: "<", "<=", ">" or ">=".
+	Cmp string `json:"cmp"`
+	// Value is the threshold in the metric's canonical unit:
+	// milliseconds for latency metrics, a fraction for errors,
+	// requests/second for rate.
+	Value float64 `json:"value"`
+}
+
+// Violation is one failed clause in a result's SLO report.
+type Violation struct {
+	Rule   string  `json:"rule"`
+	Actual float64 `json:"actual"`
+	Limit  float64 `json:"limit"`
+	Detail string  `json:"detail"`
+}
+
+// SLOResult is the slo section of a Result.
+type SLOResult struct {
+	Spec       string      `json:"spec"`
+	Pass       bool        `json:"pass"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// latencyMetrics maps the latency metric names to quantile accessors.
+var latencyMetrics = map[string]func(Quantiles) float64{
+	"p50":  func(q Quantiles) float64 { return q.P50 },
+	"p90":  func(q Quantiles) float64 { return q.P90 },
+	"p95":  func(q Quantiles) float64 { return q.P95 },
+	"p99":  func(q Quantiles) float64 { return q.P99 },
+	"p999": func(q Quantiles) float64 { return q.P999 },
+	"max":  func(q Quantiles) float64 { return q.Max },
+	"mean": func(q Quantiles) float64 { return q.Mean },
+}
+
+// ParseSLO parses a spec into its rules. An empty spec is valid and
+// yields no rules (no gate).
+func ParseSLO(spec string) ([]SLORule, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var rules []SLORule
+	for _, clause := range strings.Split(spec, ",") {
+		rule, err := parseClause(strings.TrimSpace(clause))
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+// parseClause parses one [op:]metric cmp value clause.
+func parseClause(clause string) (SLORule, error) {
+	rule := SLORule{Raw: clause}
+	rest := clause
+	if op, tail, ok := strings.Cut(rest, ":"); ok {
+		if _, known := OpPath[op]; !known {
+			return rule, fmt.Errorf("slo clause %q: unknown op scope %q", clause, op)
+		}
+		rule.Op = op
+		rest = tail
+	}
+	// Longest comparator first, so "<=" is not read as "<" + "=...".
+	idx := strings.IndexAny(rest, "<>")
+	if idx < 0 {
+		return rule, fmt.Errorf("slo clause %q: want metric<value or metric>value", clause)
+	}
+	rule.Metric = strings.TrimSpace(rest[:idx])
+	rule.Cmp = rest[idx : idx+1]
+	raw := rest[idx+1:]
+	if strings.HasPrefix(raw, "=") {
+		rule.Cmp += "="
+		raw = raw[1:]
+	}
+	raw = strings.TrimSpace(raw)
+	_, isLatency := latencyMetrics[rule.Metric]
+	switch {
+	case isLatency:
+		ms, err := parseDurationMs(raw)
+		if err != nil {
+			return rule, fmt.Errorf("slo clause %q: %w", clause, err)
+		}
+		rule.Value = ms
+	case rule.Metric == "errors":
+		frac, err := parseFraction(raw)
+		if err != nil {
+			return rule, fmt.Errorf("slo clause %q: %w", clause, err)
+		}
+		rule.Value = frac
+	case rule.Metric == "rate":
+		if rule.Op != "" {
+			return rule, fmt.Errorf("slo clause %q: rate is a whole-run metric and takes no op scope", clause)
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			return rule, fmt.Errorf("slo clause %q: rate threshold must be a non-negative number", clause)
+		}
+		rule.Value = v
+	default:
+		return rule, fmt.Errorf("slo clause %q: unknown metric %q (want p50/p90/p95/p99/p999/max/mean/errors/rate)", clause, rule.Metric)
+	}
+	return rule, nil
+}
+
+// parseDurationMs parses a latency threshold with an optional unit
+// suffix (ns, us, ms, s; default ms) into milliseconds.
+func parseDurationMs(raw string) (float64, error) {
+	scale := 1.0 // ms
+	num := raw
+	for _, u := range []struct {
+		suffix string
+		scale  float64
+	}{{"ns", 1e-6}, {"us", 1e-3}, {"µs", 1e-3}, {"ms", 1}, {"s", 1e3}} {
+		if strings.HasSuffix(raw, u.suffix) {
+			scale = u.scale
+			num = strings.TrimSuffix(raw, u.suffix)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("latency threshold %q must be a non-negative duration (ns/us/ms/s, default ms)", raw)
+	}
+	return v * scale, nil
+}
+
+// parseFraction parses an error-budget threshold: "0.1%" or a bare
+// fraction like "0.001".
+func parseFraction(raw string) (float64, error) {
+	scale := 1.0
+	num := raw
+	if strings.HasSuffix(raw, "%") {
+		scale = 0.01
+		num = strings.TrimSuffix(raw, "%")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("error threshold %q must be a non-negative fraction or percentage", raw)
+	}
+	return v * scale, nil
+}
+
+// EvaluateSLO checks every rule against the result and returns the
+// populated SLO section. A rule scoped to an op the run never
+// exercised is a violation (the gate must not silently pass because
+// traffic never arrived).
+func EvaluateSLO(spec string, rules []SLORule, res *Result) *SLOResult {
+	out := &SLOResult{Spec: spec, Pass: true}
+	for _, rule := range rules {
+		if v, ok := checkRule(rule, res); !ok {
+			out.Violations = append(out.Violations, v)
+		}
+	}
+	out.Pass = len(out.Violations) == 0
+	return out
+}
+
+// checkRule evaluates one rule; ok=false carries the violation.
+func checkRule(rule SLORule, res *Result) (Violation, bool) {
+	stats := res.Total
+	scope := "aggregate"
+	if rule.Op != "" {
+		stats = res.Endpoints[rule.Op]
+		scope = rule.Op
+		if stats == nil || stats.Count == 0 {
+			return Violation{
+				Rule:   rule.Raw,
+				Limit:  rule.Value,
+				Detail: fmt.Sprintf("no %q requests completed, so the clause cannot be satisfied", rule.Op),
+			}, false
+		}
+	}
+	var actual float64
+	var detail string
+	switch {
+	case rule.Metric == "errors":
+		actual = stats.ErrorRate
+		detail = fmt.Sprintf("%s error rate %.4f%% (limit %.4f%%)", scope, actual*100, rule.Value*100)
+	case rule.Metric == "rate":
+		actual = res.AchievedRate
+		detail = fmt.Sprintf("achieved rate %.1f req/s (limit %.1f)", actual, rule.Value)
+	default:
+		actual = latencyMetrics[rule.Metric](stats.LatencyMs)
+		detail = fmt.Sprintf("%s %s %.3f ms (limit %.3f ms)", scope, rule.Metric, actual, rule.Value)
+	}
+	ok := false
+	switch rule.Cmp {
+	case "<":
+		ok = actual < rule.Value
+	case "<=":
+		ok = actual <= rule.Value
+	case ">":
+		ok = actual > rule.Value
+	case ">=":
+		ok = actual >= rule.Value
+	}
+	if ok {
+		return Violation{}, true
+	}
+	return Violation{Rule: rule.Raw, Actual: actual, Limit: rule.Value, Detail: detail}, false
+}

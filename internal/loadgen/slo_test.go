@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSLO(t *testing.T) {
+	rules, err := ParseSLO("p99<50ms, errors<0.1%,rate>=100,sweep:p999<=2s,verify:errors<1%,p50<2500us,max<0.5s,mean<10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SLORule{
+		{Raw: "p99<50ms", Metric: "p99", Cmp: "<", Value: 50},
+		{Raw: "errors<0.1%", Metric: "errors", Cmp: "<", Value: 0.001},
+		{Raw: "rate>=100", Metric: "rate", Cmp: ">=", Value: 100},
+		{Raw: "sweep:p999<=2s", Op: "sweep", Metric: "p999", Cmp: "<=", Value: 2000},
+		{Raw: "verify:errors<1%", Op: "verify", Metric: "errors", Cmp: "<", Value: 0.01},
+		{Raw: "p50<2500us", Metric: "p50", Cmp: "<", Value: 2.5},
+		{Raw: "max<0.5s", Metric: "max", Cmp: "<", Value: 500},
+		{Raw: "mean<10", Metric: "mean", Cmp: "<", Value: 10}, // default unit ms
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i, w := range want {
+		g := rules[i]
+		if g.Op != w.Op || g.Metric != w.Metric || g.Cmp != w.Cmp {
+			t.Errorf("rule %d = %+v, want %+v", i, g, w)
+		}
+		if diff := g.Value - w.Value; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("rule %d value = %g, want %g", i, g.Value, w.Value)
+		}
+	}
+}
+
+func TestParseSLOEmpty(t *testing.T) {
+	rules, err := ParseSLO("   ")
+	if err != nil || rules != nil {
+		t.Errorf("blank spec = (%v, %v), want (nil, nil)", rules, err)
+	}
+}
+
+func TestParseSLORejects(t *testing.T) {
+	for _, spec := range []string{
+		"p98<50ms",          // unknown quantile
+		"p99=50ms",          // no comparator
+		"p99<banana",        // bad value
+		"p99<-5ms",          // negative latency
+		"errors<-1%",        // negative fraction
+		"rate>x",            // bad rate
+		"teleport:p99<50ms", // unknown op scope
+		"bounds:rate>10",    // rate takes no scope
+		"<50ms",             // missing metric
+	} {
+		if _, err := ParseSLO(spec); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", spec)
+		}
+	}
+}
+
+// sloResult builds a minimal Result for evaluation tests.
+func sloResult() *Result {
+	return &Result{
+		AchievedRate: 120,
+		Endpoints: map[string]*EndpointResult{
+			OpBounds: {Count: 80, ErrorRate: 0, LatencyMs: Quantiles{P50: 1, P99: 4, P999: 6, Max: 8}},
+			OpSweep:  {Count: 20, ErrorRate: 0.05, LatencyMs: Quantiles{P50: 20, P99: 90, P999: 140, Max: 150}},
+		},
+		Total: &EndpointResult{Count: 100, ErrorRate: 0.01, LatencyMs: Quantiles{P50: 2, P99: 80, P999: 130, Max: 150}},
+	}
+}
+
+func TestEvaluateSLOPassAndFail(t *testing.T) {
+	res := sloResult()
+	spec := "p99<100ms,errors<=1%,rate>100,sweep:p999<200ms"
+	rules, err := ParseSLO(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := EvaluateSLO(spec, rules, res)
+	if !out.Pass || len(out.Violations) != 0 {
+		t.Fatalf("want pass, got %+v", out.Violations)
+	}
+
+	spec = "p99<50ms,errors<0.1%,rate>200,sweep:errors<1%,bounds:p50<=1ms"
+	rules, err = ParseSLO(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = EvaluateSLO(spec, rules, res)
+	if out.Pass {
+		t.Fatal("want failure")
+	}
+	// p99 80>=50 fails, errors 1%>=0.1% fails, rate 120<=200 fails,
+	// sweep errors 5%>=1% fails; bounds:p50<=1 passes.
+	if len(out.Violations) != 4 {
+		t.Fatalf("got %d violations: %+v", len(out.Violations), out.Violations)
+	}
+	for _, v := range out.Violations {
+		if v.Detail == "" {
+			t.Errorf("violation %q has no detail", v.Rule)
+		}
+	}
+}
+
+// A clause scoped to an op the run never exercised must fail the gate,
+// not silently pass.
+func TestEvaluateSLOMissingEndpoint(t *testing.T) {
+	res := sloResult()
+	rules, err := ParseSLO("batch:p99<1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := EvaluateSLO("batch:p99<1s", rules, res)
+	if out.Pass {
+		t.Fatal("clause on an unexercised endpoint must violate")
+	}
+	if !strings.Contains(out.Violations[0].Detail, "no \"batch\" requests") {
+		t.Errorf("detail = %q", out.Violations[0].Detail)
+	}
+}

@@ -1,0 +1,23 @@
+// Package servertest starts in-process boundsd instances for tests —
+// the shared helper behind the loadgen tests and any other package
+// that needs a live HTTP server rather than a handler (streaming,
+// metrics scraping, connection behavior). It mirrors net/http/httptest:
+// a non-test package importable only from tests by convention.
+package servertest
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// Start serves a fresh server.New(cfg) handler on an ephemeral
+// loopback listener and registers cleanup with t. The returned
+// server's URL is the boundsd base URL (no trailing slash).
+func Start(t testing.TB, cfg server.Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
