@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -792,6 +793,36 @@ func BenchmarkEvaluatorExtend(b *testing.B) {
 	}
 	b.ReportMetric(4, "doublings-per-build")
 	b.ReportMetric(last, "ratio-at-16k")
+}
+
+// BenchmarkSnapshotRestore measures the warm-start round trip: encode
+// a warm engine's result cache (plus the solver memo) to the versioned
+// snapshot format and restore it into a fresh engine — the work a
+// boundsd restart with -snapshot pays before it can report ready. The
+// cache is the Theorem-1 sweep grid, the working set the precompute
+// pass and the loadgen pools revolve around.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	warm := engine.New(0)
+	if _, err := warm.Sweep(context.Background(), engine.Grid(2, 6), 1e4); err != nil {
+		b.Fatal(err)
+	}
+	var restored int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := warm.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		st, err := engine.New(0).ReadSnapshot(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Entries == 0 {
+			b.Fatal("snapshot restored no entries")
+		}
+		restored = st.Entries
+	}
+	b.ReportMetric(float64(restored), "restored-entries")
 }
 
 // BenchmarkWarmAlphaSolve measures the warm-started alpha* layer: one

@@ -30,6 +30,27 @@
 // every -heartbeat while idle. The process shuts down gracefully on
 // SIGINT/SIGTERM: in-flight requests get a drain window before the
 // listener closes.
+//
+// Warm starts: -snapshot PATH restores the engine result cache (and
+// the solver memo) from PATH at startup and writes it back atomically
+// on graceful shutdown (plus every -snapshot-interval, if set); a
+// missing, corrupt or schema-mismatched snapshot is a logged cold
+// start, never a failure. -precompute additionally fills the cache
+// with the Theorem-1 grid and the loadgen sampler pools before the
+// node reports ready. While warming, /readyz answers 503 (and
+// /healthz 200) so load balancers hold traffic without restarting the
+// process:
+//
+//	boundsd -addr :8080 -snapshot /var/lib/boundsd/cache.snap -precompute
+//	curl localhost:8080/readyz
+//
+// Admission control classifies every request by cost: closed-form
+// bounds bypass the queue, analytic verification takes one of
+// -max-inflight slots (503 when the budget runs out before a slot
+// frees), and Monte-Carlo-class work takes one of -max-inflight-heavy
+// slots, waiting at most -shed-after before the request is shed with
+// 429 + Retry-After — so a flood of simulations can never starve the
+// cheap traffic out of its SLO.
 package main
 
 import (
@@ -59,7 +80,13 @@ type options struct {
 	timeout           time.Duration
 	heartbeat         time.Duration
 	drain             time.Duration
-	pprofAddr         string            // "" = pprof off
+	pprofAddr         string        // "" = pprof off
+	snapshot          string        // "" = persistence off
+	snapshotInterval  time.Duration // 0 = shutdown-only snapshots
+	precompute        bool
+	maxInflight       int
+	maxInflightHeavy  int
+	shedAfter         time.Duration
 	ready, pprofReady func(addr string) // test hooks for :0 listeners
 }
 
@@ -73,6 +100,12 @@ func main() {
 	flag.DurationVar(&opts.heartbeat, "heartbeat", server.DefaultHeartbeat, "NDJSON sweep-stream heartbeat interval")
 	flag.DurationVar(&opts.drain, "drain", 10*time.Second, "graceful-shutdown drain window")
 	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	flag.StringVar(&opts.snapshot, "snapshot", "", "engine cache snapshot path: restored at startup, written on graceful shutdown (empty = off)")
+	flag.DurationVar(&opts.snapshotInterval, "snapshot-interval", 0, "also write the snapshot periodically at this interval (0 = shutdown only)")
+	flag.BoolVar(&opts.precompute, "precompute", false, "warm the engine cache with the Theorem-1 grid and the pooled scenario requests before reporting ready")
+	flag.IntVar(&opts.maxInflight, "max-inflight", 0, "cap on concurrently admitted compute requests (0 = default)")
+	flag.IntVar(&opts.maxInflightHeavy, "max-inflight-heavy", 0, "cap on concurrently admitted Monte-Carlo-class requests (0 = max-inflight/4)")
+	flag.DurationVar(&opts.shedAfter, "shed-after", 0, "how long a Monte-Carlo-class request waits for a heavy slot before shedding with 429 (0 = default)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -100,10 +133,20 @@ func pprofMux() *http.ServeMux {
 // hooks, if non-nil, receive the bound addresses once the listeners are
 // up (the test hooks for :0 addresses).
 func run(ctx context.Context, opts options) error {
+	// With a snapshot or precompute pass configured the daemon serves
+	// immediately but answers 503 on /readyz until the warmup goroutine
+	// below finishes — load balancers hold traffic, probes (and
+	// /healthz) see a live process.
+	warming := opts.snapshot != "" || opts.precompute
+	eng := engine.NewWithCacheShards(opts.workers, opts.cache, opts.shards)
 	handler := server.New(server.Config{
-		Engine:    engine.NewWithCacheShards(opts.workers, opts.cache, opts.shards),
-		Timeout:   opts.timeout,
-		Heartbeat: opts.heartbeat,
+		Engine:           eng,
+		Timeout:          opts.timeout,
+		Heartbeat:        opts.heartbeat,
+		MaxInflight:      opts.maxInflight,
+		MaxInflightHeavy: opts.maxInflightHeavy,
+		ShedAfter:        opts.shedAfter,
+		StartUnready:     warming,
 	})
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
@@ -137,6 +180,40 @@ func run(ctx context.Context, opts options) error {
 	if opts.ready != nil {
 		opts.ready(ln.Addr().String())
 	}
+	if warming {
+		// Warm in the background: restore first (so precompute finds its
+		// keys already cached), then precompute, then flip /readyz. Both
+		// steps are best-effort — a bad snapshot or a cancelled pass
+		// still ends in a serving node.
+		go func() {
+			if opts.snapshot != "" {
+				restoreSnapshot(eng, opts.snapshot)
+			}
+			if opts.precompute {
+				if st, err := handler.Precompute(ctx, precomputeSpec()); err != nil {
+					log.Printf("boundsd: precompute aborted after %d jobs: %v", st.Jobs, err)
+				} else {
+					log.Printf("boundsd: precomputed %d jobs (%d failed)", st.Jobs, st.Failed)
+				}
+			}
+			handler.SetReady(true)
+			log.Printf("boundsd: ready")
+		}()
+	}
+	if opts.snapshot != "" && opts.snapshotInterval > 0 {
+		go func() {
+			t := time.NewTicker(opts.snapshotInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					snapshotNow(eng, opts.snapshot)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
@@ -152,6 +229,11 @@ func run(ctx context.Context, opts options) error {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if opts.snapshot != "" {
+		// The drain is over, so the cache is quiescent: persist it for
+		// the next process's warm start.
+		snapshotNow(eng, opts.snapshot)
 	}
 	log.Printf("boundsd: stopped")
 	return nil

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -17,15 +20,33 @@ import (
 // URL plus the channel run's error lands on after shutdown.
 func startDaemon(t *testing.T, ctx context.Context) (string, <-chan error) {
 	t.Helper()
+	return startDaemonWith(t, ctx, options{})
+}
+
+// startDaemonWith is startDaemon with per-test option overrides
+// (snapshot paths, admission caps); the listener/test-hook plumbing is
+// filled in here.
+func startDaemonWith(t *testing.T, ctx context.Context, opts options) (string, <-chan error) {
+	t.Helper()
 	readyCh := make(chan string, 1)
 	errCh := make(chan error, 1)
-	go func() {
-		errCh <- run(ctx, options{
-			addr: "127.0.0.1:0", workers: 2, cache: 128,
-			timeout: 5 * time.Second, heartbeat: time.Second, drain: 5 * time.Second,
-			ready: func(addr string) { readyCh <- addr },
-		})
-	}()
+	opts.addr, opts.ready = "127.0.0.1:0", func(addr string) { readyCh <- addr }
+	if opts.workers == 0 {
+		opts.workers = 2
+	}
+	if opts.cache == 0 {
+		opts.cache = 128
+	}
+	if opts.timeout == 0 {
+		opts.timeout = 5 * time.Second
+	}
+	if opts.heartbeat == 0 {
+		opts.heartbeat = time.Second
+	}
+	if opts.drain == 0 {
+		opts.drain = 5 * time.Second
+	}
+	go func() { errCh <- run(ctx, opts) }()
 	select {
 	case addr := <-readyCh:
 		return "http://" + addr, errCh
@@ -107,6 +128,114 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	// The listener is really gone.
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("daemon still serving after shutdown")
+	}
+}
+
+// waitReady polls /readyz until it answers 200 — the warmup goroutine
+// flips it after the snapshot restore / precompute pass.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, _ := fetch(t, base+"/readyz"); code == http.StatusOK {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never reported ready")
+}
+
+// metricValue scrapes one gauge/counter off a /metrics body.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	_, body := fetch(t, base+"/metrics")
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s = %q: %v", name, fields[1], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s missing from /metrics", name)
+	return 0
+}
+
+// TestDaemonSnapshotWarmRestart is the tentpole round trip at the
+// process level: a daemon computes, shuts down gracefully (writing its
+// snapshot), and a second daemon restoring that snapshot answers the
+// same request from cache — zero misses.
+func TestDaemonSnapshotWarmRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "cache.snap")
+	const verify = "/v1/verify?m=2&k=3&f=1&horizon=10000"
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	base, errCh := startDaemonWith(t, ctx1, options{snapshot: snap})
+	waitReady(t, base) // missing snapshot = logged cold start, still ready
+	if code, body := fetch(t, base+verify); code != http.StatusOK {
+		t.Fatalf("cold verify = %d: %s", code, body)
+	}
+	if misses := metricValue(t, base, "boundsd_engine_cache_misses_total"); misses == 0 {
+		t.Fatal("cold daemon answered verify without a cache miss")
+	}
+	cancel1()
+	if err := <-errCh; err != nil {
+		t.Fatalf("run returned %v after graceful shutdown", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("graceful shutdown left no snapshot: %v", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base, errCh = startDaemonWith(t, ctx2, options{snapshot: snap})
+	waitReady(t, base)
+	if size := metricValue(t, base, "boundsd_engine_cache_size"); size == 0 {
+		t.Fatal("warm daemon restored an empty cache")
+	}
+	if code, body := fetch(t, base+verify); code != http.StatusOK {
+		t.Fatalf("warm verify = %d: %s", code, body)
+	}
+	if misses := metricValue(t, base, "boundsd_engine_cache_misses_total"); misses != 0 {
+		t.Errorf("warm replay recomputed: %v cache misses, want 0", misses)
+	}
+	if hits := metricValue(t, base, "boundsd_engine_cache_hits_total"); hits == 0 {
+		t.Error("warm replay recorded no cache hit")
+	}
+	cancel2()
+	<-errCh
+}
+
+// TestDaemonSnapshotSchemaMismatchColdStart: a snapshot from a
+// different format version must produce a serving cold-start node, and
+// the graceful shutdown must replace the stale file with a current one.
+func TestDaemonSnapshotSchemaMismatchColdStart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "cache.snap")
+	stale := `{"schema":"boundsd-snapshot/v0","entries":[]}`
+	if err := os.WriteFile(snap, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	base, errCh := startDaemonWith(t, ctx, options{snapshot: snap})
+	waitReady(t, base)
+	if size := metricValue(t, base, "boundsd_engine_cache_size"); size != 0 {
+		t.Fatalf("stale snapshot populated the cache (%v entries), want cold start", size)
+	}
+	if code, body := fetch(t, base+"/v1/verify?m=2&k=3&f=1&horizon=10000"); code != http.StatusOK {
+		t.Fatalf("verify on cold-started daemon = %d: %s", code, body)
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatalf("run returned %v after graceful shutdown", err)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"boundsd-snapshot/v1"`) {
+		t.Error("shutdown did not replace the stale snapshot with the current schema")
 	}
 }
 

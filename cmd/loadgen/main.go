@@ -19,6 +19,22 @@
 // machine-readable result to stdout instead of the human table; -out
 // writes the same JSON to a file either way. See the README's loadgen
 // section for the mix and SLO grammars and the result schema.
+//
+// The reconciliation also reports the server-side engine-cache
+// hit/miss delta across the run — replaying the same seeded mix
+// against a warm (snapshot-restored or precomputed) boundsd shows the
+// hit rate the warm start bought. With -profile pointed at boundsd's
+// -pprof listener, the run additionally captures a run-spanning CPU
+// profile and a post-run heap snapshot, written next to -out as
+// <out>.cpu.pprof and <out>.heap.pprof:
+//
+//	boundsd -addr 127.0.0.1:8080 -pprof 127.0.0.1:6060 &
+//	loadgen -target http://127.0.0.1:8080 -profile http://127.0.0.1:6060 \
+//	  -rate 200 -duration 10s -out result.json
+//
+// Shed responses (429 from the server's admission control) are their
+// own status class: reported, excluded from the errors< budget, and
+// surfaced in the result's error_budget.shed field for overload gates.
 package main
 
 import (
@@ -29,6 +45,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +65,7 @@ type options struct {
 	out       string
 	format    string
 	reconcile bool
+	profile   string       // boundsd -pprof listener base URL; "" = off
 	client    *http.Client // test hook; nil = default client
 }
 
@@ -62,6 +81,7 @@ func main() {
 	flag.StringVar(&opts.out, "out", "", "write the JSON result to this file")
 	flag.StringVar(&opts.format, "format", "table", "stdout format: table or json")
 	flag.BoolVar(&opts.reconcile, "reconcile", true, "scrape /metrics before and after and reconcile request counts")
+	flag.StringVar(&opts.profile, "profile", "", "boundsd -pprof listener base URL (e.g. http://127.0.0.1:6060): capture a run-spanning CPU profile and a post-run heap profile next to -out")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -115,6 +135,24 @@ func run(ctx context.Context, opts options, stdout io.Writer) (*loadgen.Result, 
 			return nil, fmt.Errorf("pre-run metrics scrape: %w", err)
 		}
 	}
+	// The CPU profile request blocks server-side for its whole span, so
+	// it launches just before the load and is collected just after —
+	// the profile covers the run, not the setup.
+	var cpuErr <-chan error
+	var cpuPath, heapPath string
+	if opts.profile != "" {
+		if opts.out == "" {
+			return nil, fmt.Errorf("-profile needs -out: profiles are written next to the result file")
+		}
+		base := strings.TrimSuffix(opts.out, filepath.Ext(opts.out))
+		cpuPath, heapPath = base+".cpu.pprof", base+".heap.pprof"
+		seconds := int(opts.duration.Seconds() + 0.5)
+		ch := make(chan error, 1)
+		go func() {
+			ch <- loadgen.CaptureCPUProfile(ctx, client, opts.profile, seconds, cpuPath)
+		}()
+		cpuErr = ch
+	}
 	res, err := loadgen.Run(ctx, loadgen.Config{
 		Target:   opts.target,
 		Rate:     opts.rate,
@@ -145,7 +183,28 @@ func run(ctx context.Context, opts options, stdout io.Writer) (*loadgen.Result, 
 	if err := emit(res, opts, stdout); err != nil {
 		return nil, err
 	}
+	if opts.profile != "" {
+		// Profile capture is best-effort reporting, never a gate: a
+		// failed fetch is printed, and the run's own verdict stands.
+		report := func(path string, err error) {
+			if err != nil {
+				fmt.Fprintf(stdout, "profile: %v\n", err)
+			} else {
+				fmt.Fprintf(stdout, "profile: wrote %s\n", path)
+			}
+		}
+		report(cpuPath, <-cpuErr)
+		report(heapPath, captureHeap(client, opts.profile, heapPath))
+	}
 	return res, nil
+}
+
+// captureHeap grabs the post-run heap snapshot under its own deadline
+// (the run's ctx may already be cancelled on the way out).
+func captureHeap(client *http.Client, base, path string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return loadgen.CaptureHeapProfile(ctx, client, base, path)
 }
 
 // emit renders the result to stdout (table or JSON) and -out.

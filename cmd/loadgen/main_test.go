@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/http/pprof"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -116,6 +120,54 @@ func TestRunJSONFormat(t *testing.T) {
 	}
 	if parsed.Reconcile != nil {
 		t.Error("reconcile section present with -reconcile=false")
+	}
+}
+
+// TestRunWithProfiles drives a run with -profile pointed at a pprof
+// listener and checks both artifacts land next to -out.
+func TestRunWithProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives live load and a 1s CPU profile")
+	}
+	pmux := http.NewServeMux()
+	pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	pmux.Handle("/debug/pprof/heap", pprof.Handler("heap"))
+	pts := httptest.NewServer(pmux)
+	t.Cleanup(pts.Close)
+
+	opts := testOpts(t)
+	opts.duration = 300 * time.Millisecond
+	opts.out = filepath.Join(t.TempDir(), "result.json")
+	opts.profile = pts.URL
+	var stdout bytes.Buffer
+	if _, err := run(context.Background(), opts, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		path := strings.TrimSuffix(opts.out, ".json") + suffix
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile artifact %s missing: %v\n%s", path, err, stdout.String())
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile artifact %s is empty", path)
+		}
+	}
+	if !strings.Contains(stdout.String(), "profile: wrote") {
+		t.Errorf("output does not mention the profiles:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "server cache:") {
+		t.Errorf("reconcile output missing the server cache line:\n%s", stdout.String())
+	}
+}
+
+// -profile without -out has nowhere to put the artifacts.
+func TestRunProfileRequiresOut(t *testing.T) {
+	opts := options{target: "http://127.0.0.1:1", format: "table",
+		mixSpec: loadgen.DefaultMixSpec, profile: "http://127.0.0.1:2"}
+	var sink bytes.Buffer
+	if _, err := run(context.Background(), opts, &sink); err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Errorf("missing -out error = %v", err)
 	}
 }
 

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// warmEngine runs n distinct countingJobs through e and returns the
+// shared run counter.
+func warmEngine(t *testing.T, e *Engine, n int) *atomic.Int64 {
+	t.Helper()
+	var runs atomic.Int64
+	for i := 0; i < n; i++ {
+		j := countingJob{key: fmt.Sprintf("job-%02d", i), value: float64(i) + 0.5, runs: &runs}
+		if _, err := e.Run(context.Background(), j); err != nil {
+			t.Fatalf("warm Run(%s): %v", j.key, err)
+		}
+	}
+	if got := runs.Load(); got != int64(n) {
+		t.Fatalf("warm runs = %d, want %d", got, n)
+	}
+	return &runs
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := NewWithCacheShards(2, 0, 4)
+	src.solver = solver.New()
+	warmEngine(t, src, 10)
+	// Warm the solver memo too, so the snapshot carries more than the
+	// cache: an alpha* solve (plus its strategy) and a golden-section
+	// base.
+	if _, err := src.solver.AlphaStar(4, 2, 1); err != nil {
+		t.Fatalf("AlphaStar: %v", err)
+	}
+	if _, _, err := src.solver.PFaultyBase(0.25); err != nil {
+		t.Fatalf("PFaultyBase: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	dst := NewWithCacheShards(2, 0, 4)
+	dst.solver = solver.New()
+	st, err := dst.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if st.Entries != 10 {
+		t.Fatalf("restored %d entries, want 10 (stats %+v)", st.Entries, st)
+	}
+	if st.SolverEntries == 0 {
+		t.Fatalf("restored no solver memo entries, want > 0 (stats %+v)", st)
+	}
+
+	// Replaying the same jobs must be all hits: zero executions.
+	var runs atomic.Int64
+	for i := 0; i < 10; i++ {
+		j := countingJob{key: fmt.Sprintf("job-%02d", i), value: -1, runs: &runs}
+		res, err := dst.Run(context.Background(), j)
+		if err != nil {
+			t.Fatalf("warm Run(%s): %v", j.key, err)
+		}
+		if want := float64(i) + 0.5; res.Value != want {
+			t.Fatalf("restored %s value = %v, want %v", j.key, res.Value, want)
+		}
+	}
+	if got := runs.Load(); got != 0 {
+		t.Fatalf("restored engine executed %d jobs, want 0 (all cache hits)", got)
+	}
+	stats := dst.Stats()
+	if stats.Hits != 10 || stats.Misses != 0 {
+		t.Fatalf("restored engine stats hits=%d misses=%d, want 10/0", stats.Hits, stats.Misses)
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	e := NewWithCacheShards(2, 0, 8)
+	e.solver = solver.New()
+	warmEngine(t, e, 16)
+	var a, b bytes.Buffer
+	if err := e.WriteSnapshot(&a); err != nil {
+		t.Fatalf("first WriteSnapshot: %v", err)
+	}
+	if err := e.WriteSnapshot(&b); err != nil {
+		t.Fatalf("second WriteSnapshot: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshots of identical state differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestSnapshotSchemaMismatchFallsBackCold(t *testing.T) {
+	src := New(1)
+	src.solver = solver.New()
+	warmEngine(t, src, 3)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	stale := strings.Replace(buf.String(), SnapshotSchema, "boundsd-snapshot/v0", 1)
+	if stale == buf.String() {
+		t.Fatal("failed to rewrite schema string in snapshot fixture")
+	}
+
+	dst := New(1)
+	dst.solver = solver.New()
+	st, err := dst.ReadSnapshot(strings.NewReader(stale))
+	if !errors.Is(err, ErrSnapshotSchema) {
+		t.Fatalf("ReadSnapshot(stale) error = %v, want ErrSnapshotSchema", err)
+	}
+	if st != (RestoreStats{}) {
+		t.Fatalf("stale restore reported stats %+v, want zero", st)
+	}
+	if size := dst.Stats().Size; size != 0 {
+		t.Fatalf("stale restore left %d cache entries, want 0", size)
+	}
+}
+
+func TestSnapshotCorruptInput(t *testing.T) {
+	for _, tc := range []string{"", "{not json", `[1,2,3]`, `"just a string"`} {
+		dst := New(1)
+		dst.solver = solver.New()
+		if _, err := dst.ReadSnapshot(strings.NewReader(tc)); err == nil {
+			t.Errorf("ReadSnapshot(%q) succeeded, want error", tc)
+		}
+		if size := dst.Stats().Size; size != 0 {
+			t.Errorf("corrupt restore %q left %d cache entries, want 0", tc, size)
+		}
+	}
+}
+
+func TestSnapshotRestoreRespectsCapacity(t *testing.T) {
+	src := NewWithCacheShards(2, 0, 1)
+	src.solver = solver.New()
+	warmEngine(t, src, 64)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	dst := NewWithCacheShards(2, 8, 1)
+	dst.solver = solver.New()
+	if _, err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	stats := dst.Stats()
+	if stats.Size > 8 {
+		t.Fatalf("restore grew cache to %d entries, capacity is 8", stats.Size)
+	}
+	if stats.Evictions == 0 {
+		t.Fatalf("oversized restore reported no evictions, want > 0")
+	}
+}
+
+func TestSnapshotDoesNotClobberResident(t *testing.T) {
+	src := New(1)
+	src.solver = solver.New()
+	var srcRuns atomic.Int64
+	if _, err := src.Run(context.Background(), countingJob{key: "same", value: 2, runs: &srcRuns}); err != nil {
+		t.Fatalf("src Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	dst := New(1)
+	dst.solver = solver.New()
+	var dstRuns atomic.Int64
+	if _, err := dst.Run(context.Background(), countingJob{key: "same", value: 1, runs: &dstRuns}); err != nil {
+		t.Fatalf("dst Run: %v", err)
+	}
+	st, err := dst.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if st.Entries != 0 || st.Skipped != 1 {
+		t.Fatalf("restore over resident key: stats %+v, want Entries=0 Skipped=1", st)
+	}
+	res, err := dst.Run(context.Background(), countingJob{key: "same", value: -1, runs: &dstRuns})
+	if err != nil {
+		t.Fatalf("dst re-Run: %v", err)
+	}
+	if res.Value != 1 {
+		t.Fatalf("resident value clobbered by snapshot: got %v, want 1", res.Value)
+	}
+}
+
+func TestSnapshotSkipsErrorsAndNonFinite(t *testing.T) {
+	e := New(1)
+	e.solver = solver.New()
+	var runs atomic.Int64
+	if _, err := e.Run(context.Background(), countingJob{key: "ok", value: 3, runs: &runs}); err != nil {
+		t.Fatalf("Run(ok): %v", err)
+	}
+	wantErr := errors.New("boom")
+	if _, err := e.Run(context.Background(), countingJob{key: "bad", err: wantErr, runs: &runs}); !errors.Is(err, wantErr) {
+		t.Fatalf("Run(bad) error = %v, want %v", err, wantErr)
+	}
+	if _, err := e.Run(context.Background(), countingJob{key: "nan", value: math.NaN(), runs: &runs}); err != nil {
+		t.Fatalf("Run(nan): %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	dst := New(1)
+	dst.solver = solver.New()
+	st, err := dst.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("restored %d entries, want only the finite error-free one (stats %+v)", st.Entries, st)
+	}
+	res, err := dst.Run(context.Background(), countingJob{key: "ok", value: -1, runs: &runs})
+	if err != nil || res.Value != 3 {
+		t.Fatalf("restored ok = (%v, %v), want (3, nil)", res.Value, err)
+	}
+}
+
+// TestSnapshotSkipsInFlight pins that an in-flight singleflight slot is
+// not serialized: snapshotting mid-computation must neither block nor
+// leak a half-built result.
+func TestSnapshotSkipsInFlight(t *testing.T) {
+	e := New(2)
+	e.solver = solver.New()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocked := blockingJob{key: "slow", started: started, release: release}
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run(context.Background(), blocked)
+		done <- err
+	}()
+	<-started
+
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked Run: %v", err)
+	}
+
+	dst := New(1)
+	dst.solver = solver.New()
+	st, err := dst.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("snapshot captured %d entries while only an in-flight job existed, want 0", st.Entries)
+	}
+}
+
+// blockingJob signals started, then blocks until released.
+type blockingJob struct {
+	key     string
+	started chan struct{}
+	release chan struct{}
+}
+
+func (j blockingJob) Key() string { return j.key }
+
+func (j blockingJob) Run(ctx context.Context) (Result, error) {
+	close(j.started)
+	select {
+	case <-j.release:
+		return Result{Value: 1}, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}

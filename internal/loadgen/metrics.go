@@ -60,7 +60,7 @@ func ParseMetrics(r io.Reader) (map[string]float64, error) {
 // PathRecon is one endpoint's client-vs-server comparison.
 type PathRecon struct {
 	// Client is the number of requests that received an HTTP status
-	// line from the server (2xx/4xx/5xx).
+	// line from the server (2xx/4xx/5xx/shed).
 	Client int64 `json:"client"`
 	// Unconfirmed is the client-side timeouts and transport failures
 	// for the endpoint: each may or may not have been counted by the
@@ -73,11 +73,30 @@ type PathRecon struct {
 	OK     bool  `json:"ok"`
 }
 
+// CacheRecon is the server-side engine-cache delta across the run —
+// the warm-start signal. A cold node serving pooled traffic shows a
+// modest hit rate (only in-run repeats hit); the same seeded mix
+// replayed against a snapshot-restored or precomputed node shows a
+// materially higher one, and the CI warm-restart gate asserts exactly
+// that.
+type CacheRecon struct {
+	// Hits/Misses are the engine cache counter deltas between the
+	// before and after /metrics scrapes.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// HitRate is Hits over the lookups the run caused (0 when the run
+	// caused none).
+	HitRate float64 `json:"hit_rate"`
+}
+
 // ReconcileResult is the reconcile section of a Result.
 type ReconcileResult struct {
 	Checked bool `json:"checked"`
 	// PerPath maps each exercised endpoint path to its comparison.
 	PerPath map[string]PathRecon `json:"per_path,omitempty"`
+	// Cache is the server-side cache hit/miss delta (nil when the
+	// server exposes no engine cache counters).
+	Cache *CacheRecon `json:"cache,omitempty"`
 	// Mismatches spells out each failed path, empty when OK.
 	Mismatches []string `json:"mismatches,omitempty"`
 }
@@ -90,12 +109,18 @@ func (rr *ReconcileResult) summaryLine() string {
 	if !rr.Checked {
 		return "reconcile: skipped\n"
 	}
+	var out string
 	if len(rr.Mismatches) == 0 {
-		return fmt.Sprintf("reconcile: OK (%d endpoint paths match server /metrics deltas)\n", len(rr.PerPath))
+		out = fmt.Sprintf("reconcile: OK (%d endpoint paths match server /metrics deltas)\n", len(rr.PerPath))
+	} else {
+		out = fmt.Sprintf("reconcile: FAIL (%d mismatches)\n", len(rr.Mismatches))
+		for _, m := range rr.Mismatches {
+			out += "  " + m + "\n"
+		}
 	}
-	out := fmt.Sprintf("reconcile: FAIL (%d mismatches)\n", len(rr.Mismatches))
-	for _, m := range rr.Mismatches {
-		out += "  " + m + "\n"
+	if rr.Cache != nil {
+		out += fmt.Sprintf("server cache: %d hits, %d misses during the run (hit rate %.1f%%)\n",
+			rr.Cache.Hits, rr.Cache.Misses, rr.Cache.HitRate*100)
 	}
 	return out
 }
@@ -123,7 +148,7 @@ func ReconcileRequests(before, after map[string]float64, res *Result) *Reconcile
 		path := OpPath[op]
 		key := requestsTotalKey(path)
 		server := int64(after[key] - before[key])
-		responded := ep.ByClass[Class2xx] + ep.ByClass[Class4xx] + ep.ByClass[Class5xx]
+		responded := ep.ByClass[Class2xx] + ep.ByClass[Class4xx] + ep.ByClass[Class5xx] + ep.ByClass[ClassShed]
 		unconfirmed := ep.ByClass[ClassTimeout] + ep.ByClass[ClassTransport]
 		pr := PathRecon{Client: responded, Unconfirmed: unconfirmed, Server: server}
 		pr.OK = server >= responded && server <= responded+unconfirmed
@@ -134,5 +159,25 @@ func ReconcileRequests(before, after map[string]float64, res *Result) *Reconcile
 					path, server, responded, unconfirmed))
 		}
 	}
+	rr.Cache = cacheRecon(before, after)
 	return rr
+}
+
+// cacheRecon derives the engine-cache hit/miss delta from the two
+// scrapes; nil when the server exposes no cache counters.
+func cacheRecon(before, after map[string]float64) *CacheRecon {
+	const hitsKey, missesKey = "boundsd_engine_cache_hits_total", "boundsd_engine_cache_misses_total"
+	_, hasHits := after[hitsKey]
+	_, hasMisses := after[missesKey]
+	if !hasHits && !hasMisses {
+		return nil
+	}
+	cr := &CacheRecon{
+		Hits:   int64(after[hitsKey] - before[hitsKey]),
+		Misses: int64(after[missesKey] - before[missesKey]),
+	}
+	if lookups := cr.Hits + cr.Misses; lookups > 0 {
+		cr.HitRate = float64(cr.Hits) / float64(lookups)
+	}
+	return cr
 }

@@ -93,6 +93,59 @@ func TestReconcileRequestsUnconfirmedRange(t *testing.T) {
 	}
 }
 
+// Shed responses got an HTTP status line, so the server counted them:
+// the reconciliation must expect them in the requests_total delta.
+func TestReconcileRequestsCountsShed(t *testing.T) {
+	res := reconRes(map[string]map[string]int64{
+		OpSimulate: {Class2xx: 6, ClassShed: 4},
+	})
+	rr := ReconcileRequests(
+		map[string]float64{requestsTotalKey("/v1/simulate"): 0},
+		map[string]float64{requestsTotalKey("/v1/simulate"): 10}, res)
+	if !rr.OK() {
+		t.Fatalf("shed responses broke reconciliation: %v", rr.Mismatches)
+	}
+	if pr := rr.PerPath["/v1/simulate"]; pr.Client != 10 {
+		t.Errorf("client responded count = %d, want 10 (6 ok + 4 shed)", pr.Client)
+	}
+}
+
+func TestReconcileCacheDelta(t *testing.T) {
+	res := reconRes(map[string]map[string]int64{OpBounds: {Class2xx: 1}})
+	before := map[string]float64{
+		requestsTotalKey("/v1/bounds"):      0,
+		"boundsd_engine_cache_hits_total":   100,
+		"boundsd_engine_cache_misses_total": 50,
+	}
+	after := map[string]float64{
+		requestsTotalKey("/v1/bounds"):      1,
+		"boundsd_engine_cache_hits_total":   190,
+		"boundsd_engine_cache_misses_total": 60,
+	}
+	rr := ReconcileRequests(before, after, res)
+	if rr.Cache == nil {
+		t.Fatal("cache section missing despite cache counters in the scrape")
+	}
+	if rr.Cache.Hits != 90 || rr.Cache.Misses != 10 {
+		t.Errorf("cache delta = %d hits / %d misses, want 90/10", rr.Cache.Hits, rr.Cache.Misses)
+	}
+	if rr.Cache.HitRate != 0.9 {
+		t.Errorf("hit rate = %g, want 0.9", rr.Cache.HitRate)
+	}
+	if !strings.Contains(rr.summaryLine(), "hit rate 90.0%") {
+		t.Errorf("summary does not surface the hit rate: %q", rr.summaryLine())
+	}
+
+	// No cache counters (a non-boundsd target): no cache section, and
+	// an idle cache is a 0%% rate, not a division by zero.
+	if rr := ReconcileRequests(map[string]float64{}, map[string]float64{requestsTotalKey("/v1/bounds"): 1}, res); rr.Cache != nil {
+		t.Error("cache section fabricated without cache counters")
+	}
+	if cr := cacheRecon(before, before); cr == nil || cr.HitRate != 0 {
+		t.Errorf("zero-lookup recon = %+v, want hit rate 0", cr)
+	}
+}
+
 func TestReconcileRequestsMismatchDetail(t *testing.T) {
 	res := reconRes(map[string]map[string]int64{OpBounds: {Class2xx: 5}})
 	rr := ReconcileRequests(

@@ -1,0 +1,61 @@
+// profile.go captures server-side pprof profiles around a run: with
+// boundsd started with -pprof and loadgen with -profile pointed at
+// that listener, the harness pulls a CPU profile spanning the run and
+// a heap snapshot after it — so every recorded load result can carry
+// the matching "where did the time and memory go" artifacts, and a CI
+// regression comes with its own profile attached.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// CaptureCPUProfile fetches /debug/pprof/profile?seconds=N from the
+// pprof listener at base and writes the profile to path. The request
+// blocks for the full N seconds server-side, so call it concurrently
+// with the run it should span.
+func CaptureCPUProfile(ctx context.Context, client *http.Client, base string, seconds int, path string) error {
+	if seconds < 1 {
+		seconds = 1
+	}
+	return captureProfile(ctx, client,
+		fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", strings.TrimRight(base, "/"), seconds), path)
+}
+
+// CaptureHeapProfile fetches /debug/pprof/heap from the pprof listener
+// at base into path.
+func CaptureHeapProfile(ctx context.Context, client *http.Client, base string, path string) error {
+	return captureProfile(ctx, client, strings.TrimRight(base, "/")+"/debug/pprof/heap", path)
+}
+
+// captureProfile downloads one pprof endpoint into path. The body must
+// look like a pprof protobuf (gzip-compressed), so an HTML error page
+// from a mispointed -profile address is rejected instead of saved.
+func captureProfile(ctx context.Context, client *http.Client, url, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		return fmt.Errorf("fetch %s: body is not a pprof profile (no gzip magic; is this the -pprof listener?)", url)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// pprofServer is a stand-in for boundsd's -pprof listener.
+func pprofServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.Handle("/debug/pprof/heap", pprof.Handler("heap"))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCaptureProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out a 1s CPU profile")
+	}
+	ts := pprofServer(t)
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cpu := filepath.Join(dir, "run.cpu.pprof")
+	if err := CaptureCPUProfile(ctx, ts.Client(), ts.URL, 1, cpu); err != nil {
+		t.Fatalf("CaptureCPUProfile: %v", err)
+	}
+	heap := filepath.Join(dir, "run.heap.pprof")
+	if err := CaptureHeapProfile(ctx, ts.Client(), ts.URL, heap); err != nil {
+		t.Fatalf("CaptureHeapProfile: %v", err)
+	}
+	for _, path := range []string{cpu, heap} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s is not a gzip-compressed pprof profile", path)
+		}
+	}
+}
+
+// A mispointed -profile address (an HTML page, a 404) must be an
+// error, not a saved garbage file.
+func TestCaptureProfileRejectsNonProfiles(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html>this is not a profile</html>"))
+	}))
+	t.Cleanup(ts.Close)
+	path := filepath.Join(t.TempDir(), "bad.pprof")
+	if err := CaptureHeapProfile(context.Background(), ts.Client(), ts.URL, path); err == nil {
+		t.Fatal("HTML body saved as a pprof profile")
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("rejected profile still written to disk")
+	}
+
+	notFound := httptest.NewServer(http.NotFoundHandler())
+	t.Cleanup(notFound.Close)
+	if err := CaptureHeapProfile(context.Background(), notFound.Client(), notFound.URL, path); err == nil {
+		t.Fatal("404 response saved as a pprof profile")
+	}
+}
+
+func TestShedClassification(t *testing.T) {
+	cases := map[int]string{
+		200: Class2xx, 204: Class2xx,
+		429: ClassShed,
+		400: Class4xx, 404: Class4xx,
+		500: Class5xx, 503: Class5xx,
+	}
+	for status, want := range cases {
+		if got := classOf(status); got != want {
+			t.Errorf("classOf(%d) = %q, want %q", status, got, want)
+		}
+	}
+}
+
+// Shed responses spend no error budget; real failures still do.
+func TestErrorRateExcludesShed(t *testing.T) {
+	if rate := errorRate(map[string]int64{Class2xx: 8, ClassShed: 2}, 10); rate != 0 {
+		t.Errorf("all-ok-or-shed error rate = %g, want 0", rate)
+	}
+	if rate := errorRate(map[string]int64{Class2xx: 7, ClassShed: 2, Class5xx: 1}, 10); rate != 0.1 {
+		t.Errorf("error rate with one 5xx = %g, want 0.1", rate)
+	}
+}

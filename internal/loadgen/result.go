@@ -18,10 +18,15 @@ import (
 const ResultSchema = "loadgen-result/v1"
 
 // Status classes of the error budget. A request lands in exactly one.
+// Shed (429) is its own class because it is the server's admission
+// control working as designed — deliberate load shedding under
+// overload — so it must not spend the error budget the way a 5xx or a
+// stray 4xx does; the overload gate asserts on the shed count itself.
 const (
 	Class2xx       = "2xx"
 	Class4xx       = "4xx"
 	Class5xx       = "5xx"
+	ClassShed      = "shed"      // 429: admission control shed the request
 	ClassTimeout   = "timeout"   // client-side deadline fired
 	ClassTransport = "transport" // dial/read failure before a status line
 )
@@ -58,7 +63,7 @@ type EndpointResult struct {
 	// ByClass counts completions per status class (2xx/4xx/5xx/
 	// timeout/transport).
 	ByClass map[string]int64 `json:"by_class"`
-	// ErrorRate is the non-2xx fraction of Count.
+	// ErrorRate is the fraction of Count that is neither 2xx nor shed.
 	ErrorRate float64 `json:"error_rate"`
 	// LatencyMs summarizes the latency histogram. Latency is measured
 	// to the last body byte (streams included), not first byte.
@@ -107,10 +112,11 @@ type BatchStats struct {
 }
 
 // ErrorBudget is the run-level error accounting the errors< SLO
-// clauses read.
+// clauses read. Shed requests are reported but excluded from Errors.
 type ErrorBudget struct {
 	Total  int64   `json:"total"`
 	Errors int64   `json:"errors"`
+	Shed   int64   `json:"shed,omitempty"`
 	Rate   float64 `json:"rate"`
 }
 
@@ -182,8 +188,12 @@ func (r *Result) Markdown() string {
 	out := tb.Markdown()
 	out += fmt.Sprintf("\nthroughput: offered %.1f req/s, achieved %.1f req/s (%d/%d completed in %.2fs, peak in-flight %d)\n",
 		r.OfferedRate, r.AchievedRate, r.Completed, r.Scheduled, r.WallSeconds, r.PeakInFlight)
-	out += fmt.Sprintf("error budget: %d/%d errored (%.4f%%)\n",
+	out += fmt.Sprintf("error budget: %d/%d errored (%.4f%%)",
 		r.ErrorBudget.Errors, r.ErrorBudget.Total, r.ErrorBudget.Rate*100)
+	if r.ErrorBudget.Shed > 0 {
+		out += fmt.Sprintf(", %d shed with 429 (not budgeted)", r.ErrorBudget.Shed)
+	}
+	out += "\n"
 	if r.Streams.Count > 0 {
 		out += fmt.Sprintf("streams: %d opened, %d rows, %d heartbeats, %d clean, %d truncated, %d bad terminal, max gap %.0fms\n",
 			r.Streams.Count, r.Streams.Rows, r.Streams.Heartbeats, r.Streams.Clean,

@@ -255,18 +255,20 @@ schedule:
 	res.Total = total
 	res.ErrorBudget = ErrorBudget{
 		Total:  total.Count,
-		Errors: total.Count - total.ByClass[Class2xx],
+		Errors: total.Count - total.ByClass[Class2xx] - total.ByClass[ClassShed],
+		Shed:   total.ByClass[ClassShed],
 		Rate:   total.ErrorRate,
 	}
 	return res, nil
 }
 
-// errorRate is the non-2xx fraction.
+// errorRate is the fraction that is neither 2xx nor shed (a 429 is the
+// server protecting its SLO, which the errors< gate must not punish).
 func errorRate(byClass map[string]int64, count int64) float64 {
 	if count == 0 {
 		return 0
 	}
-	return float64(count-byClass[Class2xx]) / float64(count)
+	return float64(count-byClass[Class2xx]-byClass[ClassShed]) / float64(count)
 }
 
 // execOne issues one planned request and files its outcome. Every exit
@@ -318,11 +320,14 @@ func execOne(ctx context.Context, client *http.Client, target string, timeout ti
 	col.record(plan.Op, class, time.Since(t0), stream, batch)
 }
 
-// classOf buckets an HTTP status.
+// classOf buckets an HTTP status. 429 is its own class: admission
+// control shedding on purpose, not an error.
 func classOf(status int) string {
 	switch {
 	case status >= 200 && status < 300:
 		return Class2xx
+	case status == http.StatusTooManyRequests:
+		return ClassShed
 	case status >= 400 && status < 500:
 		return Class4xx
 	default:

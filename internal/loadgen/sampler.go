@@ -27,19 +27,68 @@ import (
 	"repro/internal/bounds"
 )
 
-// Parameter pools. Horizons are small enough for sub-second cells on a
-// shared CI runner and coarse enough that the (m,k,f,horizon) space
-// has ~dozens of points, so the engine cache sees realistic repeats.
-var (
-	verifyHorizons   = []float64{2000, 5000, 10000, 20000}
-	simPfaultyP      = []float64{0.1, 0.2, 0.25, 0.4}
-	simHorizons      = []float64{20, 50, 100}
-	simPoints        = []int{4, 6, 8}
-	sweepKmax        = []int{3, 4, 5}
-	sweepHorizons    = []float64{2000, 5000}
-	boundsMs         = []int{1, 2, 3}
-	batchSizeChoices = []int{2, 3, 4}
-)
+// Pools is the finite parameter universe a sampler draws from. It is
+// exported because the pools define the run's working set: boundsd's
+// -precompute pass warms exactly these keys (via cmd/boundsd, which
+// converts the pools into a server.PrecomputeSpec), so a warm node's
+// first wave of pooled traffic is all cache hits.
+type Pools struct {
+	// VerifyHorizons are the /v1/verify horizons.
+	VerifyHorizons []float64
+	// SimPfaultyP are the pfaulty-halfline fault probabilities.
+	SimPfaultyP []float64
+	// SimHorizons are the /v1/simulate horizons.
+	SimHorizons []float64
+	// SimPoints are the /v1/simulate grid sizes.
+	SimPoints []int
+	// SweepKmax are the /v1/sweep grid bounds.
+	SweepKmax []int
+	// SweepHorizons are the /v1/sweep horizons.
+	SweepHorizons []float64
+	// BoundsMs are the /v1/bounds ray counts.
+	BoundsMs []int
+	// BatchSizes are the /v1/batch item counts.
+	BatchSizes []int
+	// TripleMs and TripleKMax span the crash search-regime triple pool
+	// (every (m, k<=TripleKMax, f) with f < k < m(f+1)).
+	TripleMs   []int
+	TripleKMax int
+}
+
+// DefaultPools returns the standard pools. Horizons are small enough
+// for sub-second cells on a shared CI runner and coarse enough that
+// the (m,k,f,horizon) space has ~dozens of points, so the engine cache
+// sees realistic repeats.
+func DefaultPools() Pools {
+	return Pools{
+		VerifyHorizons: []float64{2000, 5000, 10000, 20000},
+		SimPfaultyP:    []float64{0.1, 0.2, 0.25, 0.4},
+		SimHorizons:    []float64{20, 50, 100},
+		SimPoints:      []int{4, 6, 8},
+		SweepKmax:      []int{3, 4, 5},
+		SweepHorizons:  []float64{2000, 5000},
+		BoundsMs:       []int{1, 2, 3},
+		BatchSizes:     []int{2, 3, 4},
+		TripleMs:       []int{2, 3},
+		TripleKMax:     6,
+	}
+}
+
+// Triples enumerates the pool's crash search-regime (m, k, f) triples
+// — the parameter sets verify and crash-simulate draws are valid for.
+func (p Pools) Triples() [][3]int {
+	var out [][3]int
+	for _, m := range p.TripleMs {
+		for k := 1; k <= p.TripleKMax; k++ {
+			for f := 0; f < k; f++ {
+				if regime, err := bounds.Classify(m, k, f); err == nil && regime == bounds.RegimeSearch {
+					out = append(out, [3]int{m, k, f})
+				}
+			}
+		}
+	}
+	return out
+}
 
 // Plan is one fully-determined request: everything exec needs to put
 // it on the wire, and everything a test needs to replay it.
@@ -60,23 +109,15 @@ type Plan struct {
 type Sampler struct {
 	seed    int64
 	mix     []MixEntry
+	pools   Pools
 	triples [][3]int // crash search-regime (m, k, f)
 }
 
-// NewSampler precomputes the valid search-regime triples and returns a
-// ready sampler.
+// NewSampler precomputes the valid search-regime triples over the
+// default pools and returns a ready sampler.
 func NewSampler(seed int64, mix []MixEntry) *Sampler {
-	s := &Sampler{seed: seed, mix: mix}
-	for _, m := range []int{2, 3} {
-		for k := 1; k <= 6; k++ {
-			for f := 0; f < k; f++ {
-				if regime, err := bounds.Classify(m, k, f); err == nil && regime == bounds.RegimeSearch {
-					s.triples = append(s.triples, [3]int{m, k, f})
-				}
-			}
-		}
-	}
-	return s
+	pools := DefaultPools()
+	return &Sampler{seed: seed, mix: mix, pools: pools, triples: pools.Triples()}
 }
 
 // splitmix64 is the per-index seed mixer (Steele–Lea–Flood); one step
@@ -109,8 +150,8 @@ func (s *Sampler) Plan(i int) Plan {
 	case OpSweep:
 		q := url.Values{}
 		q.Set("m", "2")
-		q.Set("kmax", strconv.Itoa(pick(rng, sweepKmax)))
-		q.Set("horizon", formatFloat(pick(rng, sweepHorizons)))
+		q.Set("kmax", strconv.Itoa(pick(rng, s.pools.SweepKmax)))
+		q.Set("horizon", formatFloat(pick(rng, s.pools.SweepHorizons)))
 		q.Set("format", "ndjson")
 		plan.Path = OpPath[op] + "?" + q.Encode()
 		plan.Stream = true
@@ -125,7 +166,7 @@ func (s *Sampler) Plan(i int) Plan {
 // boundsQuery samples a single-cell /v1/bounds request. Any regime is
 // fine here — the endpoint answers trivial and unsolvable cells too.
 func (s *Sampler) boundsQuery(rng *rand.Rand) url.Values {
-	m := pick(rng, boundsMs)
+	m := pick(rng, s.pools.BoundsMs)
 	k := 1 + rng.Intn(8)
 	f := rng.Intn(k)
 	q := url.Values{}
@@ -143,7 +184,7 @@ func (s *Sampler) verifyQuery(rng *rand.Rand) url.Values {
 	q.Set("m", strconv.Itoa(t[0]))
 	q.Set("k", strconv.Itoa(t[1]))
 	q.Set("f", strconv.Itoa(t[2]))
-	q.Set("horizon", formatFloat(pick(rng, verifyHorizons)))
+	q.Set("horizon", formatFloat(pick(rng, s.pools.VerifyHorizons)))
 	return q
 }
 
@@ -157,7 +198,7 @@ func (s *Sampler) simulateQuery(rng *rand.Rand) url.Values {
 		q.Set("m", "1")
 		q.Set("k", "1")
 		q.Set("f", "0")
-		q.Set("p", formatFloat(pick(rng, simPfaultyP)))
+		q.Set("p", formatFloat(pick(rng, s.pools.SimPfaultyP)))
 		q.Set("seed", strconv.FormatInt(1+rng.Int63n(1<<20), 10))
 	} else {
 		t := s.triples[rng.Intn(len(s.triples))]
@@ -165,8 +206,8 @@ func (s *Sampler) simulateQuery(rng *rand.Rand) url.Values {
 		q.Set("k", strconv.Itoa(t[1]))
 		q.Set("f", strconv.Itoa(t[2]))
 	}
-	q.Set("horizon", formatFloat(pick(rng, simHorizons)))
-	q.Set("points", strconv.Itoa(pick(rng, simPoints)))
+	q.Set("horizon", formatFloat(pick(rng, s.pools.SimHorizons)))
+	q.Set("points", strconv.Itoa(pick(rng, s.pools.SimPoints)))
 	return q
 }
 
@@ -174,7 +215,7 @@ func (s *Sampler) simulateQuery(rng *rand.Rand) url.Values {
 // sub-requests. encoding/json sorts map keys, so the bytes are a pure
 // function of the sampled values.
 func (s *Sampler) batchBody(rng *rand.Rand) []byte {
-	n := pick(rng, batchSizeChoices)
+	n := pick(rng, s.pools.BatchSizes)
 	items := make([]map[string]any, n)
 	for j := range items {
 		if rng.Intn(2) == 0 {

@@ -7,8 +7,9 @@
 //
 // Each clause is [op:]metric cmp value. Metrics: the latency quantiles
 // p50/p90/p95/p99/p999 plus max and mean (value takes a duration unit
-// ns/us/ms/s, default ms), "errors" (the non-2xx + transport fraction;
-// value takes % or a bare fraction), and "rate" (achieved req/s).
+// ns/us/ms/s, default ms), "errors" (the non-2xx + transport fraction,
+// excluding deliberate 429 sheds; value takes % or a bare fraction),
+// and "rate" (achieved req/s).
 // An op prefix scopes the clause to one endpoint's stats; without it
 // the clause reads the aggregate. Comparators: < <= > >=.
 package loadgen

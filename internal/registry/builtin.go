@@ -41,6 +41,7 @@ func crashScenario() Scenario {
 		Params:        baseParams(),
 		HasUpperBound: true,
 		Verifiable:    true,
+		Cost:          CostAnalytic,
 		Validate: func(m, k, f int) error {
 			_, err := bounds.Classify(m, k, f)
 			return err
@@ -87,6 +88,7 @@ func byzantineScenario() Scenario {
 		Params:        baseParams(),
 		HasUpperBound: false,
 		Verifiable:    false,
+		Cost:          CostClosedForm,
 		Validate: func(m, k, f int) error {
 			_, err := bounds.Classify(m, k, f)
 			return err
@@ -122,6 +124,7 @@ func probabilisticScenario() Scenario {
 		Params:        baseParams(),
 		HasUpperBound: true,
 		Verifiable:    true,
+		Cost:          CostMonteCarlo,
 		Validate:      validateProbabilistic,
 		LowerBound: func(m, k, f int) (float64, error) {
 			if err := validateProbabilistic(m, k, f); err != nil {

@@ -108,6 +108,7 @@ func pfaultyHalflineScenario() Scenario {
 		},
 		HasUpperBound: true,
 		Verifiable:    true,
+		Cost:          CostMonteCarlo,
 		Validate:      validatePFaulty,
 		LowerBound:    pfaultyDefaultBound,
 		UpperBound:    pfaultyDefaultBound,
@@ -182,6 +183,7 @@ func byzantineLineScenario() Scenario {
 		Params:        baseParams(),
 		HasUpperBound: false,
 		Verifiable:    true,
+		Cost:          CostMonteCarlo,
 		Validate:      validateByzantineLine,
 		LowerBound: func(m, k, f int) (float64, error) {
 			if err := validateByzantineLine(m, k, f); err != nil {

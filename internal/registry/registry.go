@@ -43,6 +43,46 @@ var (
 	ErrNotVerifiable = errors.New("registry: scenario is not verifiable at these parameters")
 )
 
+// Cost is a scenario's admission-control cost class: the server's
+// estimate of what its verify/simulate jobs cost, used to route cheap
+// requests past the queue and to bound expensive in-flight work per
+// class. The classes are ordered by orders of magnitude, not
+// microseconds: closed-form lookups are arithmetic, analytic-adversary
+// evaluations are polynomial scans over breakpoints, and Monte-Carlo /
+// worst-over-grid searches are unbounded-constant sampling loops.
+type Cost string
+
+// Cost classes, cheapest first.
+const (
+	// CostClosedForm marks scenarios whose verifiable quantities are
+	// closed-form evaluations (microseconds; never queued).
+	CostClosedForm Cost = "closed-form"
+	// CostAnalytic marks scenarios verified by the deterministic
+	// analytic adversary (milliseconds; bounded by the general
+	// in-flight limit).
+	CostAnalytic Cost = "analytic"
+	// CostMonteCarlo marks scenarios verified by seeded Monte-Carlo
+	// trials or worst-over-grid searches (tens to hundreds of
+	// milliseconds; bounded by the heavy in-flight limit and shed
+	// first under overload).
+	CostMonteCarlo Cost = "montecarlo"
+)
+
+// heavier orders the classes for comparisons (max over a batch).
+var costRank = map[Cost]int{CostClosedForm: 0, CostAnalytic: 1, CostMonteCarlo: 2}
+
+// Heavier reports whether c is a costlier class than other. Unknown
+// classes rank heaviest, so a misconfigured scenario is throttled, not
+// fast-pathed.
+func (c Cost) Heavier(other Cost) bool { return c.rank() > other.rank() }
+
+func (c Cost) rank() int {
+	if r, ok := costRank[c]; ok {
+		return r
+	}
+	return len(costRank)
+}
+
 // ParamKind is the type of a scenario parameter.
 type ParamKind string
 
@@ -107,6 +147,11 @@ type Scenario struct {
 	// Simulatable reports whether the scenario has a simulator
 	// (SimulateJob non-nil); Register fills it in.
 	Simulatable bool `json:"simulatable"`
+	// Cost is the admission-control class of the scenario's verify and
+	// simulate jobs. Register defaults an empty Cost to CostAnalytic
+	// for verifiable scenarios (a real adversary evaluation runs) and
+	// CostClosedForm otherwise (only bound lookups can succeed).
+	Cost Cost `json:"cost"`
 
 	// Validate checks an (m, k, f) triple under this fault model.
 	Validate func(m, k, f int) error `json:"-"`
@@ -160,6 +205,13 @@ func (r *Registry) Register(s Scenario) error {
 		return fmt.Errorf("%w: scenario %q must define Validate, LowerBound, UpperBound and VerifyJob", ErrInvalidScenario, s.Name)
 	}
 	s.Simulatable = s.SimulateJob != nil
+	if s.Cost == "" {
+		if s.Verifiable {
+			s.Cost = CostAnalytic
+		} else {
+			s.Cost = CostClosedForm
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.scenarios[s.Name]; ok {

@@ -175,3 +175,62 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 		t.Errorf("expected 8 scenarios after concurrent registration, got %d", n)
 	}
 }
+
+func TestCostClasses(t *testing.T) {
+	// Built-in classes are the admission layer's routing table; pin
+	// them so a refactor cannot silently send Monte-Carlo floods down
+	// the fast path.
+	want := map[string]Cost{
+		"crash":            CostAnalytic,
+		"byzantine":        CostClosedForm,
+		"probabilistic":    CostMonteCarlo,
+		"pfaulty-halfline": CostMonteCarlo,
+		"byzantine-line":   CostMonteCarlo,
+	}
+	for name, cost := range want {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		if s.Cost != cost {
+			t.Errorf("scenario %q cost = %q, want %q", name, s.Cost, cost)
+		}
+	}
+}
+
+func TestCostDefaultsAtRegister(t *testing.T) {
+	r := NewRegistry()
+	base := Scenario{
+		Validate:   func(m, k, f int) error { return nil },
+		LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
+		UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
+		VerifyJob:  func(ctx context.Context, req Request) (engine.Job, error) { return nil, ErrNotVerifiable },
+	}
+	verifiable := base
+	verifiable.Name, verifiable.Verifiable = "verifiable", true
+	plain := base
+	plain.Name = "plain"
+	for _, s := range []Scenario{verifiable, plain} {
+		if err := r.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s, _ := r.Get("verifiable"); s.Cost != CostAnalytic {
+		t.Errorf("verifiable default cost = %q, want %q", s.Cost, CostAnalytic)
+	}
+	if s, _ := r.Get("plain"); s.Cost != CostClosedForm {
+		t.Errorf("non-verifiable default cost = %q, want %q", s.Cost, CostClosedForm)
+	}
+}
+
+func TestCostHeavier(t *testing.T) {
+	if !CostMonteCarlo.Heavier(CostAnalytic) || !CostAnalytic.Heavier(CostClosedForm) {
+		t.Error("cost ordering broken: want montecarlo > analytic > closed-form")
+	}
+	if CostClosedForm.Heavier(CostMonteCarlo) {
+		t.Error("closed-form ranked above montecarlo")
+	}
+	if unknown := Cost("???"); !unknown.Heavier(CostMonteCarlo) {
+		t.Error("unknown cost class must rank heaviest (fail throttled, not fast-pathed)")
+	}
+}

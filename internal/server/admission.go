@@ -1,0 +1,182 @@
+// admission.go is boundsd's cost-aware admission layer. Every compute
+// request is classified by the registry's cost classes
+// (registry.Cost) before it takes any resource:
+//
+//   - closed-form work (bounds lookups, scenario listings, batches of
+//     pure lookups) bypasses the compute slots entirely — arithmetic
+//     never queues behind a Monte-Carlo flood;
+//   - analytic-adversary work (crash verifies, sweeps) takes a general
+//     MaxInflight slot, waiting up to the request budget, and answers
+//     503 when the server is saturated (the pre-admission behavior,
+//     unchanged);
+//   - Monte-Carlo/simulation work takes a slot from the much smaller
+//     MaxInflightHeavy pool and waits at most ShedAfter for one: under
+//     overload the excess is shed immediately with 429 + Retry-After
+//     instead of queueing, so an expensive flood degrades into fast,
+//     explicit backpressure while the cheap classes keep their
+//     latency.
+//
+// The same file carries the /readyz readiness signal: a cold or
+// precomputing server serves traffic but reports 503 on /readyz until
+// cmd/boundsd flips it, so load balancers don't route to a node that
+// would answer every request at cold-start cost.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// errShed marks a heavy request shed because every heavy compute slot
+// stayed busy for ShedAfter. Maps to 429 + Retry-After.
+var errShed = errors.New("server: heavy compute shed under overload")
+
+// RetryAfterSeconds is the Retry-After hint on shed (429) responses:
+// long enough for a heavy slot to turn over, short enough that a
+// well-behaved client retries into the next admission window.
+const RetryAfterSeconds = 1
+
+// admissionClasses is the fixed accounting order (metrics, tests).
+var admissionClasses = []registry.Cost{registry.CostClosedForm, registry.CostAnalytic, registry.CostMonteCarlo}
+
+// admissionCounters is one class's admission accounting.
+type admissionCounters struct {
+	admitted atomic.Int64
+	shed     atomic.Int64
+	inflight atomic.Int64
+}
+
+// counters resolves a class's counters; unknown classes account (and
+// are admitted) as the heaviest class, so a misconfigured scenario is
+// throttled, never fast-pathed.
+func (s *Server) counters(class registry.Cost) *admissionCounters {
+	if c, ok := s.admission[class]; ok {
+		return c
+	}
+	return s.admission[registry.CostMonteCarlo]
+}
+
+// acquire admits one request of the given cost class and returns its
+// release function. Closed-form work is never blocked; analytic work
+// waits for a general MaxInflight slot until the budget expires
+// (errBusy -> 503); Monte-Carlo work waits at most ShedAfter for one
+// of the MaxInflightHeavy slots and is shed (errShed -> 429) rather
+// than queued past that.
+func (s *Server) acquire(ctx context.Context, budget time.Duration, class registry.Cost) (release func(), err error) {
+	c := s.counters(class)
+	admit := func(sem chan struct{}) func() {
+		c.admitted.Add(1)
+		c.inflight.Add(1)
+		return func() {
+			c.inflight.Add(-1)
+			if sem != nil {
+				<-sem
+			}
+		}
+	}
+	switch class {
+	case registry.CostClosedForm:
+		return admit(nil), nil
+	case registry.CostAnalytic:
+		if err := s.acquireSlot(ctx, budget); err != nil {
+			return nil, err
+		}
+		return admit(s.sem), nil
+	default: // CostMonteCarlo and anything unknown: the heavy pool.
+		select {
+		case s.heavySem <- struct{}{}:
+			return admit(s.heavySem), nil
+		default:
+		}
+		wait := s.cfg.ShedAfter
+		if wait > budget {
+			wait = budget
+		}
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case s.heavySem <- struct{}{}:
+			return admit(s.heavySem), nil
+		case <-timer.C:
+			c.shed.Add(1)
+			return nil, fmt.Errorf("%w: all %d heavy slots stayed busy for %v", errShed, cap(s.heavySem), wait)
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.Canceled) {
+				return nil, fmt.Errorf("%w while waiting for a heavy compute slot", errClientGone)
+			}
+			c.shed.Add(1)
+			return nil, fmt.Errorf("%w: no heavy slot freed within the %v budget", errShed, budget)
+		}
+	}
+}
+
+// batchClass classifies a whole /v1/batch: the heaviest class among
+// its items, so a batch is admitted where its most expensive item
+// would be. A pure-lookup batch therefore bypasses the queue entirely;
+// one simulate item makes the whole batch heavy (it holds one slot for
+// all items). Malformed items classify as closed-form — they fail
+// per-row without compute.
+func (s *Server) batchClass(items []map[string]any) registry.Cost {
+	class := registry.CostClosedForm
+	for _, item := range items {
+		var ic registry.Cost
+		op, _ := item["op"].(string)
+		switch op {
+		case "bounds":
+			ic = registry.CostClosedForm
+		case "verify":
+			ic = registry.CostAnalytic
+			if name, _ := item["model"].(string); name != "" {
+				if sc, err := s.cfg.Registry.Get(name); err == nil {
+					ic = sc.Cost
+				}
+			}
+		case "simulate":
+			ic = registry.CostMonteCarlo
+		default:
+			ic = registry.CostClosedForm
+		}
+		if ic.Heavier(class) {
+			class = ic
+		}
+	}
+	return class
+}
+
+// writeComputeErr maps a compute-path error to its status and writes
+// it, attaching the Retry-After hint on shed responses.
+func (s *Server) writeComputeErr(w http.ResponseWriter, err error) {
+	code := computeStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+	}
+	writeErr(w, code, err)
+}
+
+// SetReady flips the /readyz readiness signal. Servers start ready
+// unless Config.StartUnready; cmd/boundsd starts unready and flips
+// after snapshot restore / precompute finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness signal.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// handleReadyz is the readiness probe: 200 once warm-up (snapshot
+// restore, precompute) is done, 503 before. Liveness stays on
+// /healthz — a warming server is alive, just not ready for traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "warming")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -197,11 +197,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	if err := s.acquireSlot(ctx, budget); err != nil {
-		writeErr(w, computeStatus(err), err)
+	release, err := s.acquire(ctx, budget, s.batchClass(items))
+	if err != nil {
+		s.writeComputeErr(w, err)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer release()
 	rows := s.batchRows(ctx, items)
 	if p["format"] == "ndjson" ||
 		(p["format"] == "" && strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")) {

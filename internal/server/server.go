@@ -83,6 +83,10 @@ const (
 	// DefaultHeartbeat is the interval between comment lines on an NDJSON
 	// sweep stream with no row ready to send.
 	DefaultHeartbeat = 10 * time.Second
+	// DefaultShedAfter is how long a Monte-Carlo-class request waits for
+	// a heavy compute slot before it is shed with 429. Short by design:
+	// under overload, fast explicit backpressure beats a queue.
+	DefaultShedAfter = 100 * time.Millisecond
 	// DefaultSimHorizon is the /v1/simulate distance-grid upper end
 	// when unspecified (simulations are per-target work; the verify
 	// horizon default would be needlessly expensive here).
@@ -125,16 +129,34 @@ type Config struct {
 	MaxKMax int
 	// MaxInflight caps the compute requests being actively waited on.
 	MaxInflight int
+	// MaxInflightHeavy caps the Monte-Carlo/simulation-class requests
+	// being actively waited on — a separate, smaller pool so expensive
+	// floods contend with each other, not with analytic traffic.
+	// Defaults to max(1, MaxInflight/4).
+	MaxInflightHeavy int
+	// ShedAfter is how long a heavy request waits for one of the
+	// MaxInflightHeavy slots before it is shed with 429 + Retry-After.
+	ShedAfter time.Duration
+	// StartUnready makes /readyz answer 503 until SetReady(true) —
+	// cmd/boundsd uses it to gate traffic behind snapshot restore and
+	// precompute.
+	StartUnready bool
 	// Heartbeat is the comment-line interval on NDJSON sweep streams.
 	Heartbeat time.Duration
 }
 
 // Server is the boundsd HTTP handler. Construct with New.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	start time.Time
-	sem   chan struct{} // compute slots (MaxInflight)
+	cfg      Config
+	mux      *http.ServeMux
+	start    time.Time
+	sem      chan struct{} // general compute slots (MaxInflight)
+	heavySem chan struct{} // Monte-Carlo-class slots (MaxInflightHeavy)
+	ready    atomic.Bool   // the /readyz signal
+
+	// admission carries the per-cost-class accounting, fully populated
+	// at construction like the route counters.
+	admission map[registry.Cost]*admissionCounters
 
 	// Per-route counters, fully populated at construction (the route
 	// set is static, "other" catches the rest), so the request path
@@ -144,7 +166,7 @@ type Server struct {
 }
 
 // routes is the static route set; unknown paths count under "other".
-var routes = []string{"/healthz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "/v1/simulate", "/v1/batch", "other"}
+var routes = []string{"/healthz", "/readyz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "/v1/simulate", "/v1/batch", "other"}
 
 // New returns a ready-to-serve handler.
 func New(cfg Config) *Server {
@@ -163,22 +185,38 @@ func New(cfg Config) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = DefaultMaxInflight
 	}
+	if cfg.MaxInflightHeavy <= 0 {
+		cfg.MaxInflightHeavy = cfg.MaxInflight / 4
+		if cfg.MaxInflightHeavy < 1 {
+			cfg.MaxInflightHeavy = 1
+		}
+	}
+	if cfg.ShedAfter <= 0 {
+		cfg.ShedAfter = DefaultShedAfter
+	}
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = DefaultHeartbeat
 	}
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		sem:   make(chan struct{}, cfg.MaxInflight),
-		reqs:  make(map[string]*atomic.Int64, len(routes)),
-		errs:  make(map[string]*atomic.Int64, len(routes)),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		heavySem:  make(chan struct{}, cfg.MaxInflightHeavy),
+		admission: make(map[registry.Cost]*admissionCounters, len(admissionClasses)),
+		reqs:      make(map[string]*atomic.Int64, len(routes)),
+		errs:      make(map[string]*atomic.Int64, len(routes)),
+	}
+	s.ready.Store(!cfg.StartUnready)
+	for _, class := range admissionClasses {
+		s.admission[class] = &admissionCounters{}
 	}
 	for _, route := range routes {
 		s.reqs[route] = &atomic.Int64{}
 		s.errs[route] = &atomic.Int64{}
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("/v1/bounds", s.handleBounds)
@@ -225,6 +263,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "boundsd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	ready := 0
+	if s.ready.Load() {
+		ready = 1
+	}
+	fmt.Fprintf(w, "boundsd_ready %d\n", ready)
+	for _, class := range admissionClasses {
+		c := s.admission[class]
+		fmt.Fprintf(w, "boundsd_admission_admitted_total{class=%q} %d\n", string(class), c.admitted.Load())
+		fmt.Fprintf(w, "boundsd_admission_shed_total{class=%q} %d\n", string(class), c.shed.Load())
+		fmt.Fprintf(w, "boundsd_admission_inflight{class=%q} %d\n", string(class), c.inflight.Load())
+	}
+	fmt.Fprintf(w, "boundsd_admission_heavy_slots %d\n", cap(s.heavySem))
 	sorted := append([]string(nil), routes...)
 	sort.Strings(sorted)
 	for _, route := range sorted {
@@ -396,8 +446,10 @@ func (s *Server) acquireSlot(ctx context.Context, budget time.Duration) error {
 	}
 }
 
-// compute runs fn under the request's compute budget and the server's
-// MaxInflight cap. The budget context is handed to fn and flows into
+// compute runs fn under the request's compute budget and the admission
+// policy of its cost class (see admission.go: closed-form bypasses the
+// slots, analytic takes a MaxInflight slot, Monte-Carlo takes a heavy
+// slot or is shed). The budget context is handed to fn and flows into
 // the engine, so cancellation (timeout or client disconnect) actually
 // stops the work: the engine stops claiming cells and aborts in-flight
 // evaluations at their next cooperative check. A job that ignores its
@@ -405,13 +457,14 @@ func (s *Server) acquireSlot(ctx context.Context, budget time.Duration) error {
 // and the job finishes detached inside the engine (memoized on
 // success). A panic inside fn is recovered into a 500, not a process
 // crash (scenario callbacks are a plugin point).
-func (s *Server) compute(r *http.Request, p map[string]string, fn func(ctx context.Context) (any, error)) (any, error) {
+func (s *Server) compute(r *http.Request, p map[string]string, class registry.Cost, fn func(ctx context.Context) (any, error)) (any, error) {
 	ctx, cancel, budget, err := s.budgetCtx(r, p)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	if err := s.acquireSlot(ctx, budget); err != nil {
+	release, err := s.acquire(ctx, budget, class)
+	if err != nil {
 		return nil, err
 	}
 	type outcome struct {
@@ -420,7 +473,7 @@ func (s *Server) compute(r *http.Request, p map[string]string, fn func(ctx conte
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		defer func() { <-s.sem }()
+		defer release()
 		defer func() {
 			if rec := recover(); rec != nil {
 				ch <- outcome{nil, fmt.Errorf("server: computation panicked: %v", rec)}
@@ -574,11 +627,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
+	v, err := s.compute(r, p, sc.Cost, func(ctx context.Context) (any, error) {
 		return s.verifyAnswer(ctx, sc, req)
 	})
 	if err != nil {
-		writeErr(w, computeStatus(err), err)
+		s.writeComputeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -651,11 +704,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.streamSimulate(w, r, p, sc, req, points)
 		return
 	}
-	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
+	v, err := s.compute(r, p, registry.CostMonteCarlo, func(ctx context.Context) (any, error) {
 		return s.simulateAnswer(ctx, sc, req, points)
 	})
 	if err != nil {
-		writeErr(w, computeStatus(err), err)
+		s.writeComputeErr(w, err)
 		return
 	}
 	table := v.(*SimulateTable)
@@ -716,14 +769,15 @@ func (s *Server) streamSimulate(w http.ResponseWriter, r *http.Request, p map[st
 		return
 	}
 	defer cancel()
-	if err := s.acquireSlot(ctx, budget); err != nil {
-		writeErr(w, computeStatus(err), err)
+	release, err := s.acquire(ctx, budget, registry.CostMonteCarlo)
+	if err != nil {
+		s.writeComputeErr(w, err)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer release()
 	dists, jobs, err := simulateJobs(ctx, sc, req, points)
 	if err != nil {
-		writeErr(w, computeStatus(err), err)
+		s.writeComputeErr(w, err)
 		return
 	}
 	stream := s.cfg.Engine.RunStream(ctx, jobs)
@@ -871,7 +925,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.streamSweep(w, r, p, cells, horizon)
 		return
 	}
-	v, err := s.compute(r, p, func(ctx context.Context) (any, error) {
+	v, err := s.compute(r, p, registry.CostAnalytic, func(ctx context.Context) (any, error) {
 		table, err := ComputeSweep(ctx, s.cfg.Engine, cells, horizon)
 		// Per-cell failures ride inside the table (partial progress is
 		// never thrown away); only whole-request failures propagate.
@@ -882,7 +936,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return table, nil
 	})
 	if err != nil {
-		writeErr(w, computeStatus(err), err)
+		s.writeComputeErr(w, err)
 		return
 	}
 	table := v.(*SweepTable)
@@ -912,11 +966,12 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p map[strin
 		return
 	}
 	defer cancel()
-	if err := s.acquireSlot(ctx, budget); err != nil {
-		writeErr(w, computeStatus(err), err)
+	release, err := s.acquire(ctx, budget, registry.CostAnalytic)
+	if err != nil {
+		s.writeComputeErr(w, err)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer release()
 	stream := s.cfg.Engine.SweepStream(ctx, cells, horizon)
 	s.ndjsonStream(ctx, w, budget, len(cells), shapeRows(ctx, stream, func(cr engine.CellResult) any {
 		return SweepCellOf(cr)
@@ -933,6 +988,8 @@ func computeStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, errBusy):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errShed):
+		return http.StatusTooManyRequests
 	case errors.Is(err, errClientGone), errors.Is(err, context.Canceled):
 		// 499 is the de-facto (nginx) "client closed request" code; the
 		// client is gone, the status only feeds the error counters.

@@ -33,6 +33,7 @@ package solver
 import (
 	"context"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -334,4 +335,160 @@ func (s *Solver) PFaultyBase(p float64) (base, worst float64, err error) {
 	s.mu.Unlock()
 	s.baseMisses.Add(1)
 	return base, worst, nil
+}
+
+// TripleMemo is one (m, k, f) parameter point in an exported Memo; the
+// alpha*/strategy memos carry only the key (the values are recomputed
+// on import from the closed form, which is cheap and cannot be stale).
+type TripleMemo struct {
+	M int `json:"m"`
+	K int `json:"k"`
+	F int `json:"f"`
+}
+
+// TripleValueMemo is an exported (m, k, f) -> value memo entry (the
+// simulation horizon factor).
+type TripleValueMemo struct {
+	M int     `json:"m"`
+	K int     `json:"k"`
+	F int     `json:"f"`
+	V float64 `json:"v"`
+}
+
+// BaseMemo is one exported golden-section minimization result of
+// PFaultyBase: the expensive solve whose value IS carried (re-running
+// the minimization is what the import exists to skip).
+type BaseMemo struct {
+	P     float64 `json:"p"`
+	Base  float64 `json:"base"`
+	Worst float64 `json:"worst"`
+}
+
+// Memo is the serializable content of a Solver: what an engine cache
+// snapshot carries so a restarted process skips the warm-up solves
+// (Newton polishing, strategy materialization, golden-section
+// minimization). Entries are sorted by key so an export is a
+// deterministic function of the memo's content.
+type Memo struct {
+	Alphas     []TripleMemo      `json:"alphas,omitempty"`
+	Strategies []TripleMemo      `json:"strategies,omitempty"`
+	SimHF      []TripleValueMemo `json:"sim_horizon_factors,omitempty"`
+	Bases      []BaseMemo        `json:"bases,omitempty"`
+}
+
+// Entries is the total entry count across the memo's tables.
+func (m Memo) Entries() int {
+	return len(m.Alphas) + len(m.Strategies) + len(m.SimHF) + len(m.Bases)
+}
+
+// sortTriples orders key triples lexicographically.
+func sortTriples(ts []TripleMemo) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		if a.K != b.K {
+			return a.K < b.K
+		}
+		return a.F < b.F
+	})
+}
+
+// Export snapshots the solver's memo tables. Alpha and strategy entries
+// export keys only; horizon factors and golden-section bases export
+// their values.
+func (s *Solver) Export() Memo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m Memo
+	for key := range s.alphas {
+		m.Alphas = append(m.Alphas, TripleMemo{M: key.m, K: key.k, F: key.f})
+	}
+	for key := range s.strats {
+		m.Strategies = append(m.Strategies, TripleMemo{M: key.m, K: key.k, F: key.f})
+	}
+	for key, v := range s.simHF {
+		m.SimHF = append(m.SimHF, TripleValueMemo{M: key.m, K: key.k, F: key.f, V: v})
+	}
+	for p, v := range s.bases {
+		m.Bases = append(m.Bases, BaseMemo{P: p, Base: v.base, Worst: v.worst})
+	}
+	sortTriples(m.Alphas)
+	sortTriples(m.Strategies)
+	sort.Slice(m.SimHF, func(i, j int) bool {
+		a, b := m.SimHF[i], m.SimHF[j]
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		if a.K != b.K {
+			return a.K < b.K
+		}
+		return a.F < b.F
+	})
+	sort.Slice(m.Bases, func(i, j int) bool { return m.Bases[i].P < m.Bases[j].P })
+	return m
+}
+
+// Import merges an exported memo into the solver and reports how many
+// entries landed. Alphas are recomputed from the closed form (the
+// canonical bits every fingerprint embeds — importing skips only the
+// Newton solve, so a corrupt snapshot cannot plant a wrong alpha) and
+// strategies are rebuilt through their constructor; horizon factors
+// and bases import their values after a sanity check. Invalid entries
+// are skipped, never fatal: a snapshot is an optimization, not a
+// source of truth. Imports do not advance the hit/miss counters.
+func (s *Solver) Import(m Memo) int {
+	imported := 0
+	for _, t := range m.Alphas {
+		a, err := bounds.OptimalAlpha(t.M*(t.F+1), t.K)
+		if err != nil {
+			continue
+		}
+		key := triple{t.M, t.K, t.F}
+		s.mu.Lock()
+		if _, ok := s.alphas[key]; !ok {
+			s.alphas[key] = a
+			imported++
+		}
+		s.mu.Unlock()
+	}
+	for _, t := range m.Strategies {
+		st, err := strategy.NewCyclicExponential(t.M, t.K, t.F)
+		if err != nil {
+			continue
+		}
+		key := triple{t.M, t.K, t.F}
+		s.mu.Lock()
+		if _, ok := s.strats[key]; !ok {
+			s.strats[key] = st
+			imported++
+		}
+		s.mu.Unlock()
+	}
+	for _, t := range m.SimHF {
+		if !(t.V > 0) || math.IsInf(t.V, 0) {
+			continue
+		}
+		key := triple{t.M, t.K, t.F}
+		s.mu.Lock()
+		if _, ok := s.simHF[key]; !ok {
+			s.simHF[key] = t.V
+			imported++
+		}
+		s.mu.Unlock()
+	}
+	for _, b := range m.Bases {
+		if !(b.P > 0 && b.P < 1) || !(b.Base > 1) || !(b.Worst > 0) ||
+			math.IsInf(b.Base, 0) || math.IsInf(b.Worst, 0) {
+			continue
+		}
+		s.mu.Lock()
+		if _, ok := s.bases[b.P]; !ok {
+			s.bases[b.P] = baseVal{base: b.Base, worst: b.Worst}
+			imported++
+		}
+		s.mu.Unlock()
+	}
+	return imported
 }

@@ -231,3 +231,133 @@ func TestStatsAggregates(t *testing.T) {
 		t.Fatalf("Misses() = %d, want 26", st.Misses())
 	}
 }
+
+// TestExportImportRoundTrip warms a solver, exports its memo, imports
+// it into a fresh solver, and checks the fresh solver serves the same
+// values without re-solving (hit counters advance, miss counters do
+// not).
+func TestExportImportRoundTrip(t *testing.T) {
+	warm := New()
+	wantAlpha, err := warm.AlphaStar(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Strategy(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	wantHF, err := warm.SimHorizonFactor(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBase, wantWorst, err := warm.PFaultyBase(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memo := warm.Export()
+	if got := memo.Entries(); got != 4 {
+		t.Fatalf("Export().Entries() = %d, want 4 (alpha, strategy, simHF, base)", got)
+	}
+
+	cold := New()
+	if got := cold.Import(memo); got != 4 {
+		t.Fatalf("Import = %d entries, want 4", got)
+	}
+	st0 := cold.Stats()
+	if st0.Hits() != 0 || st0.Misses() != 0 {
+		t.Fatalf("import advanced counters: %+v", st0)
+	}
+
+	alpha, err := cold.AlphaStar(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != wantAlpha {
+		t.Errorf("imported alpha = %v, want %v", alpha, wantAlpha)
+	}
+	if _, err := cold.Strategy(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	hf, err := cold.SimHorizonFactor(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf != wantHF {
+		t.Errorf("imported simHF = %v, want %v", hf, wantHF)
+	}
+	base, worst, err := cold.PFaultyBase(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != wantBase || worst != wantWorst {
+		t.Errorf("imported base = (%v, %v), want (%v, %v)", base, worst, wantBase, wantWorst)
+	}
+	st := cold.Stats()
+	if st.Misses() != 0 {
+		t.Errorf("warm solver re-solved after import: %d misses", st.Misses())
+	}
+	if st.Hits() != 4 {
+		t.Errorf("warm solver hits = %d, want 4", st.Hits())
+	}
+}
+
+// TestExportDeterministicOrder pins the export's sort order: two
+// exports of equally-warmed solvers must be identical (snapshots diff
+// cleanly).
+func TestExportDeterministicOrder(t *testing.T) {
+	build := func(order [][3]int) Memo {
+		s := New()
+		for _, tr := range order {
+			if _, err := s.AlphaStar(tr[0], tr[1], tr[2]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Export()
+	}
+	a := build([][3]int{{2, 3, 1}, {2, 2, 1}, {3, 4, 1}})
+	b := build([][3]int{{3, 4, 1}, {2, 3, 1}, {2, 2, 1}})
+	if len(a.Alphas) != 3 || len(b.Alphas) != 3 {
+		t.Fatalf("exports carry %d/%d alphas, want 3", len(a.Alphas), len(b.Alphas))
+	}
+	for i := range a.Alphas {
+		if a.Alphas[i] != b.Alphas[i] {
+			t.Errorf("alpha order differs at %d: %+v vs %+v", i, a.Alphas[i], b.Alphas[i])
+		}
+	}
+}
+
+// TestImportSkipsInvalidEntries feeds a memo full of garbage: nothing
+// may land, and nothing may error (snapshots are best-effort).
+func TestImportSkipsInvalidEntries(t *testing.T) {
+	s := New()
+	got := s.Import(Memo{
+		Alphas:     []TripleMemo{{M: 0, K: 0, F: -1}, {M: 2, K: 9, F: 0}}, // invalid domain / k >= q
+		Strategies: []TripleMemo{{M: 1, K: 5, F: 9}},
+		SimHF:      []TripleValueMemo{{M: 2, K: 3, F: 1, V: -4}, {M: 2, K: 3, F: 1, V: math.Inf(1)}},
+		Bases:      []BaseMemo{{P: 1.5, Base: 3, Worst: 5}, {P: 0.25, Base: 0.5, Worst: 5}, {P: 0.25, Base: 3, Worst: math.Inf(1)}},
+	})
+	if got != 0 {
+		t.Errorf("Import accepted %d invalid entries", got)
+	}
+	if n := s.Export().Entries(); n != 0 {
+		t.Errorf("invalid import left %d entries resident", n)
+	}
+}
+
+// TestImportDoesNotClobber warms a key, then imports a memo naming the
+// same key: the resident value must win.
+func TestImportDoesNotClobber(t *testing.T) {
+	s := New()
+	want, _, err := s.PFaultyBase(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Import(Memo{Bases: []BaseMemo{{P: 0.25, Base: want + 1, Worst: 99}}})
+	got, _, err := s.PFaultyBase(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("import clobbered resident base: %v -> %v", want, got)
+	}
+}
