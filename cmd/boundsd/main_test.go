@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/registry"
 	"repro/internal/server"
 )
@@ -234,7 +235,7 @@ func TestDaemonSnapshotSchemaMismatchColdStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"boundsd-snapshot/v1"`) {
+	if !strings.Contains(string(data), `"`+engine.SnapshotSchema+`"`) {
 		t.Error("shutdown did not replace the stale snapshot with the current schema")
 	}
 }

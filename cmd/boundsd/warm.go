@@ -40,6 +40,11 @@ func restoreSnapshot(eng *engine.Engine, path string) {
 		}
 		return
 	}
+	if st.LegacyDropped > 0 {
+		log.Printf("boundsd: restored %d cache entries and %d solver entries from %s (dropped %d legacy-schema cache entries; partial warm start)",
+			st.Entries, st.SolverEntries, path, st.LegacyDropped)
+		return
+	}
 	log.Printf("boundsd: restored %d cache entries and %d solver entries from %s",
 		st.Entries, st.SolverEntries, path)
 }

@@ -10,7 +10,7 @@
 //
 //	boundsd -addr 127.0.0.1:8080 &
 //	loadgen -target http://127.0.0.1:8080 -rate 200 -duration 10s \
-//	  -mix 'bounds=40,verify=25,simulate=15,batch=10,sweep=10' \
+//	  -mix 'bounds=40,verify=25,simulate=15,batch=10,sweep=10,strategies=5' \
 //	  -slo 'p99<50ms,errors<0.1%' -out result.json
 //
 // The run exits 0 when the SLO holds and the reconciliation matches,

@@ -14,6 +14,12 @@
 //
 //	verifybound -q 2 -lambda 8.5 -upto 100 strategy.txt
 //
+// Alternatively, -strategy-file compiles a strategy-program script (the
+// sandboxed DSL of POST /v1/strategies, see internal/strategy/program)
+// and verifies the rounds it generates for (-m, -k, -f) up to -upto:
+//
+//	verifybound -strategy-file cyclic.prog -m 2 -k 3 -f 1 -q 4 -lambda 20 -upto 100
+//
 // The -model flag resolves through the scenario registry; the Eq. (10)
 // refutation machinery is the crash model's, so only scenarios whose
 // lower bound is the crash transfer (crash itself, byzantine) are
@@ -36,28 +42,48 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/potential"
 	"repro/internal/registry"
+	"repro/internal/strategy/program"
 )
 
 func main() {
 	var (
-		q       = flag.Int("q", 2, "required covering multiplicity")
-		lambda  = flag.Float64("lambda", 9, "claimed competitive ratio")
-		upTo    = flag.Float64("upto", 100, "verify covering of (1, upto]")
-		caseC   = flag.Float64("casec", 1e9, "Case-1/Case-2 split constant of the Eq. (10) proof")
-		model   = flag.String("model", "crash", "fault model (a registry scenario name)")
-		timeout = flag.Duration("timeout", 0, "give up after this long (0 = none)")
+		q        = flag.Int("q", 2, "required covering multiplicity")
+		lambda   = flag.Float64("lambda", 9, "claimed competitive ratio")
+		upTo     = flag.Float64("upto", 100, "verify covering of (1, upto]")
+		caseC    = flag.Float64("casec", 1e9, "Case-1/Case-2 split constant of the Eq. (10) proof")
+		model    = flag.String("model", "crash", "fault model (a registry scenario name)")
+		timeout  = flag.Duration("timeout", 0, "give up after this long (0 = none)")
+		progFile = flag.String("strategy-file", "", "compile this strategy-program script and verify its generated rounds (replaces the turns-file argument)")
+		mFlag    = flag.Int("m", 2, "rays the script is instantiated for (with -strategy-file)")
+		kFlag    = flag.Int("k", 1, "robots the script is instantiated for (with -strategy-file)")
+		fFlag    = flag.Int("f", 0, "faults the script is instantiated for (with -strategy-file)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	var input io.Reader
+	switch {
+	case *progFile != "":
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: verifybound -strategy-file script.prog [flags]  (no turns file with -strategy-file)")
+			os.Exit(2)
+		}
+		turns, err := scriptTurns(*progFile, *mFlag, *kFlag, *fFlag, *upTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verifybound:", err)
+			os.Exit(1)
+		}
+		input = turns
+	case flag.NArg() == 1:
+		file, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verifybound:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		input = file
+	default:
 		fmt.Fprintln(os.Stderr, "usage: verifybound [flags] strategy.txt")
 		os.Exit(2)
 	}
-	file, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "verifybound:", err)
-		os.Exit(1)
-	}
-	defer file.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
@@ -65,10 +91,47 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, os.Stdout, file, *model, *q, *lambda, *upTo, *caseC); err != nil {
+	if err := run(ctx, os.Stdout, input, *model, *q, *lambda, *upTo, *caseC); err != nil {
 		fmt.Fprintln(os.Stderr, "verifybound:", err)
 		os.Exit(1)
 	}
+}
+
+// scriptTurns compiles a strategy-program script, instantiates it for
+// (m, k, f) with the optimal base, materialises every robot's rounds up
+// to horizon, and renders the turn distances in the turns-file format,
+// so the scripted path feeds the exact same parsing and verification
+// pipeline as a hand-written strategy file (FormatFloat 'g'/-1 rendering
+// round-trips every float64 bit-exactly).
+func scriptTurns(path string, m, k, f int, horizon float64) (io.Reader, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := program.Compile(string(src))
+	if err != nil {
+		return nil, err
+	}
+	inst, err := prog.New(m, k, f)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# compiled strategy program %s (m=%d k=%d f=%d horizon=%g)\n", prog.Hash()[:16], m, k, f, horizon)
+	for r := 0; r < k; r++ {
+		rounds, err := inst.Rounds(r, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("robot %d: %w", r, err)
+		}
+		for i, rd := range rounds {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(strconv.FormatFloat(rd.Turn, 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	return strings.NewReader(sb.String()), nil
 }
 
 func run(ctx context.Context, w io.Writer, r io.Reader, model string, q int, lambda, upTo, caseC float64) error {

@@ -2,8 +2,11 @@ package main
 
 import (
 	"context"
+	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/strategy"
 )
 
 func TestParseStrategy(t *testing.T) {
@@ -85,5 +88,58 @@ func TestRunModelResolution(t *testing.T) {
 	}
 	if err := run(context.Background(), &sb, strings.NewReader(input), "martian", 1, 9.2, 100, 1e9); err == nil {
 		t.Error("unknown scenario must be rejected")
+	}
+}
+
+func TestScriptTurnsMatchesCyclicStrategy(t *testing.T) {
+	// The scripted path must feed the pipeline the exact turns the
+	// compiled program generates: materialise the cyclic script through
+	// scriptTurns and compare against the strategy package's own rounds.
+	dir := t.TempDir()
+	path := dir + "/cyclic.prog"
+	if err := os.WriteFile(path, []byte(strategy.CyclicScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const m, k, f = 2, 3, 1
+	const horizon = 500.0
+	r, err := scriptTurns(path, m, k, f, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	turns, err := parseStrategy(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) != k {
+		t.Fatalf("parsed %d robots, want %d", len(turns), k)
+	}
+	want, err := strategy.NewCyclicExponential(m, k, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for robot := 0; robot < k; robot++ {
+		rounds, err := want.Rounds(robot, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(turns[robot]) != len(rounds) {
+			t.Fatalf("robot %d: %d turns, want %d", robot, len(turns[robot]), len(rounds))
+		}
+		for i, rd := range rounds {
+			if turns[robot][i] != rd.Turn {
+				t.Fatalf("robot %d round %d: turn %g, want %g (bit-exact)", robot, i, turns[robot][i], rd.Turn)
+			}
+		}
+	}
+}
+
+func TestScriptTurnsRejectsBadScript(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.prog"
+	if err := os.WriteFile(path, []byte("emit(1)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scriptTurns(path, 2, 1, 0, 100); err == nil {
+		t.Fatal("malformed script should fail to compile")
 	}
 }

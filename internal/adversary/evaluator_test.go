@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/strategy"
+	"repro/internal/strategy/program"
 	"repro/internal/trajectory"
 )
 
@@ -106,6 +107,38 @@ func TestEvaluatorQueriesAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("ExactRatio allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestEvaluatorScriptedQueriesAllocationFree pins the same zero-alloc
+// contract for a DSL-compiled strategy program: the program's pooled VM
+// generates rounds only at Evaluator construction, so post-construction
+// queries must stay allocation-free exactly like the native path —
+// scripted strategies ride the hot path at full speed.
+func TestEvaluatorScriptedQueriesAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	prog, err := program.Compile(strategy.CyclicScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.New(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(inst, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := e.ExactRatio(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("scripted ExactRatio allocated %.1f objects per run, want 0", allocs)
 	}
 }
 

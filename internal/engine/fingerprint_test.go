@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/strategy"
+	"repro/internal/strategy/program"
+	"repro/internal/trajectory"
+)
+
+// opaqueStrategy deliberately does not implement Fingerprinter, to
+// exercise the engine's fallback identity.
+type opaqueStrategy struct {
+	name  string
+	turns []float64
+}
+
+func (s *opaqueStrategy) Name() string { return s.name }
+func (s *opaqueStrategy) M() int       { return 1 }
+func (s *opaqueStrategy) K() int       { return 1 }
+func (s *opaqueStrategy) Rounds(r int, horizon float64) ([]trajectory.Round, error) {
+	out := make([]trajectory.Round, len(s.turns))
+	for i, turn := range s.turns {
+		out[i] = trajectory.Round{Ray: 1, Turn: turn}
+	}
+	return out, nil
+}
+
+// TestFingerprintCollisionRegression pins the collision-hardening
+// contract behind every engine cache key: two strategies that can
+// produce different rounds must never share a fingerprint — in
+// particular not because they share a display name, nearly share an
+// alpha, or hash-collide across kinds. A collision here would let one
+// strategy's cached evaluation answer for another.
+func TestFingerprintCollisionRegression(t *testing.T) {
+	mustFixed := func(name string, rounds [][]trajectory.Round) *strategy.FixedRounds {
+		t.Helper()
+		s, err := strategy.NewFixedRounds(name, 2, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	doubling := [][]trajectory.Round{{{Ray: 1, Turn: 1}, {Ray: 2, Turn: 2}, {Ray: 1, Turn: 4}, {Ray: 2, Turn: 8}}}
+	tripling := [][]trajectory.Round{{{Ray: 1, Turn: 1}, {Ray: 2, Turn: 3}, {Ray: 1, Turn: 9}, {Ray: 2, Turn: 27}}}
+	oneUlp := [][]trajectory.Round{{{Ray: 1, Turn: 1}, {Ray: 2, Turn: 2}, {Ray: 1, Turn: 4}, {Ray: 2, Turn: 8.000000000000002}}}
+
+	cyc, err := strategy.NewCyclicExponential(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := cyc.Alpha()
+	cycNearby, err := strategy.NewCyclicExponentialAlpha(2, 3, 1, alpha*(1+1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := program.MustCompile("emit(1, 2)\nemit(2, 4)\n")
+	progInst, err := prog.NewAlpha(2, 1, 0, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progInstOtherAlpha, err := prog.NewAlpha(2, 1, 0, alpha*(1+1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raySplit, err := strategy.NewRaySplit(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strategies := []struct {
+		label string
+		s     strategy.Strategy
+	}{
+		{"fixed doubling", mustFixed("custom", doubling)},
+		{"fixed tripling, same name", mustFixed("custom", tripling)},
+		{"fixed doubling, one-ulp turn", mustFixed("custom", oneUlp)},
+		{"cyclic alpha*", cyc},
+		{"cyclic alpha* + 1e-9 (inside %.6g rounding)", cycNearby},
+		{"scripted program", progInst},
+		{"scripted program, nearby alpha", progInstOtherAlpha},
+		{"ray split", raySplit},
+		{"opaque", &opaqueStrategy{name: "custom", turns: []float64{1, 2, 4}}},
+		{"opaque, same name, different rounds", &opaqueStrategy{name: "custom", turns: []float64{1, 3, 9}}},
+	}
+
+	keys := make(map[string]string)
+	for _, tc := range strategies {
+		key := ExactRatio{Strategy: tc.s, Faults: 0, Horizon: 100}.Key()
+		if key == "" {
+			t.Fatalf("%s: empty cache key", tc.label)
+		}
+		if prev, clash := keys[key]; clash {
+			t.Errorf("cache-key collision: %q and %q share %q", prev, tc.label, key)
+		}
+		keys[key] = tc.label
+	}
+
+	// Opaque strategies with identical rounds but different names DO get
+	// different keys (conservative: never share), while the two opaque
+	// entries above differ by rounds under one name — the dangerous
+	// direction — and were already asserted distinct.
+	if len(keys) != len(strategies) {
+		t.Fatalf("%d distinct keys for %d strategies", len(keys), len(strategies))
+	}
+}
+
+// TestFingerprintNameInsensitive pins the flip side: identity derives
+// from content, so renaming a FixedRounds strategy must NOT split the
+// cache, and reformatting a script must map to the same program hash.
+func TestFingerprintNameInsensitive(t *testing.T) {
+	rounds := [][]trajectory.Round{{{Ray: 1, Turn: 1}, {Ray: 2, Turn: 2}, {Ray: 1, Turn: 4}, {Ray: 2, Turn: 8}}}
+	a, err := strategy.NewFixedRounds("alice", 2, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := strategy.NewFixedRounds("bob", 2, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka := ExactRatio{Strategy: a, Horizon: 100}.Key()
+	kb := ExactRatio{Strategy: b, Horizon: 100}.Key()
+	if ka != kb {
+		t.Errorf("renaming a FixedRounds split the cache:\n%s\n%s", ka, kb)
+	}
+
+	s1 := program.MustCompile("emit(1, 2)\nemit(2, 4)\n")
+	s2 := program.MustCompile("// same program, different spelling\nemit(1,2)\nemit(2,  4)")
+	if s1.Hash() != s2.Hash() {
+		t.Errorf("formatting split the program hash:\n%s\n%s", s1.Hash(), s2.Hash())
+	}
+}
+
+// TestJobKeysCarryProgramHash pins that every solver-strategy-dependent
+// job key embeds the cyclic program's content hash — the property that
+// retires stale cache entries if the shipped script ever changes.
+func TestJobKeysCarryProgramHash(t *testing.T) {
+	frag := strategy.CyclicProgram().Hash()[:16]
+	jobs := []Job{
+		VerifyUpper{M: 2, K: 3, F: 1, Horizon: 100},
+		SimulationRun{M: 2, K: 3, F: 1, Dist: 100},
+		ByzantineLineSim{K: 3, F: 1, Dist: 100},
+		ByzantineLineWorst{K: 3, F: 1, Horizon: 100},
+	}
+	for _, j := range jobs {
+		if key := j.Key(); !strings.Contains(key, "sp="+frag) {
+			t.Errorf("key %q does not embed the cyclic program hash fragment %q", key, frag)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -12,16 +14,34 @@ import (
 	"repro/internal/strategy"
 )
 
-// fingerprint identifies a strategy for cache keying. Name() encodes
-// the constructor parameters but prints floats at reading precision
-// (%.6g), which could alias two nearby alphas onto one key; for
-// strategies exposing their base, the exact bits are appended.
-func fingerprint(s strategy.Strategy) string {
-	name := s.Name()
-	if a, ok := s.(interface{ Alpha() float64 }); ok {
-		name += "|a=" + strconv.FormatFloat(a.Alpha(), 'x', -1, 64)
+// fingerprint identifies a strategy for cache keying. Every strategy in
+// this repository carries a content-addressed identity
+// (strategy.Fingerprinter — for compiled programs the script's content
+// hash plus exact instantiation bits), which is used verbatim. A
+// foreign Strategy implementation without one falls back to a hash of
+// the rounds it materializes up to the job's horizon — the exact input
+// the job consumes — so even foreign strategies sharing a type and Name
+// can never share a cache line unless their observable behaviour up to
+// that horizon is identical. (Turns hash at full 'x'-format precision:
+// a one-ulp difference is a different key.)
+func fingerprint(s strategy.Strategy, horizon float64) string {
+	if fp, ok := s.(strategy.Fingerprinter); ok {
+		return fp.Fingerprint()
 	}
-	return name
+	h := sha256.New()
+	fmt.Fprintf(h, "opaque-rounds/v1|%T|m=%d|k=%d|", s, s.M(), s.K())
+	for r := 0; r < s.K(); r++ {
+		rounds, err := s.Rounds(r, horizon)
+		if err != nil {
+			fmt.Fprintf(h, "err=%v|", err)
+			continue
+		}
+		for _, rd := range rounds {
+			fmt.Fprintf(h, "%d;%s,", rd.Ray, strconv.FormatFloat(rd.Turn, 'x', -1, 64))
+		}
+		h.Write([]byte{'|'})
+	}
+	return "opaque|" + hex.EncodeToString(h.Sum(nil))
 }
 
 // Result is the outcome of one Job: a headline scalar, plus the full
@@ -56,9 +76,10 @@ type Result struct {
 // engine memoizes by key. A job whose Key is "" opts out of caching.
 type Job interface {
 	// Key fingerprints the job for the result cache. Strategy-based
-	// jobs derive the fingerprint from strategy.Strategy.Name() (plus
-	// the exact base bits when exposed), so custom strategies must
-	// encode their parameters in Name (the built-in constructors do).
+	// jobs derive the fingerprint from the strategy's content-addressed
+	// identity (strategy.Fingerprinter) — for compiled programs the
+	// script content hash plus exact instantiation bits — never from
+	// the human-facing Name.
 	Key() string
 	// Run performs the evaluation. Long-running implementations should
 	// check ctx cooperatively (the built-in jobs check inside their
@@ -80,7 +101,7 @@ func (j ExactRatio) Key() string {
 	if j.Strategy == nil {
 		return ""
 	}
-	return fmt.Sprintf("exact|%s|f=%d|h=%g", fingerprint(j.Strategy), j.Faults, j.Horizon)
+	return fmt.Sprintf("exact|%s|f=%d|h=%g", fingerprint(j.Strategy, j.Horizon), j.Faults, j.Horizon)
 }
 
 // Run implements Job.
@@ -110,7 +131,7 @@ func (j FRangeRatio) Key() string {
 	if j.Strategy == nil {
 		return ""
 	}
-	return fmt.Sprintf("frange|%s|fmax=%d|h=%g", fingerprint(j.Strategy), j.MaxF, j.Horizon)
+	return fmt.Sprintf("frange|%s|fmax=%d|h=%g", fingerprint(j.Strategy, j.Horizon), j.MaxF, j.Horizon)
 }
 
 // Run implements Job.
@@ -143,7 +164,7 @@ func (j GridRatio) Key() string {
 	if j.Strategy == nil {
 		return ""
 	}
-	return fmt.Sprintf("grid|%s|f=%d|h=%g|n=%d", fingerprint(j.Strategy), j.Faults, j.Horizon, j.N)
+	return fmt.Sprintf("grid|%s|f=%d|h=%g|n=%d", fingerprint(j.Strategy, j.Horizon), j.Faults, j.Horizon, j.N)
 }
 
 // Run implements Job.
@@ -160,9 +181,18 @@ type VerifyUpper struct {
 	Horizon float64
 }
 
-// Key implements Job.
+// cyclicHash is the content hash of the compiled cyclic exponential
+// program. VerifyUpper keys embed it so the cached result is tied to
+// the program that produced it: if the script (and hence the rounds)
+// ever changed, the keys would roll over instead of serving stale
+// results from a snapshot.
+var cyclicHash = strategy.CyclicProgram().Hash()
+
+// Key implements Job. The strategy is the optimal cyclic exponential at
+// alpha*(m(f+1), k), fully determined by (M, K, F), so the key derives
+// from the cyclic program's content hash plus those parameters.
 func (j VerifyUpper) Key() string {
-	return fmt.Sprintf("verify|m=%d|k=%d|f=%d|h=%g", j.M, j.K, j.F, j.Horizon)
+	return fmt.Sprintf("verify|sp=%s|m=%d|k=%d|f=%d|h=%g", cyclicHash[:16], j.M, j.K, j.F, j.Horizon)
 }
 
 // Run implements Job.

@@ -33,9 +33,11 @@ type SimulationRun struct {
 	Dist    float64
 }
 
-// Key implements Job.
+// Key implements Job. The simulated strategy is the optimal cyclic
+// exponential, so the key embeds the cyclic program's content hash like
+// VerifyUpper's does.
 func (j SimulationRun) Key() string {
-	return fmt.Sprintf("simrun|m=%d|k=%d|f=%d|d=%g", j.M, j.K, j.F, j.Dist)
+	return fmt.Sprintf("simrun|sp=%s|m=%d|k=%d|f=%d|d=%g", cyclicHash[:16], j.M, j.K, j.F, j.Dist)
 }
 
 // Run implements Job.
@@ -201,9 +203,10 @@ type ByzantineLineSim struct {
 	Dist float64
 }
 
-// Key implements Job.
+// Key implements Job. The observed strategy is the optimal line
+// instance of the cyclic exponential program, hence the sp= fragment.
 func (j ByzantineLineSim) Key() string {
-	return fmt.Sprintf("byzline|k=%d|f=%d|d=%g", j.K, j.F, j.Dist)
+	return fmt.Sprintf("byzline|sp=%s|k=%d|f=%d|d=%g", cyclicHash[:16], j.K, j.F, j.Dist)
 }
 
 // Run implements Job.
@@ -226,9 +229,9 @@ type ByzantineLineWorst struct {
 	Points  int
 }
 
-// Key implements Job.
+// Key implements Job. See ByzantineLineSim.Key for the sp= fragment.
 func (j ByzantineLineWorst) Key() string {
-	return fmt.Sprintf("byzworst|k=%d|f=%d|h=%g|n=%d", j.K, j.F, j.Horizon, j.Points)
+	return fmt.Sprintf("byzworst|sp=%s|k=%d|f=%d|h=%g|n=%d", cyclicHash[:16], j.K, j.F, j.Horizon, j.Points)
 }
 
 // Run implements Job.

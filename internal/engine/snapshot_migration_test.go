@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/solver"
+	"repro/internal/strategy/program"
+)
+
+// TestSnapshotV1RestoresAsPartialWarm pins the migration contract for
+// pre-program-fingerprint snapshots: a v1 document restores with a nil
+// error — it is a partial warm start, never a cold-start fallback — but
+// its cache entries (keyed on strategy Name() strings no current job
+// emits) are dropped and counted, while the solver memo (keyed on
+// schema-stable (m, k, f) triples) is imported in full.
+func TestSnapshotV1RestoresAsPartialWarm(t *testing.T) {
+	warm := solver.New()
+	if _, err := warm.AlphaStar(4, 2, 1); err != nil {
+		t.Fatalf("AlphaStar: %v", err)
+	}
+	if _, _, err := warm.PFaultyBase(0.25); err != nil {
+		t.Fatalf("PFaultyBase: %v", err)
+	}
+	doc := snapshotDoc{
+		Schema: SnapshotSchemaV1,
+		Entries: []snapEntry{
+			// Legacy key grammar: strategy Name() strings, not content
+			// hashes. No v2 job can ever ask for these keys again.
+			{Key: "exact|cyclic-exponential m=2 k=3 alpha=1.83929|f=1|h=1e+06", Result: snapResult{Value: 19.5}},
+			{Key: "verify|m=2|k=3|f=1|h=1e+06", Result: snapResult{Value: 19.5}},
+		},
+		Solver: warm.Export(),
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(1)
+	dst.solver = solver.New()
+	st, err := dst.ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v1 restore must succeed as a partial warm start, got %v", err)
+	}
+	if st.LegacyDropped != 2 || st.Entries != 0 {
+		t.Errorf("v1 restore stats %+v, want LegacyDropped=2 Entries=0", st)
+	}
+	if st.SolverEntries == 0 {
+		t.Error("v1 restore imported no solver memo entries")
+	}
+	if size := dst.Stats().Size; size != 0 {
+		t.Errorf("v1 restore left %d cache entries, want 0 (dead keys)", size)
+	}
+	// The imported memo is live: re-solving the same triple is a hit.
+	before := dst.solver.Stats().AlphaHits
+	if _, err := dst.solver.AlphaStar(4, 2, 1); err != nil {
+		t.Fatalf("AlphaStar after import: %v", err)
+	}
+	if hits := dst.solver.Stats().AlphaHits; hits != before+1 {
+		t.Errorf("imported alpha memo missed: hits %d -> %d", before, hits)
+	}
+}
+
+// TestSnapshotScriptedStrategyRoundTrip pins the v2 point of the schema
+// bump: cache entries for scripted (content-hash-keyed) strategies
+// survive a snapshot round trip — the restored engine answers the same
+// job from cache, and re-snapshotting the restored state reproduces the
+// original document byte for byte.
+func TestSnapshotScriptedStrategyRoundTrip(t *testing.T) {
+	prog, err := program.Compile("emit(1, 2)\nemit(2, 4)\nemit(1, 8)\nemit(2, 16)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.New(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := ExactRatio{Strategy: inst, Faults: 0, Horizon: 10}
+	if key := job.Key(); !strings.Contains(key, prog.Hash()[:16]) {
+		t.Fatalf("scripted job key %q does not embed the program hash", key)
+	}
+
+	src := New(1)
+	src.solver = solver.New()
+	want, err := src.Run(context.Background(), job)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if !strings.Contains(buf.String(), SnapshotSchema) {
+		t.Fatalf("snapshot does not carry schema %q", SnapshotSchema)
+	}
+
+	dst := New(1)
+	dst.solver = solver.New()
+	st, err := dst.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if st.Entries != 1 || st.LegacyDropped != 0 {
+		t.Fatalf("restore stats %+v, want Entries=1 LegacyDropped=0", st)
+	}
+	got, err := dst.Run(context.Background(), job)
+	if err != nil {
+		t.Fatalf("restored Run: %v", err)
+	}
+	if got.Value != want.Value || got.Eval != want.Eval {
+		t.Errorf("restored result %+v, want %+v", got, want)
+	}
+	if stats := dst.Stats(); stats.Hits != 1 || stats.Misses != 0 {
+		t.Errorf("restored engine stats hits=%d misses=%d, want 1/0", stats.Hits, stats.Misses)
+	}
+
+	var again bytes.Buffer
+	if err := dst.WriteSnapshot(&again); err != nil {
+		t.Fatalf("re-WriteSnapshot: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Errorf("snapshot round trip not byte-identical:\n%s\nvs\n%s", buf.String(), again.String())
+	}
+}

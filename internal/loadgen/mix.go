@@ -20,22 +20,30 @@ const (
 	OpSimulate = "simulate"
 	OpSweep    = "sweep"
 	OpBatch    = "batch"
+	// OpStrategies registers a scripted strategy (POST /v1/strategies)
+	// and, when the registration succeeds, evaluates it with a follow-up
+	// /v1/verify?strategy=<hash> — the follow-up is recorded under the
+	// verify op, so each op's client tally still matches exactly one
+	// server path.
+	OpStrategies = "strategies"
 )
 
 // OpPath maps an op to the endpoint path it drives — the key the
 // /metrics reconciliation joins client and server tallies on.
 var OpPath = map[string]string{
-	OpBounds:   "/v1/bounds",
-	OpVerify:   "/v1/verify",
-	OpSimulate: "/v1/simulate",
-	OpSweep:    "/v1/sweep",
-	OpBatch:    "/v1/batch",
+	OpBounds:     "/v1/bounds",
+	OpVerify:     "/v1/verify",
+	OpSimulate:   "/v1/simulate",
+	OpSweep:      "/v1/sweep",
+	OpBatch:      "/v1/batch",
+	OpStrategies: "/v1/strategies",
 }
 
 // DefaultMixSpec is the realistic default: mostly cheap closed-form
 // lookups, a steady stream of engine-backed verifications and
-// simulations, and a tail of multiplexed batches and streaming sweeps.
-const DefaultMixSpec = "bounds=40,verify=25,simulate=15,batch=10,sweep=10"
+// simulations, and a tail of multiplexed batches, streaming sweeps and
+// scripted-strategy registrations.
+const DefaultMixSpec = "bounds=35,verify=25,simulate=15,batch=10,sweep=10,strategies=5"
 
 // MixEntry is one op's share of the traffic.
 type MixEntry struct {

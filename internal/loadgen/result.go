@@ -143,6 +143,11 @@ type Result struct {
 	Completed    int64   `json:"completed"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	AchievedRate float64 `json:"achieved_rate"`
+	// FollowUps counts the extra requests strategies plans issued
+	// beyond the schedule (each successful registration evaluates its
+	// hash with one follow-up verify), so Total.Count always equals
+	// Completed + FollowUps.
+	FollowUps int64 `json:"follow_ups,omitempty"`
 	// PeakInFlight is the largest number of concurrently outstanding
 	// requests observed — the queue depth the open loop built up.
 	PeakInFlight int64 `json:"peak_in_flight"`

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,10 +59,11 @@ type Config struct {
 // collector accumulates the run's observations behind one mutex (the
 // smoke-scale rates make contention irrelevant; correctness first).
 type collector struct {
-	mu      sync.Mutex
-	eps     map[string]*epStats
-	streams StreamStats
-	batch   BatchStats
+	mu        sync.Mutex
+	eps       map[string]*epStats
+	streams   StreamStats
+	batch     BatchStats
+	followUps int64
 }
 
 // epStats is one op's in-flight accounting.
@@ -232,6 +234,7 @@ schedule:
 		WallSeconds:     wall.Seconds(),
 		PeakInFlight:    peakInFlight.Load(),
 		Endpoints:       make(map[string]*EndpointResult),
+		FollowUps:       col.followUps,
 		Streams:         col.streams,
 		Batch:           col.batch,
 	}
@@ -299,6 +302,7 @@ func execOne(ctx context.Context, client *http.Client, target string, timeout ti
 	var (
 		stream *streamOutcome
 		batch  *batchOutcome
+		data   []byte
 	)
 	class := classOf(resp.StatusCode)
 	switch {
@@ -309,7 +313,8 @@ func execOne(ctx context.Context, client *http.Client, target string, timeout ti
 		}
 		stream = &so
 	default:
-		data, rerr := io.ReadAll(resp.Body)
+		var rerr error
+		data, rerr = io.ReadAll(resp.Body)
 		if rerr != nil {
 			class = classifyErr(rctx, rerr)
 		} else if plan.Op == OpBatch && resp.StatusCode == http.StatusOK {
@@ -318,6 +323,50 @@ func execOne(ctx context.Context, client *http.Client, target string, timeout ti
 		}
 	}
 	col.record(plan.Op, class, time.Since(t0), stream, batch)
+	if plan.Follow != "" && class == Class2xx {
+		// Register-then-evaluate: the registration answered its hash;
+		// evaluate it under the remainder of the same request timeout (a
+		// shed or failed registration skips the follow-up, so a stressed
+		// server is not hit twice). The follow-up is a /v1/verify request
+		// and is recorded as one, keeping the per-path reconciliation
+		// exact.
+		execFollow(rctx, client, target, plan.Follow, data, col)
+	}
+}
+
+// execFollow issues a strategies plan's follow-up verify, resolving the
+// strategy= parameter from the registration answer. An answer the hash
+// cannot be parsed from counts as a transport-class verify outcome —
+// visible in the tallies, but unconfirmed by the server, which never
+// saw a verify request.
+func execFollow(ctx context.Context, client *http.Client, target, follow string, registered []byte, col *collector) {
+	col.mu.Lock()
+	col.followUps++
+	col.mu.Unlock()
+	var ans struct {
+		Hash string `json:"hash"`
+	}
+	if err := json.Unmarshal(registered, &ans); err != nil || ans.Hash == "" {
+		col.record(OpVerify, ClassTransport, 0, nil, nil)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+follow+"&strategy="+url.QueryEscape(ans.Hash), nil)
+	if err != nil {
+		col.record(OpVerify, ClassTransport, 0, nil, nil)
+		return
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		col.record(OpVerify, classifyErr(ctx, err), time.Since(t0), nil, nil)
+		return
+	}
+	defer resp.Body.Close()
+	class := classOf(resp.StatusCode)
+	if _, rerr := io.ReadAll(resp.Body); rerr != nil {
+		class = classifyErr(ctx, rerr)
+	}
+	col.record(OpVerify, class, time.Since(t0), nil, nil)
 }
 
 // classOf buckets an HTTP status. 429 is its own class: admission

@@ -55,8 +55,11 @@ func TestRunOpenLoopAgainstLiveServer(t *testing.T) {
 	if res.Completed != int64(res.Launched) {
 		t.Errorf("completed %d of %d launched", res.Completed, res.Launched)
 	}
-	if res.Total == nil || res.Total.Count != res.Completed {
-		t.Fatalf("total accounting inconsistent: %+v", res.Total)
+	if res.Total == nil || res.Total.Count != res.Completed+res.FollowUps {
+		t.Fatalf("total accounting inconsistent (follow-ups %d): %+v", res.FollowUps, res.Total)
+	}
+	if res.FollowUps == 0 {
+		t.Error("the default mix registered no scripted strategies (no follow-up verifies)")
 	}
 	// The sampler only emits valid requests and the in-process server
 	// cannot drop them: the error budget must be exactly zero, making

@@ -98,11 +98,15 @@ type Plan struct {
 	Method string `json:"method"`
 	// Path is the request path including the encoded query string.
 	Path string `json:"path"`
-	// Body is the POST payload (batch only).
+	// Body is the POST payload (batch and strategies).
 	Body []byte `json:"body,omitempty"`
 	// Stream marks an NDJSON request whose response is consumed
 	// line-by-line with integrity checks (sweep).
 	Stream bool `json:"stream"`
+	// Follow is the follow-up /v1/verify path (sans the strategy=
+	// parameter, which only the registration response can supply) a
+	// strategies plan issues after a successful registration.
+	Follow string `json:"follow,omitempty"`
 }
 
 // Sampler derives request plans from a seed and a mix.
@@ -159,8 +163,53 @@ func (s *Sampler) Plan(i int) Plan {
 		plan.Method = "POST"
 		plan.Path = OpPath[op]
 		plan.Body = s.batchBody(rng)
+	case OpStrategies:
+		plan.Method = "POST"
+		plan.Path = OpPath[op]
+		plan.Body = strategyBody(rng)
+		plan.Follow = OpPath[OpVerify] + "?" + s.verifyQuery(rng).Encode()
 	}
 	return plan
+}
+
+// strategyScales are the turn multipliers that derive the scripted
+// strategy variants. Each is an exact binary fraction >= 1, so every
+// variant scales the paper's cyclic covering up — which can only add
+// coverage, keeping each script a valid strategy the exact adversary
+// accepts — while producing a distinct canonical IR, hence a distinct
+// content hash and a distinct engine cache line. Four variants against
+// a 256-program store means registrations repeat, exercising the
+// store's cached-hit path the way pooled parameters exercise the
+// engine cache.
+var strategyScales = []string{"1", "1.03125", "1.0625", "1.125"}
+
+// strategyScriptTemplate is the cyclic-exponential covering in the
+// strategy-program DSL (the shape of strategy.CyclicScript) with a
+// scale multiplier slot on the initial turn; the multiplier propagates
+// through the per-round `turn = turn * step` recurrence.
+const strategyScriptTemplate = `q := m * (f + 1)
+stop := log(horizon)/log(alpha) + (q + k*m)
+base := m * (r + 1)
+l := 1 - 2*m
+e := k*l + base
+step := pow(alpha, k)
+turn := pow(alpha, e) * %s
+for e <= stop {
+	emit(mod(l-1, m)+1, turn)
+	turn = turn * step
+	l = l + 1
+	e = k*l + base
+}
+`
+
+// strategyBody samples one scripted-strategy registration payload.
+func strategyBody(rng *rand.Rand) []byte {
+	script := fmt.Sprintf(strategyScriptTemplate, pick(rng, strategyScales))
+	body, err := json.Marshal(map[string]string{"script": script})
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: strategy body marshal: %v", err)) // a string map cannot fail
+	}
+	return body
 }
 
 // boundsQuery samples a single-cell /v1/bounds request. Any regime is

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/bounds"
+	"repro/internal/strategy/program"
 )
 
 func testMix(t *testing.T) []MixEntry {
@@ -157,6 +158,31 @@ func TestSamplerPlansValid(t *testing.T) {
 					t.Errorf("plan %d item %d: op %q", i, j, op)
 				}
 			}
+		case OpStrategies:
+			if plan.Method != "POST" || plan.Body == nil {
+				t.Fatalf("plan %d: strategies must POST a body", i)
+			}
+			var body struct {
+				Script string `json:"script"`
+			}
+			if err := json.Unmarshal(plan.Body, &body); err != nil || body.Script == "" {
+				t.Fatalf("plan %d: strategies body %q: %v", i, plan.Body, err)
+			}
+			if _, err := program.Compile(body.Script); err != nil {
+				t.Errorf("plan %d: sampled script does not compile: %v", i, err)
+			}
+			if !strings.HasPrefix(plan.Follow, OpPath[OpVerify]+"?") {
+				t.Fatalf("plan %d: follow-up %q is not a verify path", i, plan.Follow)
+			}
+			u, err := url.Parse(plan.Follow)
+			if err != nil {
+				t.Fatalf("plan %d: follow-up %q: %v", i, plan.Follow, err)
+			}
+			q := u.Query()
+			m, k, f := mustInt(t, q, "m"), mustInt(t, q, "k"), mustInt(t, q, "f")
+			if regime, err := bounds.Classify(m, k, f); err != nil || regime != bounds.RegimeSearch {
+				t.Errorf("plan %d: follow-up triple (%d,%d,%d) not in the search regime", i, m, k, f)
+			}
 		default:
 			t.Fatalf("plan %d: unknown op %q", i, plan.Op)
 		}
@@ -180,7 +206,7 @@ func TestSamplerGoldenPrefix(t *testing.T) {
 		"GET /v1/bounds?f=1&k=6&m=2",
 		"GET /v1/bounds?f=0&k=7&m=1",
 		`POST /v1/batch [{"f":6,"k":8,"m":1,"op":"bounds"},{"f":0,"k":4,"m":2,"op":"bounds"},{"f":2,"horizon":20000,"k":5,"m":3,"op":"verify"}]`,
-		"GET /v1/verify?f=4&horizon=10000&k=6&m=2",
+		"GET /v1/simulate?f=0&horizon=100&k=1&m=1&model=pfaulty-halfline&p=0.25&points=8&seed=470924",
 		"GET /v1/bounds?f=5&k=6&m=3",
 		"GET /v1/simulate?f=2&horizon=20&k=4&m=2&points=6",
 	}
@@ -194,5 +220,17 @@ func TestSamplerGoldenPrefix(t *testing.T) {
 		if got != w {
 			t.Errorf("plan %d:\n got %q\nwant %q", i, got, w)
 		}
+	}
+	// The first strategies plan of the seed-1 sequence, pinned with its
+	// register-then-evaluate follow-up (hash resolved at exec time).
+	plan := s.Plan(32)
+	if plan.Op != OpStrategies || plan.Method != "POST" {
+		t.Fatalf("plan 32 = %+v, want the first strategies plan", plan)
+	}
+	if want := "/v1/verify?f=1&horizon=10000&k=4&m=3"; plan.Follow != want {
+		t.Errorf("plan 32 follow-up = %q, want %q", plan.Follow, want)
+	}
+	if !strings.Contains(string(plan.Body), "pow(alpha, e) * 1.0625") {
+		t.Errorf("plan 32 script variant changed: %s", plan.Body)
 	}
 }

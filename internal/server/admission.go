@@ -153,6 +153,7 @@ func (s *Server) batchClass(items []map[string]any) registry.Cost {
 // writeComputeErr maps a compute-path error to its status and writes
 // it, attaching the Retry-After hint on shed responses.
 func (s *Server) writeComputeErr(w http.ResponseWriter, err error) {
+	s.noteStrategyErr(err)
 	code := computeStatus(err)
 	if code == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))

@@ -141,11 +141,12 @@ func (s *Server) batchRow(ctx context.Context, index int, item map[string]any) (
 			return fail(http.StatusBadRequest, err)
 		}
 	case "verify":
-		sc, req, verr := s.verifyRequest(p)
+		sc, req, inst, verr := s.verifyRequest(p)
 		if verr != nil {
 			return fail(http.StatusBadRequest, verr)
 		}
-		if v, err = s.verifyAnswer(ctx, sc, req); err != nil {
+		if v, err = s.verifyAnswer(ctx, sc, req, inst); err != nil {
+			s.noteStrategyErr(err)
 			return fail(computeStatus(err), err)
 		}
 	case "simulate":

@@ -57,10 +57,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/registry"
 	"repro/internal/solver"
+	"repro/internal/strategy"
+	"repro/internal/strategy/program"
 )
 
 // Defaults for Config zero values.
@@ -163,10 +166,17 @@ type Server struct {
 	// reads them lock-free.
 	reqs map[string]*atomic.Int64
 	errs map[string]*atomic.Int64
+
+	// strategies is the bounded store of user-registered compiled
+	// strategy programs (see strategies.go), with its counters.
+	strategies           *strategyStore
+	strategyCompiles     atomic.Int64
+	strategyRejects      atomic.Int64
+	strategyGasExhausted atomic.Int64
 }
 
 // routes is the static route set; unknown paths count under "other".
-var routes = []string{"/healthz", "/readyz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "/v1/simulate", "/v1/batch", "other"}
+var routes = []string{"/healthz", "/readyz", "/metrics", "/v1/scenarios", "/v1/bounds", "/v1/verify", "/v1/sweep", "/v1/simulate", "/v1/batch", "/v1/strategies", "other"}
 
 // New returns a ready-to-serve handler.
 func New(cfg Config) *Server {
@@ -198,14 +208,15 @@ func New(cfg Config) *Server {
 		cfg.Heartbeat = DefaultHeartbeat
 	}
 	s := &Server{
-		cfg:       cfg,
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
-		sem:       make(chan struct{}, cfg.MaxInflight),
-		heavySem:  make(chan struct{}, cfg.MaxInflightHeavy),
-		admission: make(map[registry.Cost]*admissionCounters, len(admissionClasses)),
-		reqs:      make(map[string]*atomic.Int64, len(routes)),
-		errs:      make(map[string]*atomic.Int64, len(routes)),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		heavySem:   make(chan struct{}, cfg.MaxInflightHeavy),
+		admission:  make(map[registry.Cost]*admissionCounters, len(admissionClasses)),
+		reqs:       make(map[string]*atomic.Int64, len(routes)),
+		errs:       make(map[string]*atomic.Int64, len(routes)),
+		strategies: newStrategyStore(),
 	}
 	s.ready.Store(!cfg.StartUnready)
 	for _, class := range admissionClasses {
@@ -224,6 +235,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
 	return s
 }
 
@@ -275,6 +287,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "boundsd_admission_inflight{class=%q} %d\n", string(class), c.inflight.Load())
 	}
 	fmt.Fprintf(w, "boundsd_admission_heavy_slots %d\n", cap(s.heavySem))
+	fmt.Fprintf(w, "boundsd_strategy_compiles_total %d\n", s.strategyCompiles.Load())
+	fmt.Fprintf(w, "boundsd_strategy_rejects_total %d\n", s.strategyRejects.Load())
+	fmt.Fprintf(w, "boundsd_strategy_gas_exhausted_total %d\n", s.strategyGasExhausted.Load())
+	fmt.Fprintf(w, "boundsd_strategy_store_size %d\n", s.strategies.len())
 	sorted := append([]string(nil), routes...)
 	sort.Strings(sorted)
 	for _, route := range sorted {
@@ -535,10 +551,21 @@ func (s *Server) boundsPayload(p map[string]string) (any, error) {
 	}
 	// Grid mode: kmax set. Single-cell mode: k (and optionally f) set.
 	if kmax > 0 {
+		if p["strategy"] != "" {
+			return nil, fmt.Errorf("%w: strategy= applies to a single (m, k, f) cell, not a kmax grid", errBadParam)
+		}
 		return ComputeBoundsTable(sc, m, kmax)
 	}
 	if k <= 0 || f < 0 {
 		return nil, errors.New("need either kmax (grid mode) or k and f (single mode)")
+	}
+	// A ?strategy=<hash> must resolve and instantiate at (m, k, f) —
+	// an unknown hash or out-of-regime instantiation is a 400 — but the
+	// closed-form payload itself is strategy-independent (the bounds of
+	// Theorems 1/6 bound the problem, not one submitted program), so
+	// the answer bytes are identical with and without the parameter.
+	if _, err := s.scriptedStrategy(p, sc, m, k, f); err != nil {
+		return nil, err
 	}
 	return s.boundsAnswer(sc, m, k, f)
 }
@@ -622,13 +649,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sc, req, err := s.verifyRequest(p)
+	sc, req, inst, err := s.verifyRequest(p)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	v, err := s.compute(r, p, sc.Cost, func(ctx context.Context) (any, error) {
-		return s.verifyAnswer(ctx, sc, req)
+		return s.verifyAnswer(ctx, sc, req, inst)
 	})
 	if err != nil {
 		s.writeComputeErr(w, err)
@@ -637,17 +664,25 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-// verifyRequest parses and validates the /v1/verify parameter set.
-func (s *Server) verifyRequest(p map[string]string) (registry.Scenario, registry.Request, error) {
+// verifyRequest parses and validates the /v1/verify parameter set. A
+// ?strategy=<hash> parameter resolves through the strategy store to a
+// program instance bound to (m, k, f); resolution and instantiation
+// failures (unknown hash, out-of-regime parameters) are 400s here, not
+// compute errors.
+func (s *Server) verifyRequest(p map[string]string) (registry.Scenario, registry.Request, *program.Instance, error) {
 	sc, err := s.scenarioParam(p)
 	if err != nil {
-		return registry.Scenario{}, registry.Request{}, err
+		return registry.Scenario{}, registry.Request{}, nil, err
 	}
 	req, err := requestParams(p, DefaultHorizon)
 	if err != nil {
-		return registry.Scenario{}, registry.Request{}, err
+		return registry.Scenario{}, registry.Request{}, nil, err
 	}
-	return sc, req, nil
+	inst, err := s.scriptedStrategy(p, sc, req.M, req.K, req.F)
+	if err != nil {
+		return registry.Scenario{}, registry.Request{}, nil, err
+	}
+	return sc, req, inst, nil
 }
 
 // verifyAnswer runs the scenario's verification job and shapes the
@@ -655,10 +690,22 @@ func (s *Server) verifyRequest(p map[string]string) (registry.Scenario, registry
 // Job construction happens under ctx too: constructors are a plugin
 // point that may do nontrivial work (root finding, strategy
 // materialization), and it must not escape the request's compute bound.
-func (s *Server) verifyAnswer(ctx context.Context, sc registry.Scenario, req registry.Request) (*VerifyAnswer, error) {
-	job, err := sc.VerifyJob(ctx, req)
-	if err != nil {
-		return nil, err
+//
+// A non-nil inst (a resolved ?strategy=<hash> program) replaces the
+// scenario's job with an exact-adversary evaluation of the scripted
+// strategy; everything else — closed-form lower bound, gap, shaping —
+// is identical, so a script reproducing a built-in family answers
+// byte-identically to it.
+func (s *Server) verifyAnswer(ctx context.Context, sc registry.Scenario, req registry.Request, inst *program.Instance) (*VerifyAnswer, error) {
+	var job engine.Job
+	if inst != nil {
+		job = engine.ExactRatio{Strategy: inst, Faults: req.F, Horizon: req.Horizon}
+	} else {
+		var err error
+		job, err = sc.VerifyJob(ctx, req)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res, err := s.cfg.Engine.Run(ctx, job)
 	if err != nil {
@@ -999,6 +1046,16 @@ func computeStatus(err error) int {
 	if errors.As(err, &ce) || errors.Is(err, bounds.ErrInvalidParams) ||
 		errors.Is(err, errBadParam) || errors.Is(err, registry.ErrNotVerifiable) ||
 		errors.Is(err, registry.ErrInvalidRequest) {
+		return http.StatusBadRequest
+	}
+	// Strategy-program failures are the client's script misbehaving —
+	// a compile error, a gas bomb, a round explosion, an invalid emit,
+	// or a coverage gap the adversary detects — all 400s naming the
+	// violated limit, never 500s.
+	if errors.Is(err, program.ErrCompile) || errors.Is(err, program.ErrGasExhausted) ||
+		errors.Is(err, program.ErrTooManyRounds) || errors.Is(err, program.ErrEval) ||
+		errors.Is(err, program.ErrBadParams) || errors.Is(err, strategy.ErrBadParams) ||
+		errors.Is(err, strategy.ErrTooManyRounds) || errors.Is(err, adversary.ErrUncovered) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

@@ -1,0 +1,42 @@
+package strategy
+
+import (
+	"repro/internal/strategy/program"
+)
+
+// CyclicScript is the cyclic exponential strategy of the appendix
+// expressed in the strategy-program DSL. It is the reference script for
+// the /v1/strategies surface and the program CyclicExponential compiles
+// to at init: robot r's l-th excursion (l from 1-2m) turns at
+// alpha^(k*l + m*(r+1)) on ray ((l-1) mod m) + 1, generated until the
+// exponent passes log_alpha(horizon) + q + k*m.
+//
+// The arithmetic mirrors the legacy Go constructor operation for
+// operation — one pow seeds the geometric chain, one pow computes the
+// per-round step, and the loop multiplies — so the emitted rounds are
+// bit-identical to the historical implementation (pinned by
+// TestCyclicProgramBitIdentity).
+const CyclicScript = `
+q := m * (f + 1)
+stop := log(horizon)/log(alpha) + (q + k*m)
+base := m * (r + 1)
+l := 1 - 2*m
+e := k*l + base
+step := pow(alpha, k)
+turn := pow(alpha, e)
+for e <= stop {
+	emit(mod(l-1, m)+1, turn)
+	turn = turn * step
+	l = l + 1
+	e = k*l + base
+}
+`
+
+// cyclicProgram is compiled once at init; every CyclicExponential
+// instance shares it.
+var cyclicProgram = program.MustCompile(CyclicScript)
+
+// CyclicProgram returns the compiled strategy program backing
+// CyclicExponential. Its Hash is the content-addressed identity of the
+// cyclic exponential family used in engine cache keys.
+func CyclicProgram() *program.Program { return cyclicProgram }

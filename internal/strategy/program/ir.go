@@ -1,0 +1,232 @@
+package program
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The IR is a slot-resolved tree: identifiers are compiled to integer
+// slots, names are gone, and every node carries only what the VM needs.
+// The canonical rendering below (an S-expression per node) is the byte
+// stream the content hash is computed over, so it must stay stable.
+
+type exprOp uint8
+
+const (
+	opConst exprOp = iota
+	opVar
+	opNeg
+	opNot
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opLT
+	opLE
+	opGT
+	opGE
+	opEQ
+	opNE
+	opAnd
+	opOr
+	opCall
+)
+
+var exprOpNames = [...]string{
+	opConst: "const",
+	opVar:   "var",
+	opNeg:   "neg",
+	opNot:   "not",
+	opAdd:   "add",
+	opSub:   "sub",
+	opMul:   "mul",
+	opDiv:   "div",
+	opLT:    "lt",
+	opLE:    "le",
+	opGT:    "gt",
+	opGE:    "ge",
+	opEQ:    "eq",
+	opNE:    "ne",
+	opAnd:   "and",
+	opOr:    "or",
+	opCall:  "call",
+}
+
+type expr struct {
+	op   exprOp
+	val  float64 // opConst
+	slot int     // opVar
+	fn   builtinID
+	args []expr // operands: 1 for unary, 2 for binary, arity for calls
+}
+
+type stmtKind uint8
+
+const (
+	stAssign stmtKind = iota
+	stIf
+	stFor
+	stBreak
+	stContinue
+	stReturn
+	stEmit
+)
+
+type stmt struct {
+	kind stmtKind
+	slot int   // stAssign target
+	cond *expr // stIf / stFor condition (nil for unconditional for)
+	x    *expr // stAssign rhs, stEmit ray
+	y    *expr // stEmit turn
+	init *stmt // stFor init (nil if absent)
+	post *stmt // stFor post (nil if absent)
+	body []stmt
+	els  []stmt
+}
+
+type builtinID uint8
+
+const (
+	bPow builtinID = iota
+	bLog
+	bExp
+	bSqrt
+	bAbs
+	bFloor
+	bCeil
+	bMin
+	bMax
+	bMod
+)
+
+type builtinSpec struct {
+	name  string
+	arity int
+	fn1   func(float64) float64
+	fn2   func(float64, float64) float64
+}
+
+// mod is the floor-normalised remainder: for b > 0 the result is always
+// in [0, b), which is what ray-cycling scripts need (Go's math.Mod is
+// truncated and can be negative).
+func normMod(a, b float64) float64 {
+	r := math.Mod(a, b)
+	if r != 0 && (r < 0) != (b < 0) {
+		r += b
+	}
+	return r
+}
+
+var builtins = [...]builtinSpec{
+	bPow:   {name: "pow", arity: 2, fn2: math.Pow},
+	bLog:   {name: "log", arity: 1, fn1: math.Log},
+	bExp:   {name: "exp", arity: 1, fn1: math.Exp},
+	bSqrt:  {name: "sqrt", arity: 1, fn1: math.Sqrt},
+	bAbs:   {name: "abs", arity: 1, fn1: math.Abs},
+	bFloor: {name: "floor", arity: 1, fn1: math.Floor},
+	bCeil:  {name: "ceil", arity: 1, fn1: math.Ceil},
+	bMin:   {name: "min", arity: 2, fn2: math.Min},
+	bMax:   {name: "max", arity: 2, fn2: math.Max},
+	bMod:   {name: "mod", arity: 2, fn2: normMod},
+}
+
+var builtinByName = func() map[string]builtinID {
+	m := make(map[string]builtinID, len(builtins))
+	for id, spec := range builtins {
+		m[spec.name] = builtinID(id)
+	}
+	return m
+}()
+
+// renderExpr writes the canonical S-expression for e. Constants are
+// rendered in hex float form so the exact bit pattern feeds the hash.
+func renderExpr(b *strings.Builder, e *expr) {
+	switch e.op {
+	case opConst:
+		b.WriteString("(const ")
+		b.WriteString(strconv.FormatFloat(e.val, 'x', -1, 64))
+		b.WriteByte(')')
+	case opVar:
+		b.WriteString("(var ")
+		b.WriteString(strconv.Itoa(e.slot))
+		b.WriteByte(')')
+	case opCall:
+		b.WriteString("(call ")
+		b.WriteString(builtins[e.fn].name)
+		for i := range e.args {
+			b.WriteByte(' ')
+			renderExpr(b, &e.args[i])
+		}
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		b.WriteString(exprOpNames[e.op])
+		for i := range e.args {
+			b.WriteByte(' ')
+			renderExpr(b, &e.args[i])
+		}
+		b.WriteByte(')')
+	}
+}
+
+func renderStmts(b *strings.Builder, list []stmt) {
+	for i := range list {
+		renderStmt(b, &list[i])
+	}
+}
+
+func renderStmt(b *strings.Builder, s *stmt) {
+	switch s.kind {
+	case stAssign:
+		b.WriteString("(set ")
+		b.WriteString(strconv.Itoa(s.slot))
+		b.WriteByte(' ')
+		renderExpr(b, s.x)
+		b.WriteByte(')')
+	case stIf:
+		b.WriteString("(if ")
+		renderExpr(b, s.cond)
+		b.WriteString(" (then ")
+		renderStmts(b, s.body)
+		b.WriteByte(')')
+		if len(s.els) > 0 {
+			b.WriteString(" (else ")
+			renderStmts(b, s.els)
+			b.WriteByte(')')
+		}
+		b.WriteByte(')')
+	case stFor:
+		b.WriteString("(for")
+		if s.init != nil {
+			b.WriteString(" (init ")
+			renderStmt(b, s.init)
+			b.WriteByte(')')
+		}
+		if s.cond != nil {
+			b.WriteString(" (cond ")
+			renderExpr(b, s.cond)
+			b.WriteByte(')')
+		}
+		if s.post != nil {
+			b.WriteString(" (post ")
+			renderStmt(b, s.post)
+			b.WriteByte(')')
+		}
+		b.WriteString(" (body ")
+		renderStmts(b, s.body)
+		b.WriteString("))")
+	case stBreak:
+		b.WriteString("(break)")
+	case stContinue:
+		b.WriteString("(continue)")
+	case stReturn:
+		b.WriteString("(return)")
+	case stEmit:
+		b.WriteString("(emit ")
+		renderExpr(b, s.x)
+		b.WriteByte(' ')
+		renderExpr(b, s.y)
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,266 @@
+package program
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/trajectory"
+)
+
+// vm is the per-run evaluation state. VMs are pooled so steady-state
+// round generation allocates nothing; all state is reset on checkout.
+type vm struct {
+	locals []float64
+	gas    int64
+	m      int
+	dst    []trajectory.Round
+	emits  int
+}
+
+var vmPool = sync.Pool{New: func() any { return new(vm) }}
+
+func getVM(locals int) *vm {
+	v := vmPool.Get().(*vm)
+	if cap(v.locals) < locals {
+		v.locals = make([]float64, locals)
+	} else {
+		v.locals = v.locals[:locals]
+		for i := range v.locals {
+			v.locals[i] = 0
+		}
+	}
+	v.gas = DefaultGas
+	v.emits = 0
+	return v
+}
+
+func putVM(v *vm) {
+	v.dst = nil // do not retain caller round buffers across runs
+	vmPool.Put(v)
+}
+
+// signal threads break/continue/return through nested statement lists.
+type signal uint8
+
+const (
+	sigNone signal = iota
+	sigBreak
+	sigContinue
+	sigReturn
+)
+
+func (v *vm) charge() error {
+	v.gas--
+	if v.gas < 0 {
+		return fmt.Errorf("%w: limit %d", ErrGasExhausted, int64(DefaultGas))
+	}
+	return nil
+}
+
+func (v *vm) execStmts(list []stmt) (signal, error) {
+	for i := range list {
+		sig, err := v.execStmt(&list[i])
+		if err != nil || sig != sigNone {
+			return sig, err
+		}
+	}
+	return sigNone, nil
+}
+
+func (v *vm) execStmt(s *stmt) (signal, error) {
+	if err := v.charge(); err != nil {
+		return sigNone, err
+	}
+	switch s.kind {
+	case stAssign:
+		x, err := v.evalExpr(s.x)
+		if err != nil {
+			return sigNone, err
+		}
+		v.locals[s.slot] = x
+		return sigNone, nil
+	case stIf:
+		c, err := v.evalExpr(s.cond)
+		if err != nil {
+			return sigNone, err
+		}
+		if c != 0 {
+			return v.execStmts(s.body)
+		}
+		return v.execStmts(s.els)
+	case stFor:
+		if s.init != nil {
+			if _, err := v.execStmt(s.init); err != nil {
+				return sigNone, err
+			}
+		}
+		for {
+			// Charge per iteration so even an empty for {} burns gas.
+			if err := v.charge(); err != nil {
+				return sigNone, err
+			}
+			if s.cond != nil {
+				c, err := v.evalExpr(s.cond)
+				if err != nil {
+					return sigNone, err
+				}
+				if c == 0 {
+					break
+				}
+			}
+			sig, err := v.execStmts(s.body)
+			if err != nil {
+				return sigNone, err
+			}
+			if sig == sigBreak {
+				break
+			}
+			if sig == sigReturn {
+				return sigReturn, nil
+			}
+			if s.post != nil {
+				if _, err := v.execStmt(s.post); err != nil {
+					return sigNone, err
+				}
+			}
+		}
+		return sigNone, nil
+	case stBreak:
+		return sigBreak, nil
+	case stContinue:
+		return sigContinue, nil
+	case stReturn:
+		return sigReturn, nil
+	case stEmit:
+		ray, err := v.evalExpr(s.x)
+		if err != nil {
+			return sigNone, err
+		}
+		turn, err := v.evalExpr(s.y)
+		if err != nil {
+			return sigNone, err
+		}
+		return sigNone, v.emit(ray, turn)
+	}
+	return sigNone, fmt.Errorf("%w: unknown statement kind %d", ErrEval, s.kind)
+}
+
+func (v *vm) emit(ray, turn float64) error {
+	if v.emits >= MaxRounds {
+		return fmt.Errorf("%w: limit %d rounds per robot", ErrTooManyRounds, MaxRounds)
+	}
+	ir := int(ray)
+	if float64(ir) != ray || ir < 1 || ir > v.m {
+		return fmt.Errorf("%w: emit ray %g is not an integer in 1..%d", ErrEval, ray, v.m)
+	}
+	if math.IsNaN(turn) || math.IsInf(turn, 0) || turn <= 0 {
+		return fmt.Errorf("%w: emit turn %g must be a positive finite value", ErrEval, turn)
+	}
+	v.dst = append(v.dst, trajectory.Round{Ray: ir, Turn: turn})
+	v.emits++
+	return nil
+}
+
+func (v *vm) evalExpr(e *expr) (float64, error) {
+	if err := v.charge(); err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case opConst:
+		return e.val, nil
+	case opVar:
+		return v.locals[e.slot], nil
+	case opNeg:
+		x, err := v.evalExpr(&e.args[0])
+		if err != nil {
+			return 0, err
+		}
+		return -x, nil
+	case opNot:
+		x, err := v.evalExpr(&e.args[0])
+		if err != nil {
+			return 0, err
+		}
+		return b2f(x == 0), nil
+	case opAnd:
+		x, err := v.evalExpr(&e.args[0])
+		if err != nil {
+			return 0, err
+		}
+		if x == 0 {
+			return 0, nil
+		}
+		y, err := v.evalExpr(&e.args[1])
+		if err != nil {
+			return 0, err
+		}
+		return b2f(y != 0), nil
+	case opOr:
+		x, err := v.evalExpr(&e.args[0])
+		if err != nil {
+			return 0, err
+		}
+		if x != 0 {
+			return 1, nil
+		}
+		y, err := v.evalExpr(&e.args[1])
+		if err != nil {
+			return 0, err
+		}
+		return b2f(y != 0), nil
+	case opCall:
+		spec := &builtins[e.fn]
+		x, err := v.evalExpr(&e.args[0])
+		if err != nil {
+			return 0, err
+		}
+		if spec.arity == 1 {
+			return spec.fn1(x), nil
+		}
+		y, err := v.evalExpr(&e.args[1])
+		if err != nil {
+			return 0, err
+		}
+		return spec.fn2(x, y), nil
+	}
+	// Remaining ops are binary.
+	x, err := v.evalExpr(&e.args[0])
+	if err != nil {
+		return 0, err
+	}
+	y, err := v.evalExpr(&e.args[1])
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case opAdd:
+		return x + y, nil
+	case opSub:
+		return x - y, nil
+	case opMul:
+		return x * y, nil
+	case opDiv:
+		return x / y, nil
+	case opLT:
+		return b2f(x < y), nil
+	case opLE:
+		return b2f(x <= y), nil
+	case opGT:
+		return b2f(x > y), nil
+	case opGE:
+		return b2f(x >= y), nil
+	case opEQ:
+		return b2f(x == y), nil
+	case opNE:
+		return b2f(x != y), nil
+	}
+	return 0, fmt.Errorf("%w: unknown op %d", ErrEval, e.op)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

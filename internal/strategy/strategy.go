@@ -20,11 +20,15 @@
 package strategy
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/bounds"
+	"repro/internal/strategy/program"
 	"repro/internal/trajectory"
 )
 
@@ -57,6 +61,16 @@ type Strategy interface {
 	Rounds(r int, horizon float64) ([]trajectory.Round, error)
 }
 
+// Fingerprinter is implemented by strategies that carry a
+// content-addressed cache identity: two strategies share a fingerprint
+// exactly when they generate identical rounds for every (robot,
+// horizon). Every cache layer (engine jobs, snapshots) keys on
+// Fingerprint, never on Name — Name is a human label and may omit
+// parameters or collide. All strategies in this package implement it.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
 // Trajectories materializes all k robots' trajectories up to the horizon.
 func Trajectories(s Strategy, horizon float64) ([]*trajectory.Star, error) {
 	out := make([]*trajectory.Star, s.K())
@@ -76,9 +90,20 @@ func Trajectories(s Strategy, horizon float64) ([]*trajectory.Star, error) {
 
 // CyclicExponential is the appendix's optimal strategy. The zero value is
 // not usable; construct with NewCyclicExponential or NewCyclicExponentialAlpha.
+//
+// Since the strategy-program refactor the strategy has one *identity*:
+// the constructor instantiates the init-compiled CyclicScript program,
+// and Fingerprint (every cache key) derives from that program's content
+// hash. Round generation itself runs the native multiplication chain —
+// the adversary's hot path regenerates rounds on every horizon
+// extension, and the native loop is an order of magnitude cheaper than
+// the program VM's tree walk — with the VM path pinned bit-identical
+// to it by the regression test, so a script registering CyclicScript
+// through /v1/strategies produces byte-identical evaluations.
 type CyclicExponential struct {
 	m, k, f int
 	alpha   float64
+	inst    *program.Instance
 }
 
 // NewCyclicExponential returns the cyclic exponential strategy for m rays,
@@ -98,21 +123,28 @@ func NewCyclicExponential(m, k, f int) (*CyclicExponential, error) {
 	if err != nil {
 		return nil, fmt.Errorf("strategy: %w", err)
 	}
-	return &CyclicExponential{m: m, k: k, f: f, alpha: alpha}, nil
+	return newCyclic(m, k, f, alpha)
 }
 
 // NewCyclicExponentialAlpha is NewCyclicExponential with an explicit base
 // alpha > 1 (used by the alpha-sweep ablation, E7).
 func NewCyclicExponentialAlpha(m, k, f int, alpha float64) (*CyclicExponential, error) {
-	s, err := NewCyclicExponential(m, k, f)
-	if err != nil {
+	if _, err := NewCyclicExponential(m, k, f); err != nil {
 		return nil, err
 	}
 	if !(alpha > 1) || math.IsInf(alpha, 0) || math.IsNaN(alpha) {
 		return nil, fmt.Errorf("%w: alpha must be a finite value > 1, got %g", ErrBadParams, alpha)
 	}
-	s.alpha = alpha
-	return s, nil
+	return newCyclic(m, k, f, alpha)
+}
+
+// newCyclic binds the shared cyclic program to (m, k, f, alpha).
+func newCyclic(m, k, f int, alpha float64) (*CyclicExponential, error) {
+	inst, err := cyclicProgram.NewAlpha(m, k, f, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	return &CyclicExponential{m: m, k: k, f: f, alpha: alpha, inst: inst}, nil
 }
 
 // Name implements Strategy.
@@ -135,6 +167,11 @@ func (s *CyclicExponential) F() int { return s.f }
 // Q returns q = m(f+1), the covering multiplicity of Theorem 6.
 func (s *CyclicExponential) Q() int { return s.m * (s.f + 1) }
 
+// Fingerprint implements Fingerprinter: the content hash of the
+// compiled cyclic program plus the exact instantiation parameters
+// (alpha in full-precision hex, unlike Name's rounded %.6g).
+func (s *CyclicExponential) Fingerprint() string { return s.inst.Fingerprint() }
+
 // Rounds implements Strategy. Robot r's l-th excursion (l starting at
 // 1-2m) turns at alpha^(k*l + m*(r+1)) on ray ((l-1) mod m) + 1. Rounds are
 // generated until the turning point exceeds horizon * alpha^(q + k*m),
@@ -147,12 +184,48 @@ func (s *CyclicExponential) Rounds(r int, horizon float64) ([]trajectory.Round, 
 // AppendRounds is Rounds appending into dst — the allocation-averse
 // form the adversary kernel's pooled table builds use: with a recycled
 // dst of sufficient capacity the excursion generation allocates
-// nothing. The appended values are identical to Rounds' (the same
-// multiplication chain from the same seed), and the rounds generated
-// for a smaller horizon are a bit-exact prefix of those for a larger
-// one: the chain depends only on (alpha, k, m, r), the horizon only
-// caps its length. Evaluator.Extend relies on that prefix property.
+// nothing. Generation runs the native multiplication chain (one pow
+// seeds it, the loop multiplies); the compiled CyclicScript program is
+// the strategy's *identity* (Fingerprint) and its semantic pin — the
+// program's output is asserted bit-identical to this loop by
+// TestCyclicProgramBitIdentity — but the built-in does not pay the VM's
+// tree-walk on the adversary's hot path (Evaluator.Extend regenerates
+// rounds per doubling). The rounds generated for a smaller horizon are
+// a bit-exact prefix of those for a larger one: the chain depends only
+// on (alpha, k, m, r), the horizon only caps its length;
+// Evaluator.Extend relies on that prefix property.
 func (s *CyclicExponential) AppendRounds(dst []trajectory.Round, r int, horizon float64) ([]trajectory.Round, error) {
+	return s.nativeAppendRounds(dst, r, horizon)
+}
+
+// programAppendRounds generates the same rounds through the compiled
+// CyclicScript program's VM — the path user-scripted strategies run.
+// The bit-identity regression test holds it equal to AppendRounds.
+func (s *CyclicExponential) programAppendRounds(dst []trajectory.Round, r int, horizon float64) ([]trajectory.Round, error) {
+	out, err := s.inst.AppendRounds(dst, r, horizon)
+	if err != nil {
+		return nil, mapProgramErr(err)
+	}
+	return out, nil
+}
+
+// mapProgramErr translates program-package sentinels to this package's
+// so callers keep matching strategy.ErrBadParams / ErrTooManyRounds.
+func mapProgramErr(err error) error {
+	switch {
+	case errors.Is(err, program.ErrBadParams):
+		return fmt.Errorf("%w: %v", ErrBadParams, err)
+	case errors.Is(err, program.ErrTooManyRounds):
+		return fmt.Errorf("%w: %v", ErrTooManyRounds, err)
+	default:
+		return err
+	}
+}
+
+// nativeAppendRounds is the hand-written generation loop — the
+// production fast path behind AppendRounds, and the reference the
+// compiled program is pinned bit-identical against.
+func (s *CyclicExponential) nativeAppendRounds(dst []trajectory.Round, r int, horizon float64) ([]trajectory.Round, error) {
 	if r < 0 || r >= s.k {
 		return nil, fmt.Errorf("%w: robot %d of %d", ErrBadParams, r, s.k)
 	}
@@ -242,6 +315,7 @@ type FixedRounds struct {
 	name   string
 	m      int
 	robots [][]trajectory.Round
+	fp     string
 }
 
 // NewFixedRounds wraps explicit excursion lists as a Strategy. Each robot's
@@ -259,11 +333,29 @@ func NewFixedRounds(name string, m int, robots [][]trajectory.Round) (*FixedRoun
 	for i, rounds := range robots {
 		cp[i] = append([]trajectory.Round(nil), rounds...)
 	}
-	return &FixedRounds{name: name, m: m, robots: cp}, nil
+	// The fingerprint hashes the full round content — every ray index
+	// and the exact bit pattern of every turning point — and nothing
+	// else. The display name is deliberately excluded: two FixedRounds
+	// with the same name but different rounds must never share a cache
+	// key, and identical content under different names legitimately may.
+	h := sha256.New()
+	fmt.Fprintf(h, "fixed-rounds/v1|m=%d|k=%d", m, len(cp))
+	for _, rounds := range cp {
+		h.Write([]byte{'|'})
+		for _, rd := range rounds {
+			fmt.Fprintf(h, "%d;%s,", rd.Ray, strconv.FormatFloat(rd.Turn, 'x', -1, 64))
+		}
+	}
+	fp := "fr|" + hex.EncodeToString(h.Sum(nil))
+	return &FixedRounds{name: name, m: m, robots: cp, fp: fp}, nil
 }
 
 // Name implements Strategy.
 func (s *FixedRounds) Name() string { return s.name }
+
+// Fingerprint implements Fingerprinter: a content hash over the
+// explicit round lists, independent of the caller-chosen name.
+func (s *FixedRounds) Fingerprint() string { return s.fp }
 
 // M implements Strategy.
 func (s *FixedRounds) M() int { return s.m }
@@ -302,6 +394,13 @@ func NewRaySplit(m, k int) (*RaySplit, error) {
 
 // Name implements Strategy.
 func (s *RaySplit) Name() string { return fmt.Sprintf("ray-split(m=%d,k=%d)", s.m, s.k) }
+
+// Fingerprint implements Fingerprinter. RaySplit's rounds are a pure
+// function of (m, k), so the content hash is over that descriptor.
+func (s *RaySplit) Fingerprint() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("ray-split/v1|m=%d|k=%d", s.m, s.k)))
+	return "rs|" + hex.EncodeToString(sum[:])
+}
 
 // M implements Strategy.
 func (s *RaySplit) M() int { return s.m }
@@ -361,4 +460,13 @@ var (
 	_ Strategy = (*CyclicExponential)(nil)
 	_ Strategy = (*FixedRounds)(nil)
 	_ Strategy = (*RaySplit)(nil)
+	// program.Instance satisfies Strategy structurally (the program
+	// package cannot import this one); pin it here so a drift breaks
+	// the build, not a downstream caller.
+	_ Strategy = (*program.Instance)(nil)
+
+	_ Fingerprinter = (*CyclicExponential)(nil)
+	_ Fingerprinter = (*FixedRounds)(nil)
+	_ Fingerprinter = (*RaySplit)(nil)
+	_ Fingerprinter = (*program.Instance)(nil)
 )
