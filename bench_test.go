@@ -648,6 +648,32 @@ func BenchmarkSimulationJob(b *testing.B) {
 	b.ReportMetric(mc, "pfaulty-mc-ratio")
 }
 
+// BenchmarkShorelineSim measures the planar simulation hot path: one
+// shoreline heading sweep (k planar rays against the 64-point
+// orientation grid plus the exact extremes) and one exact planar
+// verify per iteration, on a fresh engine so every run computes. This
+// is the per-row cost the shoreline scenario adds to /v1/simulate;
+// regressions here trip the cmd/benchdiff gate.
+func BenchmarkShorelineSim(b *testing.B) {
+	jobs := []engine.Job{
+		engine.ShorelineSim{K: 5, F: 1, Dist: 50},
+		engine.ShorelineWorst{K: 5, F: 1, Horizon: 100},
+	}
+	var sim, worst float64
+	for i := 0; i < b.N; i++ {
+		results, err := engine.New(0).RunBatch(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, worst = results[0].Value, results[1].Value
+		if !(sim >= 1) || !(worst >= 1) {
+			b.Fatalf("implausible shoreline ratios: sim %g, worst %g", sim, worst)
+		}
+	}
+	b.ReportMetric(sim, "shoreline-sim-ratio")
+	b.ReportMetric(worst, "shoreline-worst-ratio")
+}
+
 // BenchmarkAblationCacheHit measures the engine's memoization: the
 // second identical sweep on a warm engine must cost only map lookups.
 func BenchmarkAblationCacheHit(b *testing.B) {

@@ -108,6 +108,17 @@ func precomputeSpec() server.PrecomputeSpec {
 		spec.Requests["pfaulty-halfline"] = append(spec.Requests["pfaulty-halfline"],
 			registry.Request{M: 1, K: 1, F: 0, P: p, Horizon: simHorizon})
 	}
+	for _, kf := range pools.ShorelineKFs {
+		spec.Requests["shoreline"] = append(spec.Requests["shoreline"],
+			registry.Request{M: 2, K: kf[0], F: kf[1], Horizon: simHorizon})
+	}
+	// Each evacuation verify warms the solver's strategy and horizon
+	// factor for its (k, f), which every pooled evacuation simulate
+	// reuses.
+	for _, f := range pools.EvacuationFs {
+		spec.Requests["evacuation-line"] = append(spec.Requests["evacuation-line"],
+			registry.Request{M: 2, K: 2*f + 1, F: f, Horizon: simHorizon})
+	}
 	return spec
 }
 

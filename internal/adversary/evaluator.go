@@ -55,7 +55,12 @@ type Evaluator struct {
 	cursors []int     // per-robot table position, monotone in x
 	att     []float64 // arrival offsets at x (Turn >= x)
 	lim     []float64 // arrival offsets just beyond x (Turn > x)
-	sel     []float64 // selection workspace
+	// sweep owns the placement-sweep scratch (selection buffer and
+	// candidate); sweepRay/sweepIdx are the Placement iteration state
+	// of the breakpoint walk.
+	sweep    sweeper
+	sweepRay int
+	sweepIdx int
 
 	// Build arena (see pool.go): flat backing buffers the tables and
 	// breakpoint slices are partitioned out of, the per-robot filter
@@ -177,40 +182,43 @@ func (e *Evaluator) offsetsAt(ray int, x float64) {
 	}
 }
 
-// selectKth returns the (f+1)-st smallest value of src via an in-place
-// partial selection over the e.sel scratch buffer — no allocation, and
-// no full sort: only the first f+1 positions are settled.
-func (e *Evaluator) selectKth(src []float64, f int) float64 {
-	sel := e.sel[:len(src)]
-	copy(sel, src)
-	for i := 0; i <= f; i++ {
-		min := i
-		for j := i + 1; j < len(sel); j++ {
-			if sel[j] < sel[min] {
-				min = j
-			}
-		}
-		sel[i], sel[min] = sel[min], sel[i]
-	}
-	return sel[f]
+// Robots implements Placement: the number of searchers.
+func (e *Evaluator) Robots() int { return e.k }
+
+// ResetSweep implements Placement: rewind the breakpoint walk to ray 1
+// and rewind the monotone table cursors.
+func (e *Evaluator) ResetSweep() {
+	e.sweepRay, e.sweepIdx = 1, 0
+	e.resetCursors()
 }
 
-// sortAll insertion-sorts src into the e.sel scratch buffer and returns
-// it — the full order statistic vector, so one pass serves every fault
-// count simultaneously (FRange).
-func (e *Evaluator) sortAll(src []float64) []float64 {
-	sel := e.sel[:len(src)]
-	copy(sel, src)
-	for i := 1; i < len(sel); i++ {
-		v := sel[i]
-		j := i - 1
-		for j >= 0 && sel[j] > v {
-			sel[j+1] = sel[j]
-			j--
+// NextCandidate implements Placement: the candidates are, ray by ray,
+// the sorted breakpoints of the ray (x = 1 plus every in-horizon
+// turning point), each exposing the attained and right-limit arrival
+// offsets from the visit tables. Advancing to the next ray rewinds the
+// cursors, exactly as the pre-Placement per-ray loops did.
+func (e *Evaluator) NextCandidate(c *Candidate) bool {
+	for e.sweepRay <= e.m {
+		if e.sweepIdx < len(e.breaks[e.sweepRay]) {
+			b := e.breaks[e.sweepRay][e.sweepIdx]
+			e.sweepIdx++
+			e.offsetsAt(e.sweepRay, b)
+			c.Ray, c.X, c.Att, c.Lim = e.sweepRay, b, e.att, e.lim
+			return true
 		}
-		sel[j+1] = v
+		e.sweepRay++
+		e.sweepIdx = 0
+		if e.sweepRay <= e.m {
+			e.resetCursors()
+		}
 	}
-	return sel
+	return false
+}
+
+// CandidateRatio implements Placement: an arrival offset C at distance
+// x certifies the ratio (C + x) / x.
+func (e *Evaluator) CandidateRatio(c *Candidate, v float64) float64 {
+	return (v + c.X) / c.X
 }
 
 // checkFaults validates a per-query fault count against the strategy.
@@ -224,50 +232,15 @@ func (e *Evaluator) checkFaults(faults int) error {
 // ExactRatio computes the exact supremum of tau(x)/x over x in
 // [1, horizon) on every ray for f crash faults, from the prebuilt
 // tables. The candidate set, arithmetic and results are identical to
-// the package-level ExactRatio; only the bookkeeping differs (sorted
-// breakpoint walk, scratch-buffer selection, no allocation).
+// the package-level ExactRatio; only the bookkeeping differs: the
+// Evaluator is itself a Placement, and the sweep (cancellation
+// cadence, scratch-buffer selection, running supremum) is the shared
+// supRatio loop of placement.go.
 func (e *Evaluator) ExactRatio(ctx context.Context, faults int) (Evaluation, error) {
 	if err := e.checkFaults(faults); err != nil {
 		return Evaluation{}, err
 	}
-	eval := Evaluation{WorstRatio: -1}
-	for ray := 1; ray <= e.m; ray++ {
-		e.resetCursors()
-		for _, b := range e.breaks[ray] {
-			eval.Breakpoints++
-			if eval.Breakpoints%cancelCheckEvery == 0 {
-				if err := ctx.Err(); err != nil {
-					return Evaluation{}, err
-				}
-			}
-			e.offsetsAt(ray, b)
-			// Attained value at x = b.
-			cAtt := e.selectKth(e.att, faults)
-			if math.IsInf(cAtt, 1) {
-				return Evaluation{}, fmt.Errorf("%w: ray %d, x = %g", ErrUncovered, ray, b)
-			}
-			if ratio := (cAtt + b) / b; ratio > eval.WorstRatio {
-				eval = Evaluation{
-					WorstRatio: ratio, WorstRay: ray, WorstX: b,
-					Attained: true, Breakpoints: eval.Breakpoints,
-				}
-			}
-			// Right-limit value just beyond x = b.
-			cLim := e.selectKth(e.lim, faults)
-			if math.IsInf(cLim, 1) {
-				// The strategy's generated prefix ends here; targets
-				// beyond are outside the evaluated window.
-				continue
-			}
-			if ratio := (cLim + b) / b; ratio > eval.WorstRatio {
-				eval = Evaluation{
-					WorstRatio: ratio, WorstRay: ray, WorstX: b,
-					Attained: false, Breakpoints: eval.Breakpoints,
-				}
-			}
-		}
-	}
-	return eval, nil
+	return e.sweep.supRatio(ctx, e, faults)
 }
 
 // FRange evaluates ExactRatio for every fault count f in 0..maxF in a
@@ -285,51 +258,7 @@ func (e *Evaluator) FRange(ctx context.Context, maxF int) ([]Evaluation, error) 
 	if err := e.checkFaults(maxF); err != nil {
 		return nil, err
 	}
-	evals := make([]Evaluation, maxF+1)
-	for f := range evals {
-		evals[f].WorstRatio = -1
-	}
-	checked := 0
-	for ray := 1; ray <= e.m; ray++ {
-		e.resetCursors()
-		for _, b := range e.breaks[ray] {
-			checked++
-			if checked%cancelCheckEvery == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			e.offsetsAt(ray, b)
-			sorted := e.sortAll(e.att)
-			for f := 0; f <= maxF; f++ {
-				evals[f].Breakpoints++
-				cAtt := sorted[f]
-				if math.IsInf(cAtt, 1) {
-					return nil, fmt.Errorf("%w: ray %d, x = %g (fault count %d)", ErrUncovered, ray, b, f)
-				}
-				if ratio := (cAtt + b) / b; ratio > evals[f].WorstRatio {
-					evals[f] = Evaluation{
-						WorstRatio: ratio, WorstRay: ray, WorstX: b,
-						Attained: true, Breakpoints: evals[f].Breakpoints,
-					}
-				}
-			}
-			sorted = e.sortAll(e.lim)
-			for f := 0; f <= maxF; f++ {
-				cLim := sorted[f]
-				if math.IsInf(cLim, 1) {
-					continue
-				}
-				if ratio := (cLim + b) / b; ratio > evals[f].WorstRatio {
-					evals[f] = Evaluation{
-						WorstRatio: ratio, WorstRay: ray, WorstX: b,
-						Attained: false, Breakpoints: evals[f].Breakpoints,
-					}
-				}
-			}
-		}
-	}
-	return evals, nil
+	return e.sweep.supRatios(ctx, e, maxF)
 }
 
 // GridRatio estimates the worst ratio for f faults by sampling n
@@ -358,7 +287,7 @@ func (e *Evaluator) GridRatio(ctx context.Context, faults, n int) (float64, erro
 				x = e.horizon * (1 - 1e-12)
 			}
 			e.offsetsAt(ray, x)
-			c := e.selectKth(e.att, faults)
+			c := e.sweep.selectKth(e.att, faults)
 			if math.IsInf(c, 1) {
 				return 0, fmt.Errorf("%w: ray %d, x = %g", ErrUncovered, ray, x)
 			}

@@ -1,0 +1,198 @@
+// placement.go is the geometry-generic core of the adversary: a target
+// placement is anything the adversary can point at (a distance on a ray
+// of the star, a shoreline heading in the plane), and the sweep
+// plumbing — cooperative cancellation cadence, order-statistic
+// selection over the per-robot arrival measures, per-fault-count
+// running suprema — is shared by every geometry instead of forked per
+// adversary. The crash Evaluator's breakpoint machinery (evaluator.go)
+// and the planar ShorelineEvaluator (shoreline.go) are both Placements
+// driven by the same supRatio/supRatios loops.
+package adversary
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// Candidate is one target placement the adversary may choose: a
+// geometric locator plus every robot's arrival measure there.
+//
+// The locator reuses the Evaluation coordinates: Ray/X are the ray
+// index and distance for line placements; planar placements set Ray to
+// 0 (there is no ray) and X to the placement's own coordinate (the
+// shoreline normal's heading, in radians).
+type Candidate struct {
+	Ray int
+	X   float64
+	// Att[r] is robot r's arrival measure with the target exactly at
+	// the candidate (+Inf when the robot never arrives within the
+	// evaluated window); Lim[r] is the right-limit measure just beyond
+	// it. Lim is nil for placements with no one-sided limit structure
+	// (the planar sweeps, whose candidate sets are finite kink points
+	// rather than interval endpoints).
+	Att, Lim []float64
+}
+
+// Placement enumerates an adversary's candidate target placements in
+// sweep order and converts a selected arrival measure into the
+// competitive ratio it certifies. Implementations own the Att/Lim
+// backing arrays; the slices a NextCandidate call exposes remain valid
+// only until the next call.
+type Placement interface {
+	// Robots returns the number of robots (the length of Att/Lim).
+	Robots() int
+	// ResetSweep rewinds the sweep (and any monotone cursors) to the
+	// first candidate.
+	ResetSweep()
+	// NextCandidate advances to the next candidate, filling c; it
+	// reports false when the sweep is exhausted.
+	NextCandidate(c *Candidate) bool
+	// CandidateRatio converts the selected arrival measure v at
+	// candidate c into a competitive ratio ((v+x)/x for line offsets,
+	// t/d for planar hit times).
+	CandidateRatio(c *Candidate, v float64) float64
+}
+
+// sweeper owns the scratch state of one placement sweep: the selection
+// buffer for the order statistics and the candidate the placement
+// fills in place. Embedding it in an evaluator keeps the sweep loops
+// allocation-free (the allocation-pinned CI step counts on this).
+type sweeper struct {
+	sel  []float64 // selection scratch, length >= Robots()
+	cand Candidate
+}
+
+// selectKth returns the (f+1)-st smallest value of src via an in-place
+// partial selection over the scratch buffer — no allocation, and no
+// full sort: only the first f+1 positions are settled.
+func (w *sweeper) selectKth(src []float64, f int) float64 {
+	sel := w.sel[:len(src)]
+	copy(sel, src)
+	for i := 0; i <= f; i++ {
+		min := i
+		for j := i + 1; j < len(sel); j++ {
+			if sel[j] < sel[min] {
+				min = j
+			}
+		}
+		sel[i], sel[min] = sel[min], sel[i]
+	}
+	return sel[f]
+}
+
+// sortAll insertion-sorts src into the scratch buffer and returns it —
+// the full order statistic vector, so one pass serves every fault
+// count simultaneously (the FRange sweeps).
+func (w *sweeper) sortAll(src []float64) []float64 {
+	sel := w.sel[:len(src)]
+	copy(sel, src)
+	for i := 1; i < len(sel); i++ {
+		v := sel[i]
+		j := i - 1
+		for j >= 0 && sel[j] > v {
+			sel[j+1] = sel[j]
+			j--
+		}
+		sel[j+1] = v
+	}
+	return sel
+}
+
+// supRatio runs one full placement sweep for a single fault count: at
+// every candidate the (f+1)-st smallest arrival measure (attained,
+// then right-limit when the placement has one) updates the running
+// supremum. An infinite attained measure means the target placement is
+// not reached by f+1 robots — ErrUncovered; an infinite right-limit
+// measure only marks the end of the evaluated window and skips the
+// candidate, exactly as the original per-ray breakpoint loop did.
+func (w *sweeper) supRatio(ctx context.Context, p Placement, faults int) (Evaluation, error) {
+	p.ResetSweep()
+	eval := Evaluation{WorstRatio: -1}
+	c := &w.cand
+	for p.NextCandidate(c) {
+		eval.Breakpoints++
+		if eval.Breakpoints%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Evaluation{}, err
+			}
+		}
+		cAtt := w.selectKth(c.Att, faults)
+		if math.IsInf(cAtt, 1) {
+			return Evaluation{}, fmt.Errorf("%w: ray %d, x = %g", ErrUncovered, c.Ray, c.X)
+		}
+		if ratio := p.CandidateRatio(c, cAtt); ratio > eval.WorstRatio {
+			eval = Evaluation{
+				WorstRatio: ratio, WorstRay: c.Ray, WorstX: c.X,
+				Attained: true, Breakpoints: eval.Breakpoints,
+			}
+		}
+		if c.Lim == nil {
+			continue
+		}
+		cLim := w.selectKth(c.Lim, faults)
+		if math.IsInf(cLim, 1) {
+			continue
+		}
+		if ratio := p.CandidateRatio(c, cLim); ratio > eval.WorstRatio {
+			eval = Evaluation{
+				WorstRatio: ratio, WorstRay: c.Ray, WorstX: c.X,
+				Attained: false, Breakpoints: eval.Breakpoints,
+			}
+		}
+	}
+	return eval, nil
+}
+
+// supRatios is the FRange form of supRatio: one sweep serves every
+// fault count 0..maxF by fully ordering the arrival measures per
+// candidate and updating each count's running supremum from the order
+// statistic vector.
+func (w *sweeper) supRatios(ctx context.Context, p Placement, maxF int) ([]Evaluation, error) {
+	evals := make([]Evaluation, maxF+1)
+	for f := range evals {
+		evals[f].WorstRatio = -1
+	}
+	p.ResetSweep()
+	checked := 0
+	c := &w.cand
+	for p.NextCandidate(c) {
+		checked++
+		if checked%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		sorted := w.sortAll(c.Att)
+		for f := 0; f <= maxF; f++ {
+			evals[f].Breakpoints++
+			cAtt := sorted[f]
+			if math.IsInf(cAtt, 1) {
+				return nil, fmt.Errorf("%w: ray %d, x = %g (fault count %d)", ErrUncovered, c.Ray, c.X, f)
+			}
+			if ratio := p.CandidateRatio(c, cAtt); ratio > evals[f].WorstRatio {
+				evals[f] = Evaluation{
+					WorstRatio: ratio, WorstRay: c.Ray, WorstX: c.X,
+					Attained: true, Breakpoints: evals[f].Breakpoints,
+				}
+			}
+		}
+		if c.Lim == nil {
+			continue
+		}
+		sorted = w.sortAll(c.Lim)
+		for f := 0; f <= maxF; f++ {
+			cLim := sorted[f]
+			if math.IsInf(cLim, 1) {
+				continue
+			}
+			if ratio := p.CandidateRatio(c, cLim); ratio > evals[f].WorstRatio {
+				evals[f] = Evaluation{
+					WorstRatio: ratio, WorstRay: c.Ray, WorstX: c.X,
+					Attained: false, Breakpoints: evals[f].Breakpoints,
+				}
+			}
+		}
+	}
+	return evals, nil
+}

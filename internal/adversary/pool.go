@@ -328,7 +328,7 @@ func (e *Evaluator) build(s strategy.Strategy, horizon float64) error {
 	// query loops stay allocation-free).
 	e.att = resizeFloats(e.att, k)
 	e.lim = resizeFloats(e.lim, k)
-	e.sel = resizeFloats(e.sel, k)
+	e.sweep.sel = resizeFloats(e.sweep.sel, k)
 	return nil
 }
 

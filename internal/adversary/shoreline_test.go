@@ -1,0 +1,203 @@
+package adversary
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"testing"
+)
+
+// secBound is the spread-ray family's closed-form worst ratio,
+// sec((f+1)*pi/k) — the analytic value the evaluator must reproduce.
+func secBound(k, f int) float64 {
+	return 1 / math.Cos(float64(f+1)*math.Pi/float64(k))
+}
+
+func TestShorelineClosedForm(t *testing.T) {
+	cases := []struct{ k, f int }{
+		{3, 0}, {4, 0}, {5, 0}, {5, 1}, {7, 2}, {8, 2}, {9, 3}, {12, 4},
+	}
+	for _, tc := range cases {
+		se, err := NewShorelineEvaluator(SpreadHeadings(tc.k), 100)
+		if err != nil {
+			t.Fatalf("k=%d: %v", tc.k, err)
+		}
+		ev, err := se.ExactRatio(context.Background(), tc.f)
+		se.Release()
+		if err != nil {
+			t.Fatalf("k=%d f=%d: %v", tc.k, tc.f, err)
+		}
+		want := secBound(tc.k, tc.f)
+		if math.Abs(ev.WorstRatio-want) > 1e-12*want {
+			t.Errorf("k=%d f=%d: ratio %.15g, want sec((f+1)pi/k) = %.15g",
+				tc.k, tc.f, ev.WorstRatio, want)
+		}
+		if ev.WorstRay != 0 {
+			t.Errorf("k=%d f=%d: WorstRay = %d, want 0 (planar placements have no ray)",
+				tc.k, tc.f, ev.WorstRay)
+		}
+		if ev.WorstX < 0 || ev.WorstX >= 2*math.Pi {
+			t.Errorf("k=%d f=%d: WorstX = %g outside [0, 2pi)", tc.k, tc.f, ev.WorstX)
+		}
+	}
+}
+
+func TestShorelineFRangeMatchesExact(t *testing.T) {
+	se, err := NewShorelineEvaluator(SpreadHeadings(11), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Release()
+	evals, err := se.FRange(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 5 {
+		t.Fatalf("FRange returned %d evaluations, want 5", len(evals))
+	}
+	for f, ev := range evals {
+		single, err := se.ExactRatio(context.Background(), f)
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		if ev.WorstRatio != single.WorstRatio || ev.WorstX != single.WorstX {
+			t.Errorf("f=%d: FRange (%.15g @ %g) != ExactRatio (%.15g @ %g)",
+				f, ev.WorstRatio, ev.WorstX, single.WorstRatio, single.WorstX)
+		}
+	}
+}
+
+// TestShorelineDenseGridNeverExceeds cross-checks the exact candidate
+// sweep against a dense uniform sample of shoreline headings computed
+// independently (direct secants, no trajectory code): no sampled
+// heading may beat the sweep's supremum, and the sample must approach
+// it.
+func TestShorelineDenseGridNeverExceeds(t *testing.T) {
+	const k, f = 9, 2
+	headings := SpreadHeadings(k)
+	se, err := NewShorelineEvaluator(headings, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Release()
+	ev, err := se.ExactRatio(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	hits := make([]float64, k)
+	best := 0.0
+	for i := 0; i < n; i++ {
+		phi := 2 * math.Pi * float64(i) / n
+		for r, th := range headings {
+			c := math.Cos(th - phi)
+			if c > 1e-9 {
+				hits[r] = 1 / c
+			} else {
+				hits[r] = math.Inf(1)
+			}
+		}
+		sort.Float64s(hits)
+		if v := hits[f]; !math.IsInf(v, 1) && v > best {
+			best = v
+		}
+	}
+	if best > ev.WorstRatio*(1+1e-9) {
+		t.Errorf("dense grid found ratio %.15g above the sweep supremum %.15g", best, ev.WorstRatio)
+	}
+	if best < ev.WorstRatio*(1-1e-3) {
+		t.Errorf("dense grid max %.15g is far below the sweep supremum %.15g", best, ev.WorstRatio)
+	}
+}
+
+// TestShorelineUncovered pins the valid-regime boundary: with k <=
+// 2(f+1) robots there is a shoreline heading whose (f+1)-st smallest
+// angular distance reaches pi/2, so the placement is unreachable and
+// the sweep reports ErrUncovered — the planar analog of a line target
+// not covered f+1 times.
+func TestShorelineUncovered(t *testing.T) {
+	for _, tc := range []struct{ k, f int }{{3, 1}, {4, 1}, {2, 0}, {6, 2}} {
+		se, err := NewShorelineEvaluator(SpreadHeadings(tc.k), 100)
+		if err != nil {
+			t.Fatalf("k=%d: %v", tc.k, err)
+		}
+		_, err = se.ExactRatio(context.Background(), tc.f)
+		se.Release()
+		if !errors.Is(err, ErrUncovered) {
+			t.Errorf("k=%d f=%d: err = %v, want ErrUncovered", tc.k, tc.f, err)
+		}
+	}
+}
+
+func TestShorelineBadParams(t *testing.T) {
+	if _, err := NewShorelineEvaluator(nil, 100); !errors.Is(err, ErrBadParams) {
+		t.Errorf("no headings: err = %v, want ErrBadParams", err)
+	}
+	if _, err := NewShorelineEvaluator([]float64{0, math.NaN()}, 100); !errors.Is(err, ErrBadParams) {
+		t.Errorf("NaN heading: err = %v, want ErrBadParams", err)
+	}
+	for _, h := range []float64{0, 1, -3, math.Inf(1), math.NaN()} {
+		if _, err := NewShorelineEvaluator(SpreadHeadings(3), h); !errors.Is(err, ErrBadParams) {
+			t.Errorf("horizon %g: err = %v, want ErrBadParams", h, err)
+		}
+	}
+	se, err := NewShorelineEvaluator(SpreadHeadings(3), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Release()
+	for _, f := range []int{-1, 3, 7} {
+		if _, err := se.ExactRatio(context.Background(), f); !errors.Is(err, ErrBadParams) {
+			t.Errorf("faults %d: err = %v, want ErrBadParams", f, err)
+		}
+		if _, err := se.FRange(context.Background(), f); !errors.Is(err, ErrBadParams) {
+			t.Errorf("FRange maxF %d: err = %v, want ErrBadParams", f, err)
+		}
+	}
+}
+
+func TestShorelineCancellation(t *testing.T) {
+	// Irregular headings so the pairwise bisectors do not collapse onto
+	// a small shared grid: enough distinct candidates to reach the
+	// cooperative cancellation cadence.
+	headings := make([]float64, 20)
+	for i := range headings {
+		headings[i] = 0.05 + 0.27*float64(i) + 0.013*float64(i*i)
+	}
+	se, err := NewShorelineEvaluator(headings, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := se.ExactRatio(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExactRatio under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := se.FRange(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("FRange under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestShorelinePoolReuse exercises the release/rebuild cycle: a pooled
+// evaluator rebuilt for different parameters answers exactly as a
+// fresh one.
+func TestShorelinePoolReuse(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		k := 5 + 2*i
+		se, err := NewShorelineEvaluator(SpreadHeadings(k), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := se.ExactRatio(context.Background(), 1)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := secBound(k, 1)
+		if math.Abs(ev.WorstRatio-want) > 1e-12*want {
+			t.Errorf("k=%d (pool round %d): ratio %.15g, want %.15g", k, i, ev.WorstRatio, want)
+		}
+		se.Release()
+	}
+}

@@ -23,13 +23,17 @@ import (
 // the job consumes — so even foreign strategies sharing a type and Name
 // can never share a cache line unless their observable behaviour up to
 // that horizon is identical. (Turns hash at full 'x'-format precision:
-// a one-ulp difference is a different key.)
+// a one-ulp difference is a different key.) The fallback preimage
+// carries an explicit geometry tag next to the parameters — strategy
+// rounds only describe star geometry, so the tag keeps these keys
+// disjoint from any opaque planar fingerprint by construction, the
+// same way the planar job keys carry geo=r2.
 func fingerprint(s strategy.Strategy, horizon float64) string {
 	if fp, ok := s.(strategy.Fingerprinter); ok {
 		return fp.Fingerprint()
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "opaque-rounds/v1|%T|m=%d|k=%d|", s, s.M(), s.K())
+	fmt.Fprintf(h, "opaque-rounds/v2|geo=star|%T|m=%d|k=%d|", s, s.M(), s.K())
 	for r := 0; r < s.K(); r++ {
 		rounds, err := s.Rounds(r, horizon)
 		if err != nil {

@@ -11,7 +11,9 @@
 // construction: verify and crash-simulate draw from the precomputed
 // search-regime triples (f < k < m(f+1), where the paper's optimal
 // strategy exists), pfaulty-simulate pins (m,k,f)=(1,1,0) as the model
-// requires, and sweep stays on the crash scenario the endpoint serves.
+// requires, shoreline-simulate draws (k, f) pairs in the planar regime
+// k > 2(f+1), evacuation-simulate draws f with k = 2f+1 as its scope
+// demands, and sweep stays on the crash scenario the endpoint serves.
 // A 4xx under this sampler is therefore always a server-side finding,
 // never generator noise — which is what lets the smoke gate treat the
 // error budget as a correctness signal.
@@ -53,6 +55,13 @@ type Pools struct {
 	// (every (m, k<=TripleKMax, f) with f < k < m(f+1)).
 	TripleMs   []int
 	TripleKMax int
+	// ShorelineKFs are the (k, f) pairs of shoreline-simulate draws,
+	// each in the planar valid regime k > 2(f+1) (m is always 2, the
+	// ambient dimension).
+	ShorelineKFs [][2]int
+	// EvacuationFs are the fault counts of evacuation-simulate draws;
+	// the scenario's near-majority scope fixes k = 2f+1.
+	EvacuationFs []int
 }
 
 // DefaultPools returns the standard pools. Horizons are small enough
@@ -71,6 +80,8 @@ func DefaultPools() Pools {
 		BatchSizes:     []int{2, 3, 4},
 		TripleMs:       []int{2, 3},
 		TripleKMax:     6,
+		ShorelineKFs:   [][2]int{{5, 1}, {7, 2}, {9, 3}},
+		EvacuationFs:   []int{1, 2},
 	}
 }
 
@@ -237,23 +248,38 @@ func (s *Sampler) verifyQuery(rng *rand.Rand) url.Values {
 	return q
 }
 
-// simulateQuery samples a simulation: half the draws run the
-// pfaulty-halfline Monte-Carlo (seeded explicitly, so the server-side
-// sample paths are reproducible too), half replay the crash timeline.
+// simulateQuery samples a simulation, evenly over the four simulatable
+// families: the pfaulty-halfline Monte-Carlo (seeded explicitly, so the
+// server-side sample paths are reproducible too), the crash timeline
+// replay, the planar shoreline sweep, and the evacuation measurement —
+// each drawn from its own valid-regime pool.
 func (s *Sampler) simulateQuery(rng *rand.Rand) url.Values {
 	q := url.Values{}
-	if rng.Intn(2) == 0 {
+	switch rng.Intn(4) {
+	case 0:
 		q.Set("model", "pfaulty-halfline")
 		q.Set("m", "1")
 		q.Set("k", "1")
 		q.Set("f", "0")
 		q.Set("p", formatFloat(pick(rng, s.pools.SimPfaultyP)))
 		q.Set("seed", strconv.FormatInt(1+rng.Int63n(1<<20), 10))
-	} else {
+	case 1:
 		t := s.triples[rng.Intn(len(s.triples))]
 		q.Set("m", strconv.Itoa(t[0]))
 		q.Set("k", strconv.Itoa(t[1]))
 		q.Set("f", strconv.Itoa(t[2]))
+	case 2:
+		kf := pick(rng, s.pools.ShorelineKFs)
+		q.Set("model", "shoreline")
+		q.Set("m", "2")
+		q.Set("k", strconv.Itoa(kf[0]))
+		q.Set("f", strconv.Itoa(kf[1]))
+	case 3:
+		f := pick(rng, s.pools.EvacuationFs)
+		q.Set("model", "evacuation-line")
+		q.Set("m", "2")
+		q.Set("k", strconv.Itoa(2*f+1))
+		q.Set("f", strconv.Itoa(f))
 	}
 	q.Set("horizon", formatFloat(pick(rng, s.pools.SimHorizons)))
 	q.Set("points", strconv.Itoa(pick(rng, s.pools.SimPoints)))

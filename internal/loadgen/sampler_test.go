@@ -114,14 +114,25 @@ func TestSamplerPlansValid(t *testing.T) {
 			}
 		case OpSimulate:
 			q := queryOf(t, plan)
-			if q.Get("model") == "pfaulty-halfline" {
+			switch q.Get("model") {
+			case "pfaulty-halfline":
 				if q.Get("m") != "1" || q.Get("k") != "1" || q.Get("f") != "0" {
 					t.Errorf("plan %d: pfaulty params %v", i, q)
 				}
 				if p, err := strconv.ParseFloat(q.Get("p"), 64); err != nil || p <= 0 || p >= 1 {
 					t.Errorf("plan %d: pfaulty p %q", i, q.Get("p"))
 				}
-			} else {
+			case "shoreline":
+				m, k, f := mustInt(t, q, "m"), mustInt(t, q, "k"), mustInt(t, q, "f")
+				if m != 2 || k <= 2*(f+1) {
+					t.Errorf("plan %d: shoreline triple (%d,%d,%d) outside the planar regime k > 2(f+1)", i, m, k, f)
+				}
+			case "evacuation-line":
+				m, k, f := mustInt(t, q, "m"), mustInt(t, q, "k"), mustInt(t, q, "f")
+				if m != 2 || f < 1 || k != 2*f+1 {
+					t.Errorf("plan %d: evacuation triple (%d,%d,%d) outside the scope k = 2f+1, f >= 1", i, m, k, f)
+				}
+			default:
 				m, k, f := mustInt(t, q, "m"), mustInt(t, q, "k"), mustInt(t, q, "f")
 				if regime, err := bounds.Classify(m, k, f); err != nil || regime != bounds.RegimeSearch {
 					t.Errorf("plan %d: crash-simulate triple (%d,%d,%d) not in the search regime", i, m, k, f)
@@ -201,14 +212,14 @@ func TestSamplerPlansValid(t *testing.T) {
 // re-record BENCH_loadgen.json alongside.
 func TestSamplerGoldenPrefix(t *testing.T) {
 	want := []string{
-		"GET /v1/simulate?f=0&horizon=50&k=1&m=1&model=pfaulty-halfline&p=0.2&points=8&seed=391812",
+		"GET /v1/simulate?f=2&horizon=20&k=7&m=2&model=shoreline&points=6",
 		"GET /v1/verify?f=4&horizon=20000&k=6&m=2",
 		"GET /v1/bounds?f=1&k=6&m=2",
 		"GET /v1/bounds?f=0&k=7&m=1",
 		`POST /v1/batch [{"f":6,"k":8,"m":1,"op":"bounds"},{"f":0,"k":4,"m":2,"op":"bounds"},{"f":2,"horizon":20000,"k":5,"m":3,"op":"verify"}]`,
-		"GET /v1/simulate?f=0&horizon=100&k=1&m=1&model=pfaulty-halfline&p=0.25&points=8&seed=470924",
+		"GET /v1/simulate?f=3&horizon=100&k=9&m=2&model=shoreline&points=8",
 		"GET /v1/bounds?f=5&k=6&m=3",
-		"GET /v1/simulate?f=2&horizon=20&k=4&m=2&points=6",
+		"GET /v1/simulate?f=1&horizon=20&k=3&m=2&model=evacuation-line&points=6",
 	}
 	s := NewSampler(1, testMix(t))
 	for i, w := range want {

@@ -9,14 +9,17 @@ import (
 	"repro/internal/randomized"
 )
 
-// registerBuiltins installs the paper's fault models and the two
-// simulation-backed neighbor models (PAPERS.md) into r.
+// registerBuiltins installs the paper's fault models, the two
+// simulation-backed neighbor models (PAPERS.md), and the two
+// geometry/objective expansions (geometry.go) into r.
 func registerBuiltins(r *Registry) {
 	r.MustRegister(crashScenario())
 	r.MustRegister(byzantineScenario())
 	r.MustRegister(probabilisticScenario())
 	r.MustRegister(pfaultyHalflineScenario())
 	r.MustRegister(byzantineLineScenario())
+	r.MustRegister(shorelineScenario())
+	r.MustRegister(evacuationLineScenario())
 }
 
 // baseParams is the (m, k, f) schema shared by the ray-search models.
@@ -42,6 +45,7 @@ func crashScenario() Scenario {
 		HasUpperBound: true,
 		Verifiable:    true,
 		Cost:          CostAnalytic,
+		Objective:     ObjectiveFind,
 		Validate: func(m, k, f int) error {
 			_, err := bounds.Classify(m, k, f)
 			return err
@@ -89,6 +93,7 @@ func byzantineScenario() Scenario {
 		HasUpperBound: false,
 		Verifiable:    false,
 		Cost:          CostClosedForm,
+		Objective:     ObjectiveFind,
 		Validate: func(m, k, f int) error {
 			_, err := bounds.Classify(m, k, f)
 			return err
@@ -125,6 +130,7 @@ func probabilisticScenario() Scenario {
 		HasUpperBound: true,
 		Verifiable:    true,
 		Cost:          CostMonteCarlo,
+		Objective:     ObjectiveFind,
 		Validate:      validateProbabilistic,
 		LowerBound: func(m, k, f int) (float64, error) {
 			if err := validateProbabilistic(m, k, f); err != nil {

@@ -53,6 +53,17 @@ func TestConformance(t *testing.T) {
 			if sc.Simulatable != (sc.SimulateJob != nil) {
 				t.Errorf("Simulatable = %v but SimulateJob nil-ness says %v", sc.Simulatable, sc.SimulateJob != nil)
 			}
+			// Admission control and the catalog depend on every entry
+			// declaring a ranked cost class and a known objective; an
+			// unranked cost is throttled as heaviest (see Cost.Heavier)
+			// rather than served, and an unknown objective mislabels
+			// every number the scenario answers with.
+			if sc.Cost != CostClosedForm && sc.Cost != CostAnalytic && sc.Cost != CostMonteCarlo {
+				t.Errorf("cost class %q is not one of the ranked classes", sc.Cost)
+			}
+			if sc.Objective != ObjectiveFind && sc.Objective != ObjectiveEvacuate {
+				t.Errorf("objective %q is not a declared objective", sc.Objective)
+			}
 			triples := validTriples(sc)
 			if len(triples) == 0 {
 				t.Fatal("no valid triple in the scan box m<=4, k<=4, f<=3")

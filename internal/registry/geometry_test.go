@@ -1,0 +1,118 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+)
+
+func TestShorelineScenario(t *testing.T) {
+	sc, err := Get("shoreline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Objective != ObjectiveFind || sc.Cost != CostAnalytic {
+		t.Errorf("shoreline capabilities wrong: objective=%q cost=%q", sc.Objective, sc.Cost)
+	}
+	// The scope: the plane only, and k > 2(f+1).
+	for _, bad := range [][3]int{{1, 5, 1}, {3, 5, 1}, {2, 4, 1}, {2, 6, 2}, {2, 2, 0}} {
+		if err := sc.Validate(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("Validate(%v) accepted an out-of-scope triple", bad)
+		}
+	}
+	lb, err := sc.LowerBound(2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Cos(2*math.Pi/5)
+	if math.Abs(lb-want) > 1e-12*want {
+		t.Errorf("shoreline bound = %.15g, want sec(2pi/5) = %.15g", lb, want)
+	}
+	if ub, err := sc.UpperBound(2, 5, 1); err != nil || ub != lb {
+		t.Errorf("shoreline upper bound = (%g, %v), want tight %g", ub, err, lb)
+	}
+	// The verify job reproduces the closed form through the exact
+	// planar sweep.
+	job, err := sc.VerifyJob(context.Background(), Request{M: 2, K: 5, F: 1, Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.New(1).Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-want) > 1e-9*want {
+		t.Errorf("verify job measured %.15g vs closed form %.15g", res.Value, want)
+	}
+	sim, err := sc.SimulateJob(context.Background(), Request{M: 2, K: 5, F: 1, Dist: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := engine.New(1).Run(context.Background(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simRes.Value-want) > 1e-9*want {
+		t.Errorf("simulate job measured %.15g vs closed form %.15g", simRes.Value, want)
+	}
+	if _, err := sc.VerifyJob(context.Background(), Request{M: 2, K: 4, F: 1, Horizon: 100}); !errors.Is(err, ErrNotVerifiable) {
+		t.Errorf("out-of-regime verify = %v, want ErrNotVerifiable", err)
+	}
+}
+
+func TestEvacuationLineScenario(t *testing.T) {
+	sc, err := Get("evacuation-line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Objective != ObjectiveEvacuate || sc.Cost != CostMonteCarlo {
+		t.Errorf("evacuation capabilities wrong: objective=%q cost=%q", sc.Objective, sc.Cost)
+	}
+	// The scope: the line, k = 2f+1, f >= 1.
+	for _, bad := range [][3]int{{3, 3, 1}, {2, 4, 1}, {2, 3, 0}, {2, 1, 0}, {2, 4, 2}} {
+		if err := sc.Validate(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("Validate(%v) accepted an out-of-scope triple", bad)
+		}
+	}
+	lb, err := sc.LowerBound(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, _ := bounds.AMKF(2, 3, 1)
+	if lb != crash {
+		t.Errorf("evacuation transfer bound = %g, want crash value %g", lb, crash)
+	}
+	if _, err := sc.UpperBound(2, 3, 1); !errors.Is(err, ErrNoUpperBound) {
+		t.Errorf("evacuation upper bound = %v, want ErrNoUpperBound", err)
+	}
+	job, err := sc.VerifyJob(context.Background(), Request{M: 2, K: 3, F: 1, Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.New(1).Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evacuation ends no earlier than detection at every probed
+	// distance, so the measured worst sits above 1; it is not compared
+	// against the sup-over-all-distances transfer bound because the
+	// grid probes finitely many distances.
+	if !(res.Value > 1) || math.IsInf(res.Value, 0) {
+		t.Errorf("evacuation verify ratio = %g, want finite > 1", res.Value)
+	}
+	sim, err := sc.SimulateJob(context.Background(), Request{M: 2, K: 3, F: 1, Dist: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := engine.New(1).Run(context.Background(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(simRes.Value > 1) || math.IsInf(simRes.Value, 0) {
+		t.Errorf("evacuation simulate ratio = %g, want finite > 1", simRes.Value)
+	}
+}

@@ -109,6 +109,7 @@ func pfaultyHalflineScenario() Scenario {
 		HasUpperBound: true,
 		Verifiable:    true,
 		Cost:          CostMonteCarlo,
+		Objective:     ObjectiveFind,
 		Validate:      validatePFaulty,
 		LowerBound:    pfaultyDefaultBound,
 		UpperBound:    pfaultyDefaultBound,
@@ -184,6 +185,7 @@ func byzantineLineScenario() Scenario {
 		HasUpperBound: false,
 		Verifiable:    true,
 		Cost:          CostMonteCarlo,
+		Objective:     ObjectiveFind,
 		Validate:      validateByzantineLine,
 		LowerBound: func(m, k, f int) (float64, error) {
 			if err := validateByzantineLine(m, k, f); err != nil {

@@ -83,6 +83,29 @@ func (c Cost) rank() int {
 	return len(costRank)
 }
 
+// Objective is the question a scenario's measured quantity answers:
+// find the target (the searcher's ratio clock stops at detection) or
+// evacuate (it stops when every healthy robot has reached the target).
+// The objective is part of a scenario's identity the same way its
+// geometry is — the same strategy under the two objectives yields
+// different numbers, so consumers (the catalog, the cache keys, the
+// loadgen mixes) must never conflate them.
+type Objective string
+
+// Objectives.
+const (
+	// ObjectiveFind marks scenarios measured to first detection.
+	ObjectiveFind Objective = "find"
+	// ObjectiveEvacuate marks scenarios measured to the moment the last
+	// healthy robot reaches the announced target.
+	ObjectiveEvacuate Objective = "evacuate"
+)
+
+// validObjective reports whether o is a declared objective.
+func validObjective(o Objective) bool {
+	return o == ObjectiveFind || o == ObjectiveEvacuate
+}
+
 // ParamKind is the type of a scenario parameter.
 type ParamKind string
 
@@ -152,6 +175,11 @@ type Scenario struct {
 	// for verifiable scenarios (a real adversary evaluation runs) and
 	// CostClosedForm otherwise (only bound lookups can succeed).
 	Cost Cost `json:"cost"`
+	// Objective is the measured question (find vs evacuate). Register
+	// rejects entries that do not declare one: unlike Cost there is no
+	// safe default — mislabeling the objective silently misstates what
+	// every number the scenario serves means.
+	Objective Objective `json:"objective"`
 
 	// Validate checks an (m, k, f) triple under this fault model.
 	Validate func(m, k, f int) error `json:"-"`
@@ -203,6 +231,10 @@ func (r *Registry) Register(s Scenario) error {
 	}
 	if s.Validate == nil || s.LowerBound == nil || s.UpperBound == nil || s.VerifyJob == nil {
 		return fmt.Errorf("%w: scenario %q must define Validate, LowerBound, UpperBound and VerifyJob", ErrInvalidScenario, s.Name)
+	}
+	if !validObjective(s.Objective) {
+		return fmt.Errorf("%w: scenario %q must declare an objective (%q or %q), got %q",
+			ErrInvalidScenario, s.Name, ObjectiveFind, ObjectiveEvacuate, s.Objective)
 	}
 	s.Simulatable = s.SimulateJob != nil
 	if s.Cost == "" {

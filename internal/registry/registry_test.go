@@ -12,7 +12,7 @@ import (
 )
 
 func TestDefaultHasBuiltins(t *testing.T) {
-	want := []string{"byzantine", "byzantine-line", "crash", "pfaulty-halfline", "probabilistic"}
+	want := []string{"byzantine", "byzantine-line", "crash", "evacuation-line", "pfaulty-halfline", "probabilistic", "shoreline"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -42,6 +42,7 @@ func TestRegisterValidation(t *testing.T) {
 	}
 	ok := Scenario{
 		Name:       "x",
+		Objective:  ObjectiveFind,
 		Validate:   func(m, k, f int) error { return nil },
 		LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
 		UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
@@ -55,6 +56,18 @@ func TestRegisterValidation(t *testing.T) {
 	}
 	if err := r.Register(Scenario{Name: "y", Validate: ok.Validate}); !errors.Is(err, ErrInvalidScenario) {
 		t.Errorf("partial scenario registered: %v", err)
+	}
+	// Objective is mandatory and closed: neither empty nor invented
+	// values register.
+	noObj := ok
+	noObj.Name, noObj.Objective = "no-objective", ""
+	if err := r.Register(noObj); !errors.Is(err, ErrInvalidScenario) {
+		t.Errorf("objective-less scenario registered: %v", err)
+	}
+	badObj := ok
+	badObj.Name, badObj.Objective = "bad-objective", "patrol"
+	if err := r.Register(badObj); !errors.Is(err, ErrInvalidScenario) {
+		t.Errorf("unknown objective registered: %v", err)
 	}
 }
 
@@ -159,6 +172,7 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				r.Register(Scenario{
 					Name:       string(rune('a' + g)),
+					Objective:  ObjectiveFind,
 					Validate:   func(m, k, f int) error { return nil },
 					LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
 					UpperBound: func(m, k, f int) (float64, error) { return 1, nil },
@@ -186,6 +200,8 @@ func TestCostClasses(t *testing.T) {
 		"probabilistic":    CostMonteCarlo,
 		"pfaulty-halfline": CostMonteCarlo,
 		"byzantine-line":   CostMonteCarlo,
+		"shoreline":        CostAnalytic,
+		"evacuation-line":  CostMonteCarlo,
 	}
 	for name, cost := range want {
 		s, err := Get(name)
@@ -201,6 +217,7 @@ func TestCostClasses(t *testing.T) {
 func TestCostDefaultsAtRegister(t *testing.T) {
 	r := NewRegistry()
 	base := Scenario{
+		Objective:  ObjectiveFind,
 		Validate:   func(m, k, f int) error { return nil },
 		LowerBound: func(m, k, f int) (float64, error) { return 1, nil },
 		UpperBound: func(m, k, f int) (float64, error) { return 1, nil },

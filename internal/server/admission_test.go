@@ -74,6 +74,7 @@ func blockingRegistry(t *testing.T, started chan struct{}, release chan struct{}
 	err := r.Register(registry.Scenario{
 		Name:        "slowmc",
 		Description: "blocking Monte-Carlo stand-in for overload tests",
+		Objective:   registry.ObjectiveFind,
 		Params:      []registry.Param{{Name: "k", Kind: registry.KindInt, Doc: "robots"}},
 		Verifiable:  true,
 		Cost:        registry.CostMonteCarlo,

@@ -64,7 +64,7 @@ func TestScenariosListing(t *testing.T) {
 			t.Errorf("scenario %q not self-describing in the listing", sc.Name)
 		}
 	}
-	want := []string{"byzantine", "byzantine-line", "crash", "pfaulty-halfline", "probabilistic"}
+	want := []string{"byzantine", "byzantine-line", "crash", "evacuation-line", "pfaulty-halfline", "probabilistic", "shoreline"}
 	if len(names) != len(want) {
 		t.Fatalf("scenario names = %v, want %v", names, want)
 	}
@@ -74,8 +74,21 @@ func TestScenariosListing(t *testing.T) {
 		}
 	}
 	for _, sc := range payload.Scenarios {
-		if (sc.Name == "pfaulty-halfline" || sc.Name == "byzantine-line" || sc.Name == "crash") && !sc.Simulatable {
-			t.Errorf("scenario %q should advertise a simulator", sc.Name)
+		switch sc.Name {
+		case "pfaulty-halfline", "byzantine-line", "crash", "shoreline", "evacuation-line":
+			if !sc.Simulatable {
+				t.Errorf("scenario %q should advertise a simulator", sc.Name)
+			}
+		}
+		// The catalog carries the objective capability: evacuation is
+		// the one evacuate-objective entry, everything else answers
+		// find.
+		wantObj := registry.ObjectiveFind
+		if sc.Name == "evacuation-line" {
+			wantObj = registry.ObjectiveEvacuate
+		}
+		if sc.Objective != wantObj {
+			t.Errorf("scenario %q objective = %q in the listing, want %q", sc.Name, sc.Objective, wantObj)
 		}
 	}
 }
@@ -237,6 +250,7 @@ func slowRegistry(t *testing.T) *registry.Registry {
 	err := r.Register(registry.Scenario{
 		Name:        "slow",
 		Description: "test scenario: verification sleeps",
+		Objective:   registry.ObjectiveFind,
 		Params:      []registry.Param{{Name: "m", Kind: registry.KindInt, Doc: "unused"}},
 		Verifiable:  true,
 		Validate:    func(m, k, f int) error { return nil },
@@ -431,6 +445,7 @@ func TestComputePanicIsA500NotACrash(t *testing.T) {
 	if err := r.Register(registry.Scenario{
 		Name:        "panicky",
 		Description: "test scenario: verification panics",
+		Objective:   registry.ObjectiveFind,
 		Params:      []registry.Param{{Name: "m", Kind: registry.KindInt, Doc: "unused"}},
 		Verifiable:  true,
 		Validate:    func(m, k, f int) error { return nil },
@@ -603,5 +618,119 @@ func TestTimedOutComputeReleasesSlotAndInflight(t *testing.T) {
 	}
 	if !strings.Contains(metrics, "boundsd_engine_inflight_jobs 0") {
 		t.Errorf("metrics in-flight not back to zero:\n%s", metrics)
+	}
+}
+
+// TestShorelineEndToEnd drives the planar scenario through every HTTP
+// surface: the registry entry answers /v1/bounds, /v1/verify and
+// /v1/simulate with the closed form sec((f+1)*pi/k) at each layer —
+// the acceptance path of the geometry-generic core.
+func TestShorelineEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	want := 1 / math.Cos(2*math.Pi/5)
+
+	code, body := get(t, ts.URL+"/v1/bounds?m=2&k=5&f=1&model=shoreline")
+	if code != http.StatusOK {
+		t.Fatalf("bounds = %d: %s", code, body)
+	}
+	var ba BoundsAnswer
+	if err := json.Unmarshal([]byte(body), &ba); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(ba.Lower)-want) > 1e-12*want || !ba.HasUpper || float64(ba.Upper) != float64(ba.Lower) {
+		t.Errorf("shoreline bounds answer = %+v, want tight %g", ba, want)
+	}
+
+	code, body = get(t, ts.URL+"/v1/verify?m=2&k=5&f=1&model=shoreline&horizon=100")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d: %s", code, body)
+	}
+	var va VerifyAnswer
+	if err := json.Unmarshal([]byte(body), &va); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(va.Value)-want)/want > 1e-9 || !va.Evaluated {
+		t.Errorf("shoreline verify answer = %+v, want ~%g", va, want)
+	}
+	// Planar placements have no ray: the locator is (ray 0, heading in
+	// radians).
+	if va.WorstRay != 0 || float64(va.WorstX) < 0 || float64(va.WorstX) >= 2*math.Pi {
+		t.Errorf("shoreline worst locator = ray %d @ %g, want ray 0 with a heading in [0, 2pi)", va.WorstRay, float64(va.WorstX))
+	}
+
+	code, body = get(t, ts.URL+"/v1/simulate?m=2&k=5&f=1&model=shoreline&horizon=50&points=4")
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, body)
+	}
+	var st SimulateTable
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 4 {
+		t.Fatalf("simulate rows = %d, want 4", len(st.Rows))
+	}
+	for _, row := range st.Rows {
+		if row.Error != "" || math.Abs(float64(row.Value)-want)/want > 1e-9 {
+			t.Errorf("simulate row %+v, want value ~%g (the ratio is distance-independent)", row, want)
+		}
+	}
+
+	// Out-of-regime triples are a client error, not a 500.
+	if code, body := get(t, ts.URL+"/v1/verify?m=2&k=4&f=1&model=shoreline&horizon=100"); code != http.StatusUnprocessableEntity && code != http.StatusBadRequest {
+		t.Errorf("out-of-regime shoreline verify = %d: %s", code, body)
+	}
+}
+
+// TestEvacuationEndToEnd drives the evacuate-objective scenario through
+// the same three surfaces.
+func TestEvacuationEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	code, body := get(t, ts.URL+"/v1/bounds?m=2&k=3&f=1&model=evacuation-line")
+	if code != http.StatusOK {
+		t.Fatalf("bounds = %d: %s", code, body)
+	}
+	var ba BoundsAnswer
+	if err := json.Unmarshal([]byte(body), &ba); err != nil {
+		t.Fatal(err)
+	}
+	transfer, _ := bounds.AMKF(2, 3, 1)
+	if float64(ba.Lower) != transfer || ba.HasUpper {
+		t.Errorf("evacuation bounds answer = %+v, want transfer lower %g and no upper", ba, transfer)
+	}
+
+	code, body = get(t, ts.URL+"/v1/verify?m=2&k=3&f=1&model=evacuation-line&horizon=50")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d: %s", code, body)
+	}
+	var va VerifyAnswer
+	if err := json.Unmarshal([]byte(body), &va); err != nil {
+		t.Fatal(err)
+	}
+	if !va.Evaluated || !(float64(va.Value) > 1) {
+		t.Errorf("evacuation verify answer = %+v, want finite value > 1", va)
+	}
+
+	code, body = get(t, ts.URL+"/v1/simulate?m=2&k=3&f=1&model=evacuation-line&horizon=50&points=4")
+	if code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", code, body)
+	}
+	var st SimulateTable
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 4 {
+		t.Fatalf("simulate rows = %d, want 4", len(st.Rows))
+	}
+	for _, row := range st.Rows {
+		if row.Error != "" || !(float64(row.Value) > 1) {
+			t.Errorf("simulate row %+v, want finite value > 1", row)
+		}
+	}
+
+	// The scenario is scoped to k = 2f+1; anything else is a client
+	// error.
+	if code, body := get(t, ts.URL+"/v1/verify?m=2&k=4&f=1&model=evacuation-line&horizon=50"); code != http.StatusUnprocessableEntity && code != http.StatusBadRequest {
+		t.Errorf("out-of-scope evacuation verify = %d: %s", code, body)
 	}
 }

@@ -1,0 +1,74 @@
+package trajectory
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzNewPlanar drives planar-trajectory construction and its queries
+// with arbitrary waypoint bytes: NewPlanar must never panic, must
+// reject exactly the documented degeneracies, and every accepted
+// trajectory must satisfy the parametrization invariants (finite
+// positive horizon, endpoint-anchored positions, line-hit times inside
+// [0, Horizon]). This is the never-panic gate CI's fuzz smoke step
+// runs alongside FuzzCompile.
+func FuzzNewPlanar(f *testing.F) {
+	seed := func(pts ...float64) []byte {
+		b := make([]byte, 8*len(pts))
+		for i, v := range pts {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(0, 0, 3, 4, 3, 0), 0.5, 1.0)
+	f.Add(seed(0, 0, 1, 0), 0.0, 0.5)
+	f.Add(seed(0, 0, math.NaN(), 1), 1.0, 1.0)
+	f.Add(seed(1, 1, 1, 1), 2.0, 0.0)
+	f.Add(seed(), 0.0, 0.0)
+
+	f.Fuzz(func(t *testing.T, data []byte, angle, c float64) {
+		n := len(data) / 16
+		if n > 64 {
+			n = 64
+		}
+		pts := make([]Vec, n)
+		for i := range pts {
+			pts[i] = Vec{
+				X: math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:])),
+				Y: math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:])),
+			}
+		}
+		p, err := NewPlanar(pts)
+		if err != nil {
+			if p != nil {
+				t.Fatal("NewPlanar returned both a trajectory and an error")
+			}
+			return
+		}
+		h := p.Horizon()
+		if !(h > 0) || math.IsInf(h, 0) || math.IsNaN(h) {
+			t.Fatalf("accepted trajectory has horizon %g (want positive finite)", h)
+		}
+		if got := p.Position(0); got != pts[0] {
+			t.Fatalf("Position(0) = %v, want start %v", got, pts[0])
+		}
+		last := pts[len(pts)-1]
+		if got := p.Position(h); got.Sub(last).Norm() > 1e-6*(1+h) {
+			t.Fatalf("Position(Horizon) = %v, want ~%v", got, last)
+		}
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			if got := p.Position(frac * h); !got.finite() {
+				t.Fatalf("Position(%g) = %v is not finite", frac*h, got)
+			}
+		}
+		hit := p.FirstHitLine(UnitDir(angle), c)
+		switch {
+		case math.IsNaN(hit): // degenerate query inputs
+		case math.IsInf(hit, 1): // never hits
+		case hit >= 0 && hit <= h: // a real crossing, inside the horizon
+		default:
+			t.Fatalf("FirstHitLine = %g outside [0, %g]", hit, h)
+		}
+	})
+}

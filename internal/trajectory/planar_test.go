@@ -1,0 +1,285 @@
+package trajectory
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewPlanarValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Vec
+	}{
+		{"too few", []Vec{{0, 0}}},
+		{"empty", nil},
+		{"nan", []Vec{{0, 0}, {math.NaN(), 1}}},
+		{"inf", []Vec{{0, 0}, {math.Inf(1), 0}}},
+		{"zero segment", []Vec{{0, 0}, {1, 1}, {1, 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewPlanar(tc.pts); !errors.Is(err, ErrBadSequence) {
+			t.Errorf("%s: NewPlanar err = %v, want ErrBadSequence", tc.name, err)
+		}
+	}
+	if _, err := NewPlanar([]Vec{{0, 0}, {3, 4}, {3, 0}}); err != nil {
+		t.Fatalf("valid path rejected: %v", err)
+	}
+}
+
+func TestPlanarHorizonAndPosition(t *testing.T) {
+	p, err := NewPlanar([]Vec{{0, 0}, {3, 4}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Horizon(); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("Horizon = %g, want 9", got)
+	}
+	if got := p.Position(0); got != (Vec{0, 0}) {
+		t.Errorf("Position(0) = %v, want origin", got)
+	}
+	if got := p.Position(5); math.Abs(got.X-3) > 1e-12 || math.Abs(got.Y-4) > 1e-12 {
+		t.Errorf("Position(5) = %v, want (3,4)", got)
+	}
+	if got := p.Position(7); math.Abs(got.X-3) > 1e-12 || math.Abs(got.Y-2) > 1e-12 {
+		t.Errorf("Position(7) = %v, want (3,2)", got)
+	}
+	for _, bad := range []float64{-1, 9.0001, math.NaN()} {
+		got := p.Position(bad)
+		if !math.IsNaN(got.X) || !math.IsNaN(got.Y) {
+			t.Errorf("Position(%g) = %v, want NaN vec", bad, got)
+		}
+	}
+}
+
+// TestPlanarUnitSpeed checks that consecutive position samples move at
+// (at most) unit speed, the defining property of the parametrization.
+func TestPlanarUnitSpeed(t *testing.T) {
+	p, err := NewPlanar([]Vec{{0, 0}, {2, 1}, {-1, 3}, {0, 0}, {4, -2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Horizon()
+	const n = 400
+	prev := p.Position(0)
+	for i := 1; i <= n; i++ {
+		ti := h * float64(i) / n
+		cur := p.Position(ti)
+		dt := h / n
+		if d := cur.Sub(prev).Norm(); d > dt*(1+1e-9) {
+			t.Fatalf("speed %g > 1 between samples %d-1 and %d", d/dt, i, i)
+		}
+		prev = cur
+	}
+}
+
+func TestPlanarFirstHitLine(t *testing.T) {
+	// Path along the x-axis out to 5, back to -3.
+	p, err := NewPlanar([]Vec{{0, 0}, {5, 0}, {-3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Vec{1, 0}
+	if got := p.FirstHitLine(u, 2); got != 2 {
+		t.Errorf("hit x=2 at %g, want 2", got)
+	}
+	if got := p.FirstHitLine(u, -2); got != 12 {
+		t.Errorf("hit x=-2 at %g, want 12 (5 out, then 7 back past the origin)", got)
+	}
+	if got := p.FirstHitLine(u, 6); !math.IsInf(got, 1) {
+		t.Errorf("hit x=6 at %g, want +Inf", got)
+	}
+	if got := p.FirstHitLine(u, 0); got != 0 {
+		t.Errorf("hit x=0 at %g, want 0 (start on the line)", got)
+	}
+	// Degenerate queries answer NaN, never panic.
+	for _, bad := range []struct {
+		n Vec
+		c float64
+	}{
+		{Vec{0, 0}, 1},
+		{Vec{math.NaN(), 1}, 1},
+		{Vec{1, 0}, math.Inf(1)},
+		{Vec{1, 0}, math.NaN()},
+	} {
+		if got := p.FirstHitLine(bad.n, bad.c); !math.IsNaN(got) {
+			t.Errorf("FirstHitLine(%v, %g) = %g, want NaN", bad.n, bad.c, got)
+		}
+	}
+	// A diagonal ray hits the vertical line x = d at time d*sec(theta).
+	ray, err := PlanarRay(math.Pi/3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ray.FirstHitLine(Vec{1, 0}, 3)
+	want := 3 / math.Cos(math.Pi/3)
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("diagonal hit at %g, want %g", got, want)
+	}
+	// Heading away from the line: never hits.
+	if got := ray.FirstHitLine(Vec{1, 0}, -1); !math.IsInf(got, 1) {
+		t.Errorf("back-side hit at %g, want +Inf", got)
+	}
+}
+
+// TestPlanarSpecializesStar pins the 1D-specialization guarantee: an
+// S_2 star trajectory embedded on the x-axis has, for every point the
+// star visits, a first line-crossing time that is bit-identical
+// (exact float equality, not approximate) to Star.FirstVisit. This is
+// what keeps the planar refactor from perturbing any line-scenario
+// answer: the 1D stack is the axis-embedded special case, not a
+// parallel implementation.
+func TestPlanarSpecializesStar(t *testing.T) {
+	rounds := []Round{
+		{Ray: 1, Turn: 1}, {Ray: 2, Turn: 1.3}, {Ray: 1, Turn: 2.17},
+		{Ray: 2, Turn: 3.7}, {Ray: 1, Turn: 5.01}, {Ray: 2, Turn: 9.9},
+	}
+	s, err := NewStar(2, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := StarDirections(2)
+	if dirs[0] != (Vec{1, 0}) || dirs[1] != (Vec{-1, 0}) {
+		t.Fatalf("StarDirections(2) = %v, want exact axis vectors", dirs)
+	}
+	p, err := PlanarFromStar(s, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Horizon() != s.Horizon() {
+		t.Fatalf("embedded horizon %g != star horizon %g", p.Horizon(), s.Horizon())
+	}
+	for ray := 1; ray <= 2; ray++ {
+		u := dirs[ray-1]
+		for _, x := range []float64{0.25, 0.5, 1, 1.25, 1.3, 2, 2.17, 3, 3.7, 4.4, 5.01, 7, 9.9} {
+			want := s.FirstVisit(Point{Ray: ray, Dist: x})
+			got := p.FirstHitLine(u, x)
+			if math.IsInf(want, 1) {
+				if !math.IsInf(got, 1) {
+					t.Errorf("ray %d x=%g: planar hit %g, star never visits", ray, x, got)
+				}
+				continue
+			}
+			if got != want {
+				t.Errorf("ray %d x=%g: planar hit %v != star visit %v (must be bit-identical)",
+					ray, x, got, want)
+			}
+		}
+	}
+}
+
+// TestPlanarFromStarWideStar exercises the m > 2 embedding: the
+// embedded path reaches the halfplane {q . u_r >= x} no later than the
+// star visits the point at distance x on ray r (a halfplane can be
+// entered from a neighboring ray), and the embedded position at the
+// star's visit time is the embedded point itself.
+func TestPlanarFromStarWideStar(t *testing.T) {
+	for _, m := range []int{3, 5} {
+		rounds := make([]Round, 0, 3*m)
+		turn := 1.0
+		for rep := 0; rep < 3; rep++ {
+			for ray := 1; ray <= m; ray++ {
+				rounds = append(rounds, Round{Ray: ray, Turn: turn})
+				turn *= 1.37
+			}
+		}
+		s, err := NewStar(m, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs := StarDirections(m)
+		p, err := PlanarFromStar(s, dirs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ray := 1; ray <= m; ray++ {
+			for _, x := range []float64{0.5, 1, 2, 4} {
+				visit := s.FirstVisit(Point{Ray: ray, Dist: x})
+				if math.IsInf(visit, 1) {
+					continue
+				}
+				hit := p.FirstHitLine(dirs[ray-1], x)
+				if hit > visit {
+					t.Errorf("m=%d ray %d x=%g: halfplane hit %g after point visit %g",
+						m, ray, x, hit, visit)
+				}
+				want := dirs[ray-1].Scale(x)
+				got := p.Position(visit)
+				if got.Sub(want).Norm() > 1e-9*(1+x) {
+					t.Errorf("m=%d ray %d x=%g: position at visit = %v, want %v",
+						m, ray, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanarFromStarValidation(t *testing.T) {
+	s, err := NewStar(3, []Round{{Ray: 1, Turn: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanarFromStar(s, StarDirections(2)); !errors.Is(err, ErrBadRay) {
+		t.Errorf("direction count mismatch: err = %v, want ErrBadRay", err)
+	}
+	if _, err := PlanarFromStar(s, []Vec{{1, 0}, {0, 1}, {0, 0}}); !errors.Is(err, ErrBadSequence) {
+		t.Errorf("degenerate direction: err = %v, want ErrBadSequence", err)
+	}
+}
+
+func TestPlanarRayValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := PlanarRay(1, bad); !errors.Is(err, ErrBadSequence) {
+			t.Errorf("PlanarRay length %g: err = %v, want ErrBadSequence", bad, err)
+		}
+	}
+	r, err := PlanarRay(math.Pi/2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Horizon() != 7 {
+		t.Errorf("ray horizon %g, want exactly 7", r.Horizon())
+	}
+	if tip := r.PointAt(1); tip != (Vec{0, 7}) {
+		t.Errorf("ray tip %v, want exact (0,7)", tip)
+	}
+}
+
+// TestLineCoordWideStarRegression is the m > 2 audit of satellite (a):
+// Point.LineCoord is a strictly two-ray conversion, and the planar
+// refactor keeps it that way. An audit of the repository (grep for
+// LineCoord) found no call site outside this package's own tests, so
+// no caller assumes it succeeds on wider stars; this test pins the
+// contract that rays beyond 2 — legal Points on S_m for m > 2 — are
+// rejected with ErrBadRay rather than silently mapped to a sign.
+func TestLineCoordWideStarRegression(t *testing.T) {
+	s, err := NewStar(3, []Round{{Ray: 3, Turn: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Position(1) // mid-outbound on ray 3: a legitimate m=3 point
+	if p.Ray != 3 {
+		t.Fatalf("position ray = %d, want 3", p.Ray)
+	}
+	if _, err := p.LineCoord(); !errors.Is(err, ErrBadRay) {
+		t.Errorf("LineCoord on ray 3: err = %v, want ErrBadRay", err)
+	}
+	for ray := 3; ray <= 6; ray++ {
+		if _, err := (Point{Ray: ray, Dist: 1}).LineCoord(); !errors.Is(err, ErrBadRay) {
+			t.Errorf("LineCoord on ray %d: err = %v, want ErrBadRay", ray, err)
+		}
+	}
+	// The two-ray cases stay exact.
+	for _, tc := range []struct {
+		p    Point
+		want float64
+	}{
+		{Point{Ray: 1, Dist: 2.5}, 2.5},
+		{Point{Ray: 2, Dist: 2.5}, -2.5},
+	} {
+		got, err := tc.p.LineCoord()
+		if err != nil || got != tc.want {
+			t.Errorf("LineCoord(%v) = %g, %v; want %g, nil", tc.p, got, err, tc.want)
+		}
+	}
+}
